@@ -1,0 +1,69 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These use pytest-benchmark's repeated timing (they are cheap and
+deterministic) and guard the performance characteristics the figure
+benches rely on: constant-time grouped positions, vectorized usage
+accumulation, and memoized multi-iteration engine runs.
+"""
+
+import numpy as np
+
+from repro.arch.presets import eyeriss_v1
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import RwlRoPolicy, make_policy
+from repro.core.positions import grouped_positions
+from repro.core.tracker import UsageTracker
+from repro.experiments.common import streams_for
+
+
+def test_bench_grouped_positions_llama_scale(benchmark):
+    """Grouped positions for a million-tile layer must be O(w*h)."""
+
+    def run():
+        return grouped_positions((3, 5), 8, 8, 14, 12, 1_000_000)
+
+    uu, vv, mult, final = benchmark(run)
+    assert int(mult.sum()) == 1_000_000
+
+
+def test_bench_tracker_batch_accumulation(benchmark):
+    """Vectorized rectangle accumulation over a full-array batch."""
+    array = eyeriss_v1(torus=True).array
+    rng = np.random.default_rng(7)
+    us = rng.integers(0, 14, 5000)
+    vs = rng.integers(0, 12, 5000)
+
+    def run():
+        tracker = UsageTracker(array)
+        tracker.add_positions(us, vs, 8, 8)
+        return tracker
+
+    tracker = benchmark(run)
+    assert tracker.total_usage == 5000 * 64
+
+
+def test_bench_engine_squeezenet_iteration(benchmark):
+    """One full SqueezeNet pass through the RWL+RO engine (memo warm)."""
+    accelerator = eyeriss_v1(torus=True)
+    streams = streams_for("SqueezeNet", accelerator)
+    engine = WearLevelingEngine(accelerator, RwlRoPolicy())
+    engine.run(streams, iterations=5, record_trace=False)  # warm the memo
+
+    def run():
+        engine.run_network(streams)
+
+    benchmark(run)
+    assert engine.tracker.total_usage > 0
+
+
+def test_bench_thousand_iteration_run(benchmark):
+    """The Fig. 6 workhorse: 1,000 iterations of SqueezeNet."""
+    accelerator = eyeriss_v1(torus=True)
+    streams = streams_for("SqueezeNet", accelerator)
+
+    def run():
+        engine = WearLevelingEngine(accelerator, make_policy("rwl+ro"))
+        return engine.run(streams, iterations=1000, record_trace=True)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.iterations == 1000

@@ -1,0 +1,129 @@
+"""Extension studies (not paper figures — see DESIGN.md).
+
+Policy comparison against naive alternatives, Monte Carlo validation of
+the closed-form lifetime math, and scheduler-objective sensitivity.
+"""
+
+from conftest import once
+
+from repro.experiments.extensions import (
+    run_aspect_ratio_study,
+    run_buffer_sweep,
+    run_beta_sensitivity,
+    run_mixed_workload,
+    run_oracle_comparison,
+    run_variation_sensitivity,
+    run_montecarlo_validation,
+    run_objective_ablation,
+    run_policy_comparison,
+)
+
+
+def test_extension_policy_comparison(benchmark):
+    result = once(benchmark, run_policy_comparison, iterations=500)
+    print()
+    print(result.format())
+    # RWL+RO matches the best competitor's lifetime...
+    assert result.rwl_ro_is_best_or_tied
+    # ...while random starts drift like a random walk.
+    assert result.only_structured_policies_bounded
+    random_row = result.row_for("random")
+    rwl_ro_row = result.row_for("rwl+ro")
+    assert random_row.tail_slope > 10 * abs(rwl_ro_row.tail_slope)
+    # Every torus policy crushes the fixed-corner baseline.
+    for policy in ("diagonal", "random", "rwl", "rwl+ro"):
+        assert result.row_for(policy).improvement > 1.3
+
+
+def test_extension_montecarlo_validation(benchmark):
+    result = once(benchmark, run_montecarlo_validation, num_samples=20_000)
+    print()
+    print(result.format())
+    # Closed form (Eqs. 2-4) matches sampling within noise.
+    assert result.closed_form_validated
+    assert result.improvement_relative_error < 0.02
+    # Wear-leveling also helps the early-failure tail (B10 life)...
+    assert result.leveled_b10_life > result.baseline_b10_life
+    # ...and spreads first failures off the hot PEs.
+    assert (
+        result.leveled_failure_concentration
+        < result.baseline_failure_concentration
+    )
+
+
+def test_extension_objective_sensitivity(benchmark):
+    result = once(benchmark, run_objective_ablation, iterations=100)
+    print()
+    print(result.format())
+    # The headline claim survives least-cycle and EDP-optimal scheduling.
+    assert result.conclusion_robust
+    improvements = [row.rwl_ro for row in result.rows]
+    assert max(improvements) / min(improvements) < 1.25
+
+
+def test_extension_beta_sensitivity(benchmark):
+    result = once(benchmark, run_beta_sensitivity, iterations=100)
+    print()
+    print(result.format())
+    # Wear-leveling wins for every wear-out shape, and matters more the
+    # steeper the wear-out (larger beta).
+    assert result.always_improves
+    assert result.monotone_in_beta
+
+
+def test_extension_variation_sensitivity(benchmark):
+    result = once(
+        benchmark,
+        run_variation_sensitivity,
+        iterations=100,
+        sigmas=(0.0, 0.2, 0.5, 1.0),
+    )
+    print()
+    print(result.format())
+    # Usage-based wear-leveling survives intrinsic PE variation...
+    assert result.always_improves
+    # ...though variation erodes the margin.
+    assert result.margin_shrinks
+
+
+def test_extension_feedback_oracle(benchmark):
+    result = once(benchmark, run_oracle_comparison, iterations=25)
+    print()
+    print(result.format())
+    # Open-loop RWL+RO leaves nothing for feedback hardware to gain.
+    assert result.open_loop_matches_oracle
+    assert result.oracle_improvement > 1.0
+
+
+def test_extension_mixed_workload(benchmark):
+    result = once(benchmark, run_mixed_workload, iterations=200)
+    print()
+    print(result.format())
+    # Section IV-D: RO relays across networks — the multi-tenant mix
+    # still levels and the scheme ordering holds.
+    assert result.ordering_holds
+    assert result.mix_levels_out
+    assert result.improvement_rwl_ro > 1.3
+
+
+def test_extension_aspect_ratio(benchmark):
+    result = once(benchmark, run_aspect_ratio_study, iterations=100)
+    print()
+    print(result.format())
+    # The rotation is axis-symmetric: every aspect ratio benefits, and
+    # transposed shapes behave identically (32x8 vs 8x32).
+    assert result.all_improve
+    by_label = {point.label: point for point in result.points}
+    import math
+    assert math.isclose(
+        by_label["32x8"].rwl_ro, by_label["8x32"].rwl_ro, rel_tol=0.05
+    )
+
+
+def test_extension_buffer_sweep(benchmark):
+    result = once(benchmark, run_buffer_sweep, iterations=100)
+    print()
+    print(result.format())
+    # The win survives halving or quadrupling the Eyeriss buffers.
+    assert result.all_improve
+    assert result.gain_spread < 2.0

@@ -1,0 +1,20 @@
+"""Fig. 10: wear-leveling gains vs PE-array size (SqueezeNet).
+
+Paper shape: larger arrays lower PE utilization and enlarge the residual
+imbalance, so the RWL+RO gain grows with the array size.
+"""
+
+from conftest import once
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_array_size_sweep(benchmark):
+    result = once(benchmark, run_fig10, iterations=200)
+    print()
+    print(result.format())
+    assert result.gain_grows_with_size
+    # The largest array should show a substantially bigger gain than the
+    # smallest (paper: monotone growth across the sweep).
+    assert result.points[-1].rwl_ro > 1.5 * result.points[0].rwl_ro
+    assert all(point.rwl_ro >= 1.0 for point in result.points)

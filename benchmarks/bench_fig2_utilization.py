@@ -1,0 +1,26 @@
+"""Fig. 2: PE utilization of energy-optimal schedules.
+
+Paper numbers: 55.8% average on Eyeriss (Fig. 2a); drastic per-layer
+variation within SqueezeNet (Fig. 2b).
+"""
+
+from conftest import once
+
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+
+
+def test_fig2a_average_pe_utilization(benchmark):
+    result = once(benchmark, run_fig2a)
+    print()
+    print(result.format())
+    # Shape: chronic underutilization, in the ballpark of 55.8%.
+    assert 0.40 <= result.overall_mean <= 0.75
+    assert all(value < 1.0 for _, value in result.rows)
+
+
+def test_fig2b_squeezenet_layer_utilization(benchmark):
+    result = once(benchmark, run_fig2b, "SqueezeNet")
+    print()
+    print(result.format())
+    # Shape: utilization varies drastically within one network.
+    assert result.spread > 0.2

@@ -1,0 +1,19 @@
+"""Fig. 3: usage heatmaps — fixed-corner mesh vs wear-leveled torus."""
+
+from conftest import once
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_heatmaps(benchmark):
+    result = once(benchmark, run_fig3, iterations=10)
+    print()
+    print(result.format())
+    for network in ("ResNet-50", "SqueezeNet"):
+        pair = result.pair_for(network)
+        counts = pair.baseline_counts
+        # Fig. 3a: hotspot anchored at the scheduling corner.
+        assert counts[0, 0] == counts.max()
+        # Fig. 3b: torus + RWL+RO is near-uniform.
+        assert pair.wear_leveled_r_diff < 0.2
+        assert pair.baseline_r_diff > pair.wear_leveled_r_diff

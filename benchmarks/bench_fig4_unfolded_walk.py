@@ -1,0 +1,23 @@
+"""Fig. 4: the unfolded torus walk, as data.
+
+The figure's two visual claims, made executable: striding utilization
+spaces tile the unfolded plane exactly (no gaps, no overlaps), and
+folding the plane back onto the physical array covers every column
+exactly W times — including the boundary-crossing "U-1" spaces.
+"""
+
+from conftest import once
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_unfolded_walk(benchmark):
+    result = once(benchmark, run_fig4, x=8, y=8)
+    print()
+    print(result.format())
+    assert result.tiling_is_exact
+    assert result.folded_coverage_uniform
+    # The paper's example geometry: 7 strides, 4 unfoldings, and spaces
+    # that genuinely cross the boundary (the U-1 case exists).
+    assert (result.X, result.W) == (7, 4)
+    assert len(result.wrapping_spaces) > 0

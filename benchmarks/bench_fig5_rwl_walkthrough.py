@@ -1,0 +1,19 @@
+"""Fig. 5 / Table I: closed-form RWL quantities vs simulation.
+
+Paper example: ResNet C5, 8x8 space, Z = 32 on 14x12 => X=7, W=4, Y=4,
+H_RWL=2; Eq. 9 bounds D_max by W + 1.
+"""
+
+from conftest import once
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_rwl_walkthrough(benchmark):
+    result = once(benchmark, run_fig5, "ResNet-50")
+    print()
+    print(result.format())
+    assert (result.example.X, result.example.W) == (7, 4)
+    assert (result.example.Y, result.example.H_rwl) == (4, 2)
+    # Eq. 9 holds in simulation for every ResNet layer.
+    assert result.all_bounds_hold

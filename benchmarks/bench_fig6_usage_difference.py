@@ -1,0 +1,29 @@
+"""Fig. 6: max PE usage difference, SqueezeNet x 1,000 iterations.
+
+Paper shapes: the baseline's D_max grows steeply and unboundedly, RWL's
+grows with a much smaller slope, RWL+RO's is bounded (visible only in
+the zoomed first 200 iterations); the final heatmaps go from a severe
+corner hotspot (baseline) to near-perfect uniformity (RWL+RO).
+"""
+
+from conftest import once
+
+from repro.experiments.common import PAPER_ITERATIONS
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_usage_difference_1000_iterations(benchmark):
+    result = once(benchmark, run_fig6, iterations=PAPER_ITERATIONS)
+    print()
+    print(result.format())
+    # Fig. 6a: steep baseline growth, much flatter RWL.
+    assert result.slope("baseline") > 10 * result.slope("rwl")
+    assert result.slope("rwl") > 0
+    # Fig. 6b: RWL+RO bounded.
+    assert result.rwl_ro_bounded
+    # Figs. 6c-e: final imbalance ordering.
+    d_final = {
+        policy: int(result.trace(policy)[-1])
+        for policy in ("baseline", "rwl", "rwl+ro")
+    }
+    assert d_final["baseline"] > d_final["rwl"] > d_final["rwl+ro"]

@@ -1,0 +1,20 @@
+"""Fig. 7: projected lifetime vs R_diff, first 200 RWL+RO iterations.
+
+Paper shape: R_diff converges toward 0; the projected lifetime inversely
+follows it toward the perfectly-leveled reference.
+"""
+
+from conftest import once
+
+from repro.experiments.common import PAPER_ZOOM_ITERATIONS
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_lifetime_vs_rdiff(benchmark):
+    result = once(benchmark, run_fig7, iterations=PAPER_ZOOM_ITERATIONS)
+    print()
+    print(result.format())
+    assert result.r_diff_converges
+    assert result.lifetime_rises
+    assert result.inversely_correlated
+    assert result.projection.final_lifetime > 0.99

@@ -1,0 +1,28 @@
+"""Fig. 8: relative lifetime improvement per Table II workload.
+
+Paper numbers: RWL+RO 1.69x average, RWL-only 1.65x; visible RO gaps on
+MobileNet v3 / EfficientNet / MobileViT; the biggest gain goes to the
+lowest-utilization workload; improvements strongly (anti-)correlate with
+PE utilization.
+"""
+
+from conftest import once
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_lifetime_improvement(benchmark):
+    result = once(benchmark, run_fig8, iterations=200)
+    print()
+    print(result.format())
+    print(f"corr(utilization, improvement) = {result.utilization_correlation():.3f}")
+    # Every workload benefits; the average is clearly above 1.
+    assert all(row.rwl_ro > 1.0 for row in result.rows)
+    assert result.mean_rwl_ro > 1.3
+    # Strong anti-correlation with utilization (paper Section V-B).
+    assert result.utilization_correlation() < -0.7
+    # The lowest-utilization workload gains the most.
+    lowest = min(result.rows, key=lambda row: row.utilization)
+    assert result.best_network.network == lowest.network
+    # The paper's three small networks show the RO-over-RWL gap.
+    assert result.small_network_gap > 1.0

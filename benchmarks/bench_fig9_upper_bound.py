@@ -1,0 +1,20 @@
+"""Fig. 9: layer-wise RWL improvement vs the theoretical ceiling.
+
+Paper shape: per-layer RWL approaches — and never exceeds — the
+perfect-wear-leveling bound ``utilization ** (1/beta - 1)``.
+"""
+
+from conftest import once
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_layerwise_upper_bound(benchmark):
+    result = once(benchmark, run_fig9)
+    print()
+    print(result.format(limit=25))
+    assert result.all_within_bound
+    # 'Closely approaches': on average the bound is mostly achieved.
+    assert result.mean_gap > 0.85
+    # Every layer of every Table II network contributed a point.
+    assert len(result.points) > 800

@@ -1,0 +1,49 @@
+"""Cycle-model validation: analytic closed form vs event-driven pipeline.
+
+Not a paper figure — this guards the latency model the "no performance
+degradation" analysis rests on: for every layer of every Table II
+workload, the analytic makespan must upper-bound the double-buffered
+shared-bus simulation within 2%.
+"""
+
+from conftest import once
+
+from repro.dataflow.cycles import CycleModel
+from repro.dataflow.pipeline import PipelineSimulator
+from repro.experiments.common import execution_for, paper_accelerator
+from repro.workloads.registry import network_names
+
+
+def test_cycle_model_validates_against_pipeline(benchmark):
+    accelerator = paper_accelerator()
+    cycle_model = CycleModel(accelerator)
+
+    def run():
+        checked = 0
+        worst_steady_gap = 0.0  # layers with enough passes to reach steady state
+        for name in network_names():
+            execution = execution_for(name, accelerator)
+            for layer_execution in execution.layers:
+                mapping = layer_execution.schedule.mapping
+                per_pass = cycle_model.pass_cycles(mapping)
+                passes = min(mapping.num_passes, 2048)
+                simulated = (
+                    PipelineSimulator(per_pass, buffers=2).simulate(passes).makespan
+                )
+                analytic = (
+                    per_pass.serialized + (passes - 1) * per_pass.steady_state
+                )
+                assert simulated <= analytic, layer_execution.layer.name
+                gap = analytic - simulated
+                # Pipeline-fill slack never exceeds one serialized pass.
+                assert gap <= per_pass.serialized, layer_execution.layer.name
+                if passes >= 64:
+                    worst_steady_gap = max(worst_steady_gap, gap / simulated)
+                checked += 1
+        return checked, worst_steady_gap
+
+    checked, worst_gap = once(benchmark, run)
+    print(f"\nvalidated {checked} layers; worst steady-state gap "
+          f"{100 * worst_gap:.2f}%")
+    assert checked > 800
+    assert worst_gap < 0.02

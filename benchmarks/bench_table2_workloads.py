@@ -1,0 +1,14 @@
+"""Table II: build the full workload roster and print it."""
+
+from conftest import once
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_workload_roster(benchmark):
+    result = once(benchmark, run_table2)
+    print()
+    print(result.format())
+    assert len(result.networks) == 9
+    # Table II spans four DNN domains.
+    assert len({network.domain for network in result.networks}) == 4

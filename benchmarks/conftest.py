@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper at
+full scale, times it with pytest-benchmark, prints the paper-style rows,
+and asserts the qualitative shape the paper reports. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Schedules are shared through the on-disk cache, so the first run pays
+the mapping search (~30 s) and later runs start hot.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Time a heavy experiment driver exactly once."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Design-space exploration: wear-leveling on a custom accelerator.
+
+Shows the library as a design tool rather than a paper artifact: build a
+non-Eyeriss accelerator (bigger array, bigger local buffers, wider NoC),
+sweep PE-array sizes for a workload of interest, and report how the
+wear-leveling opportunity and the torus area overhead scale.
+
+Run:
+    python examples/custom_accelerator.py [network]
+"""
+
+import sys
+
+from repro import Accelerator, AreaModel, PEArray, Topology
+from repro.analysis.report import format_table
+from repro.arch.buffers import Buffer, GlobalBuffer, LocalBufferSet
+from repro.arch.noc import GlobalNetwork, NocModel
+from repro.arch.pe import MacUnit, ProcessingElement
+from repro.dataflow.simulator import DataflowSimulator
+from repro.experiments.common import run_policies
+from repro.reliability.lifetime import improvement_from_counts
+from repro.workloads.registry import get_network
+
+
+def build_custom(width: int, height: int) -> Accelerator:
+    """A beefier-than-Eyeriss design: 2x local buffers, 32 B/cycle NoC."""
+    pe = ProcessingElement(
+        mac=MacUnit(operand_bits=16, energy_pj=0.07),
+        local_buffers=LocalBufferSet(
+            input=Buffer("input_lb", 48, read_energy_pj=0.09),
+            weight=Buffer("weight_lb", 896, read_energy_pj=0.22),
+            output=Buffer("output_lb", 96, read_energy_pj=0.11),
+        ),
+    )
+    return Accelerator(
+        name=f"custom-{width}x{height}",
+        array=PEArray(width=width, height=height, topology=Topology.TORUS, pe=pe),
+        glb=GlobalBuffer(Buffer("glb", 256 * 1024, read_energy_pj=1.8)),
+        noc=NocModel(global_net=GlobalNetwork(bandwidth_bytes_per_cycle=32)),
+    )
+
+
+def main() -> None:
+    network_name = sys.argv[1] if len(sys.argv) > 1 else "MobileNet v3"
+    network = get_network(network_name)
+    area_model = AreaModel()
+
+    rows = []
+    for width, height in ((12, 10), (16, 14), (24, 20), (32, 28)):
+        accelerator = build_custom(width, height)
+        simulator = DataflowSimulator(accelerator)
+        execution = simulator.execute_network(network.layers, name=network.name)
+        results = run_policies(
+            execution.streams(),
+            accelerator,
+            policies=("baseline", "rwl+ro"),
+            iterations=100,
+            record_trace=False,
+        )
+        improvement = improvement_from_counts(
+            results["baseline"].counts, results["rwl+ro"].counts
+        )
+        overhead = area_model.torus_overhead_ratio(accelerator.as_mesh())
+        rows.append(
+            (
+                f"{width}x{height}",
+                f"{execution.mean_utilization:.1%}",
+                f"{execution.total_cycles:,}",
+                f"{execution.total_energy_pj / 1e6:.1f}",
+                f"{improvement:.2f}x",
+                f"{100 * overhead:.2f}%",
+            )
+        )
+
+    print(
+        format_table(
+            ("array", "PE util", "cycles", "energy (uJ)", "RWL+RO gain", "torus area"),
+            rows,
+            title=f"Custom accelerator design sweep — {network.name}",
+        )
+    )
+    print(
+        "\nLarger arrays run faster but utilize PEs less, widening the "
+        "wear-leveling opportunity, while the torus area overhead stays "
+        "well under one percent at every size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fleet reliability report: every Table II workload, three schemes.
+
+The scenario from the paper's introduction: an accelerator deployed in a
+reliability-critical system (automotive, aerospace) running a mix of
+DNN workloads. For each workload this script reports the PE utilization,
+the imbalance each scheduling scheme leaves behind, the Eq. 4 lifetime
+improvement, and how close RWL+RO comes to the theoretical ceiling.
+
+Run:
+    python examples/reliability_report.py [iterations]
+"""
+
+import sys
+
+from repro import lifetime_upper_bound
+from repro.reliability.endurance import compare_service_life
+from repro.analysis.report import format_table
+from repro.experiments.common import execution_for, run_policies
+from repro.reliability.lifetime import improvement_from_counts
+from repro.workloads.registry import network_names
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+
+    rows = []
+    for name in network_names():
+        execution = execution_for(name)
+        results = run_policies(
+            execution.streams(), iterations=iterations, record_trace=False
+        )
+        baseline = results["baseline"]
+        rwl = results["rwl"]
+        rwl_ro = results["rwl+ro"]
+        utilization = execution.mean_utilization
+        ceiling = lifetime_upper_bound(utilization)
+        gain = improvement_from_counts(baseline.counts, rwl_ro.counts)
+        life = compare_service_life(baseline.counts, rwl_ro.counts)
+        rows.append(
+            (
+                name,
+                f"{utilization:.1%}",
+                baseline.max_difference,
+                rwl.max_difference,
+                rwl_ro.max_difference,
+                f"{improvement_from_counts(baseline.counts, rwl.counts):.2f}x",
+                f"{gain:.2f}x",
+                f"{ceiling:.2f}x",
+                f"{gain / ceiling:.0%}",
+                f"{life.baseline.mttf_years:.1f}y",
+                f"{life.leveled.mttf_years:.1f}y",
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "network",
+                "util",
+                "Dmax base",
+                "Dmax RWL",
+                "Dmax RWL+RO",
+                "RWL",
+                "RWL+RO",
+                "ceiling",
+                "achieved",
+                "base life",
+                "RoTA life",
+            ),
+            rows,
+            title=(
+                f"Lifetime reliability report — Eyeriss-style 14x12 array, "
+                f"{iterations} iterations per workload"
+            ),
+        )
+    )
+    print(
+        "\nService life assumes 24/7 serving and a 10-year rated MTTF for a "
+        "continuously-active PE (see repro.reliability.endurance)."
+    )
+    print(
+        "ceiling = utilization^(1/beta - 1): the perfect-wear-leveling "
+        "bound of paper Section V-C (beta = 3.4, JEDEC), evaluated at the "
+        "network's MEAN utilization — mixing layers of different sizes can "
+        "push the measured gain slightly past this average-based ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

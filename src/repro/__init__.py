@@ -1,0 +1,124 @@
+"""RoTA: Rotational Torus Accelerator for Wear Leveling of Neural PEs.
+
+A full reproduction of Lim et al. (DATE 2025): an Eyeriss-style
+accelerator model, a NeuroSpector-style energy-optimal scheduler, the
+RoTA torus PE array, the RWL / RWL+RO wear-leveling policies, and the
+Weibull lifetime-reliability model — plus one experiment driver per
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import eyeriss_v1, get_network, DataflowSimulator
+    from repro import WearLevelingEngine, make_policy, improvement_from_counts
+
+    rota = eyeriss_v1(torus=True)
+    streams = DataflowSimulator(rota).execute_network(
+        get_network("SqueezeNet").layers, name="SqueezeNet"
+    ).streams()
+
+    base = WearLevelingEngine(rota.as_mesh(), make_policy("baseline"))
+    wl = WearLevelingEngine(rota, make_policy("rwl+ro"))
+    counts_b = base.run(streams, iterations=100).counts
+    counts_w = wl.run(streams, iterations=100).counts
+    print(improvement_from_counts(counts_b, counts_w))  # ~paper Fig. 8
+"""
+
+from repro.arch import (
+    Accelerator,
+    AreaBreakdown,
+    AreaModel,
+    PEArray,
+    Topology,
+    eyeriss_v1,
+    scaled_array,
+)
+from repro.core import (
+    BaselinePolicy,
+    RunResult,
+    RwlParameters,
+    RwlPolicy,
+    RwlRoPolicy,
+    StrideTrigger,
+    UsageTracker,
+    UtilizationSpace,
+    WearLevelingEngine,
+    make_policy,
+    rwl_parameters,
+    stride_positions,
+)
+from repro.dataflow import (
+    DataflowSimulator,
+    LayerKind,
+    LayerShape,
+    Mapping,
+    Schedule,
+    Scheduler,
+    SchedulerOptions,
+    TileStream,
+)
+from repro.errors import (
+    ConfigurationError,
+    MappingError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.reliability import (
+    JEDEC_BETA,
+    WeibullModel,
+    improvement_from_counts,
+    lifetime_upper_bound,
+    project_lifetime,
+    relative_improvement,
+    relative_lifetime,
+)
+from repro.workloads import Network, all_networks, get_network, network_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accelerator",
+    "AreaBreakdown",
+    "AreaModel",
+    "BaselinePolicy",
+    "ConfigurationError",
+    "DataflowSimulator",
+    "JEDEC_BETA",
+    "LayerKind",
+    "LayerShape",
+    "Mapping",
+    "MappingError",
+    "Network",
+    "PEArray",
+    "ReproError",
+    "RunResult",
+    "RwlParameters",
+    "RwlPolicy",
+    "RwlRoPolicy",
+    "Schedule",
+    "Scheduler",
+    "SchedulerOptions",
+    "SimulationError",
+    "StrideTrigger",
+    "TileStream",
+    "Topology",
+    "UsageTracker",
+    "UtilizationSpace",
+    "WearLevelingEngine",
+    "WeibullModel",
+    "WorkloadError",
+    "all_networks",
+    "eyeriss_v1",
+    "get_network",
+    "improvement_from_counts",
+    "lifetime_upper_bound",
+    "make_policy",
+    "network_names",
+    "project_lifetime",
+    "relative_improvement",
+    "relative_lifetime",
+    "rwl_parameters",
+    "scaled_array",
+    "stride_positions",
+    "__version__",
+]

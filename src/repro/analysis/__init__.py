@@ -1,0 +1,30 @@
+"""Analysis helpers: imbalance metrics, heatmaps, tables, CSV export."""
+
+from repro.analysis.attribution import WearAttribution, attribute_wear
+from repro.analysis.export import counts_to_csv, trace_to_csv, write_csv
+from repro.analysis.heatmap import heatmap_grid, render_heatmap
+from repro.analysis.network_report import NetworkProfile, profile_network
+from repro.analysis.metrics import (
+    balance_summary,
+    max_usage_difference,
+    usage_gini,
+    usage_r_diff,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "WearAttribution",
+    "attribute_wear",
+    "balance_summary",
+    "counts_to_csv",
+    "format_table",
+    "heatmap_grid",
+    "NetworkProfile",
+    "max_usage_difference",
+    "profile_network",
+    "render_heatmap",
+    "trace_to_csv",
+    "usage_gini",
+    "usage_r_diff",
+    "write_csv",
+]

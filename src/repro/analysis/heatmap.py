@@ -1,0 +1,48 @@
+"""Terminal heatmaps of per-PE usage (Figs. 3 and 6c-e).
+
+The paper's heatmaps show where stress concentrates in the array; the
+same information renders well in a terminal with a density ramp. Row 0
+(the scheduling origin) is drawn at the *bottom*, matching the paper's
+lower-left-corner orientation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Density ramp from idle to hottest.
+_RAMP = " .:-=+*#%@"
+
+
+def heatmap_grid(counts) -> np.ndarray:
+    """Normalize a usage array to [0, 1] for rendering or export."""
+    array = np.asarray(counts, dtype=float)
+    if array.ndim != 2:
+        raise SimulationError(f"heatmap needs a 2-D array, got shape {array.shape}")
+    peak = array.max()
+    if peak <= 0:
+        return np.zeros_like(array)
+    return array / peak
+
+
+def render_heatmap(counts, title: str = "", legend: bool = True) -> str:
+    """Render a usage array as an ASCII heatmap string."""
+    grid = heatmap_grid(counts)
+    levels = np.minimum((grid * (len(_RAMP) - 1)).round().astype(int), len(_RAMP) - 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    # Flip vertically: row 0 is the array's bottom row in the paper.
+    for row in levels[::-1]:
+        lines.append("".join(_RAMP[level] for level in row))
+    if legend:
+        array = np.asarray(counts, dtype=float)
+        lines.append(
+            f"[min={array.min():g} max={array.max():g} "
+            f"ramp='{_RAMP.strip() or ' '}']"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Heatmap image export (PPM/PGM, no plotting dependencies).
+
+The paper's Figs. 3 and 6c-e are color heatmaps. Terminal ASCII renders
+are useful interactively, but for reports users want image files; this
+module writes binary PPM (color) and PGM (grayscale) files — formats
+every image viewer and converter understands — using only numpy.
+
+The color ramp is a blue -> yellow -> red "heat" gradient with a
+distinct color for fully idle PEs, matching how the paper's heatmaps
+read: cold (unused) cells stand out against the wear gradient.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Anchor colors of the heat ramp (positions in [0, 1], RGB in 0-255).
+_RAMP: Sequence[Tuple[float, Tuple[int, int, int]]] = (
+    (0.00, (20, 42, 120)),  # deep blue
+    (0.35, (38, 130, 190)),  # blue
+    (0.60, (250, 220, 80)),  # yellow
+    (0.85, (240, 120, 40)),  # orange
+    (1.00, (200, 20, 30)),  # red
+)
+
+#: Color of never-used PEs (outside the ramp so they pop).
+_IDLE_COLOR = (235, 235, 235)
+
+
+def _ramp_lookup(values: np.ndarray) -> np.ndarray:
+    """Map normalized values in [0, 1] to RGB via the heat ramp."""
+    positions = np.array([p for p, _ in _RAMP])
+    channels = np.array([c for _, c in _RAMP], dtype=float)
+    rgb = np.empty(values.shape + (3,), dtype=np.uint8)
+    for channel in range(3):
+        rgb[..., channel] = np.clip(
+            np.interp(values, positions, channels[:, channel]), 0, 255
+        ).astype(np.uint8)
+    return rgb
+
+
+def heatmap_rgb(counts, scale: int = 24) -> np.ndarray:
+    """Render a usage array as an RGB pixel array.
+
+    Each PE becomes a ``scale x scale`` block; row 0 (the scheduling
+    origin) is drawn at the *bottom*, matching the paper's orientation.
+    """
+    array = np.asarray(counts, dtype=float)
+    if array.ndim != 2:
+        raise SimulationError(f"heatmap needs a 2-D array, got {array.shape}")
+    if scale < 1:
+        raise SimulationError(f"scale must be >= 1, got {scale}")
+    peak = array.max()
+    normalized = array / peak if peak > 0 else np.zeros_like(array)
+    rgb = _ramp_lookup(normalized)
+    idle = array == 0
+    rgb[idle] = _IDLE_COLOR
+    # Flip vertically (origin at the bottom) and upsample to blocks.
+    rgb = rgb[::-1]
+    rgb = np.repeat(np.repeat(rgb, scale, axis=0), scale, axis=1)
+    return rgb
+
+
+def write_ppm(rgb: np.ndarray, path) -> Path:
+    """Write an RGB array as a binary PPM (P6) file."""
+    pixels = np.asarray(rgb)
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise SimulationError(f"PPM needs an (h, w, 3) array, got {pixels.shape}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    height, width, _ = pixels.shape
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    target.write_bytes(header + pixels.astype(np.uint8).tobytes())
+    return target.resolve()
+
+
+def write_pgm(gray: np.ndarray, path) -> Path:
+    """Write a grayscale array as a binary PGM (P5) file."""
+    pixels = np.asarray(gray)
+    if pixels.ndim != 2:
+        raise SimulationError(f"PGM needs an (h, w) array, got {pixels.shape}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    height, width = pixels.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    target.write_bytes(header + pixels.astype(np.uint8).tobytes())
+    return target.resolve()
+
+
+def heatmap_to_ppm(counts, path, scale: int = 24) -> Path:
+    """One-call export: usage array to a PPM heatmap file."""
+    return write_ppm(heatmap_rgb(counts, scale=scale), path)

@@ -1,0 +1,82 @@
+"""Imbalance metrics over per-PE usage arrays.
+
+These are the scalar summaries the paper's figures plot: the max usage
+difference ``D_max`` (Fig. 6), the relative imbalance ``R_diff``
+(Fig. 7), plus a Gini coefficient used by the ablation benches as an
+alternative imbalance lens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def _as_counts(counts) -> np.ndarray:
+    array = np.asarray(counts, dtype=float)
+    if array.size == 0:
+        raise SimulationError("usage array must be non-empty")
+    if np.any(array < 0):
+        raise SimulationError("usage counts must be non-negative")
+    return array
+
+
+def max_usage_difference(counts) -> float:
+    """The paper's ``D_max``: max minus min per-PE usage."""
+    array = _as_counts(counts)
+    return float(array.max() - array.min())
+
+
+def usage_r_diff(counts) -> float:
+    """The paper's ``R_diff = D_max / min(A_PE)`` (Eq. 11).
+
+    0 for a perfectly level array, infinite while some PE is untouched
+    but others are not.
+    """
+    array = _as_counts(counts)
+    diff = float(array.max() - array.min())
+    if diff == 0.0:
+        return 0.0
+    low = float(array.min())
+    if low == 0.0:
+        return float("inf")
+    return diff / low
+
+
+def usage_gini(counts) -> float:
+    """Gini coefficient of the usage distribution (0 = perfectly level)."""
+    array = np.sort(_as_counts(counts).ravel())
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    n = array.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * array)) / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class BalanceSummary:
+    """All imbalance scalars of one usage array."""
+
+    max_usage: float
+    min_usage: float
+    mean_usage: float
+    max_difference: float
+    r_diff: float
+    gini: float
+
+
+def balance_summary(counts) -> BalanceSummary:
+    """Compute every imbalance metric at once."""
+    array = _as_counts(counts)
+    return BalanceSummary(
+        max_usage=float(array.max()),
+        min_usage=float(array.min()),
+        mean_usage=float(array.mean()),
+        max_difference=max_usage_difference(array),
+        r_diff=usage_r_diff(array),
+        gini=usage_gini(array),
+    )

@@ -1,0 +1,137 @@
+"""Whole-network profiling report.
+
+Combines everything the library knows about one network on one
+accelerator into a single per-layer table: the energy-optimal schedule
+(utilization space, Z, energy split, cycles), the roofline bound, and
+the closed-form RWL quantities. This is the "give me the whole picture"
+view behind ``rota profile``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.core.rwl_math import rwl_parameters
+from repro.dataflow.roofline import Bound, analyze_roofline
+from repro.dataflow.simulator import NetworkExecution
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One layer's combined profile row."""
+
+    layer: str
+    space: Tuple[int, int]
+    num_tiles: int
+    utilization: float
+    energy_uj: float
+    dram_energy_share: float
+    cycles: int
+    bound: Bound
+    rwl_d_max_bound: int
+    rwl_min_a_pe: int
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Per-layer profiles plus network totals."""
+
+    network: str
+    accelerator: str
+    layers: Tuple[LayerProfile, ...]
+    total_energy_uj: float
+    total_cycles: int
+    mean_utilization: float
+
+    def layer_for(self, name: str) -> LayerProfile:
+        """Look up one layer's profile."""
+        for profile in self.layers:
+            if profile.layer == name:
+                return profile
+        raise KeyError(name)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """The profile table (optionally truncated to ``limit`` rows)."""
+        rows = [
+            (
+                profile.layer,
+                f"{profile.space[0]}x{profile.space[1]}",
+                profile.num_tiles,
+                f"{profile.utilization:.0%}",
+                f"{profile.energy_uj:.1f}",
+                f"{profile.dram_energy_share:.0%}",
+                f"{profile.cycles:,}",
+                profile.bound.value[:3],
+                profile.rwl_d_max_bound,
+                profile.rwl_min_a_pe,
+            )
+            for profile in (self.layers[:limit] if limit else self.layers)
+        ]
+        header = (
+            "layer",
+            "space",
+            "Z",
+            "util",
+            "uJ",
+            "DRAM%",
+            "cycles",
+            "bnd",
+            "Dmax<=",
+            "minA>=",
+        )
+        title = (
+            f"Profile — {self.network} on {self.accelerator}: "
+            f"{self.total_energy_uj:.0f} uJ, {self.total_cycles:,} cycles, "
+            f"mean util {self.mean_utilization:.1%}"
+        )
+        table = format_table(header, rows, title=title)
+        if limit and len(self.layers) > limit:
+            table += f"\n... ({len(self.layers) - limit} more layers)"
+        return table
+
+
+def profile_network(
+    accelerator: Accelerator, execution: NetworkExecution
+) -> NetworkProfile:
+    """Build the combined profile of one scheduled network."""
+    roofline = analyze_roofline(
+        accelerator, [layer.schedule for layer in execution.layers]
+    )
+    profiles = []
+    for layer_execution in execution.layers:
+        schedule = layer_execution.schedule
+        stream = layer_execution.stream
+        energy = schedule.energy
+        params = rwl_parameters(
+            w=accelerator.width,
+            h=accelerator.height,
+            x=stream.space_width,
+            y=stream.space_height,
+            z=stream.num_tiles,
+        )
+        profiles.append(
+            LayerProfile(
+                layer=schedule.layer.name,
+                space=schedule.space_shape,
+                num_tiles=stream.num_tiles,
+                utilization=schedule.utilization,
+                energy_uj=energy.total_uj,
+                dram_energy_share=energy.dram_pj / energy.total_pj,
+                cycles=schedule.cycles,
+                bound=roofline.point_for(schedule.layer.name).bound,
+                rwl_d_max_bound=params.d_max_bound,
+                rwl_min_a_pe=params.min_a_pe,
+            )
+        )
+    return NetworkProfile(
+        network=execution.network_name,
+        accelerator=accelerator.name,
+        layers=tuple(profiles),
+        total_energy_uj=execution.total_energy_pj / 1e6,
+        total_cycles=execution.total_cycles,
+        mean_utilization=execution.mean_utilization,
+    )

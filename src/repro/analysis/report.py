@@ -1,0 +1,47 @@
+"""Fixed-width table formatting for benchmark and CLI output.
+
+Every experiment driver prints its paper-table rows through
+:func:`format_table` so the reproduction's console output stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render a list of rows as an aligned fixed-width text table.
+
+    Floats are printed with three decimals; everything else via ``str``.
+    """
+    if not headers:
+        raise SimulationError("table needs at least one column")
+    rendered: List[List[str]] = [[_render_cell(value) for value in row] for row in rows]
+    for index, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise SimulationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in rendered)) if rendered else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

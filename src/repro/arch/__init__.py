@@ -1,0 +1,47 @@
+"""Hardware model of the accelerator: PEs, buffers, array, NoC, area.
+
+This subpackage models the physical substrate the paper's wear-leveling
+schemes run on: an Eyeriss-style accelerator with a 2-D PE array, per-PE
+local buffers, a shared global buffer, global/local on-chip networks, and
+(for RoTA) unidirectional torus links on every row and column.
+"""
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.area import AreaBreakdown, AreaModel
+from repro.arch.array import PEArray
+from repro.arch.buffers import Buffer, GlobalBuffer, LocalBufferSet
+from repro.arch.noc import GlobalNetwork, LocalNetwork, NocModel
+from repro.arch.pe import MacUnit, ProcessingElement
+from repro.arch.presets import eyeriss_v1, scaled_array
+from repro.arch.serialize import (
+    accelerator_from_dict,
+    accelerator_to_dict,
+    load_accelerator,
+    save_accelerator,
+)
+from repro.arch.topology import Topology, TorusLink, folded_torus_links, mesh_links
+
+__all__ = [
+    "Accelerator",
+    "AreaBreakdown",
+    "AreaModel",
+    "Buffer",
+    "GlobalBuffer",
+    "GlobalNetwork",
+    "LocalBufferSet",
+    "LocalNetwork",
+    "MacUnit",
+    "NocModel",
+    "PEArray",
+    "ProcessingElement",
+    "Topology",
+    "TorusLink",
+    "accelerator_from_dict",
+    "accelerator_to_dict",
+    "eyeriss_v1",
+    "folded_torus_links",
+    "load_accelerator",
+    "mesh_links",
+    "save_accelerator",
+    "scaled_array",
+]

@@ -1,0 +1,112 @@
+"""Top-level accelerator assembly: PE array + GLB + NoC + DRAM interface.
+
+An :class:`Accelerator` bundles everything a scheduling or wear-leveling
+experiment needs to know about the hardware. Construct one directly or use
+the presets in :mod:`repro.arch.presets` (e.g. the paper's Eyeriss-style
+14x12 configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.array import PEArray
+from repro.arch.buffers import GlobalBuffer
+from repro.arch.noc import NocModel
+from repro.arch.topology import Topology
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramInterface:
+    """Off-chip memory interface: bandwidth and per-access energy.
+
+    DRAM access energy dominates the hierarchy (two orders of magnitude
+    above a MAC), so mappings that re-fetch data from DRAM lose the
+    scheduler's energy comparison — the same pressure the paper's
+    NeuroSpector setup exerts.
+    """
+
+    bandwidth_bytes_per_cycle: int = 8
+    energy_per_byte_pj: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError("DRAM bandwidth must be positive")
+        if self.energy_per_byte_pj < 0:
+            raise ConfigurationError("DRAM energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A complete accelerator configuration.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports ("eyeriss-14x12", ...).
+    array:
+        The PE array (geometry + topology + PE design).
+    glb:
+        Shared global buffer.
+    noc:
+        Global + local network models.
+    dram:
+        Off-chip interface.
+    clock_mhz:
+        Nominal clock, used only to convert cycle counts to wall time in
+        reports; the relative-lifetime math never needs absolute time.
+    """
+
+    name: str
+    array: PEArray
+    glb: GlobalBuffer = field(default_factory=GlobalBuffer)
+    noc: NocModel = field(default_factory=NocModel)
+    dram: DramInterface = field(default_factory=DramInterface)
+    clock_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("accelerator needs a non-empty name")
+        if self.clock_mhz <= 0:
+            raise ConfigurationError(f"clock must be positive, got {self.clock_mhz}")
+
+    @property
+    def width(self) -> int:
+        """PE array width (the paper's ``w``)."""
+        return self.array.width
+
+    @property
+    def height(self) -> int:
+        """PE array height (the paper's ``h``)."""
+        return self.array.height
+
+    @property
+    def num_pes(self) -> int:
+        """Total PE count."""
+        return self.array.num_pes
+
+    @property
+    def is_torus(self) -> bool:
+        """Whether the local network supports wrap-around (RoTA)."""
+        return self.array.is_torus
+
+    def as_torus(self) -> "Accelerator":
+        """Return the RoTA variant of this accelerator (torus local net)."""
+        if self.is_torus:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}-torus",
+            array=self.array.with_topology(Topology.TORUS),
+        )
+
+    def as_mesh(self) -> "Accelerator":
+        """Return the conventional mesh variant of this accelerator."""
+        if not self.is_torus:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}-mesh",
+            array=self.array.with_topology(Topology.MESH),
+        )

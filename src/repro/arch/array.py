@@ -1,0 +1,145 @@
+"""The 2-D PE array: geometry, topology, and coordinate arithmetic.
+
+The array is the wear-leveling substrate. Its two responsibilities here
+are (a) validating/normalizing coordinates under the mesh or torus
+topology and (b) materializing the PE footprint of a utilization space —
+the set of array cells a tile placed at a given starting coordinate
+activates, including wrap-around on the torus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.arch.pe import ProcessingElement
+from repro.arch.topology import Topology
+from repro.errors import ConfigurationError
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """A homogeneous ``width x height`` array of processing elements.
+
+    Parameters
+    ----------
+    width:
+        Number of PE columns (the paper's ``w``; 14 for Eyeriss).
+    height:
+        Number of PE rows (the paper's ``h``; 12 for Eyeriss).
+    topology:
+        ``Topology.MESH`` for the baseline, ``Topology.TORUS`` for RoTA.
+    pe:
+        The PE design replicated at every cell.
+    pitch_um:
+        Physical PE pitch in micrometres (used by the area/wire model).
+    """
+
+    width: int
+    height: int
+    topology: Topology = Topology.MESH
+    pe: ProcessingElement = field(default_factory=ProcessingElement)
+    pitch_um: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError(
+                f"PE array must be at least 1x1, got {self.width}x{self.height}"
+            )
+        if self.pitch_um <= 0:
+            raise ConfigurationError(f"PE pitch must be positive, got {self.pitch_um}")
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of PEs, ``width * height``."""
+        return self.width * self.height
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Numpy-style array shape ``(height, width)`` i.e. ``(rows, cols)``."""
+        return (self.height, self.width)
+
+    @property
+    def is_torus(self) -> bool:
+        """Whether this array has wrap-around (RoTA) connectivity."""
+        return self.topology.supports_wraparound
+
+    def contains(self, coord: Coord) -> bool:
+        """Return whether ``(col, row)`` lies inside the array."""
+        col, row = coord
+        return 0 <= col < self.width and 0 <= row < self.height
+
+    def wrap(self, coord: Coord) -> Coord:
+        """Normalize a coordinate modulo the array dimensions.
+
+        On a torus any integer coordinate has a physical cell; on a mesh
+        out-of-range coordinates are an error.
+        """
+        col, row = coord
+        if self.is_torus:
+            return (col % self.width, row % self.height)
+        if not self.contains(coord):
+            raise ConfigurationError(
+                f"coordinate {coord} outside {self.width}x{self.height} mesh array"
+            )
+        return coord
+
+    def max_space_shape(self) -> Tuple[int, int]:
+        """Largest legal utilization-space shape ``(x, y)`` on this array."""
+        return (self.width, self.height)
+
+    def footprint_indices(
+        self, start: Coord, space_width: int, space_height: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array indices covered by a utilization space.
+
+        Returns ``(rows, cols)`` index arrays (each of length
+        ``space_width * space_height``) suitable for fancy-indexing a
+        ``(height, width)`` usage array. On a torus the footprint wraps;
+        on a mesh a footprint that would cross the boundary is an error.
+        """
+        if not (1 <= space_width <= self.width and 1 <= space_height <= self.height):
+            raise ConfigurationError(
+                f"utilization space {space_width}x{space_height} does not fit "
+                f"the {self.width}x{self.height} array"
+            )
+        col0, row0 = self.wrap(start)
+        cols = np.arange(col0, col0 + space_width)
+        rows = np.arange(row0, row0 + space_height)
+        if self.is_torus:
+            cols %= self.width
+            rows %= self.height
+        elif cols[-1] >= self.width or rows[-1] >= self.height:
+            raise ConfigurationError(
+                f"utilization space at {start} of size "
+                f"{space_width}x{space_height} crosses the mesh boundary"
+            )
+        grid_rows, grid_cols = np.meshgrid(rows, cols, indexing="ij")
+        return grid_rows.ravel(), grid_cols.ravel()
+
+    def footprint_mask(
+        self, start: Coord, space_width: int, space_height: int
+    ) -> np.ndarray:
+        """Boolean ``(height, width)`` mask of the cells a space activates."""
+        mask = np.zeros(self.shape, dtype=bool)
+        rows, cols = self.footprint_indices(start, space_width, space_height)
+        mask[rows, cols] = True
+        return mask
+
+    def with_topology(self, topology: Topology) -> "PEArray":
+        """Return a copy of this array with a different local network."""
+        return PEArray(
+            width=self.width,
+            height=self.height,
+            topology=topology,
+            pe=self.pe,
+            pitch_um=self.pitch_um,
+        )
+
+    def coords(self) -> List[Coord]:
+        """All ``(col, row)`` coordinates in row-major order."""
+        return [(col, row) for row in range(self.height) for col in range(self.width)]

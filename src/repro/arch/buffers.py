@@ -1,0 +1,142 @@
+"""On-chip buffer models: per-PE local buffers and the shared global buffer.
+
+The paper's evaluation platform (Section V) uses the Eyeriss configuration:
+each PE holds 24 B of input, 448 B of weight, and 48 B of output local
+buffer, and the accelerator has a 108 KB shared global buffer (GLB).
+
+Buffers here carry three things the rest of the library consumes:
+
+* a capacity in bytes (capacity checks during mapping),
+* a per-access energy in picojoules (the scheduler's energy model),
+* an SRAM area estimate in square micrometres (the area model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Default SRAM density used for buffer area estimates, in um^2 per byte.
+#: Calibrated to a 32 nm-class technology so that the Eyeriss-scale design
+#: lands in the published mm^2 range; the area *ratios* are what matter to
+#: the torus-overhead experiment, not the absolute density.
+DEFAULT_SRAM_UM2_PER_BYTE = 1.4
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A single SRAM buffer.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"input_lb"``, ``"glb"``, ...).
+    capacity_bytes:
+        Usable storage in bytes. Must be positive.
+    read_energy_pj:
+        Energy per read access in picojoules.
+    write_energy_pj:
+        Energy per write access in picojoules. Defaults to the read energy.
+    um2_per_byte:
+        SRAM density used when estimating this buffer's area.
+    """
+
+    name: str
+    capacity_bytes: int
+    read_energy_pj: float
+    write_energy_pj: float = -1.0
+    um2_per_byte: float = DEFAULT_SRAM_UM2_PER_BYTE
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"buffer {self.name!r} needs positive capacity, "
+                f"got {self.capacity_bytes}"
+            )
+        if self.read_energy_pj < 0:
+            raise ConfigurationError(
+                f"buffer {self.name!r} needs non-negative read energy, "
+                f"got {self.read_energy_pj}"
+            )
+        if self.write_energy_pj < 0:
+            object.__setattr__(self, "write_energy_pj", self.read_energy_pj)
+
+    @property
+    def area_um2(self) -> float:
+        """Estimated SRAM macro area in square micrometres."""
+        return self.capacity_bytes * self.um2_per_byte
+
+    def fits(self, nbytes: int) -> bool:
+        """Return whether ``nbytes`` of data fit in this buffer."""
+        return 0 <= nbytes <= self.capacity_bytes
+
+
+@dataclass(frozen=True)
+class LocalBufferSet:
+    """The three per-PE local buffers (input, weight, output).
+
+    The default sizes follow the paper's Eyeriss configuration
+    (24 B / 448 B / 48 B).
+    """
+
+    input: Buffer = field(
+        default_factory=lambda: Buffer("input_lb", 24, read_energy_pj=0.08)
+    )
+    weight: Buffer = field(
+        default_factory=lambda: Buffer("weight_lb", 448, read_energy_pj=0.20)
+    )
+    output: Buffer = field(
+        default_factory=lambda: Buffer("output_lb", 48, read_energy_pj=0.10)
+    )
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Combined capacity of the three local buffers."""
+        return (
+            self.input.capacity_bytes
+            + self.weight.capacity_bytes
+            + self.output.capacity_bytes
+        )
+
+    @property
+    def area_um2(self) -> float:
+        """Combined SRAM area of the three local buffers."""
+        return self.input.area_um2 + self.weight.area_um2 + self.output.area_um2
+
+    def fits_tile(self, input_bytes: int, weight_bytes: int, output_bytes: int) -> bool:
+        """Return whether a per-PE working set fits in the local buffers."""
+        return (
+            self.input.fits(input_bytes)
+            and self.weight.fits(weight_bytes)
+            and self.output.fits(output_bytes)
+        )
+
+
+@dataclass(frozen=True)
+class GlobalBuffer:
+    """The shared on-chip global buffer (GLB).
+
+    Defaults to the paper's 108 KB Eyeriss GLB. GLB accesses are roughly an
+    order of magnitude more expensive than local-buffer accesses and an
+    order of magnitude cheaper than DRAM, which is what drives the
+    scheduler toward high-reuse mappings.
+    """
+
+    buffer: Buffer = field(
+        default_factory=lambda: Buffer("glb", 108 * 1024, read_energy_pj=1.6)
+    )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable GLB storage in bytes."""
+        return self.buffer.capacity_bytes
+
+    @property
+    def area_um2(self) -> float:
+        """Estimated GLB SRAM area."""
+        return self.buffer.area_um2
+
+    def fits(self, nbytes: int) -> bool:
+        """Return whether ``nbytes`` fit in the GLB."""
+        return self.buffer.fits(nbytes)

@@ -1,0 +1,121 @@
+"""On-chip network models: the global (GLB<->PE) and local (PE<->PE) nets.
+
+The paper's accelerator (Section II, Fig. 1) has two networks:
+
+* the *global network* scatters tile data from the GLB to the PEs of the
+  active utilization space and gathers results back;
+* the *local network* forwards partial sums / shared operands between
+  neighboring PEs (and, in RoTA, around the torus rings).
+
+The wear-leveling claim "no performance degradation" (Section V-D) rests
+on the observation that a striding utilization space is still a contiguous
+rectangle — scatter/gather cost depends on the tile size and the number of
+active PEs, not on *where* the rectangle sits. The cycle model here makes
+that property explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GlobalNetwork:
+    """Bus/tree network between the GLB and the PE array.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_cycle:
+        Peak GLB-side bandwidth of the scatter/gather bus.
+    multicast:
+        Whether one GLB read can feed every PE that needs the same value
+        (true for Eyeriss-style X/Y-bus delivery). With multicast, scatter
+        traffic is counted once per distinct value rather than once per
+        destination PE.
+    energy_per_byte_pj:
+        Wire + driver energy per byte moved on the global network.
+    """
+
+    bandwidth_bytes_per_cycle: int = 16
+    multicast: bool = True
+    energy_per_byte_pj: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError("global network bandwidth must be positive")
+        if self.energy_per_byte_pj < 0:
+            raise ConfigurationError("global network energy must be non-negative")
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles to move ``nbytes`` over the global network."""
+        if nbytes < 0:
+            raise ConfigurationError(f"transfer size must be non-negative: {nbytes}")
+        return math.ceil(nbytes / self.bandwidth_bytes_per_cycle)
+
+    def transfer_energy_pj(self, nbytes: int) -> float:
+        """Energy to move ``nbytes`` over the global network."""
+        if nbytes < 0:
+            raise ConfigurationError(f"transfer size must be non-negative: {nbytes}")
+        return nbytes * self.energy_per_byte_pj
+
+
+@dataclass(frozen=True)
+class LocalNetwork:
+    """Nearest-neighbor (and torus) links between PEs.
+
+    Every hop moves one operand-width word per cycle. Folded-torus hops
+    span at most two PE pitches, so they close timing at the same clock as
+    mesh hops; the model therefore charges the same per-hop latency for
+    both, which is exactly the paper's no-degradation argument.
+    """
+
+    hop_latency_cycles: int = 1
+    word_bytes: int = 2
+    energy_per_hop_pj: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.hop_latency_cycles <= 0 or self.word_bytes <= 0:
+            raise ConfigurationError("local network latency/word size must be positive")
+        if self.energy_per_hop_pj < 0:
+            raise ConfigurationError("local hop energy must be non-negative")
+
+    def forward_cycles(self, num_hops: int) -> int:
+        """Latency of forwarding one word across ``num_hops`` links."""
+        if num_hops < 0:
+            raise ConfigurationError(f"hop count must be non-negative: {num_hops}")
+        return num_hops * self.hop_latency_cycles
+
+    def forward_energy_pj(self, num_words: int, num_hops: int) -> float:
+        """Energy of moving ``num_words`` words across ``num_hops`` links each."""
+        if num_words < 0 or num_hops < 0:
+            raise ConfigurationError("word/hop counts must be non-negative")
+        return num_words * num_hops * self.energy_per_hop_pj
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """The accelerator's complete on-chip network: global + local."""
+
+    global_net: GlobalNetwork = GlobalNetwork()
+    local_net: LocalNetwork = LocalNetwork()
+
+    def scatter_cycles(self, tile_input_bytes: int, tile_weight_bytes: int) -> int:
+        """Cycles to deliver one tile's operands from the GLB to the PEs.
+
+        Position-independent by construction: the cost depends only on the
+        tile's data volume.
+        """
+        return self.global_net.transfer_cycles(tile_input_bytes + tile_weight_bytes)
+
+    def gather_cycles(self, tile_output_bytes: int) -> int:
+        """Cycles to collect one tile's outputs from the PEs into the GLB."""
+        return self.global_net.transfer_cycles(tile_output_bytes)
+
+    def psum_forward_cycles(self, chain_length: int) -> int:
+        """Drain latency of a partial-sum chain of ``chain_length`` PEs."""
+        if chain_length <= 0:
+            raise ConfigurationError(f"chain length must be positive: {chain_length}")
+        return self.local_net.forward_cycles(chain_length - 1)

@@ -1,0 +1,85 @@
+"""Processing-element model: a MAC unit plus local buffers.
+
+A PE is the unit of wear in this study. The wear-leveling schemes never
+look inside a PE; what matters architecturally is (a) that each PE has a
+fixed physical location in the array, and (b) that its activity per data
+tile is all-or-nothing — a PE inside the active utilization space performs
+MACs for the whole tile, a PE outside it idles. The MAC/buffer detail here
+feeds the energy model and the area model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.buffers import LocalBufferSet
+from repro.errors import ConfigurationError
+
+#: MAC datapath area for a 16-bit fixed-point multiplier-accumulator in a
+#: 32 nm-class process, in um^2. Used by the area model; only ratios matter.
+DEFAULT_MAC_AREA_UM2 = 2100.0
+
+#: Control/register overhead per PE (FSM, pipeline registers), in um^2.
+DEFAULT_PE_CONTROL_AREA_UM2 = 900.0
+
+
+@dataclass(frozen=True)
+class MacUnit:
+    """A multiply-accumulate datapath.
+
+    Parameters
+    ----------
+    operand_bits:
+        Width of the input operands (16 for Eyeriss-style fixed point).
+    energy_pj:
+        Energy of one MAC operation in picojoules.
+    area_um2:
+        Datapath area in square micrometres.
+    """
+
+    operand_bits: int = 16
+    energy_pj: float = 0.075
+    area_um2: float = DEFAULT_MAC_AREA_UM2
+
+    def __post_init__(self) -> None:
+        if self.operand_bits <= 0:
+            raise ConfigurationError(
+                f"MAC operand width must be positive, got {self.operand_bits}"
+            )
+        if self.energy_pj < 0 or self.area_um2 <= 0:
+            raise ConfigurationError("MAC energy/area must be non-negative/positive")
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One PE: a MAC unit, local buffers, and control overhead.
+
+    The same immutable instance describes every PE in a homogeneous array;
+    per-PE *state* (usage counters) lives in :class:`repro.core.tracker`.
+    """
+
+    mac: MacUnit = field(default_factory=MacUnit)
+    local_buffers: LocalBufferSet = field(default_factory=LocalBufferSet)
+    control_area_um2: float = DEFAULT_PE_CONTROL_AREA_UM2
+
+    def __post_init__(self) -> None:
+        if self.control_area_um2 < 0:
+            raise ConfigurationError(
+                f"PE control area must be non-negative, got {self.control_area_um2}"
+            )
+
+    @property
+    def area_um2(self) -> float:
+        """Total PE area: MAC datapath + local buffer SRAM + control."""
+        return self.mac.area_um2 + self.local_buffers.area_um2 + self.control_area_um2
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total local-buffer capacity of this PE."""
+        return self.local_buffers.total_capacity_bytes
+
+    def mac_energy_pj(self, num_macs: int) -> float:
+        """Energy of ``num_macs`` MAC operations on this PE."""
+        if num_macs < 0:
+            raise ConfigurationError(f"num_macs must be non-negative, got {num_macs}")
+        return num_macs * self.mac.energy_pj

@@ -1,0 +1,54 @@
+"""Ready-made accelerator configurations.
+
+:func:`eyeriss_v1` is the paper's evaluation platform (Section V): a 14x12
+PE array with 24/448/48-byte local buffers and a 108 KB GLB. The scaled
+variants back the Fig. 10 array-size sweep.
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.array import PEArray
+from repro.arch.buffers import Buffer, GlobalBuffer
+from repro.arch.pe import ProcessingElement
+from repro.arch.topology import Topology
+from repro.errors import ConfigurationError
+
+
+def eyeriss_v1(torus: bool = False) -> Accelerator:
+    """The paper's Eyeriss-style baseline accelerator.
+
+    Parameters
+    ----------
+    torus:
+        When true, build the RoTA variant (torus local network); otherwise
+        the conventional mesh baseline.
+    """
+    topology = Topology.TORUS if torus else Topology.MESH
+    array = PEArray(width=14, height=12, topology=topology)
+    suffix = "torus" if torus else "mesh"
+    return Accelerator(name=f"eyeriss-14x12-{suffix}", array=array)
+
+
+def scaled_array(
+    width: int, height: int, torus: bool = True, scale_glb: bool = False
+) -> Accelerator:
+    """An accelerator with a custom PE-array size (Fig. 10 sweep).
+
+    Local buffers and PE design match the Eyeriss preset. By default the
+    GLB stays at the Eyeriss 108 KB — the paper's Fig. 10 scales *only*
+    the PE array, which is what makes utilization (and hence baseline
+    reliability) degrade on larger arrays. Pass ``scale_glb=True`` to
+    co-scale GLB capacity with the PE count instead.
+    """
+    if width < 1 or height < 1:
+        raise ConfigurationError(f"array size must be positive, got {width}x{height}")
+    topology = Topology.TORUS if torus else Topology.MESH
+    pe = ProcessingElement()
+    array = PEArray(width=width, height=height, topology=topology, pe=pe)
+    glb_bytes = 108 * 1024
+    if scale_glb:
+        glb_bytes = max(glb_bytes, width * height * pe.storage_bytes)
+    glb = GlobalBuffer(Buffer("glb", glb_bytes, read_energy_pj=1.6))
+    suffix = "torus" if torus else "mesh"
+    return Accelerator(name=f"array-{width}x{height}-{suffix}", array=array, glb=glb)

@@ -1,0 +1,151 @@
+"""Accelerator configuration (de)serialization.
+
+Experiment configs want to live in files: this module converts an
+:class:`~repro.arch.accelerator.Accelerator` to/from a plain dict (and
+JSON), round-tripping every parameter of the hardware model. Unknown
+keys are rejected rather than ignored, so a typo in a config file fails
+loudly instead of silently running the default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.arch.accelerator import Accelerator, DramInterface
+from repro.arch.array import PEArray
+from repro.arch.buffers import Buffer, GlobalBuffer, LocalBufferSet
+from repro.arch.noc import GlobalNetwork, LocalNetwork, NocModel
+from repro.arch.pe import MacUnit, ProcessingElement
+from repro.arch.topology import Topology
+from repro.errors import ConfigurationError
+
+
+def _buffer_dict(buffer: Buffer) -> Dict[str, Any]:
+    return {
+        "name": buffer.name,
+        "capacity_bytes": buffer.capacity_bytes,
+        "read_energy_pj": buffer.read_energy_pj,
+        "write_energy_pj": buffer.write_energy_pj,
+        "um2_per_byte": buffer.um2_per_byte,
+    }
+
+
+def _buffer_from(payload: Dict[str, Any]) -> Buffer:
+    return Buffer(**_checked(payload, set(_buffer_dict(Buffer("x", 1, 0.0)))))
+
+
+def _checked(payload: Dict[str, Any], allowed: set) -> Dict[str, Any]:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown configuration keys: {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    return payload
+
+
+def accelerator_to_dict(accelerator: Accelerator) -> Dict[str, Any]:
+    """Serialize an accelerator to a plain, JSON-safe dict."""
+    array = accelerator.array
+    pe = array.pe
+    return {
+        "name": accelerator.name,
+        "clock_mhz": accelerator.clock_mhz,
+        "array": {
+            "width": array.width,
+            "height": array.height,
+            "topology": array.topology.value,
+            "pitch_um": array.pitch_um,
+        },
+        "pe": {
+            "mac": {
+                "operand_bits": pe.mac.operand_bits,
+                "energy_pj": pe.mac.energy_pj,
+                "area_um2": pe.mac.area_um2,
+            },
+            "control_area_um2": pe.control_area_um2,
+            "buffers": {
+                "input": _buffer_dict(pe.local_buffers.input),
+                "weight": _buffer_dict(pe.local_buffers.weight),
+                "output": _buffer_dict(pe.local_buffers.output),
+            },
+        },
+        "glb": _buffer_dict(accelerator.glb.buffer),
+        "noc": {
+            "global": {
+                "bandwidth_bytes_per_cycle": accelerator.noc.global_net.bandwidth_bytes_per_cycle,
+                "multicast": accelerator.noc.global_net.multicast,
+                "energy_per_byte_pj": accelerator.noc.global_net.energy_per_byte_pj,
+            },
+            "local": {
+                "hop_latency_cycles": accelerator.noc.local_net.hop_latency_cycles,
+                "word_bytes": accelerator.noc.local_net.word_bytes,
+                "energy_per_hop_pj": accelerator.noc.local_net.energy_per_hop_pj,
+            },
+        },
+        "dram": {
+            "bandwidth_bytes_per_cycle": accelerator.dram.bandwidth_bytes_per_cycle,
+            "energy_per_byte_pj": accelerator.dram.energy_per_byte_pj,
+        },
+    }
+
+
+def accelerator_from_dict(payload: Dict[str, Any]) -> Accelerator:
+    """Rebuild an accelerator from :func:`accelerator_to_dict` output."""
+    top = _checked(
+        dict(payload), {"name", "clock_mhz", "array", "pe", "glb", "noc", "dram"}
+    )
+    try:
+        array_cfg = _checked(
+            dict(top["array"]), {"width", "height", "topology", "pitch_um"}
+        )
+        pe_cfg = _checked(dict(top["pe"]), {"mac", "control_area_um2", "buffers"})
+        buffers_cfg = _checked(
+            dict(pe_cfg["buffers"]), {"input", "weight", "output"}
+        )
+        noc_cfg = _checked(dict(top["noc"]), {"global", "local"})
+
+        pe = ProcessingElement(
+            mac=MacUnit(**pe_cfg["mac"]),
+            local_buffers=LocalBufferSet(
+                input=_buffer_from(buffers_cfg["input"]),
+                weight=_buffer_from(buffers_cfg["weight"]),
+                output=_buffer_from(buffers_cfg["output"]),
+            ),
+            control_area_um2=pe_cfg["control_area_um2"],
+        )
+        array = PEArray(
+            width=array_cfg["width"],
+            height=array_cfg["height"],
+            topology=Topology(array_cfg["topology"]),
+            pe=pe,
+            pitch_um=array_cfg["pitch_um"],
+        )
+        return Accelerator(
+            name=top["name"],
+            array=array,
+            glb=GlobalBuffer(_buffer_from(top["glb"])),
+            noc=NocModel(
+                global_net=GlobalNetwork(**noc_cfg["global"]),
+                local_net=LocalNetwork(**noc_cfg["local"]),
+            ),
+            dram=DramInterface(**top["dram"]),
+            clock_mhz=top["clock_mhz"],
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(f"malformed accelerator config: {error}") from error
+
+
+def save_accelerator(accelerator: Accelerator, path) -> Path:
+    """Write an accelerator config as JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(accelerator_to_dict(accelerator), indent=2) + "\n")
+    return target.resolve()
+
+
+def load_accelerator(path) -> Accelerator:
+    """Read an accelerator config from JSON."""
+    return accelerator_from_dict(json.loads(Path(path).read_text()))

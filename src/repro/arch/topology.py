@@ -1,0 +1,185 @@
+"""PE-array interconnect topologies: 2-D mesh and unidirectional torus.
+
+The baseline accelerator uses a mesh-style local network (nearest-neighbor
+links for partial-sum forwarding and operand sharing). RoTA adds one
+unidirectional ring per row and per column — a 2-D torus — so utilization
+spaces can wrap around the array edges (paper Section IV-A).
+
+Section V-D's overhead argument rests on the *folded* (interleaved) torus
+layout: instead of one long wrap-around wire per ring, PEs are placed in a
+zigzag order so every link spans at most two PE pitches. This module
+enumerates the links of both layouts and reports their physical lengths so
+the area model can price them.
+
+Coordinates are 0-based ``(col, row)`` with ``col in [0, w)`` and
+``row in [0, h)``; the paper's 1-based ``(u, v)`` maps to
+``(u - 1, v - 1)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+Coord = Tuple[int, int]
+
+
+class Topology(enum.Enum):
+    """Local-network topology of the PE array."""
+
+    MESH = "mesh"
+    TORUS = "torus"
+
+    @property
+    def supports_wraparound(self) -> bool:
+        """Whether utilization spaces may wrap around the array edges."""
+        return self is Topology.TORUS
+
+
+@dataclass(frozen=True)
+class TorusLink:
+    """One unidirectional link of the local network.
+
+    ``length_pitches`` is the Manhattan length of the wire measured in PE
+    pitches under the chosen physical layout (1.0 for a nearest-neighbor
+    mesh hop, up to 2.0 for folded-torus hops, ``n - 1`` for the naive
+    wrap-around wire of an ``n``-PE ring).
+    """
+
+    src: Coord
+    dst: Coord
+    length_pitches: float
+
+    def __post_init__(self) -> None:
+        if self.length_pitches <= 0:
+            raise ConfigurationError(
+                f"link {self.src}->{self.dst} must have positive length"
+            )
+
+
+def _validate_dims(width: int, height: int) -> None:
+    if width < 1 or height < 1:
+        raise ConfigurationError(
+            f"PE array dimensions must be at least 1x1, got {width}x{height}"
+        )
+
+
+def mesh_links(width: int, height: int) -> List[TorusLink]:
+    """Enumerate the unidirectional nearest-neighbor links of a 2-D mesh.
+
+    Rows carry left-to-right links, columns carry bottom-to-top links,
+    matching the unidirectional local networks of Eyeriss-style arrays.
+    """
+    _validate_dims(width, height)
+    links: List[TorusLink] = []
+    for row in range(height):
+        for col in range(width - 1):
+            links.append(TorusLink((col, row), (col + 1, row), 1.0))
+    for col in range(width):
+        for row in range(height - 1):
+            links.append(TorusLink((col, row), (col, row + 1), 1.0))
+    return links
+
+
+def _ring_order_folded(n: int) -> List[int]:
+    """Physical placement order of a folded ``n``-node ring.
+
+    ``_ring_order_folded(n)[slot]`` is the logical ring node placed at
+    that physical slot. The ring is folded in half and interleaved —
+    slots hold ``0, n-1, 1, n-2, 2, ...`` — so every logical ring edge
+    (``k`` to ``k+1`` and the wrap ``n-1`` to ``0``) spans at most two
+    physical slots, removing the long wrap-around wire.
+    """
+    order: List[int] = []
+    low, high = 0, n - 1
+    while low <= high:
+        order.append(low)
+        if high != low:
+            order.append(high)
+        low += 1
+        high -= 1
+    return order
+
+
+def folded_ring_hop_lengths(n: int) -> List[float]:
+    """Physical lengths (in pitches) of the ``n`` hops of a folded ring.
+
+    For ``n >= 3`` every hop spans at most 2 pitches; a 2-ring degenerates
+    to two 1-pitch hops and a 1-ring has a single zero-ish stub that we
+    report as 1 pitch (a self-loop register bypass).
+    """
+    if n < 1:
+        raise ConfigurationError(f"ring size must be at least 1, got {n}")
+    if n == 1:
+        return [1.0]
+    order = _ring_order_folded(n)
+    slot_of = {logical: slot for slot, logical in enumerate(order)}
+    lengths = []
+    for k in range(n):
+        nxt = (k + 1) % n
+        lengths.append(float(abs(slot_of[nxt] - slot_of[k])))
+    return lengths
+
+
+def folded_torus_links(width: int, height: int) -> List[TorusLink]:
+    """Enumerate the unidirectional links of a folded 2-D torus.
+
+    Every row forms one folded ring of ``width`` nodes and every column one
+    folded ring of ``height`` nodes. Link endpoints are reported in logical
+    coordinates; lengths reflect the folded physical layout, so no link is
+    longer than two PE pitches (for rings of 3+ nodes).
+    """
+    _validate_dims(width, height)
+    links: List[TorusLink] = []
+    row_hops = folded_ring_hop_lengths(width)
+    for row in range(height):
+        for col in range(width):
+            nxt = (col + 1) % width
+            links.append(TorusLink((col, row), (nxt, row), row_hops[col]))
+    col_hops = folded_ring_hop_lengths(height)
+    for col in range(width):
+        for row in range(height):
+            nxt = (row + 1) % height
+            links.append(TorusLink((col, row), (col, nxt), col_hops[row]))
+    return links
+
+
+def naive_torus_links(width: int, height: int) -> List[TorusLink]:
+    """Torus links under a naive (non-folded) layout.
+
+    Wrap-around wires span the full array edge (``n - 1`` pitches). Only
+    used to demonstrate why the folded layout matters for the overhead
+    claim; RoTA itself assumes the folded layout.
+    """
+    _validate_dims(width, height)
+    links: List[TorusLink] = []
+    for row in range(height):
+        for col in range(width):
+            nxt = (col + 1) % width
+            length = 1.0 if nxt else max(1.0, float(width - 1))
+            links.append(TorusLink((col, row), (nxt, row), length))
+    for col in range(width):
+        for row in range(height):
+            nxt = (row + 1) % height
+            length = 1.0 if nxt else max(1.0, float(height - 1))
+            links.append(TorusLink((col, row), (col, nxt), length))
+    return links
+
+
+def total_wire_pitches(links: List[TorusLink]) -> float:
+    """Total wire length of a link set, in PE pitches."""
+    return math.fsum(link.length_pitches for link in links)
+
+
+def ring_neighbors(coord: Coord, width: int, height: int) -> Iterator[Coord]:
+    """Yield the two downstream torus neighbors (east then north) of a PE."""
+    _validate_dims(width, height)
+    col, row = coord
+    if not (0 <= col < width and 0 <= row < height):
+        raise ConfigurationError(f"coordinate {coord} outside {width}x{height} array")
+    yield ((col + 1) % width, row)
+    yield (col, (row + 1) % height)

@@ -1,0 +1,305 @@
+"""Command-line interface: ``rota <experiment>`` / ``python -m repro``.
+
+Every subcommand maps onto one experiment driver, so the CLI prints the
+same rows the benchmarks check and the paper reports. ``rota all`` runs
+the full evaluation section in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.ablation import (
+    run_accounting_ablation,
+    run_dataflow_ablation,
+    run_trigger_ablation,
+)
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.extensions import (
+    run_beta_sensitivity,
+    run_mixed_workload,
+    run_variation_sensitivity,
+    run_montecarlo_validation,
+    run_objective_ablation,
+    run_policy_comparison,
+)
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table2 import run_table2
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    return run_table2().format()
+
+
+def _cmd_utilization(args: argparse.Namespace) -> str:
+    parts = [run_fig2a().format()]
+    if args.network:
+        parts.append(run_fig2b(args.network).format())
+    return "\n\n".join(parts)
+
+
+def _cmd_heatmaps(args: argparse.Namespace) -> str:
+    return run_fig3(iterations=args.iterations).format()
+
+
+def _cmd_unfold(args: argparse.Namespace) -> str:
+    return run_fig4(x=args.x, y=args.y).format()
+
+
+def _cmd_walkthrough(args: argparse.Namespace) -> str:
+    return run_fig5(network=args.network).format()
+
+
+def _cmd_usage_diff(args: argparse.Namespace) -> str:
+    return run_fig6(network=args.network, iterations=args.iterations).format()
+
+
+def _cmd_projection(args: argparse.Namespace) -> str:
+    return run_fig7(network=args.network, iterations=args.iterations).format()
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> str:
+    return run_fig8(iterations=args.iterations).format()
+
+
+def _cmd_upper_bound(args: argparse.Namespace) -> str:
+    return run_fig9().format()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    return run_fig10(network=args.network, iterations=args.iterations).format()
+
+
+def _cmd_overhead(args: argparse.Namespace) -> str:
+    return run_overhead().format()
+
+
+def _cmd_ablations(args: argparse.Namespace) -> str:
+    return "\n\n".join(
+        [
+            run_trigger_ablation().format(),
+            run_dataflow_ablation().format(),
+            run_accounting_ablation().format(),
+        ]
+    )
+
+
+def _cmd_extensions(args: argparse.Namespace) -> str:
+    return "\n\n".join(
+        [
+            run_policy_comparison(iterations=args.iterations).format(),
+            run_montecarlo_validation().format(),
+            run_objective_ablation().format(),
+            run_beta_sensitivity().format(),
+            run_variation_sensitivity().format(),
+            run_mixed_workload().format(),
+        ]
+    )
+
+
+def _cmd_attribution(args: argparse.Namespace) -> str:
+    from repro.analysis.attribution import attribute_wear
+    from repro.experiments.common import paper_accelerator, streams_for
+
+    accelerator = paper_accelerator()
+    streams = streams_for(args.network, accelerator)
+    return attribute_wear(accelerator, streams).format(limit=args.limit)
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from repro.analysis.network_report import profile_network
+    from repro.experiments.common import execution_for, paper_accelerator
+
+    accelerator = paper_accelerator()
+    execution = execution_for(args.network, accelerator)
+    return profile_network(accelerator, execution).format(limit=args.limit)
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.core.program import program_from_execution
+    from repro.core.rtl import emit_controller_verilog
+    from repro.dataflow.scalesim import export_scalesim
+    from repro.experiments.common import execution_for, paper_accelerator
+    from repro.workloads.registry import get_network
+
+    accelerator = paper_accelerator()
+    network = get_network(args.network)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    scalesim = export_scalesim(accelerator, network, out / "scalesim")
+    execution = execution_for(network.name, accelerator)
+    program = program_from_execution(
+        execution, accelerator.width, accelerator.height
+    )
+    program_path = program.save(out / "controller_program.json")
+    rtl = emit_controller_verilog(accelerator.width, accelerator.height)
+    rtl_path = out / "rota_wl_controller.v"
+    rtl_path.write_text(rtl.verilog)
+
+    written = list(scalesim.files) + [program_path, rtl_path.resolve()]
+    lines = [f"exported {network.name} artifacts to {out.resolve()}:"]
+    lines.extend(f"  {path}" for path in written)
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments.report import write_report
+
+    manifest = write_report(args.out)
+    return manifest.format()
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> str:
+    from repro.experiments.scorecard import run_scorecard
+
+    return run_scorecard(iterations=args.iterations).format()
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    sections = [
+        run_table2().format(),
+        run_fig2a().format(),
+        run_fig2b().format(),
+        run_fig3().format(),
+        run_fig4().format(),
+        run_fig5().format(),
+        run_fig6().format(),
+        run_fig7().format(),
+        run_fig8().format(),
+        run_fig9().format(),
+        run_fig10().format(),
+        run_overhead().format(),
+    ]
+    return "\n\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rota",
+        description=(
+            "RoTA reproduction: rotational torus accelerator wear-leveling "
+            "(DATE 2025). Each subcommand regenerates one paper artifact."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table II workload roster").set_defaults(
+        func=_cmd_table2
+    )
+
+    p = sub.add_parser("utilization", help="Fig. 2 PE utilization")
+    p.add_argument("--network", default=None, help="also show per-layer (Fig. 2b)")
+    p.set_defaults(func=_cmd_utilization)
+
+    p = sub.add_parser("heatmaps", help="Fig. 3 usage heatmaps")
+    p.add_argument("--iterations", type=int, default=10)
+    p.set_defaults(func=_cmd_heatmaps)
+
+    p = sub.add_parser("unfold", help="Fig. 4 unfolded torus walk")
+    p.add_argument("--x", type=int, default=8)
+    p.add_argument("--y", type=int, default=8)
+    p.set_defaults(func=_cmd_unfold)
+
+    p = sub.add_parser("walkthrough", help="Fig. 5 RWL closed-form walk-through")
+    p.add_argument("--network", default="ResNet-50")
+    p.set_defaults(func=_cmd_walkthrough)
+
+    p = sub.add_parser("usage-diff", help="Fig. 6 max usage difference")
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument("--iterations", type=int, default=1000)
+    p.set_defaults(func=_cmd_usage_diff)
+
+    p = sub.add_parser("projection", help="Fig. 7 lifetime vs R_diff")
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument("--iterations", type=int, default=200)
+    p.set_defaults(func=_cmd_projection)
+
+    p = sub.add_parser("lifetime", help="Fig. 8 lifetime improvement per workload")
+    p.add_argument("--iterations", type=int, default=200)
+    p.set_defaults(func=_cmd_lifetime)
+
+    sub.add_parser(
+        "upper-bound", help="Fig. 9 layer-wise improvement vs ceiling"
+    ).set_defaults(func=_cmd_upper_bound)
+
+    p = sub.add_parser("sweep", help="Fig. 10 PE-array size sweep")
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument("--iterations", type=int, default=200)
+    p.set_defaults(func=_cmd_sweep)
+
+    sub.add_parser("overhead", help="Sec. V-D area/cycle overhead").set_defaults(
+        func=_cmd_overhead
+    )
+    sub.add_parser("ablations", help="design-choice ablations").set_defaults(
+        func=_cmd_ablations
+    )
+    p = sub.add_parser(
+        "attribution", help="which layers stress the hottest PE (baseline)"
+    )
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=_cmd_attribution)
+
+    p = sub.add_parser("profile", help="per-layer network profile")
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "extensions",
+        help="extension studies: policy comparison, Monte Carlo, objectives",
+    )
+    p.add_argument("--iterations", type=int, default=500)
+    p.set_defaults(func=_cmd_extensions)
+    p = sub.add_parser(
+        "export",
+        help="SCALE-Sim files, controller firmware JSON, and Verilog for a network",
+    )
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument("--out", default="rota-export")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "report", help="write every artifact (tables, CSVs, PPM heatmaps) to a dir"
+    )
+    p.add_argument("--out", default="rota-report")
+    p.set_defaults(func=_cmd_report)
+    p = sub.add_parser(
+        "scorecard", help="re-check every paper-shape claim (pass/fail table)"
+    )
+    p.add_argument("--iterations", type=int, default=100)
+    p.set_defaults(func=_cmd_scorecard)
+    sub.add_parser("all", help="every table and figure in order").set_defaults(
+        func=_cmd_all
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.func(args))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal shell usage.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's contribution: rotational wear-leveling on a torus PE array.
+
+* :mod:`repro.core.space` — utilization spaces (the rectangle of PEs a
+  data tile activates), with torus wrap-around;
+* :mod:`repro.core.positions` — the stride-position sequence of
+  Algorithm 1, in closed form and vectorized;
+* :mod:`repro.core.policies` — the three schemes the paper compares:
+  fixed-corner baseline, RWL, and RWL+RO;
+* :mod:`repro.core.tracker` — per-PE usage accounting;
+* :mod:`repro.core.engine` — drives tile streams through a policy and
+  records traces;
+* :mod:`repro.core.rwl_math` — the closed-form RWL quantities of
+  Eqs. (5)-(11): X, W, Y, H_RWL, D_max, min(A_PE), R_diff.
+"""
+
+from repro.core.controller import CircularCounter, ControllerConfig, WearLevelingController
+from repro.core.engine import RunResult, WearLevelingEngine
+from repro.core.extra_policies import DiagonalPolicy, RandomStartPolicy
+from repro.core.policies import (
+    BaselinePolicy,
+    RwlPolicy,
+    RwlRoPolicy,
+    StrideTrigger,
+    WearLevelingPolicy,
+    make_policy,
+)
+from repro.core.positions import position_sequence, stride_positions
+from repro.core.program import ControllerProgram, LayerProgram, program_from_execution
+from repro.core.rtl import ControllerRtl, RtlInterpreter, emit_controller_verilog
+from repro.core.rwl_math import RwlParameters, rwl_parameters
+from repro.core.space import UtilizationSpace
+from repro.core.tracker import UsageTracker
+
+__all__ = [
+    "BaselinePolicy",
+    "CircularCounter",
+    "ControllerConfig",
+    "ControllerProgram",
+    "ControllerRtl",
+    "LayerProgram",
+    "WearLevelingController",
+    "DiagonalPolicy",
+    "RandomStartPolicy",
+    "RunResult",
+    "RwlParameters",
+    "RwlPolicy",
+    "RwlRoPolicy",
+    "StrideTrigger",
+    "UsageTracker",
+    "UtilizationSpace",
+    "WearLevelingEngine",
+    "WearLevelingPolicy",
+    "make_policy",
+    "program_from_execution",
+    "RtlInterpreter",
+    "emit_controller_verilog",
+    "position_sequence",
+    "rwl_parameters",
+    "stride_positions",
+]

@@ -1,0 +1,172 @@
+"""The three scheduling policies the paper compares (Section V).
+
+* :class:`BaselinePolicy` — conventional accelerator: every utilization
+  space is anchored at the array's origin corner (no wear-leveling, works
+  on a plain mesh).
+* :class:`RwlPolicy` — rotational wear-leveling (Section IV-C): spaces
+  stride around the torus within each layer, but the starting coordinate
+  resets to the origin at every layer boundary.
+* :class:`RwlRoPolicy` — RWL + residual optimization (Section IV-D): the
+  coordinate is carried across layers and network iterations, so per-layer
+  residues disperse instead of accumulating.
+
+A policy is a pure strategy object: it turns a layer's tile-stream
+geometry ``(x, y, Z)`` plus the carried coordinate state into the list of
+tile starting positions and the next state. The engine owns the array and
+the usage ledger.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.positions import StrideTrigger, grouped_positions, stride_positions
+from repro.errors import ConfigurationError
+
+State = Tuple[int, int]
+
+ORIGIN: State = (0, 0)
+
+
+class WearLevelingPolicy(abc.ABC):
+    """Strategy interface: where does each data tile start?"""
+
+    #: Whether the policy needs wrap-around (torus) connectivity.
+    requires_torus: bool = True
+
+    #: Feedback policies consult the live usage ledger; the engine routes
+    #: them through ``place_tiles(tracker, x, y, num_tiles)`` instead of
+    #: the open-loop position protocol (and cannot memoize their runs).
+    needs_feedback: bool = False
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in reports ("baseline", "rwl", "rwl+ro")."""
+
+    def initial_state(self) -> State:
+        """Coordinate state before the first tile of the first layer."""
+        return ORIGIN
+
+    @abc.abstractmethod
+    def layer_start_state(self, carried: State) -> State:
+        """State at the start of a layer, given the carried coordinate."""
+
+    @abc.abstractmethod
+    def layer_positions(
+        self, x: int, y: int, num_tiles: int, w: int, h: int, state: State
+    ) -> Tuple[np.ndarray, np.ndarray, State]:
+        """Tile starting positions for one layer plus the carry-out state."""
+
+    def layer_grouped(
+        self, x: int, y: int, num_tiles: int, w: int, h: int, state: State
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, State]:
+        """Grouped positions ``(us, vs, multiplicity, final)`` for one layer.
+
+        Default implementation groups the explicit position list; striding
+        policies override it with the ``O(w*h)`` periodic closed form.
+        """
+        us, vs, final = self.layer_positions(x, y, num_tiles, w, h, state)
+        keys = us * h + vs
+        per_key = np.bincount(keys, minlength=w * h)
+        occupied = np.nonzero(per_key)[0]
+        return occupied // h, occupied % h, per_key[occupied], final
+
+
+class BaselinePolicy(WearLevelingPolicy):
+    """No wear-leveling: every space anchored at the origin corner."""
+
+    requires_torus = False
+
+    @property
+    def name(self) -> str:
+        return "baseline"
+
+    def layer_start_state(self, carried: State) -> State:
+        return ORIGIN
+
+    def layer_positions(
+        self, x: int, y: int, num_tiles: int, w: int, h: int, state: State
+    ) -> Tuple[np.ndarray, np.ndarray, State]:
+        if num_tiles < 0:
+            raise ConfigurationError(f"tile count must be non-negative: {num_tiles}")
+        us = np.zeros(num_tiles, dtype=np.int64)
+        vs = np.zeros(num_tiles, dtype=np.int64)
+        return us, vs, ORIGIN
+
+    def layer_grouped(
+        self, x: int, y: int, num_tiles: int, w: int, h: int, state: State
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, State]:
+        zero = np.zeros(1, dtype=np.int64)
+        count = np.array([num_tiles], dtype=np.int64)
+        return zero, zero.copy(), count, ORIGIN
+
+
+class _StridingPolicy(WearLevelingPolicy):
+    """Shared striding machinery of RWL and RWL+RO."""
+
+    def __init__(self, trigger: StrideTrigger = StrideTrigger.ORIGIN) -> None:
+        self._trigger = trigger
+
+    @property
+    def trigger(self) -> StrideTrigger:
+        """The vertical-stride trigger variant in use."""
+        return self._trigger
+
+    def layer_positions(
+        self, x: int, y: int, num_tiles: int, w: int, h: int, state: State
+    ) -> Tuple[np.ndarray, np.ndarray, State]:
+        start = self.layer_start_state(state)
+        return stride_positions(start, x, y, w, h, num_tiles, trigger=self._trigger)
+
+    def layer_grouped(
+        self, x: int, y: int, num_tiles: int, w: int, h: int, state: State
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, State]:
+        start = self.layer_start_state(state)
+        return grouped_positions(start, x, y, w, h, num_tiles, trigger=self._trigger)
+
+
+class RwlPolicy(_StridingPolicy):
+    """Rotational wear-leveling, reset at every layer boundary."""
+
+    @property
+    def name(self) -> str:
+        return "rwl"
+
+    def layer_start_state(self, carried: State) -> State:
+        return ORIGIN
+
+
+class RwlRoPolicy(_StridingPolicy):
+    """Rotational wear-leveling with residual optimization (RWL+RO)."""
+
+    @property
+    def name(self) -> str:
+        return "rwl+ro"
+
+    def layer_start_state(self, carried: State) -> State:
+        return carried
+
+
+#: Registry of policy constructors keyed by their report names.
+_POLICIES = {
+    "baseline": lambda trigger: BaselinePolicy(),
+    "rwl": RwlPolicy,
+    "rwl+ro": RwlRoPolicy,
+}
+
+
+def make_policy(
+    name: str, trigger: StrideTrigger = StrideTrigger.ORIGIN
+) -> WearLevelingPolicy:
+    """Build a policy by name: ``"baseline"``, ``"rwl"``, or ``"rwl+ro"``."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return factory(trigger)

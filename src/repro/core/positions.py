@@ -1,0 +1,216 @@
+"""The stride-position sequence of Algorithm 1, vectorized.
+
+After each data tile, the utilization space strides horizontally by its
+own width ``x`` modulo the array width ``w``; when the horizontal
+coordinate triggers, it also strides vertically by ``y`` modulo ``h``
+(paper Algorithm 1, lines 5-8). Positions are 0-based here, so the
+paper's ``u = (u + x - 1) % w + 1`` becomes ``u = (u + x) % w`` and the
+trigger ``u == 1`` becomes ``u == 0``.
+
+Two trigger variants are provided (see DESIGN.md, "Design choices"):
+
+* ``StrideTrigger.ORIGIN`` — the paper's exact rule: stride vertically
+  when the horizontal coordinate returns to column 0. Under RO with mixed
+  layer widths the coordinate can enter a residue class of ``gcd(x, w)``
+  that never contains 0, starving the vertical stride for that layer.
+* ``StrideTrigger.WRAP`` — stride vertically whenever the horizontal
+  stride wraps past the array boundary. Equivalent to ORIGIN whenever the
+  walk starts at column 0 and ``x`` divides into the ``gcd`` residue
+  class of 0; robust otherwise.
+
+Everything is computed in closed form with numpy: the horizontal
+coordinate is an affine modular sequence and the vertical coordinate
+advances by ``y`` at each cumulative trigger count.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class StrideTrigger(enum.Enum):
+    """When the vertical stride of Algorithm 1 fires."""
+
+    ORIGIN = "origin"
+    WRAP = "wrap"
+
+
+def _validate(u: int, v: int, x: int, y: int, w: int, h: int) -> None:
+    if w < 1 or h < 1:
+        raise ConfigurationError(f"array must be at least 1x1, got {w}x{h}")
+    if not (1 <= x <= w and 1 <= y <= h):
+        raise ConfigurationError(
+            f"utilization space {x}x{y} does not fit the {w}x{h} array"
+        )
+    if not (0 <= u < w and 0 <= v < h):
+        raise ConfigurationError(f"start ({u}, {v}) outside the {w}x{h} array")
+
+
+def stride_positions(
+    start: Tuple[int, int],
+    x: int,
+    y: int,
+    w: int,
+    h: int,
+    num_tiles: int,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Positions of ``num_tiles`` utilization spaces plus the final state.
+
+    Returns ``(us, vs, (u_next, v_next))`` where ``us[i], vs[i]`` is the
+    starting corner of tile ``i`` and ``(u_next, v_next)`` is the
+    coordinate the *next* tile would use — the state RO carries into the
+    following layer.
+    """
+    u0, v0 = start
+    _validate(u0, v0, x, y, w, h)
+    if num_tiles < 0:
+        raise ConfigurationError(f"tile count must be non-negative: {num_tiles}")
+
+    # Horizontal coordinates of tiles 0 .. num_tiles (inclusive: the last
+    # entry is the carry-out state).
+    steps = np.arange(num_tiles + 1, dtype=np.int64)
+    us_all = (u0 + x * steps) % w
+
+    if trigger is StrideTrigger.ORIGIN:
+        # Vertical stride fires when the *post-stride* coordinate is 0,
+        # i.e. tile k >= 1 triggers iff us_all[k] == 0.
+        fires = us_all[1:] == 0
+    else:
+        # Vertical stride fires when the horizontal stride wrapped around
+        # the boundary: previous coordinate + x reached or passed w.
+        fires = (us_all[:-1] + x) >= w
+
+    hits = np.zeros(num_tiles + 1, dtype=np.int64)
+    if num_tiles > 0:
+        np.cumsum(fires, out=hits[1:])
+    vs_all = (v0 + y * hits) % h
+
+    us = us_all[:num_tiles]
+    vs = vs_all[:num_tiles]
+    final = (int(us_all[num_tiles]), int(vs_all[num_tiles]))
+    return us, vs, final
+
+
+def next_position(
+    position: Tuple[int, int],
+    x: int,
+    y: int,
+    w: int,
+    h: int,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+) -> Tuple[int, int]:
+    """One stride of Algorithm 1 (reference scalar implementation)."""
+    u, v = position
+    _validate(u, v, x, y, w, h)
+    nu = (u + x) % w
+    if trigger is StrideTrigger.ORIGIN:
+        fired = nu == 0
+    else:
+        fired = (u + x) >= w
+    nv = (v + y) % h if fired else v
+    return (nu, nv)
+
+
+def grouped_walk(
+    start: Tuple[int, int],
+    step,
+    w: int,
+    h: int,
+    num_tiles: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Fold any *bijective* coordinate walk into grouped positions.
+
+    ``step`` maps one ``(u, v)`` state to the next. Because a bijection's
+    iterate sequence is purely periodic (period at most ``w * h``), one
+    period is enumerated explicitly and whole cycles fold into integer
+    multiplicities — ``O(w * h)`` work regardless of ``num_tiles``.
+    Returns ``(us, vs, multiplicity, final_state)``.
+    """
+    u0, v0 = start
+    if num_tiles < 0:
+        raise ConfigurationError(f"tile count must be non-negative: {num_tiles}")
+    if num_tiles == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), (u0, v0)
+
+    # Enumerate states until the walk returns to its start (periodic) or
+    # num_tiles positions have been produced, whichever is first.
+    states = [(u0, v0)]
+    state = step((u0, v0))
+    while state != (u0, v0) and len(states) < num_tiles:
+        states.append(state)
+        state = step(state)
+
+    period = len(states)
+    keys = np.array([u * h + v for u, v in states], dtype=np.int64)
+    if period == num_tiles and state != (u0, v0):
+        # Walk did not close within num_tiles: every position used once.
+        per_key = np.bincount(keys, minlength=w * h)
+        final = state
+    else:
+        full_cycles, remainder = divmod(num_tiles, period)
+        per_key = np.bincount(keys, minlength=w * h) * full_cycles
+        if remainder:
+            per_key += np.bincount(keys[:remainder], minlength=w * h)
+        final = states[num_tiles % period]
+    occupied = np.nonzero(per_key)[0]
+    return (
+        occupied // h,
+        occupied % h,
+        per_key[occupied],
+        (int(final[0]), int(final[1])),
+    )
+
+
+def grouped_positions(
+    start: Tuple[int, int],
+    x: int,
+    y: int,
+    w: int,
+    h: int,
+    num_tiles: int,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Grouped tile starts: ``(us, vs, multiplicity, final_state)``.
+
+    Equivalent to :func:`stride_positions` followed by grouping equal
+    positions, but computed in ``O(w * h)`` independent of ``num_tiles``
+    via :func:`grouped_walk` — this is what lets the engine process
+    layers with millions of tiles (Llama-scale GEMMs) in constant time.
+    """
+    u0, v0 = start
+    _validate(u0, v0, x, y, w, h)
+    return grouped_walk(
+        (u0, v0),
+        lambda state: next_position(state, x, y, w, h, trigger),
+        w,
+        h,
+        num_tiles,
+    )
+
+
+def position_sequence(
+    start: Tuple[int, int],
+    x: int,
+    y: int,
+    w: int,
+    h: int,
+    num_tiles: int,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+):
+    """Generator form of :func:`stride_positions` (reference semantics).
+
+    Yields the ``(u, v)`` of each tile in turn. The vectorized
+    :func:`stride_positions` is property-tested against this generator.
+    """
+    position = tuple(start)
+    _validate(position[0], position[1], x, y, w, h)
+    for _ in range(num_tiles):
+        yield position
+        position = next_position(position, x, y, w, h, trigger)

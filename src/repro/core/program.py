@@ -1,0 +1,154 @@
+"""Controller programs: the firmware artifact a RoTA driver would load.
+
+Section IV-F notes that the wear-leveling parameters (``w, h, x, y``)
+"are deterministically identifiable before initiating a layer
+computation". In a real deployment, the compiler (our scheduler) would
+emit exactly that: a per-layer parameter table the mapping controller
+latches at each layer boundary. This module materializes that artifact
+from a scheduled network — including JSON (de)serialization — and can
+replay it through the RTL controller model to reproduce the engine's
+tile placements bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.core.controller import WearLevelingController
+from repro.dataflow.simulator import NetworkExecution
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LayerProgram:
+    """One layer's controller configuration."""
+
+    layer: str
+    x: int
+    y: int
+    z: int
+
+    def __post_init__(self) -> None:
+        if self.x < 1 or self.y < 1 or self.z < 1:
+            raise ConfigurationError(
+                f"layer program {self.layer!r} needs positive x, y, z"
+            )
+
+
+@dataclass(frozen=True)
+class ControllerProgram:
+    """The full firmware table: array geometry plus per-layer entries."""
+
+    network: str
+    w: int
+    h: int
+    layers: Tuple[LayerProgram, ...]
+
+    def __post_init__(self) -> None:
+        if self.w < 1 or self.h < 1:
+            raise ConfigurationError(f"array must be >= 1x1, got {self.w}x{self.h}")
+        if not self.layers:
+            raise ConfigurationError("controller program needs at least one layer")
+        for entry in self.layers:
+            if entry.x > self.w or entry.y > self.h:
+                raise ConfigurationError(
+                    f"layer {entry.layer!r}: space {entry.x}x{entry.y} "
+                    f"exceeds the {self.w}x{self.h} array"
+                )
+
+    @property
+    def total_tiles(self) -> int:
+        """Tiles per network iteration under this program."""
+        return sum(entry.z for entry in self.layers)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to the JSON a driver would ship."""
+        return json.dumps(
+            {
+                "network": self.network,
+                "array": {"w": self.w, "h": self.h},
+                "layers": [asdict(entry) for entry in self.layers],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ControllerProgram":
+        """Parse a serialized program (validating every entry)."""
+        try:
+            payload = json.loads(text)
+            layers = tuple(
+                LayerProgram(
+                    layer=entry["layer"],
+                    x=int(entry["x"]),
+                    y=int(entry["y"]),
+                    z=int(entry["z"]),
+                )
+                for entry in payload["layers"]
+            )
+            return cls(
+                network=payload["network"],
+                w=int(payload["array"]["w"]),
+                h=int(payload["array"]["h"]),
+                layers=layers,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(f"malformed controller program: {error}") from error
+
+    def save(self, path) -> Path:
+        """Write the program to a file."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target.resolve()
+
+    @classmethod
+    def load(cls, path) -> "ControllerProgram":
+        """Read a program from a file."""
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(
+        self, iterations: int = 1, reset_per_layer: bool = False
+    ) -> List[Tuple[str, int, int]]:
+        """Drive the RTL controller with this program.
+
+        Returns the full ``(layer, u, v)`` tile placement sequence —
+        RWL+RO semantics by default, RWL-only with ``reset_per_layer``.
+        """
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        controller = WearLevelingController(self.w, self.h)
+        placements: List[Tuple[str, int, int]] = []
+        for _ in range(iterations):
+            for entry in self.layers:
+                controller.configure_layer(entry.x, entry.y, reset=reset_per_layer)
+                for u, v in controller.run_layer(entry.z):
+                    placements.append((entry.layer, u, v))
+        return placements
+
+
+def program_from_execution(
+    execution: NetworkExecution, w: int, h: int
+) -> ControllerProgram:
+    """Emit the controller program for a scheduled network."""
+    layers = tuple(
+        LayerProgram(
+            layer=layer_execution.stream.layer_name,
+            x=layer_execution.stream.space_width,
+            y=layer_execution.stream.space_height,
+            z=layer_execution.stream.num_tiles,
+        )
+        for layer_execution in execution.layers
+    )
+    return ControllerProgram(
+        network=execution.network_name, w=w, h=h, layers=layers
+    )

@@ -1,0 +1,133 @@
+"""Closed-form RWL quantities: Eqs. (5)-(11) of the paper.
+
+For a ``w x h`` PE array, an ``x x y`` utilization space, and ``Z`` data
+tiles, Section IV-C derives:
+
+* ``X = LCM(w, x) / x`` — horizontal strides to level one band (Eq. 5);
+* ``W = LCM(w, x) / w`` — horizontal unfoldings of the array (Eq. 6);
+* ``Y = floor(Z / X)`` — completed horizontal bands (Eq. 7);
+* ``H_RWL = floor(Y * y / h)`` — fully leveled vertical unfoldings
+  (Eq. 8);
+* ``D_max <= W + 1`` — the residual usage-difference bound (Eq. 9);
+* ``min(A_PE)`` — the guaranteed minimum usage count (Eq. 10);
+* ``R_diff = D_max / min(A_PE)`` — the relative imbalance (Eq. 11),
+  which approaches 0 for realistically sized layers.
+
+The worked example of Fig. 5 (ResNet C5: 8x8 space, Z = 32 tiles on the
+14x12 Eyeriss array) gives X = 7, W = 4, Y = 4, H_RWL = 2 and is pinned
+in the unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _validate(w: int, h: int, x: int, y: int, z: int) -> None:
+    if w < 1 or h < 1:
+        raise ConfigurationError(f"array must be at least 1x1, got {w}x{h}")
+    if not (1 <= x <= w and 1 <= y <= h):
+        raise ConfigurationError(
+            f"utilization space {x}x{y} does not fit the {w}x{h} array"
+        )
+    if z < 1:
+        raise ConfigurationError(f"tile count Z must be >= 1, got {z}")
+
+
+def horizontal_strides(w: int, x: int) -> int:
+    """Eq. (5): strides to level the array horizontally, ``LCM(w,x)/x``."""
+    if w < 1 or x < 1:
+        raise ConfigurationError(f"w and x must be positive, got w={w} x={x}")
+    return math.lcm(w, x) // x
+
+
+def horizontal_unfoldings(w: int, x: int) -> int:
+    """Eq. (6): horizontal array unfoldings, ``LCM(w,x)/w``."""
+    if w < 1 or x < 1:
+        raise ConfigurationError(f"w and x must be positive, got w={w} x={x}")
+    return math.lcm(w, x) // w
+
+
+@dataclass(frozen=True)
+class RwlParameters:
+    """All Eq. (5)-(11) quantities for one layer on one array."""
+
+    w: int
+    h: int
+    x: int
+    y: int
+    z: int
+    X: int
+    W: int
+    Y: int
+    H_rwl: int
+    d_max_bound: int
+    min_a_pe: int
+
+    @property
+    def r_diff_bound(self) -> float:
+        """Eq. (11): ``D_max / min(A_PE)`` using the Eq. (9) bound.
+
+        Infinite when the layer is too small to guarantee any minimum
+        usage (``min(A_PE) == 0``) — exactly the small-layer regime where
+        the paper says RWL alone underperforms and RO is needed.
+        """
+        if self.min_a_pe <= 0:
+            return float("inf")
+        return self.d_max_bound / self.min_a_pe
+
+    @property
+    def horizontally_leveled(self) -> bool:
+        """Whether at least one full horizontal band completed."""
+        return self.Y >= 1
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.x}x{self.y} on {self.w}x{self.h}, Z={self.z}: "
+            f"X={self.X} W={self.W} Y={self.Y} H_RWL={self.H_rwl} "
+            f"Dmax<={self.d_max_bound} minA={self.min_a_pe} "
+            f"Rdiff<={self.r_diff_bound:.3g}"
+        )
+
+
+def rwl_parameters(w: int, h: int, x: int, y: int, z: int) -> RwlParameters:
+    """Compute every Eq. (5)-(11) quantity for one layer.
+
+    Parameters mirror the paper's Table I: array ``w x h``, utilization
+    space ``x x y``, ``z`` data tiles.
+    """
+    _validate(w, h, x, y, z)
+    big_x = horizontal_strides(w, x)
+    big_w = horizontal_unfoldings(w, x)
+    big_y = z // big_x  # Eq. (7)
+    h_rwl = (big_y * y) // h  # Eq. (8)
+    d_max_bound = big_w + 1  # Eq. (9)
+
+    # Eq. (10): guaranteed minimum usage count.
+    #   (1) fully leveled bottom part: W * H_RWL
+    #   (2) width (in unfolded arrays) of the leveled region of the
+    #       residual top band: floor((Z % X) * x / w)
+    #   (3) its height (in unfolded arrays): floor(ceil(Z / X) * y / h)
+    #       minus the bottom part's H_RWL
+    part1 = big_w * h_rwl
+    part2 = ((z % big_x) * x) // w
+    part3 = (math.ceil(z / big_x) * y) // h - h_rwl
+    min_a_pe = part1 + part2 * max(0, part3)
+
+    return RwlParameters(
+        w=w,
+        h=h,
+        x=x,
+        y=y,
+        z=z,
+        X=big_x,
+        W=big_w,
+        Y=big_y,
+        H_rwl=h_rwl,
+        d_max_bound=d_max_bound,
+        min_a_pe=min_a_pe,
+    )

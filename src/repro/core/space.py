@@ -1,0 +1,81 @@
+"""Utilization spaces: the rectangle of PEs one data tile activates.
+
+The paper calls "a region of the PE array that engages in data
+processing" a *utilization space* (Section I). On the baseline mesh it is
+anchored at the array's origin corner; on RoTA it can start anywhere and
+wraps around the torus edges. Coordinates are 0-based ``(u, v)`` with
+``u`` horizontal; the paper's 1-based ``(u, v)`` is ours plus one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.array import PEArray
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UtilizationSpace:
+    """A ``width x height`` rectangle of PEs starting at ``(u, v)``.
+
+    The rectangle extends rightward and upward from its starting corner
+    (the paper's scheduling grows from the lower-left corner), wrapping
+    modulo the array dimensions when placed on a torus.
+    """
+
+    u: int
+    v: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError(
+                f"utilization space must be at least 1x1, got "
+                f"{self.width}x{self.height}"
+            )
+        if self.u < 0 or self.v < 0:
+            raise ConfigurationError(
+                f"utilization space start must be non-negative, got "
+                f"({self.u}, {self.v})"
+            )
+
+    @property
+    def start(self) -> Tuple[int, int]:
+        """Starting corner ``(u, v)``."""
+        return (self.u, self.v)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Space shape ``(width, height)`` — the paper's ``(x, y)``."""
+        return (self.width, self.height)
+
+    @property
+    def num_pes(self) -> int:
+        """PEs activated by this space."""
+        return self.width * self.height
+
+    def wraps_on(self, array: PEArray) -> bool:
+        """Whether this space crosses the array boundary (needs the torus)."""
+        u, v = array.wrap(self.start)
+        return (u + self.width > array.width) or (v + self.height > array.height)
+
+    def footprint(self, array: PEArray) -> np.ndarray:
+        """Boolean ``(h, w)`` mask of the PEs this space activates."""
+        return array.footprint_mask(self.start, self.width, self.height)
+
+    def indices(self, array: PEArray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, cols)`` fancy indices of the activated PEs."""
+        return array.footprint_indices(self.start, self.width, self.height)
+
+    def moved_to(self, u: int, v: int) -> "UtilizationSpace":
+        """The same-shaped space anchored at a new starting corner."""
+        return replace(self, u=u, v=v)
+
+    def utilization(self, array: PEArray) -> float:
+        """Fraction of the array this space activates."""
+        return self.num_pes / array.num_pes

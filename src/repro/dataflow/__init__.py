@@ -1,0 +1,69 @@
+"""Dataflow scheduling substrate (NeuroSpector-style, SCALE-Sim flavored).
+
+The paper obtains each layer's energy-optimal *utilization space* from the
+NeuroSpector scheduling optimizer [15] and streams the resulting data
+tiles through the PE array. This subpackage reproduces that pipeline:
+
+* :mod:`repro.dataflow.layer` — layer shape descriptions (conv, depthwise
+  conv, GEMM/FC);
+* :mod:`repro.dataflow.mapping` — spatial/temporal loop factorizations and
+  their derived tile geometry;
+* :mod:`repro.dataflow.tiling` — the stream of data tiles a schedule
+  produces for a layer;
+* :mod:`repro.dataflow.energy` — hierarchical access-count energy model
+  (DRAM / GLB / local buffers / MAC);
+* :mod:`repro.dataflow.scheduler` — mapping-space search for the
+  energy-optimal schedule of a layer on an accelerator;
+* :mod:`repro.dataflow.cycles` — cycle model (supports the paper's
+  no-performance-degradation claim);
+* :mod:`repro.dataflow.simulator` — end-to-end: network in, per-layer
+  schedules and tile streams out.
+"""
+
+from repro.dataflow.cycles import CycleModel, TileCycles
+from repro.dataflow.dma import DmaDescriptor, DmaGenerator, TileDma
+from repro.dataflow.energy import EnergyBreakdown, EnergyModel
+from repro.dataflow.layer import LayerKind, LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.dataflow.pipeline import (
+    PipelineResult,
+    PipelineSimulator,
+    simulate_layer,
+    validate_cycle_model,
+)
+from repro.dataflow.roofline import Bound, RooflineAnalysis, analyze_roofline
+from repro.dataflow.scalesim import ScaleSimExport, export_scalesim
+from repro.dataflow.scheduler import Schedule, Scheduler, SchedulerOptions
+from repro.dataflow.simulator import DataflowSimulator, LayerExecution, NetworkExecution
+from repro.dataflow.tiling import TileStream, tile_stream_for
+
+__all__ = [
+    "Bound",
+    "CycleModel",
+    "DataflowSimulator",
+    "DmaDescriptor",
+    "DmaGenerator",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LayerExecution",
+    "LayerKind",
+    "LayerShape",
+    "Mapping",
+    "NetworkExecution",
+    "PipelineResult",
+    "PipelineSimulator",
+    "RooflineAnalysis",
+    "ScaleSimExport",
+    "Schedule",
+    "Scheduler",
+    "SchedulerOptions",
+    "SpatialAssignment",
+    "TileCycles",
+    "TileDma",
+    "TileStream",
+    "analyze_roofline",
+    "export_scalesim",
+    "simulate_layer",
+    "validate_cycle_model",
+    "tile_stream_for",
+]

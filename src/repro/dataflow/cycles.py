@@ -1,0 +1,117 @@
+"""Cycle model: per-tile and per-layer latency.
+
+Supports the paper's Section V-D claim that RWL+RO causes *no performance
+degradation*: tile latency depends only on the tile's data volume and the
+number of active PEs, never on where the utilization space sits in the
+array. The model is deliberately simple — double-buffered tiles whose
+latency is the max of compute and data movement — because the
+wear-leveling study needs position independence and relative magnitudes,
+not RTL-accurate timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.accelerator import Accelerator
+from repro.dataflow.layer import WORD_BYTES
+from repro.dataflow.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class TileCycles:
+    """Latency components of one data tile."""
+
+    compute: int
+    scatter: int
+    gather: int
+    drain: int
+
+    @property
+    def steady_state(self) -> int:
+        """Per-tile latency with double buffering (max of compute, I/O)."""
+        return max(self.compute + self.drain, self.scatter + self.gather)
+
+    @property
+    def serialized(self) -> int:
+        """Per-tile latency without overlap (first/last tile)."""
+        return self.compute + self.drain + self.scatter + self.gather
+
+
+class CycleModel:
+    """Computes tile and layer latencies for a mapping on an accelerator."""
+
+    def __init__(self, accelerator: Accelerator) -> None:
+        self._accelerator = accelerator
+
+    def pass_cycles(self, mapping: Mapping) -> TileCycles:
+        """Latency components of one PE-array pass under ``mapping``.
+
+        The result is independent of the utilization space's position by
+        construction; :mod:`repro.experiments.overhead` turns this into an
+        executable check.
+        """
+        noc = self._accelerator.noc
+        active = max(1, mapping.active_pes)
+        compute = math.ceil(mapping.pass_macs() / active)
+        scatter = noc.scatter_cycles(
+            mapping.pass_input_words() * WORD_BYTES,
+            mapping.pass_weight_words() * WORD_BYTES,
+        )
+        gather = noc.gather_cycles(mapping.pass_output_words() * WORD_BYTES)
+        # Partial sums drain along the utilization space's vertical axis.
+        _, y = mapping.space_shape
+        drain = noc.psum_forward_cycles(max(1, y))
+        return TileCycles(compute=compute, scatter=scatter, gather=gather, drain=drain)
+
+    def tile_cycles(self, mapping: Mapping) -> TileCycles:
+        """Latency components of one data tile (a bundle of array passes).
+
+        The tile's compute/scatter/gather are its passes' costs summed;
+        the drain is paid once per pass but folded into the compute term
+        of the aggregate view.
+        """
+        per_pass = self.pass_cycles(mapping)
+        n = max(1, mapping.passes_per_tile)
+        return TileCycles(
+            compute=per_pass.compute * n + per_pass.drain * (n - 1),
+            scatter=per_pass.scatter * n,
+            gather=per_pass.gather * n,
+            drain=per_pass.drain,
+        )
+
+    def pass_cycles_at(self, mapping: Mapping, start) -> TileCycles:
+        """Pass latency with the utilization space anchored at ``start``.
+
+        The space's footprint is materialized at the given coordinate
+        (wrapping on a torus) and the cost computed from the PEs it
+        actually covers. Because a wrapped rectangle covers exactly
+        ``x * y`` PEs wherever it sits, this equals :meth:`pass_cycles`
+        for every legal start — the executable form of the paper's
+        no-performance-degradation claim, checked by
+        :func:`repro.experiments.overhead.run_overhead`.
+        """
+        array = self._accelerator.array
+        x, y = mapping.space_shape
+        rows, _ = array.footprint_indices(start, x, y)
+        active = max(1, int(rows.size))
+        noc = self._accelerator.noc
+        compute = math.ceil(mapping.pass_macs() / active)
+        scatter = noc.scatter_cycles(
+            mapping.pass_input_words() * WORD_BYTES,
+            mapping.pass_weight_words() * WORD_BYTES,
+        )
+        gather = noc.gather_cycles(mapping.pass_output_words() * WORD_BYTES)
+        drain = noc.psum_forward_cycles(max(1, y))
+        return TileCycles(compute=compute, scatter=scatter, gather=gather, drain=drain)
+
+    def layer_cycles(self, mapping: Mapping) -> int:
+        """Total latency of one layer: pipelined pass stream."""
+        per_pass = self.pass_cycles(mapping)
+        passes = mapping.num_passes
+        if passes <= 0:
+            return 0
+        # First pass pays the full serialized latency; the rest hide data
+        # movement behind compute (double buffering).
+        return per_pass.serialized + (passes - 1) * per_pass.steady_state

@@ -1,0 +1,213 @@
+"""DMA descriptor generation: the data movement a schedule implies.
+
+A schedule is only executable if someone moves the bytes. For each data
+tile, the accelerator's DMA engine needs descriptors — (DRAM offset,
+length) runs — for the input patch, the weight block, and the output
+block, against a canonical row-major tensor layout. This module derives
+those descriptor lists from a mapping, giving (a) the driver-side
+artifact a real deployment would program and (b) an independent check
+of the energy model's DRAM traffic accounting: summing descriptor
+lengths over all tiles must reproduce (or bound) the modeled traffic.
+
+Layouts (row-major, 16-bit words):
+
+* input  ``[C][H][W]``   (depthwise: ``[K][H][W]``)
+* weight ``[K][C][R][S]`` (depthwise: ``[K][R][S]``)
+* output ``[K][P][Q]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.dataflow.layer import WORD_BYTES, LayerKind
+from repro.dataflow.mapping import Mapping
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """One contiguous DRAM run."""
+
+    tensor: str
+    offset_bytes: int
+    length_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.offset_bytes < 0 or self.length_bytes <= 0:
+            raise SimulationError(
+                f"descriptor for {self.tensor!r} must have non-negative "
+                f"offset and positive length"
+            )
+
+    @property
+    def end_bytes(self) -> int:
+        """One past the last byte."""
+        return self.offset_bytes + self.length_bytes
+
+
+@dataclass(frozen=True)
+class TileDma:
+    """All descriptors of one data tile."""
+
+    tile_index: int
+    input_runs: Tuple[DmaDescriptor, ...]
+    weight_runs: Tuple[DmaDescriptor, ...]
+    output_runs: Tuple[DmaDescriptor, ...]
+
+    @property
+    def input_bytes(self) -> int:
+        """Input bytes this tile fetches."""
+        return sum(run.length_bytes for run in self.input_runs)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Weight bytes this tile fetches."""
+        return sum(run.length_bytes for run in self.weight_runs)
+
+    @property
+    def output_bytes(self) -> int:
+        """Output bytes this tile writes back."""
+        return sum(run.length_bytes for run in self.output_runs)
+
+
+class DmaGenerator:
+    """Builds per-tile DMA descriptor lists for one mapping."""
+
+    def __init__(self, mapping: Mapping) -> None:
+        self._mapping = mapping
+        self._layer = mapping.layer
+
+    # ------------------------------------------------------------------
+    # Tile grid
+    # ------------------------------------------------------------------
+    def tile_grid(self) -> Tuple[int, int, int, int]:
+        """GLB-level trip counts over (K, C, P, Q)."""
+        m = self._mapping
+        return (m.trips("K"), m.trips("C"), m.trips("P"), m.trips("Q"))
+
+    def _tile_ranges(
+        self, index: int
+    ) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+        """Half-open (start, stop) ranges of tile ``index`` per dimension.
+
+        Tiles are ordered K-major, then C, P, Q — matching the loop
+        order the energy model's reuse analysis assumes.
+        """
+        m = self._mapping
+        layer = self._layer
+        trips_k, trips_c, trips_p, trips_q = self.tile_grid()
+        total = trips_k * trips_c * trips_p * trips_q
+        if not 0 <= index < total:
+            raise SimulationError(f"tile index {index} outside [0, {total})")
+        q_index = index % trips_q
+        p_index = (index // trips_q) % trips_p
+        c_index = (index // (trips_q * trips_p)) % trips_c
+        k_index = index // (trips_q * trips_p * trips_c)
+
+        def clamp(start: int, extent: int, size: int) -> Tuple[int, int]:
+            return (start, min(start + extent, size))
+
+        return (
+            clamp(k_index * m.tile_extent("K"), m.tile_extent("K"), layer.K),
+            clamp(c_index * m.tile_extent("C"), m.tile_extent("C"), layer.C),
+            clamp(p_index * m.tile_extent("P"), m.tile_extent("P"), layer.P),
+            clamp(q_index * m.tile_extent("Q"), m.tile_extent("Q"), layer.Q),
+        )
+
+    # ------------------------------------------------------------------
+    # Descriptor construction
+    # ------------------------------------------------------------------
+    def _input_runs(self, k, c, p, q) -> List[DmaDescriptor]:
+        layer = self._layer
+        in_h, in_w = layer.input_hw
+        stride = layer.stride
+        if layer.kind is LayerKind.DEPTHWISE:
+            channels = k
+        else:
+            channels = c
+        row_start = p[0] * stride
+        row_stop = min((p[1] - 1) * stride + layer.R, in_h)
+        col_start = q[0] * stride
+        col_stop = min((q[1] - 1) * stride + layer.S, in_w)
+        runs = []
+        full_rows = col_stop - col_start == in_w
+        for channel in range(channels[0], channels[1]):
+            base = channel * in_h * in_w
+            if full_rows:
+                offset = (base + row_start * in_w) * WORD_BYTES
+                length = (row_stop - row_start) * in_w * WORD_BYTES
+                runs.append(DmaDescriptor("input", offset, length))
+                continue
+            for row in range(row_start, row_stop):
+                offset = (base + row * in_w + col_start) * WORD_BYTES
+                length = (col_stop - col_start) * WORD_BYTES
+                runs.append(DmaDescriptor("input", offset, length))
+        return runs
+
+    def _weight_runs(self, k, c) -> List[DmaDescriptor]:
+        layer = self._layer
+        kernel = layer.R * layer.S
+        runs = []
+        if layer.kind is LayerKind.DEPTHWISE:
+            offset = k[0] * kernel * WORD_BYTES
+            length = (k[1] - k[0]) * kernel * WORD_BYTES
+            return [DmaDescriptor("weight", offset, length)]
+        full_c = c[1] - c[0] == layer.C
+        for filt in range(k[0], k[1]):
+            base = filt * layer.C * kernel
+            if full_c and filt == k[0]:
+                # Whole contiguous filter block for the K range.
+                offset = base * WORD_BYTES
+                length = (k[1] - k[0]) * layer.C * kernel * WORD_BYTES
+                return [DmaDescriptor("weight", offset, length)]
+            offset = (base + c[0] * kernel) * WORD_BYTES
+            length = (c[1] - c[0]) * kernel * WORD_BYTES
+            runs.append(DmaDescriptor("weight", offset, length))
+        return runs
+
+    def _output_runs(self, k, p, q) -> List[DmaDescriptor]:
+        layer = self._layer
+        runs = []
+        full_rows = q[1] - q[0] == layer.Q
+        for filt in range(k[0], k[1]):
+            base = filt * layer.P * layer.Q
+            if full_rows:
+                offset = (base + p[0] * layer.Q) * WORD_BYTES
+                length = (p[1] - p[0]) * layer.Q * WORD_BYTES
+                runs.append(DmaDescriptor("output", offset, length))
+                continue
+            for row in range(p[0], p[1]):
+                offset = (base + row * layer.Q + q[0]) * WORD_BYTES
+                length = (q[1] - q[0]) * WORD_BYTES
+                runs.append(DmaDescriptor("output", offset, length))
+        return runs
+
+    def tile_dma(self, index: int) -> TileDma:
+        """Descriptors of one tile."""
+        k, c, p, q = self._tile_ranges(index)
+        return TileDma(
+            tile_index=index,
+            input_runs=tuple(self._input_runs(k, c, p, q)),
+            weight_runs=tuple(self._weight_runs(k, c)),
+            output_runs=tuple(self._output_runs(k, p, q)),
+        )
+
+    def tiles(self) -> Iterator[TileDma]:
+        """Descriptors of every tile, in execution order."""
+        trips_k, trips_c, trips_p, trips_q = self.tile_grid()
+        for index in range(trips_k * trips_c * trips_p * trips_q):
+            yield self.tile_dma(index)
+
+    # ------------------------------------------------------------------
+    # Aggregate checks
+    # ------------------------------------------------------------------
+    def total_traffic_bytes(self) -> Tuple[int, int, int]:
+        """Summed (input, weight, output) descriptor bytes over all tiles."""
+        input_total = weight_total = output_total = 0
+        for tile in self.tiles():
+            input_total += tile.input_bytes
+            weight_total += tile.weight_bytes
+            output_total += tile.output_bytes
+        return input_total, weight_total, output_total

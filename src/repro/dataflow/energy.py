@@ -1,0 +1,157 @@
+"""Hierarchical access-count energy model (DRAM / GLB / LB / MAC).
+
+This is the objective function of the NeuroSpector-style scheduler: given
+a :class:`~repro.dataflow.mapping.Mapping` and an accelerator, count the
+data movement at every level of the memory hierarchy and convert it to
+picojoules. The model follows the standard reuse accounting used by
+Timeloop/NeuroSpector-class tools, specialized to a three-level hierarchy
+(DRAM -> GLB -> per-PE local buffers -> MAC):
+
+* every MAC reads an input and a weight word from the local buffers and
+  performs a read-modify-write of a partial sum;
+* the GLB serves each data tile once: inputs + weights in, outputs out,
+  plus partial-sum round trips when the reduction dimension ``C`` is split
+  across tiles;
+* DRAM streams each tensor once if the GLB can retain it across the loop
+  nest, and once per relevant outer trip otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.accelerator import Accelerator
+from repro.dataflow.layer import WORD_BYTES, LayerKind
+from repro.dataflow.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-level energy of executing one layer under one mapping, in pJ."""
+
+    mac_pj: float
+    local_buffer_pj: float
+    glb_pj: float
+    noc_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total layer energy."""
+        return (
+            self.mac_pj + self.local_buffer_pj + self.glb_pj + self.noc_pj + self.dram_pj
+        )
+
+    @property
+    def total_uj(self) -> float:
+        """Total layer energy in microjoules."""
+        return self.total_pj / 1.0e6
+
+
+class EnergyModel:
+    """Prices a mapping's data movement on a given accelerator."""
+
+    def __init__(self, accelerator: Accelerator) -> None:
+        self._accelerator = accelerator
+
+    @property
+    def accelerator(self) -> Accelerator:
+        """The accelerator whose hierarchy this model prices."""
+        return self._accelerator
+
+    # ------------------------------------------------------------------
+    # Traffic accounting
+    # ------------------------------------------------------------------
+    def glb_read_words(self, mapping: Mapping) -> int:
+        """Words read from the GLB over the whole layer.
+
+        The GLB serves every *array pass*: inputs and weights are
+        scattered per pass, and partially accumulated outputs are read
+        back whenever the reduction dimension ``C`` spans multiple passes.
+        """
+        passes = mapping.num_passes
+        per_pass = mapping.pass_input_words() + mapping.pass_weight_words()
+        c_passes = mapping.pass_trips("C")
+        output_pass_groups = passes // max(1, c_passes)
+        psum_reads = (c_passes - 1) * mapping.pass_output_words()
+        return passes * per_pass + output_pass_groups * max(0, psum_reads)
+
+    def glb_write_words(self, mapping: Mapping) -> int:
+        """Words written to the GLB over the whole layer (per pass)."""
+        return mapping.num_passes * mapping.pass_output_words()
+
+    def dram_input_streams(self, mapping: Mapping) -> int:
+        """How many times the input tensor streams in from DRAM."""
+        layer = mapping.layer
+        if self._accelerator.glb.fits(layer.input_bytes):
+            return 1
+        # Input is irrelevant to the K loop (except depthwise, where the
+        # channel loop is shared and there is no re-streaming dimension).
+        if layer.kind is LayerKind.DEPTHWISE:
+            return 1
+        return max(1, mapping.trips("K"))
+
+    def dram_weight_streams(self, mapping: Mapping) -> int:
+        """How many times the weight tensor streams in from DRAM."""
+        layer = mapping.layer
+        if self._accelerator.glb.fits(layer.weight_bytes):
+            return 1
+        return max(1, mapping.trips("P") * mapping.trips("Q"))
+
+    def dram_traffic_bytes(self, mapping: Mapping) -> int:
+        """Total DRAM traffic (reads, write-back, and any psum spill).
+
+        When the reduction dimension is split across *data tiles*, the
+        partially accumulated outputs cannot stay in the GLB between
+        tiles and make a round trip to DRAM per extra ``C`` trip.
+        """
+        layer = mapping.layer
+        reads = (
+            self.dram_input_streams(mapping) * layer.input_bytes
+            + self.dram_weight_streams(mapping) * layer.weight_bytes
+        )
+        spill_trips = max(0, mapping.trips("C") - 1)
+        psum_spill = 2 * spill_trips * layer.output_bytes
+        return reads + layer.output_bytes + psum_spill
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    def evaluate(self, mapping: Mapping) -> EnergyBreakdown:
+        """Full energy breakdown of executing the layer once."""
+        layer = mapping.layer
+        pe = self._accelerator.array.pe
+        buffers = pe.local_buffers
+
+        macs = layer.macs
+        mac_pj = macs * pe.mac.energy_pj
+
+        lb_pj = macs * (
+            buffers.input.read_energy_pj
+            + buffers.weight.read_energy_pj
+            + buffers.output.read_energy_pj
+            + buffers.output.write_energy_pj
+        )
+
+        glb_buffer = self._accelerator.glb.buffer
+        glb_pj = (
+            self.glb_read_words(mapping) * glb_buffer.read_energy_pj
+            + self.glb_write_words(mapping) * glb_buffer.write_energy_pj
+        )
+
+        noc_bytes = (
+            self.glb_read_words(mapping) + self.glb_write_words(mapping)
+        ) * WORD_BYTES
+        noc_pj = self._accelerator.noc.global_net.transfer_energy_pj(noc_bytes)
+
+        dram_pj = (
+            self.dram_traffic_bytes(mapping) * self._accelerator.dram.energy_per_byte_pj
+        )
+
+        return EnergyBreakdown(
+            mac_pj=mac_pj,
+            local_buffer_pj=lb_pj,
+            glb_pj=glb_pj,
+            noc_pj=noc_pj,
+            dram_pj=dram_pj,
+        )

@@ -1,0 +1,218 @@
+"""Neural-layer shape descriptions.
+
+A :class:`LayerShape` is everything the scheduler needs to know about one
+layer: its loop-nest extents. Three kinds cover the paper's workloads
+(Table II):
+
+* ``CONV`` — standard convolution with output channels ``K``, input
+  channels ``C``, kernel ``R x S``, output feature map ``P x Q``;
+* ``DEPTHWISE`` — depthwise convolution (MobileNet/EfficientNet blocks):
+  one filter per channel, so the channel loop is shared between input and
+  output (``K`` counts channels, ``C == 1``);
+* ``GEMM`` — fully-connected layers and transformer matmuls, expressed as
+  an output-stationary loop nest with ``K`` output features, ``C`` input
+  features (reduction), and ``P`` rows (tokens / batch), ``Q = R = S = 1``.
+
+All tensors are 16-bit words (2 bytes), matching the Eyeriss datapath.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+
+#: Bytes per tensor element (16-bit fixed point).
+WORD_BYTES = 2
+
+#: The loop dimensions a mapping may reference.
+LOOP_DIMS = ("K", "C", "P", "Q", "R", "S")
+
+
+class LayerKind(enum.Enum):
+    """Computational kind of a layer."""
+
+    CONV = "conv"
+    DEPTHWISE = "depthwise"
+    GEMM = "gemm"
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Loop-nest extents of one neural layer.
+
+    Use the :meth:`conv`, :meth:`depthwise`, and :meth:`gemm` constructors
+    rather than instantiating directly; they enforce the per-kind
+    conventions documented in the module docstring.
+    """
+
+    name: str
+    kind: LayerKind
+    K: int
+    C: int
+    P: int
+    Q: int
+    R: int
+    S: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        for dim in LOOP_DIMS:
+            value = getattr(self, dim)
+            if value < 1:
+                raise WorkloadError(
+                    f"layer {self.name!r}: dimension {dim} must be >= 1, got {value}"
+                )
+        if self.stride < 1:
+            raise WorkloadError(
+                f"layer {self.name!r}: stride must be >= 1, got {self.stride}"
+            )
+        if self.kind is LayerKind.DEPTHWISE and self.C != 1:
+            raise WorkloadError(
+                f"depthwise layer {self.name!r} must have C == 1 (per-channel "
+                f"loop lives in K), got C={self.C}"
+            )
+        if self.kind is LayerKind.GEMM and (self.Q, self.R, self.S) != (1, 1, 1):
+            raise WorkloadError(
+                f"GEMM layer {self.name!r} must have Q = R = S = 1, got "
+                f"Q={self.Q} R={self.R} S={self.S}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def conv(
+        cls,
+        name: str,
+        out_channels: int,
+        in_channels: int,
+        out_hw: Tuple[int, int],
+        kernel: Tuple[int, int],
+        stride: int = 1,
+    ) -> "LayerShape":
+        """A standard convolution layer.
+
+        ``out_hw`` is the output feature-map size ``(P, Q)`` and ``kernel``
+        the filter size ``(R, S)``.
+        """
+        p, q = out_hw
+        r, s = kernel
+        return cls(
+            name=name,
+            kind=LayerKind.CONV,
+            K=out_channels,
+            C=in_channels,
+            P=p,
+            Q=q,
+            R=r,
+            S=s,
+            stride=stride,
+        )
+
+    @classmethod
+    def depthwise(
+        cls,
+        name: str,
+        channels: int,
+        out_hw: Tuple[int, int],
+        kernel: Tuple[int, int],
+        stride: int = 1,
+    ) -> "LayerShape":
+        """A depthwise convolution layer (one filter per channel)."""
+        p, q = out_hw
+        r, s = kernel
+        return cls(
+            name=name,
+            kind=LayerKind.DEPTHWISE,
+            K=channels,
+            C=1,
+            P=p,
+            Q=q,
+            R=r,
+            S=s,
+            stride=stride,
+        )
+
+    @classmethod
+    def gemm(cls, name: str, rows: int, cols: int, inner: int) -> "LayerShape":
+        """A GEMM / fully-connected layer: ``rows x inner @ inner x cols``.
+
+        ``rows`` is the number of output rows (tokens or batch), ``cols``
+        the output features, ``inner`` the reduction dimension.
+        """
+        return cls(
+            name=name,
+            kind=LayerKind.GEMM,
+            K=cols,
+            C=inner,
+            P=rows,
+            Q=1,
+            R=1,
+            S=1,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def dim_sizes(self) -> Dict[str, int]:
+        """Loop extents keyed by dimension letter."""
+        return {dim: getattr(self, dim) for dim in LOOP_DIMS}
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations in the layer."""
+        return self.K * self.C * self.P * self.Q * self.R * self.S
+
+    @property
+    def input_hw(self) -> Tuple[int, int]:
+        """Input feature-map size implied by output size, kernel, stride."""
+        h = (self.P - 1) * self.stride + self.R
+        w = (self.Q - 1) * self.stride + self.S
+        return (h, w)
+
+    @property
+    def input_words(self) -> int:
+        """Input tensor volume in words."""
+        h, w = self.input_hw
+        channels = self.K if self.kind is LayerKind.DEPTHWISE else self.C
+        return channels * h * w
+
+    @property
+    def weight_words(self) -> int:
+        """Weight tensor volume in words."""
+        if self.kind is LayerKind.DEPTHWISE:
+            return self.K * self.R * self.S
+        return self.K * self.C * self.R * self.S
+
+    @property
+    def output_words(self) -> int:
+        """Output tensor volume in words."""
+        return self.K * self.P * self.Q
+
+    @property
+    def input_bytes(self) -> int:
+        """Input tensor volume in bytes."""
+        return self.input_words * WORD_BYTES
+
+    @property
+    def weight_bytes(self) -> int:
+        """Weight tensor volume in bytes."""
+        return self.weight_words * WORD_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        """Output tensor volume in bytes."""
+        return self.output_words * WORD_BYTES
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.kind is LayerKind.GEMM:
+            return f"{self.name}: GEMM {self.P}x{self.C} @ {self.C}x{self.K}"
+        tag = "dwconv" if self.kind is LayerKind.DEPTHWISE else "conv"
+        return (
+            f"{self.name}: {tag} K={self.K} C={self.C} out={self.P}x{self.Q} "
+            f"kernel={self.R}x{self.S} stride={self.stride}"
+        )

@@ -1,0 +1,243 @@
+"""Discrete-event simulation of the tile pipeline.
+
+The analytic cycle model (:mod:`repro.dataflow.cycles`) prices a layer
+as ``serialized + (passes - 1) * steady_state`` under ideal double
+buffering. This module *simulates* the same pipeline event by event —
+a scatter engine, a compute array, and a gather engine, connected by
+double buffers with real occupancy — so the closed form is validated
+against an independent mechanism rather than itself, and so users can
+explore non-ideal configurations (single buffering, slow NoCs) the
+closed form does not cover.
+
+The simulated pipeline:
+
+* the **scatter engine** copies pass ``i``'s operands from the GLB into
+  the array's shadow buffer; it can run ahead of compute by at most
+  ``buffers - 1`` passes;
+* the **compute array** processes pass ``i`` once its operands have
+  landed and the previous compute finished, then spends ``drain``
+  cycles pushing partial sums out of the PE columns;
+* the **gather engine** writes pass ``i``'s outputs back to the GLB
+  after compute+drain, overlapping later scatters/computes.
+
+With ``buffers = 2`` the makespan converges to the analytic model's
+pipelined bound; with ``buffers = 1`` every stage serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dataflow.cycles import CycleModel, TileCycles
+from repro.dataflow.mapping import Mapping
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PassTimeline:
+    """Start/finish times of one pass's three stages."""
+
+    index: int
+    scatter_start: int
+    scatter_end: int
+    compute_start: int
+    compute_end: int
+    gather_start: int
+    gather_end: int
+
+    def __post_init__(self) -> None:
+        ordered = (
+            self.scatter_start
+            <= self.scatter_end
+            <= self.compute_start
+            <= self.compute_end
+            <= self.gather_start
+            <= self.gather_end
+        )
+        if not ordered:
+            raise SimulationError(
+                f"pass {self.index}: stage timeline out of order"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of a pipeline simulation."""
+
+    makespan: int
+    timelines: List[PassTimeline]
+
+    @property
+    def num_passes(self) -> int:
+        """Simulated pass count."""
+        return len(self.timelines)
+
+    @property
+    def compute_busy_cycles(self) -> int:
+        """Total cycles the PE array spent computing (incl. drain)."""
+        return sum(t.compute_end - t.compute_start for t in self.timelines)
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the makespan the array was busy."""
+        if self.makespan == 0:
+            return 0.0
+        return self.compute_busy_cycles / self.makespan
+
+
+class PipelineSimulator:
+    """Event-driven tile pipeline for one layer mapping.
+
+    Parameters
+    ----------
+    per_pass:
+        The stage costs of one array pass (from
+        :meth:`~repro.dataflow.cycles.CycleModel.pass_cycles`).
+    buffers:
+        Operand buffer depth. 2 = double buffering (the analytic model's
+        assumption); 1 = fully serialized stages.
+    shared_glb_port:
+        True (default) models the accelerator's single scatter/gather
+        bus: transfers in and out of the GLB serialize, which is what
+        the analytic ``steady_state = max(compute+drain,
+        scatter+gather)`` assumes. False gives independent scatter and
+        gather engines (a dual-ported GLB) — strictly faster.
+    """
+
+    def __init__(
+        self,
+        per_pass: TileCycles,
+        buffers: int = 2,
+        shared_glb_port: bool = True,
+    ) -> None:
+        if buffers < 1:
+            raise SimulationError(f"buffer depth must be >= 1, got {buffers}")
+        self._per_pass = per_pass
+        self._buffers = buffers
+        self._shared_glb_port = shared_glb_port
+
+    def simulate(self, num_passes: int) -> PipelineResult:
+        """Run ``num_passes`` passes through the pipeline.
+
+        With a shared GLB port, bus transfers (scatters and gathers) are
+        arbitrated greedily: whenever the bus frees up, the transfer
+        that can start earliest goes next, so a scatter for pass
+        ``i + 1`` may legitimately overtake the not-yet-ready gather of
+        pass ``i`` — exactly what a double-buffered controller does.
+        """
+        if num_passes < 1:
+            raise SimulationError(f"need at least one pass, got {num_passes}")
+        cost = self._per_pass
+        compute_span = cost.compute + cost.drain
+
+        scatter_start = [0] * num_passes
+        scatter_end = [0] * num_passes
+        compute_start = [0] * num_passes
+        compute_end = [0] * num_passes
+        gather_start = [0] * num_passes
+        gather_end = [0] * num_passes
+
+        if self._shared_glb_port:
+            bus_free = 0
+            next_scatter = 0
+            next_gather = 0
+            compute_free = 0
+            while next_gather < num_passes:
+                choices = []
+                if next_scatter < num_passes:
+                    slot_release = 0
+                    if next_scatter >= self._buffers:
+                        slot_release = compute_end[next_scatter - self._buffers]
+                    choices.append(("scatter", max(bus_free, slot_release)))
+                if next_gather < next_scatter:
+                    # Its compute time is already known once scattered.
+                    ready = compute_end[next_gather]
+                    choices.append(("gather", max(bus_free, ready)))
+                kind, start = min(choices, key=lambda item: item[1])
+                if kind == "scatter":
+                    index = next_scatter
+                    scatter_start[index] = start
+                    scatter_end[index] = start + cost.scatter
+                    compute_start[index] = max(scatter_end[index], compute_free)
+                    compute_end[index] = compute_start[index] + compute_span
+                    compute_free = compute_end[index]
+                    bus_free = scatter_end[index]
+                    next_scatter += 1
+                else:
+                    index = next_gather
+                    gather_start[index] = start
+                    gather_end[index] = start + cost.gather
+                    bus_free = gather_end[index]
+                    next_gather += 1
+        else:
+            scatter_engine_free = 0
+            compute_free = 0
+            gather_engine_free = 0
+            for index in range(num_passes):
+                slot_release = 0
+                if index >= self._buffers:
+                    slot_release = compute_end[index - self._buffers]
+                scatter_start[index] = max(scatter_engine_free, slot_release)
+                scatter_end[index] = scatter_start[index] + cost.scatter
+                scatter_engine_free = scatter_end[index]
+                compute_start[index] = max(scatter_end[index], compute_free)
+                compute_end[index] = compute_start[index] + compute_span
+                compute_free = compute_end[index]
+                gather_start[index] = max(compute_end[index], gather_engine_free)
+                gather_end[index] = gather_start[index] + cost.gather
+                gather_engine_free = gather_end[index]
+
+        timelines = [
+            PassTimeline(
+                index=index,
+                scatter_start=scatter_start[index],
+                scatter_end=scatter_end[index],
+                compute_start=compute_start[index],
+                compute_end=compute_end[index],
+                gather_start=gather_start[index],
+                gather_end=gather_end[index],
+            )
+            for index in range(num_passes)
+        ]
+        makespan = max(gather_end)
+        return PipelineResult(makespan=makespan, timelines=timelines)
+
+
+def simulate_layer(
+    cycle_model: CycleModel,
+    mapping: Mapping,
+    buffers: int = 2,
+    max_passes: Optional[int] = 4096,
+) -> PipelineResult:
+    """Simulate a layer's pass pipeline.
+
+    ``max_passes`` caps the simulated pass count for huge layers (the
+    pipeline reaches steady state within a handful of passes; simulating
+    millions adds nothing). Pass ``None`` to simulate every pass.
+    """
+    per_pass = cycle_model.pass_cycles(mapping)
+    passes = mapping.num_passes
+    if max_passes is not None:
+        passes = min(passes, max_passes)
+    return PipelineSimulator(per_pass, buffers=buffers).simulate(passes)
+
+
+def validate_cycle_model(
+    cycle_model: CycleModel, mapping: Mapping, tolerance: float = 0.02
+) -> bool:
+    """Check the analytic layer latency against the simulated pipeline.
+
+    Returns True when the closed form upper-bounds the double-buffered
+    simulation and is tight: within ``tolerance`` relatively, or within
+    one pass's serialized cost absolutely (the pipeline-fill slack that
+    dominates layers with very few passes).
+    """
+    per_pass = cycle_model.pass_cycles(mapping)
+    passes = min(mapping.num_passes, 4096)
+    simulated = PipelineSimulator(per_pass, buffers=2).simulate(passes).makespan
+    analytic = per_pass.serialized + (passes - 1) * per_pass.steady_state
+    if analytic < simulated:
+        return False
+    gap = analytic - simulated
+    return gap / simulated <= tolerance or gap <= per_pass.serialized

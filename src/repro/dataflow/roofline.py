@@ -1,0 +1,106 @@
+"""Roofline classification of layer executions.
+
+For each scheduled layer, compare its arithmetic intensity (MACs per
+DRAM byte) against the accelerator's machine balance (peak MACs/cycle
+over DRAM bytes/cycle) to tell whether the layer is compute-bound or
+memory-bound, and how close the schedule runs to the applicable roof.
+Useful both as a scheduler sanity check (the energy-optimal mapping
+should not be absurdly far from either roof) and as a user-facing
+analysis of custom accelerators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.dataflow.energy import EnergyModel
+from repro.dataflow.scheduler import Schedule
+from repro.errors import SimulationError
+
+
+class Bound(enum.Enum):
+    """Which roof limits a layer."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline plot."""
+
+    layer: str
+    arithmetic_intensity: float
+    machine_balance: float
+    bound: Bound
+    achieved_macs_per_cycle: float
+    roof_macs_per_cycle: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the applicable roof actually achieved."""
+        if self.roof_macs_per_cycle <= 0:
+            return 0.0
+        return self.achieved_macs_per_cycle / self.roof_macs_per_cycle
+
+
+@dataclass(frozen=True)
+class RooflineAnalysis:
+    """Roofline points for a set of layer schedules."""
+
+    accelerator: str
+    points: Tuple[RooflinePoint, ...]
+
+    @property
+    def compute_bound_fraction(self) -> float:
+        """Fraction of layers limited by the compute roof."""
+        if not self.points:
+            raise SimulationError("roofline analysis has no points")
+        hits = sum(1 for point in self.points if point.bound is Bound.COMPUTE)
+        return hits / len(self.points)
+
+    def point_for(self, layer: str) -> RooflinePoint:
+        """Look up one layer's point."""
+        for point in self.points:
+            if point.layer == layer:
+                return point
+        raise KeyError(layer)
+
+
+def analyze_roofline(
+    accelerator: Accelerator, schedules: Sequence[Schedule]
+) -> RooflineAnalysis:
+    """Place every schedule on the accelerator's roofline."""
+    if not schedules:
+        raise SimulationError("need at least one schedule")
+    energy_model = EnergyModel(accelerator)
+    peak_macs_per_cycle = float(accelerator.num_pes)
+    dram_bytes_per_cycle = float(accelerator.dram.bandwidth_bytes_per_cycle)
+    machine_balance = peak_macs_per_cycle / dram_bytes_per_cycle
+
+    points = []
+    for schedule in schedules:
+        layer = schedule.layer
+        traffic = energy_model.dram_traffic_bytes(schedule.mapping)
+        intensity = layer.macs / max(1, traffic)
+        bound = Bound.COMPUTE if intensity >= machine_balance else Bound.MEMORY
+        roof = (
+            peak_macs_per_cycle
+            if bound is Bound.COMPUTE
+            else intensity * dram_bytes_per_cycle
+        )
+        achieved = layer.macs / max(1, schedule.cycles)
+        points.append(
+            RooflinePoint(
+                layer=layer.name,
+                arithmetic_intensity=intensity,
+                machine_balance=machine_balance,
+                bound=bound,
+                achieved_macs_per_cycle=achieved,
+                roof_macs_per_cycle=roof,
+            )
+        )
+    return RooflineAnalysis(accelerator=accelerator.name, points=tuple(points))

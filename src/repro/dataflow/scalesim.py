@@ -1,0 +1,142 @@
+"""SCALE-Sim interoperability: export configs and topology files.
+
+The reproduction's dataflow substrate is SCALE-Sim-flavored; this module
+makes that concrete by exporting any accelerator + workload pair in the
+file formats the open-source SCALE-Sim v2 simulator consumes — a
+``.cfg`` with the architecture presets and topology CSVs (the standard
+convolution format, plus the M/N/K format for GEMM layers). Users can
+cross-check our scheduler's utilization numbers against an independent
+tool without writing glue code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.dataflow.layer import LayerKind
+from repro.errors import WorkloadError
+from repro.workloads.base import Network
+
+#: SCALE-Sim dataflow keywords for our scheduler presets.
+_DATAFLOW_KEYWORDS = {"output_stationary": "os", "weight_stationary": "ws"}
+
+
+@dataclass(frozen=True)
+class ScaleSimExport:
+    """Paths written by one export."""
+
+    config: Path
+    conv_topology: Optional[Path]
+    gemm_topology: Optional[Path]
+
+    @property
+    def files(self) -> Tuple[Path, ...]:
+        """All written files."""
+        return tuple(
+            path
+            for path in (self.config, self.conv_topology, self.gemm_topology)
+            if path is not None
+        )
+
+
+def _config_text(accelerator: Accelerator, run_name: str, dataflow: str) -> str:
+    pe = accelerator.array.pe
+    ifmap_kb = max(1, pe.local_buffers.input.capacity_bytes * accelerator.num_pes // 1024)
+    filter_kb = max(1, pe.local_buffers.weight.capacity_bytes * accelerator.num_pes // 1024)
+    ofmap_kb = max(1, pe.local_buffers.output.capacity_bytes * accelerator.num_pes // 1024)
+    return (
+        "[general]\n"
+        f"run_name = {run_name}\n"
+        "\n"
+        "[architecture_presets]\n"
+        f"ArrayHeight : {accelerator.height}\n"
+        f"ArrayWidth : {accelerator.width}\n"
+        f"IfmapSramSzkB : {ifmap_kb}\n"
+        f"FilterSramSzkB : {filter_kb}\n"
+        f"OfmapSramSzkB : {ofmap_kb}\n"
+        "IfmapOffset : 0\n"
+        "FilterOffset : 10000000\n"
+        "OfmapOffset : 20000000\n"
+        f"Bandwidth : {accelerator.dram.bandwidth_bytes_per_cycle}\n"
+        f"Dataflow : {dataflow}\n"
+        "MemoryBanks : 1\n"
+        "\n"
+        "[run_presets]\n"
+        "InterfaceBandwidth : CALC\n"
+    )
+
+
+def _conv_rows(network: Network) -> List[str]:
+    rows = []
+    for layer in network.layers:
+        if layer.kind is LayerKind.GEMM:
+            continue
+        ifmap_h, ifmap_w = layer.input_hw
+        channels = layer.K if layer.kind is LayerKind.DEPTHWISE else layer.C
+        num_filters = layer.K
+        rows.append(
+            f"{layer.name}, {ifmap_h}, {ifmap_w}, {layer.R}, {layer.S}, "
+            f"{channels}, {num_filters}, {layer.stride},"
+        )
+    return rows
+
+
+def _gemm_rows(network: Network) -> List[str]:
+    rows = []
+    for layer in network.layers:
+        if layer.kind is not LayerKind.GEMM:
+            continue
+        # SCALE-Sim GEMM topology: M (rows), N (cols), K (reduction).
+        rows.append(f"{layer.name}, {layer.P}, {layer.K}, {layer.C},")
+    return rows
+
+
+def export_scalesim(
+    accelerator: Accelerator,
+    network: Network,
+    out_dir,
+    dataflow: str = "weight_stationary",
+) -> ScaleSimExport:
+    """Write SCALE-Sim v2 input files for one accelerator + network.
+
+    ``dataflow`` must be one of the fixed-dataflow presets SCALE-Sim
+    understands (``weight_stationary`` -> ``ws``, ``output_stationary``
+    -> ``os``); the flexible search has no SCALE-Sim equivalent.
+    """
+    keyword = _DATAFLOW_KEYWORDS.get(dataflow)
+    if keyword is None:
+        raise WorkloadError(
+            f"SCALE-Sim export supports {sorted(_DATAFLOW_KEYWORDS)}, "
+            f"got {dataflow!r}"
+        )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    slug = network.name.lower().replace(" ", "_").replace("-", "_")
+
+    config_path = out / f"{slug}.cfg"
+    config_path.write_text(_config_text(accelerator, slug, keyword))
+
+    conv_path = None
+    conv_rows = _conv_rows(network)
+    if conv_rows:
+        conv_path = out / f"{slug}_conv.csv"
+        header = (
+            "Layer name, IFMAP Height, IFMAP Width, Filter Height, "
+            "Filter Width, Channels, Num Filter, Strides,"
+        )
+        conv_path.write_text("\n".join([header] + conv_rows) + "\n")
+
+    gemm_path = None
+    gemm_rows = _gemm_rows(network)
+    if gemm_rows:
+        gemm_path = out / f"{slug}_gemm.csv"
+        gemm_path.write_text("\n".join(["Layer, M, N, K,"] + gemm_rows) + "\n")
+
+    return ScaleSimExport(
+        config=config_path.resolve(),
+        conv_topology=conv_path.resolve() if conv_path else None,
+        gemm_topology=gemm_path.resolve() if gemm_path else None,
+    )

@@ -1,0 +1,146 @@
+"""End-to-end dataflow simulation: networks in, tile streams out.
+
+The :class:`DataflowSimulator` composes the scheduler, energy model, and
+cycle model: given a network (a sequence of layers) it produces one
+:class:`LayerExecution` per layer — the energy-optimal schedule plus its
+tile stream — and aggregates them into a :class:`NetworkExecution`. The
+wear-leveling engine (:mod:`repro.core.engine`) consumes the tile
+streams; the figure drivers consume the aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.arch.accelerator import Accelerator
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.scheduler import Schedule, Scheduler, SchedulerOptions
+from repro.dataflow.tiling import TileStream, tile_stream_for
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LayerExecution:
+    """One layer's schedule and the tile stream it emits."""
+
+    schedule: Schedule
+    stream: TileStream
+
+    @property
+    def layer(self) -> LayerShape:
+        """The executed layer."""
+        return self.schedule.layer
+
+    @property
+    def utilization(self) -> float:
+        """PE-array utilization of this layer's tiles."""
+        return self.schedule.utilization
+
+
+@dataclass(frozen=True)
+class NetworkExecution:
+    """Aggregated execution of a whole network on one accelerator."""
+
+    network_name: str
+    accelerator_name: str
+    layers: Sequence[LayerExecution]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise SimulationError(
+                f"network {self.network_name!r} produced no layer executions"
+            )
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total energy across all layers."""
+        return math.fsum(ex.schedule.energy.total_pj for ex in self.layers)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles across all layers."""
+        return sum(ex.schedule.cycles for ex in self.layers)
+
+    @property
+    def total_tiles(self) -> int:
+        """Total data tiles across all layers."""
+        return sum(ex.stream.num_tiles for ex in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Unweighted mean PE utilization across layers (paper Fig. 2a)."""
+        return math.fsum(ex.utilization for ex in self.layers) / len(self.layers)
+
+    @property
+    def tile_weighted_utilization(self) -> float:
+        """Tile-count-weighted mean PE utilization."""
+        tiles = self.total_tiles
+        weighted = math.fsum(
+            ex.utilization * ex.stream.num_tiles for ex in self.layers
+        )
+        return weighted / tiles
+
+    def streams(self) -> List[TileStream]:
+        """The per-layer tile streams, in execution order."""
+        return [ex.stream for ex in self.layers]
+
+    def latency_ms(self, clock_mhz: float) -> float:
+        """Wall-clock inference latency at a given clock."""
+        if clock_mhz <= 0:
+            raise SimulationError(f"clock must be positive, got {clock_mhz}")
+        return self.total_cycles / (clock_mhz * 1e3)
+
+    def average_power_mw(self, clock_mhz: float) -> float:
+        """Average power while the inference runs.
+
+        Energy-per-inference divided by inference time: the figure a
+        deployment compares against its thermal budget.
+        """
+        latency_s = self.latency_ms(clock_mhz) / 1e3
+        if latency_s == 0:
+            raise SimulationError("zero-latency execution has no average power")
+        return (self.total_energy_pj / 1e12) / latency_s * 1e3
+
+    def throughput_inferences_per_second(self, clock_mhz: float) -> float:
+        """Back-to-back inference throughput at a given clock."""
+        return 1e3 / self.latency_ms(clock_mhz)
+
+
+class DataflowSimulator:
+    """Schedules and executes networks on one accelerator."""
+
+    def __init__(
+        self, accelerator: Accelerator, options: SchedulerOptions = SchedulerOptions()
+    ) -> None:
+        self._accelerator = accelerator
+        self._scheduler = Scheduler(accelerator, options)
+
+    @property
+    def accelerator(self) -> Accelerator:
+        """The simulated accelerator."""
+        return self._accelerator
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The underlying mapping-space search."""
+        return self._scheduler
+
+    def execute_layer(self, layer: LayerShape) -> LayerExecution:
+        """Schedule one layer and derive its tile stream."""
+        schedule = self._scheduler.schedule_layer(layer)
+        return LayerExecution(schedule=schedule, stream=tile_stream_for(schedule))
+
+    def execute_network(
+        self, layers: Sequence[LayerShape], name: str = "network"
+    ) -> NetworkExecution:
+        """Schedule a full network and aggregate its execution."""
+        if not layers:
+            raise SimulationError(f"network {name!r} has no layers")
+        executions = [self.execute_layer(layer) for layer in layers]
+        return NetworkExecution(
+            network_name=name,
+            accelerator_name=self._accelerator.name,
+            layers=executions,
+        )

@@ -1,0 +1,100 @@
+"""Tile streams: the sequence of data tiles a schedule emits for a layer.
+
+The wear-leveling engine does not care about tensor contents — a data
+tile is characterized by the utilization space it activates (``x x y``
+PEs) and how many such tiles the layer produces (``Z``). A
+:class:`TileStream` is that compact description, with enough metadata
+(per-tile bytes, MACs, cycles) for the cycle/energy cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.dataflow.scheduler import Schedule
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TileStream:
+    """The data tiles of one layer, as the PE array sees them.
+
+    Parameters
+    ----------
+    layer_name:
+        Name of the originating layer (for traces and reports).
+    space_width, space_height:
+        Utilization-space shape ``(x, y)`` in PEs.
+    num_tiles:
+        The paper's ``Z``: how many tiles the layer streams.
+    tile_bytes:
+        GLB-resident footprint of one tile (inputs+weights+outputs).
+    tile_macs:
+        MAC operations per tile.
+    tile_cycles:
+        Steady-state latency of one tile.
+    """
+
+    layer_name: str
+    space_width: int
+    space_height: int
+    num_tiles: int
+    tile_bytes: int = 0
+    tile_macs: int = 0
+    tile_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.space_width < 1 or self.space_height < 1:
+            raise SimulationError(
+                f"tile stream {self.layer_name!r}: utilization space must be "
+                f"at least 1x1, got {self.space_width}x{self.space_height}"
+            )
+        if self.num_tiles < 1:
+            raise SimulationError(
+                f"tile stream {self.layer_name!r}: needs at least one tile, "
+                f"got {self.num_tiles}"
+            )
+        if min(self.tile_bytes, self.tile_macs, self.tile_cycles) < 0:
+            raise SimulationError(
+                f"tile stream {self.layer_name!r}: metadata must be non-negative"
+            )
+
+    @property
+    def space_shape(self) -> Tuple[int, int]:
+        """Utilization-space shape ``(x, y)``."""
+        return (self.space_width, self.space_height)
+
+    @property
+    def active_pes_per_tile(self) -> int:
+        """PEs activated by each tile."""
+        return self.space_width * self.space_height
+
+    @property
+    def total_pe_activations(self) -> int:
+        """Sum of per-PE activations over the whole stream: ``Z * x * y``."""
+        return self.num_tiles * self.active_pes_per_tile
+
+    def tiles(self) -> Iterator[Tuple[int, int]]:
+        """Iterate the stream as ``num_tiles`` copies of the space shape."""
+        for _ in range(self.num_tiles):
+            yield self.space_shape
+
+
+def tile_stream_for(schedule: Schedule) -> TileStream:
+    """Build the tile stream implied by a layer schedule."""
+    x, y = schedule.space_shape
+    mapping = schedule.mapping
+    # Steady-state tile latency, re-derived from the schedule's totals so
+    # the stream stays self-consistent with the layer cycle count.
+    z = schedule.num_tiles
+    steady = schedule.cycles // z if z else 0
+    return TileStream(
+        layer_name=schedule.layer.name,
+        space_width=x,
+        space_height=y,
+        num_tiles=z,
+        tile_bytes=mapping.tile_bytes(),
+        tile_macs=mapping.tile_macs(),
+        tile_cycles=steady,
+    )

@@ -1,0 +1,170 @@
+"""Mapping validation with actionable diagnostics.
+
+The scheduler only ever produces legal mappings, but users handcrafting
+a :class:`~repro.dataflow.mapping.Mapping` (or porting one from another
+tool) want to know *why* a mapping is illegal and by how much — not
+just that a buffer overflowed. :func:`validate_mapping` checks every
+constraint the scheduler enforces and returns a structured report with
+per-check margins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.dataflow.layer import WORD_BYTES
+from repro.dataflow.mapping import Mapping
+
+
+class CheckKind(enum.Enum):
+    """The constraint a finding refers to."""
+
+    SPACE_WIDTH = "space_width"
+    SPACE_HEIGHT = "space_height"
+    INPUT_BUFFER = "input_buffer"
+    WEIGHT_BUFFER = "weight_buffer"
+    OUTPUT_BUFFER = "output_buffer"
+    GLB_CAPACITY = "glb_capacity"
+    KERNEL_COVERAGE = "kernel_coverage"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One constraint check: required vs available, with a margin."""
+
+    kind: CheckKind
+    ok: bool
+    required: int
+    available: int
+    detail: str
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the resource the mapping uses."""
+        if self.available == 0:
+            return float("inf")
+        return self.required / self.available
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All constraint checks for one mapping on one accelerator."""
+
+    mapping_summary: str
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the mapping is legal on the accelerator."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def violations(self) -> Tuple[CheckResult, ...]:
+        """The failed checks."""
+        return tuple(check for check in self.checks if not check.ok)
+
+    @property
+    def tightest_constraint(self) -> CheckResult:
+        """The resource closest to (or furthest past) its limit."""
+        return max(self.checks, key=lambda check: check.utilization)
+
+    def format(self) -> str:
+        """Human-readable report."""
+        lines = [self.mapping_summary]
+        for check in self.checks:
+            status = "ok  " if check.ok else "FAIL"
+            lines.append(
+                f"  [{status}] {check.kind.value}: {check.required} / "
+                f"{check.available} ({check.detail})"
+            )
+        return "\n".join(lines)
+
+
+def validate_mapping(accelerator: Accelerator, mapping: Mapping) -> ValidationReport:
+    """Check a mapping against every accelerator constraint."""
+    checks: List[CheckResult] = []
+    x, y = mapping.space_shape
+    layer = mapping.layer
+    buffers = accelerator.array.pe.local_buffers
+
+    checks.append(
+        CheckResult(
+            kind=CheckKind.SPACE_WIDTH,
+            ok=x <= accelerator.width,
+            required=x,
+            available=accelerator.width,
+            detail="utilization-space width vs PE columns",
+        )
+    )
+    checks.append(
+        CheckResult(
+            kind=CheckKind.SPACE_HEIGHT,
+            ok=y <= accelerator.height,
+            required=y,
+            available=accelerator.height,
+            detail="utilization-space height vs PE rows",
+        )
+    )
+
+    input_bytes = mapping.pe_input_words() * WORD_BYTES
+    checks.append(
+        CheckResult(
+            kind=CheckKind.INPUT_BUFFER,
+            ok=input_bytes <= buffers.input.capacity_bytes,
+            required=input_bytes,
+            available=buffers.input.capacity_bytes,
+            detail="per-PE streaming input window (bytes)",
+        )
+    )
+    weight_bytes = mapping.pe_weight_words() * WORD_BYTES
+    checks.append(
+        CheckResult(
+            kind=CheckKind.WEIGHT_BUFFER,
+            ok=weight_bytes <= buffers.weight.capacity_bytes,
+            required=weight_bytes,
+            available=buffers.weight.capacity_bytes,
+            detail="per-PE stationary weights (bytes)",
+        )
+    )
+    output_bytes = mapping.pe_output_words() * WORD_BYTES
+    checks.append(
+        CheckResult(
+            kind=CheckKind.OUTPUT_BUFFER,
+            ok=output_bytes <= buffers.output.capacity_bytes,
+            required=output_bytes,
+            available=buffers.output.capacity_bytes,
+            detail="per-PE partial sums (bytes)",
+        )
+    )
+
+    glb_limit = accelerator.glb.capacity_bytes // 2  # double buffering
+    tile_bytes = mapping.tile_bytes()
+    checks.append(
+        CheckResult(
+            kind=CheckKind.GLB_CAPACITY,
+            ok=tile_bytes <= glb_limit,
+            required=tile_bytes,
+            available=glb_limit,
+            detail="data-tile footprint vs half the GLB (double buffer)",
+        )
+    )
+
+    kernel_covered = (
+        mapping.tile_extent("R") == layer.R and mapping.tile_extent("S") == layer.S
+    )
+    checks.append(
+        CheckResult(
+            kind=CheckKind.KERNEL_COVERAGE,
+            ok=kernel_covered,
+            required=mapping.tile_extent("R") * mapping.tile_extent("S"),
+            available=layer.R * layer.S,
+            detail="each tile must cover the full R x S kernel",
+        )
+    )
+
+    return ValidationReport(
+        mapping_summary=mapping.describe(), checks=tuple(checks)
+    )

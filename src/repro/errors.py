@@ -1,0 +1,42 @@
+"""Exception types raised by the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries while still discriminating on the
+specific subclasses when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or policy configuration is invalid or inconsistent.
+
+    Examples: a PE array with non-positive dimensions, a buffer with zero
+    capacity, or a wear-leveling policy attached to a topology that cannot
+    support it (e.g. RWL on a mesh without torus links).
+    """
+
+
+class MappingError(ReproError):
+    """A layer cannot be mapped onto the PE array.
+
+    Raised by the scheduler when a layer's loop nest admits no legal
+    spatial/temporal factorization under the given constraints, or when a
+    user-supplied mapping violates array or buffer capacity limits.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation run entered an inconsistent state.
+
+    This indicates a bug or misuse (e.g. querying a trace before any tile
+    has been processed), not an expected data-dependent condition.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload definition is malformed or references an unknown network."""

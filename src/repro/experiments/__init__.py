@@ -1,0 +1,40 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes a ``run_*`` function returning a result object with
+the figure's data series plus a ``format()`` method that prints the rows
+the paper reports. Benchmarks (``benchmarks/``), examples
+(``examples/``), and the CLI all call these drivers, so the reproduction
+has exactly one implementation of each experiment.
+
+| Paper artifact | Driver |
+|---|---|
+| Fig. 2a/2b (PE utilization)            | :mod:`repro.experiments.fig2` |
+| Fig. 3a/3b (usage heatmaps)            | :mod:`repro.experiments.fig3` |
+| Fig. 5 (RWL walk-through)              | :mod:`repro.experiments.fig5` |
+| Fig. 6a-e (usage difference, heatmaps) | :mod:`repro.experiments.fig6` |
+| Fig. 7 (lifetime vs R_diff)            | :mod:`repro.experiments.fig7` |
+| Fig. 8 (lifetime improvement)          | :mod:`repro.experiments.fig8` |
+| Fig. 9 (upper bound)                   | :mod:`repro.experiments.fig9` |
+| Fig. 10 (array-size sweep)             | :mod:`repro.experiments.fig10` |
+| Table II (workloads)                   | :mod:`repro.experiments.table2` |
+| Section V-D (overhead)                 | :mod:`repro.experiments.overhead` |
+| Design-choice ablations                | :mod:`repro.experiments.ablation` |
+"""
+
+from repro.experiments.common import (
+    PAPER_ITERATIONS,
+    PAPER_ZOOM_ITERATIONS,
+    execution_for,
+    paper_accelerator,
+    run_policies,
+    streams_for,
+)
+
+__all__ = [
+    "PAPER_ITERATIONS",
+    "PAPER_ZOOM_ITERATIONS",
+    "execution_for",
+    "paper_accelerator",
+    "run_policies",
+    "streams_for",
+]

@@ -1,0 +1,243 @@
+"""Design-choice ablations (DESIGN.md Section 4).
+
+Three studies that are not paper figures but quantify choices the
+reproduction had to make:
+
+* **Vertical-stride trigger** — Algorithm 1's exact ``u == 0`` trigger vs
+  the robust boundary-wrap trigger (they differ only when RO carries the
+  coordinate into a residue class that never revisits column 0).
+* **Dataflow preset** — whether the wear-leveling conclusions survive a
+  switch from the flexible NeuroSpector-style search to fixed
+  output-stationary / weight-stationary mappers.
+* **Usage accounting granularity** — allocation-counting (the paper's
+  ``A_PE``) vs cycle-weighted stress accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import StrideTrigger, make_policy
+from repro.dataflow.scheduler import SchedulerOptions
+from repro.experiments.common import (
+    execution_for,
+    paper_accelerator,
+    run_policies,
+    streams_for,
+)
+from repro.reliability.lifetime import improvement_from_counts
+
+
+@dataclass(frozen=True)
+class TriggerAblationRow:
+    """RWL+RO improvement of one workload under both triggers."""
+
+    network: str
+    origin_trigger: float
+    wrap_trigger: float
+
+    @property
+    def relative_difference(self) -> float:
+        """Fractional gap between the two triggers."""
+        return abs(self.origin_trigger - self.wrap_trigger) / self.origin_trigger
+
+
+@dataclass(frozen=True)
+class TriggerAblationResult:
+    """Trigger ablation across workloads."""
+
+    iterations: int
+    rows: Tuple[TriggerAblationRow, ...]
+
+    @property
+    def max_relative_difference(self) -> float:
+        """Largest trigger-induced gap across workloads."""
+        return max(row.relative_difference for row in self.rows)
+
+    def format(self) -> str:
+        """Ablation table."""
+        table_rows = [
+            (
+                row.network,
+                f"{row.origin_trigger:.3f}x",
+                f"{row.wrap_trigger:.3f}x",
+                f"{100 * row.relative_difference:.2f}%",
+            )
+            for row in self.rows
+        ]
+        return format_table(
+            ("network", "origin trigger (paper)", "wrap trigger", "gap"),
+            table_rows,
+            title=(
+                f"Ablation — vertical-stride trigger, RWL+RO improvements "
+                f"({self.iterations} iterations)"
+            ),
+        )
+
+
+def run_trigger_ablation(
+    networks: Tuple[str, ...] = ("SqueezeNet", "MobileNet v3", "ResNet-50"),
+    accelerator: Optional[Accelerator] = None,
+    iterations: int = 200,
+) -> TriggerAblationResult:
+    """Compare Algorithm 1's exact trigger with the wrap trigger."""
+    rows = []
+    for network in networks:
+        streams = streams_for(network, accelerator)
+        improvements = {}
+        for trigger in (StrideTrigger.ORIGIN, StrideTrigger.WRAP):
+            results = run_policies(
+                streams,
+                accelerator,
+                policies=("baseline", "rwl+ro"),
+                iterations=iterations,
+                record_trace=False,
+                trigger=trigger,
+            )
+            improvements[trigger] = improvement_from_counts(
+                results["baseline"].counts, results["rwl+ro"].counts
+            )
+        rows.append(
+            TriggerAblationRow(
+                network=network,
+                origin_trigger=improvements[StrideTrigger.ORIGIN],
+                wrap_trigger=improvements[StrideTrigger.WRAP],
+            )
+        )
+    return TriggerAblationResult(iterations=iterations, rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class DataflowAblationRow:
+    """Wear-leveling outcome under one scheduler preset."""
+
+    dataflow: str
+    utilization: float
+    rwl_ro: float
+
+
+@dataclass(frozen=True)
+class DataflowAblationResult:
+    """Dataflow ablation for one workload."""
+
+    network: str
+    iterations: int
+    rows: Tuple[DataflowAblationRow, ...]
+
+    @property
+    def conclusion_robust(self) -> bool:
+        """RWL+RO beats the baseline under every preset."""
+        return all(row.rwl_ro > 1.0 for row in self.rows)
+
+    def format(self) -> str:
+        """Ablation table."""
+        table_rows = [
+            (row.dataflow, f"{row.utilization:.1%}", f"{row.rwl_ro:.3f}x")
+            for row in self.rows
+        ]
+        return format_table(
+            ("dataflow preset", "PE util", "RWL+RO"),
+            table_rows,
+            title=f"Ablation — scheduler dataflow preset, {self.network}",
+        )
+
+
+def run_dataflow_ablation(
+    network: str = "SqueezeNet",
+    accelerator: Optional[Accelerator] = None,
+    iterations: int = 100,
+    presets: Tuple[str, ...] = (
+        "flexible",
+        "output_stationary",
+        "weight_stationary",
+    ),
+) -> DataflowAblationResult:
+    """Re-run the headline comparison under fixed-dataflow schedulers."""
+    accelerator = accelerator or paper_accelerator()
+    rows = []
+    for preset in presets:
+        options = SchedulerOptions(dataflow=preset)
+        execution = execution_for(network, accelerator, options)
+        results = run_policies(
+            execution.streams(),
+            accelerator,
+            policies=("baseline", "rwl+ro"),
+            iterations=iterations,
+            record_trace=False,
+        )
+        rows.append(
+            DataflowAblationRow(
+                dataflow=preset,
+                utilization=execution.mean_utilization,
+                rwl_ro=improvement_from_counts(
+                    results["baseline"].counts, results["rwl+ro"].counts
+                ),
+            )
+        )
+    return DataflowAblationResult(
+        network=network, iterations=iterations, rows=tuple(rows)
+    )
+
+
+@dataclass(frozen=True)
+class AccountingAblationResult:
+    """Allocation-counting vs cycle-weighted stress accounting."""
+
+    network: str
+    iterations: int
+    allocation_improvement: float
+    cycle_weighted_improvement: float
+
+    @property
+    def consistent(self) -> bool:
+        """Both accountings agree that wear-leveling helps."""
+        return (
+            self.allocation_improvement > 1.0
+            and self.cycle_weighted_improvement > 1.0
+        )
+
+    def format(self) -> str:
+        """Two-row comparison."""
+        return format_table(
+            ("accounting", "RWL+RO improvement"),
+            [
+                ("allocations (paper A_PE)", f"{self.allocation_improvement:.3f}x"),
+                ("cycle-weighted", f"{self.cycle_weighted_improvement:.3f}x"),
+            ],
+            title=f"Ablation — usage accounting granularity, {self.network}",
+        )
+
+
+def run_accounting_ablation(
+    network: str = "SqueezeNet",
+    accelerator: Optional[Accelerator] = None,
+    iterations: int = 100,
+) -> AccountingAblationResult:
+    """Compare allocation-granular and cycle-weighted wear accounting."""
+    accelerator = accelerator or paper_accelerator()
+    streams = streams_for(network, accelerator)
+    improvements = {}
+    for weighted in (False, True):
+        ledgers = {}
+        for name in ("baseline", "rwl+ro"):
+            policy = make_policy(name)
+            target = (
+                accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
+            )
+            engine = WearLevelingEngine(target, policy, cycle_weighted=weighted)
+            ledgers[name] = engine.run(
+                streams, iterations=iterations, record_trace=False
+            ).counts
+        improvements[weighted] = improvement_from_counts(
+            ledgers["baseline"], ledgers["rwl+ro"]
+        )
+    return AccountingAblationResult(
+        network=network,
+        iterations=iterations,
+        allocation_improvement=improvements[False],
+        cycle_weighted_improvement=improvements[True],
+    )

@@ -1,0 +1,90 @@
+"""Shared plumbing for the experiment drivers.
+
+Centralizes the paper's evaluation setup (Eyeriss-style 14x12 array,
+energy-optimal scheduling) plus per-process caches so that drivers,
+benches, and examples never schedule the same network twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.presets import eyeriss_v1
+from repro.core.engine import RunResult, WearLevelingEngine
+from repro.core.policies import StrideTrigger, make_policy
+from repro.dataflow.scheduler import SchedulerOptions
+from repro.dataflow.simulator import DataflowSimulator, NetworkExecution
+from repro.dataflow.tiling import TileStream
+from repro.workloads.registry import get_network
+
+#: Iteration counts of the paper's transient experiments (Fig. 6a / 6b-7).
+PAPER_ITERATIONS = 1000
+PAPER_ZOOM_ITERATIONS = 200
+
+#: The three schemes compared throughout Section V.
+POLICY_NAMES = ("baseline", "rwl", "rwl+ro")
+
+_EXECUTION_CACHE: Dict[Tuple, NetworkExecution] = {}
+
+
+def paper_accelerator(torus: bool = True) -> Accelerator:
+    """The paper's evaluation platform: Eyeriss-style 14x12 array."""
+    return eyeriss_v1(torus=torus)
+
+
+def execution_for(
+    network_name: str,
+    accelerator: Optional[Accelerator] = None,
+    options: SchedulerOptions = SchedulerOptions(),
+) -> NetworkExecution:
+    """Schedule one Table II network (cached per process)."""
+    accelerator = accelerator or paper_accelerator()
+    network = get_network(network_name)
+    key = (network.name, accelerator.width, accelerator.height, options)
+    cached = _EXECUTION_CACHE.get(key)
+    if cached is None:
+        simulator = DataflowSimulator(accelerator, options)
+        cached = simulator.execute_network(network.layers, name=network.name)
+        _EXECUTION_CACHE[key] = cached
+    return cached
+
+
+def streams_for(
+    network_name: str,
+    accelerator: Optional[Accelerator] = None,
+    options: SchedulerOptions = SchedulerOptions(),
+) -> List[TileStream]:
+    """The per-layer tile streams of one network (cached per process)."""
+    return execution_for(network_name, accelerator, options).streams()
+
+
+def run_policies(
+    streams: Sequence[TileStream],
+    accelerator: Optional[Accelerator] = None,
+    policies: Sequence[str] = POLICY_NAMES,
+    iterations: int = PAPER_ITERATIONS,
+    record_trace: bool = True,
+    record_snapshots: bool = False,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+) -> Dict[str, RunResult]:
+    """Run the same tile streams under several policies.
+
+    The baseline runs on the mesh variant of the accelerator (it needs no
+    torus) and the striding policies on the torus variant, matching the
+    paper's baseline-vs-RoTA comparison. Results share identical total
+    work, so Eq. 4 applies directly to any pair of count arrays.
+    """
+    accelerator = accelerator or paper_accelerator()
+    results: Dict[str, RunResult] = {}
+    for name in policies:
+        policy = make_policy(name, trigger)
+        target = accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
+        engine = WearLevelingEngine(target, policy)
+        results[name] = engine.run(
+            streams,
+            iterations=iterations,
+            record_trace=record_trace,
+            record_snapshots=record_snapshots,
+        )
+    return results

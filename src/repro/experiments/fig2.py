@@ -1,0 +1,84 @@
+"""Fig. 2: PE utilization of energy-optimal schedules on Eyeriss.
+
+Fig. 2a reports the average PE utilization of each Table II workload
+(paper average: 55.8%); Fig. 2b shows the drastic per-layer variation
+within SqueezeNet. Both come straight out of the scheduler: utilization
+is ``(x * y) / (w * h)`` of each layer's energy-optimal mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.experiments.common import execution_for
+from repro.workloads.registry import network_names
+
+
+@dataclass(frozen=True)
+class UtilizationResult:
+    """Fig. 2a data: mean PE utilization per workload."""
+
+    rows: Tuple[Tuple[str, float], ...]
+
+    @property
+    def overall_mean(self) -> float:
+        """Mean across workloads (the paper's 55.8% headline)."""
+        return math.fsum(value for _, value in self.rows) / len(self.rows)
+
+    def format(self) -> str:
+        """Paper-style table of per-workload utilization."""
+        table_rows = [(name, f"{value:.1%}") for name, value in self.rows]
+        table_rows.append(("AVERAGE", f"{self.overall_mean:.1%}"))
+        return format_table(
+            ("network", "mean PE utilization"),
+            table_rows,
+            title="Fig. 2a — PE utilization of DNN workloads (paper avg: 55.8%)",
+        )
+
+
+@dataclass(frozen=True)
+class LayerUtilizationResult:
+    """Fig. 2b data: per-layer utilization of one network."""
+
+    network: str
+    rows: Tuple[Tuple[str, float], ...]
+
+    @property
+    def spread(self) -> float:
+        """Max minus min per-layer utilization."""
+        values = [value for _, value in self.rows]
+        return max(values) - min(values)
+
+    def format(self) -> str:
+        """Paper-style table of per-layer utilization."""
+        table_rows = [(name, f"{value:.1%}") for name, value in self.rows]
+        return format_table(
+            ("layer", "PE utilization"),
+            table_rows,
+            title=f"Fig. 2b — PE utilization of {self.network} layers",
+        )
+
+
+def run_fig2a(accelerator: Optional[Accelerator] = None) -> UtilizationResult:
+    """Mean PE utilization of every Table II workload (Fig. 2a)."""
+    rows: List[Tuple[str, float]] = []
+    for name in network_names():
+        execution = execution_for(name, accelerator)
+        rows.append((name, execution.mean_utilization))
+    return UtilizationResult(rows=tuple(rows))
+
+
+def run_fig2b(
+    network: str = "SqueezeNet", accelerator: Optional[Accelerator] = None
+) -> LayerUtilizationResult:
+    """Per-layer PE utilization of one network (Fig. 2b uses SqueezeNet)."""
+    execution = execution_for(network, accelerator)
+    rows = tuple(
+        (layer_execution.layer.name, layer_execution.utilization)
+        for layer_execution in execution.layers
+    )
+    return LayerUtilizationResult(network=execution.network_name, rows=rows)

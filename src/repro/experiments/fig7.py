@@ -1,0 +1,89 @@
+"""Fig. 7: projected lifetime vs R_diff over the first 200 iterations.
+
+Running SqueezeNet under RWL+RO, the imbalance ratio R_diff converges
+toward 0 while the projected lifetime (relative to a perfectly leveled
+array doing the same work) rises toward 1 — the two series mirror each
+other, which is the figure's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.experiments.common import PAPER_ZOOM_ITERATIONS, run_policies, streams_for
+from repro.reliability.projection import LifetimeProjection, project_lifetime
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The two Fig. 7 series plus convergence checks."""
+
+    network: str
+    projection: LifetimeProjection
+
+    @property
+    def r_diff_converges(self) -> bool:
+        """R_diff ends well below where it starts (paper: toward 0)."""
+        finite = self.projection.r_diff[np.isfinite(self.projection.r_diff)]
+        if finite.size < 2:
+            return False
+        return self.projection.final_r_diff <= 0.25 * float(finite[0])
+
+    @property
+    def lifetime_rises(self) -> bool:
+        """Projected lifetime ends above where it starts (toward 1)."""
+        series = self.projection.relative_lifetime
+        return float(series[-1]) > float(series[0])
+
+    @property
+    def inversely_correlated(self) -> bool:
+        """Lifetime and R_diff move in opposite directions overall."""
+        finite = np.isfinite(self.projection.r_diff)
+        if finite.sum() < 3:
+            return False
+        lifetime = self.projection.relative_lifetime[finite]
+        r_diff = self.projection.r_diff[finite]
+        correlation = np.corrcoef(lifetime, r_diff)[0, 1]
+        return bool(correlation < 0.0)
+
+    def format(self) -> str:
+        """Sampled rows of the two series."""
+        n = self.projection.iterations.size
+        sample = sorted({0, 4, 9, 24, 49, 99, n - 1} & set(range(n)))
+        rows = [
+            (
+                int(self.projection.iterations[index]),
+                f"{self.projection.relative_lifetime[index]:.6f}",
+                f"{self.projection.r_diff[index]:.4g}",
+            )
+            for index in sample
+        ]
+        return format_table(
+            ("iteration", "projected lifetime (rel.)", "R_diff"),
+            rows,
+            title=f"Fig. 7 — lifetime vs R_diff, {self.network} under RWL+RO",
+        )
+
+
+def run_fig7(
+    network: str = "SqueezeNet",
+    accelerator: Optional[Accelerator] = None,
+    iterations: int = PAPER_ZOOM_ITERATIONS,
+) -> Fig7Result:
+    """Produce the Fig. 7 transient series."""
+    streams = streams_for(network, accelerator)
+    results = run_policies(
+        streams,
+        accelerator,
+        policies=("rwl+ro",),
+        iterations=iterations,
+        record_trace=True,
+        record_snapshots=True,
+    )
+    projection = project_lifetime(results["rwl+ro"])
+    return Fig7Result(network=network, projection=projection)

@@ -1,0 +1,128 @@
+"""Fig. 9: layer-wise lifetime improvement vs the theoretical ceiling.
+
+For each layer (run in isolation under RWL), the lifetime improvement
+over the fixed-corner baseline is plotted against the layer's PE
+utilization; Section V-C derives the perfect-wear-leveling ceiling
+``utilization ** (1/beta - 1)``. The reproduction checks that per-layer
+RWL improvements approach but never exceed the ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import BaselinePolicy, RwlPolicy
+from repro.experiments.common import execution_for, paper_accelerator
+from repro.reliability.lifetime import improvement_from_counts, lifetime_upper_bound
+from repro.workloads.registry import network_names
+
+#: Numerical headroom when checking "improvement <= bound": the bound is
+#: exact only for perfectly divisible geometry.
+BOUND_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class LayerPoint:
+    """One scatter point of Fig. 9."""
+
+    network: str
+    layer: str
+    utilization: float
+    improvement: float
+    upper_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Improvement does not exceed the perfect-leveling ceiling."""
+        return self.improvement <= self.upper_bound + BOUND_TOLERANCE
+
+    @property
+    def gap(self) -> float:
+        """Fraction of the ceiling actually achieved."""
+        return self.improvement / self.upper_bound
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """All scatter points plus aggregate bound checks."""
+
+    points: Tuple[LayerPoint, ...]
+    iterations: int
+
+    @property
+    def all_within_bound(self) -> bool:
+        """Every layer respects the Section V-C ceiling."""
+        return all(point.within_bound for point in self.points)
+
+    @property
+    def mean_gap(self) -> float:
+        """Average fraction of the ceiling achieved (paper: close to 1)."""
+        return sum(point.gap for point in self.points) / len(self.points)
+
+    def format(self, limit: int = 20) -> str:
+        """A sample of scatter points, lowest utilization first."""
+        ordered = sorted(self.points, key=lambda point: point.utilization)
+        rows = [
+            (
+                point.network,
+                point.layer,
+                f"{point.utilization:.1%}",
+                f"{point.improvement:.2f}x",
+                f"{point.upper_bound:.2f}x",
+                f"{point.gap:.2f}",
+            )
+            for point in ordered[:limit]
+        ]
+        return format_table(
+            ("network", "layer", "util", "RWL", "bound", "achieved"),
+            rows,
+            title=(
+                f"Fig. 9 — layer-wise improvement vs ceiling "
+                f"({len(self.points)} layers, mean achieved "
+                f"{self.mean_gap:.2f})"
+            ),
+        )
+
+
+def run_fig9(
+    accelerator: Optional[Accelerator] = None,
+    networks: Optional[Tuple[str, ...]] = None,
+    iterations: int = 1,
+) -> Fig9Result:
+    """Per-layer RWL improvement vs the theoretical upper bound.
+
+    Each layer runs in isolation under the baseline and RWL; the
+    improvement is Eq. 4 on the two ledgers. Per-layer RWL restarts from
+    the origin every iteration, so its usage counts scale linearly with
+    the iteration count and the improvement is iteration-independent —
+    ``iterations=1`` already gives the figure's steady-state points.
+    """
+    accelerator = accelerator or paper_accelerator()
+    mesh = accelerator.as_mesh()
+    torus = accelerator.as_torus()
+    points: List[LayerPoint] = []
+    for name in networks or network_names():
+        execution = execution_for(name, accelerator)
+        for layer_execution in execution.layers:
+            stream = layer_execution.stream
+            baseline_engine = WearLevelingEngine(mesh, BaselinePolicy())
+            rwl_engine = WearLevelingEngine(torus, RwlPolicy())
+            baseline_engine.run([stream], iterations=iterations, record_trace=False)
+            rwl_engine.run([stream], iterations=iterations, record_trace=False)
+            improvement = improvement_from_counts(
+                baseline_engine.tracker.counts, rwl_engine.tracker.counts
+            )
+            points.append(
+                LayerPoint(
+                    network=name,
+                    layer=stream.layer_name,
+                    utilization=layer_execution.utilization,
+                    improvement=improvement,
+                    upper_bound=lifetime_upper_bound(layer_execution.utilization),
+                )
+            )
+    return Fig9Result(points=tuple(points), iterations=iterations)

@@ -1,0 +1,143 @@
+"""Full evaluation report: every artifact written to a directory.
+
+``rota report --out DIR`` regenerates the paper's entire evaluation and
+writes it as files a human (or a paper build) can consume directly:
+text tables for every figure, CSV data series for the transient plots,
+and PPM heatmap images for Figs. 3 and 6c-e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.analysis.export import trace_to_csv, write_csv
+from repro.analysis.image import heatmap_to_ppm
+from repro.experiments.common import PAPER_ITERATIONS, PAPER_ZOOM_ITERATIONS
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table2 import run_table2
+
+
+@dataclass(frozen=True)
+class ReportManifest:
+    """Every file the report run produced."""
+
+    out_dir: Path
+    files: Tuple[Path, ...]
+
+    @property
+    def file_names(self) -> Tuple[str, ...]:
+        """File names relative to the output directory."""
+        return tuple(str(path.relative_to(self.out_dir)) for path in self.files)
+
+    def format(self) -> str:
+        """Human-readable manifest."""
+        lines = [f"report written to {self.out_dir} ({len(self.files)} files):"]
+        lines.extend(f"  {name}" for name in self.file_names)
+        return "\n".join(lines)
+
+
+def write_report(
+    out_dir,
+    fig6_iterations: int = PAPER_ITERATIONS,
+    fig7_iterations: int = PAPER_ZOOM_ITERATIONS,
+    fig8_iterations: int = 200,
+) -> ReportManifest:
+    """Regenerate every evaluation artifact into ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    files: List[Path] = []
+
+    def write_text(name: str, content: str) -> None:
+        target = out / name
+        target.write_text(content + "\n")
+        files.append(target.resolve())
+
+    write_text("table2.txt", run_table2().format())
+    write_text("fig2a.txt", run_fig2a().format())
+    write_text("fig2b.txt", run_fig2b().format())
+
+    fig3 = run_fig3()
+    write_text("fig3.txt", fig3.format())
+    for pair in fig3.pairs:
+        slug = pair.network.lower().replace(" ", "_").replace("-", "_")
+        files.append(
+            heatmap_to_ppm(pair.baseline_counts, out / f"fig3a_{slug}.ppm")
+        )
+        files.append(
+            heatmap_to_ppm(pair.wear_leveled_counts, out / f"fig3b_{slug}.ppm")
+        )
+
+    write_text("fig4.txt", run_fig4().format())
+    write_text("fig5.txt", run_fig5().format())
+
+    fig6 = run_fig6(iterations=fig6_iterations)
+    write_text("fig6.txt", fig6.format())
+    for label, policy in zip("cde", ("baseline", "rwl", "rwl+ro")):
+        files.append(
+            heatmap_to_ppm(
+                fig6.final_counts(policy),
+                out / f"fig6{label}_{policy.replace('+', '_')}.ppm",
+            )
+        )
+        files.append(
+            trace_to_csv(
+                fig6.results[policy],
+                out / f"fig6_trace_{policy.replace('+', '_')}.csv",
+            )
+        )
+
+    fig7 = run_fig7(iterations=fig7_iterations)
+    write_text("fig7.txt", fig7.format())
+    files.append(
+        write_csv(
+            out / "fig7_series.csv",
+            ("iteration", "relative_lifetime", "r_diff"),
+            zip(
+                fig7.projection.iterations.tolist(),
+                fig7.projection.relative_lifetime.tolist(),
+                fig7.projection.r_diff.tolist(),
+            ),
+        )
+    )
+
+    fig8 = run_fig8(iterations=fig8_iterations)
+    write_text("fig8.txt", fig8.format())
+    files.append(
+        write_csv(
+            out / "fig8_improvements.csv",
+            ("network", "utilization", "rwl", "rwl_ro"),
+            [
+                (row.abbreviation, row.utilization, row.rwl, row.rwl_ro)
+                for row in fig8.rows
+            ],
+        )
+    )
+
+    fig9 = run_fig9()
+    write_text("fig9.txt", fig9.format(limit=30))
+    files.append(
+        write_csv(
+            out / "fig9_points.csv",
+            ("network", "layer", "utilization", "improvement", "upper_bound"),
+            [
+                (p.network, p.layer, p.utilization, p.improvement, p.upper_bound)
+                for p in fig9.points
+            ],
+        )
+    )
+
+    write_text("fig10.txt", run_fig10().format())
+    write_text("sec5d_overhead.txt", run_overhead().format())
+
+    return ReportManifest(out_dir=out.resolve(), files=tuple(files))

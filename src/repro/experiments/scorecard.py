@@ -1,0 +1,191 @@
+"""The reproduction scorecard: every paper claim, one pass/fail table.
+
+``rota scorecard`` re-evaluates the qualitative acceptance criteria of
+EXPERIMENTS.md in one run — the quick answer to "does this reproduction
+still hold on my machine?" without reading benchmark output. Iteration
+counts are reduced relative to the full benches (the shapes are visible
+well before the paper's 1,000 iterations); the heavyweight versions live
+in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.report import format_table
+
+
+@dataclass(frozen=True)
+class ScorecardEntry:
+    """One claim's verdict."""
+
+    artifact: str
+    claim: str
+    measured: str
+    passed: bool
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """All claims, with the overall verdict."""
+
+    entries: Tuple[ScorecardEntry, ...]
+
+    @property
+    def all_passed(self) -> bool:
+        """Every claim holds."""
+        return all(entry.passed for entry in self.entries)
+
+    @property
+    def num_passed(self) -> int:
+        """Count of holding claims."""
+        return sum(1 for entry in self.entries if entry.passed)
+
+    def format(self) -> str:
+        """The scoreboard."""
+        rows = [
+            (
+                "PASS" if entry.passed else "FAIL",
+                entry.artifact,
+                entry.claim,
+                entry.measured,
+            )
+            for entry in self.entries
+        ]
+        verdict = (
+            f"{self.num_passed}/{len(self.entries)} claims hold"
+            + ("" if self.all_passed else " — REPRODUCTION BROKEN")
+        )
+        return format_table(
+            ("", "artifact", "claim", "measured"),
+            rows,
+            title=f"Reproduction scorecard — {verdict}",
+        )
+
+
+def run_scorecard(iterations: int = 100) -> Scorecard:
+    """Evaluate every paper-shape claim at reduced scale."""
+    from repro.experiments.fig2 import run_fig2a, run_fig2b
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.fig8 import run_fig8
+    from repro.experiments.fig9 import run_fig9
+    from repro.experiments.fig10 import run_fig10
+    from repro.experiments.overhead import run_overhead
+
+    entries: List[ScorecardEntry] = []
+
+    def check(artifact: str, claim: str, measured: str, passed: bool) -> None:
+        entries.append(
+            ScorecardEntry(
+                artifact=artifact, claim=claim, measured=measured, passed=passed
+            )
+        )
+
+    fig2a = run_fig2a()
+    check(
+        "Fig. 2a",
+        "chronic PE underutilization (paper: 55.8% avg)",
+        f"{fig2a.overall_mean:.1%} avg",
+        0.3 <= fig2a.overall_mean < 0.9,
+    )
+    fig2b = run_fig2b()
+    check(
+        "Fig. 2b",
+        "drastic per-layer utilization spread",
+        f"{fig2b.spread:.0%} spread",
+        fig2b.spread > 0.2,
+    )
+
+    fig3 = run_fig3(iterations=5)
+    pair = fig3.pair_for("SqueezeNet")
+    check(
+        "Fig. 3",
+        "corner hotspot on mesh; near-uniform on torus",
+        f"R_diff {pair.baseline_r_diff:.3g} -> {pair.wear_leveled_r_diff:.3g}",
+        pair.baseline_r_diff > pair.wear_leveled_r_diff
+        and pair.wear_leveled_r_diff < 0.2,
+    )
+
+    fig4 = run_fig4()
+    check(
+        "Fig. 4",
+        "unfolded walk tiles exactly; fold-back uniform",
+        f"X={fig4.X} W={fig4.W}",
+        fig4.tiling_is_exact and fig4.folded_coverage_uniform,
+    )
+
+    fig5 = run_fig5()
+    check(
+        "Fig. 5",
+        "X=7 W=4 Y=4 H_RWL=2; Eq. 9 holds in simulation",
+        f"X={fig5.example.X} W={fig5.example.W} bounds "
+        f"{'hold' if fig5.all_bounds_hold else 'VIOLATED'}",
+        (fig5.example.X, fig5.example.W, fig5.example.Y, fig5.example.H_rwl)
+        == (7, 4, 4, 2)
+        and fig5.all_bounds_hold,
+    )
+
+    fig6 = run_fig6(iterations=max(iterations, 200))
+    check(
+        "Fig. 6",
+        "baseline >> RWL slopes; RWL+RO bounded",
+        f"slopes {fig6.slope('baseline'):.0f}/{fig6.slope('rwl'):.1f}/"
+        f"{fig6.slope('rwl+ro'):.3f}",
+        fig6.slope("baseline") > 10 * fig6.slope("rwl")
+        and fig6.slope("rwl") > 0
+        and fig6.rwl_ro_bounded,
+    )
+
+    fig7 = run_fig7(iterations=iterations)
+    check(
+        "Fig. 7",
+        "R_diff falls, lifetime rises, inversely correlated",
+        f"final R_diff {fig7.projection.final_r_diff:.2g}",
+        fig7.r_diff_converges and fig7.lifetime_rises and fig7.inversely_correlated,
+    )
+
+    fig8 = run_fig8(iterations=iterations)
+    check(
+        "Fig. 8",
+        "all workloads improve; gain anti-correlates with utilization",
+        f"avg {fig8.mean_rwl_ro:.2f}x, r={fig8.utilization_correlation():.2f}",
+        all(row.rwl_ro > 1.0 for row in fig8.rows)
+        and fig8.utilization_correlation() < -0.5,
+    )
+    check(
+        "Fig. 8 (RO)",
+        "RO gap lands on the small networks (Mb/Eff/MVT)",
+        f"small-net RO gain {fig8.small_network_gap:.4f}",
+        fig8.small_network_gap > 1.0,
+    )
+
+    fig9 = run_fig9()
+    check(
+        "Fig. 9",
+        "layer gains approach, never exceed, util^(1/beta-1)",
+        f"{len(fig9.points)} layers, mean achieved {fig9.mean_gap:.2f}",
+        fig9.all_within_bound and fig9.mean_gap > 0.8,
+    )
+
+    fig10 = run_fig10(iterations=iterations)
+    check(
+        "Fig. 10",
+        "gain grows with array size",
+        f"{fig10.points[0].rwl_ro:.2f}x -> {fig10.points[-1].rwl_ro:.2f}x",
+        fig10.gain_grows_with_size,
+    )
+
+    overhead = run_overhead()
+    check(
+        "Sec. V-D",
+        "sub-1% torus area; zero cycle penalty",
+        f"{overhead.overhead_percent:.2f}%, {overhead.cycle_penalty} cycles",
+        overhead.matches_paper_order and overhead.cycle_penalty == 0,
+    )
+
+    return Scorecard(entries=tuple(entries))

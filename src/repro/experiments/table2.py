@@ -1,0 +1,46 @@
+"""Table II: the workload roster.
+
+Reproduces the paper's workload table with the derived size statistics
+(layers, MACs, parameters) our shape tables imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.report import format_table
+from repro.workloads.base import Network
+from repro.workloads.registry import all_networks
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The roster with per-network statistics."""
+
+    networks: Tuple[Network, ...]
+
+    def format(self) -> str:
+        """Paper-style Table II plus derived statistics."""
+        rows = [
+            (
+                network.domain,
+                network.name,
+                network.abbreviation,
+                network.feature,
+                network.num_layers,
+                f"{network.total_macs / 1e9:.2f}",
+                f"{network.total_weight_bytes / 1e6:.1f}",
+            )
+            for network in self.networks
+        ]
+        return format_table(
+            ("DNN domain", "network", "abbr", "feature", "layers", "GMAC", "MB"),
+            rows,
+            title="Table II — DNN workloads used in experiments",
+        )
+
+
+def run_table2() -> Table2Result:
+    """Materialize every Table II network."""
+    return Table2Result(networks=tuple(all_networks()))

@@ -1,0 +1,64 @@
+"""Lifetime-reliability model (paper Section IV-B).
+
+Each PE wears according to a Weibull distribution (shape ``beta = 3.4``
+per JEDEC JEP122H); the PE array is a series system — it works only while
+every PE works — so the array's reliability is the product of per-PE
+reliabilities evaluated at each PE's *relative active time*
+``alpha_ij``. This subpackage provides:
+
+* :mod:`repro.reliability.weibull` — the distribution and array MTTF
+  (Eqs. 1-3);
+* :mod:`repro.reliability.lifetime` — relative lifetime improvement
+  (Eq. 4) and the perfect-wear-leveling upper bound
+  ``utilization**(1/beta - 1)`` (Section V-C);
+* :mod:`repro.reliability.projection` — transient lifetime / R_diff
+  traces from usage snapshots (Fig. 7).
+"""
+
+from repro.reliability.endurance import (
+    ServiceLife,
+    ServiceLifeComparison,
+    calibrated_model,
+    compare_service_life,
+    service_life,
+)
+from repro.reliability.lifetime import (
+    improvement_from_counts,
+    lifetime_upper_bound,
+    relative_improvement,
+    relative_lifetime,
+)
+from repro.reliability.montecarlo import (
+    LifetimeSamples,
+    empirical_improvement,
+    sample_array_lifetimes,
+)
+from repro.reliability.projection import LifetimeProjection, project_lifetime
+from repro.reliability.variation import (
+    VariationStudy,
+    run_variation_study,
+    sample_lifetimes_with_variation,
+)
+from repro.reliability.weibull import JEDEC_BETA, WeibullModel
+
+__all__ = [
+    "JEDEC_BETA",
+    "LifetimeProjection",
+    "LifetimeSamples",
+    "ServiceLife",
+    "ServiceLifeComparison",
+    "VariationStudy",
+    "WeibullModel",
+    "calibrated_model",
+    "compare_service_life",
+    "empirical_improvement",
+    "improvement_from_counts",
+    "lifetime_upper_bound",
+    "project_lifetime",
+    "relative_improvement",
+    "relative_lifetime",
+    "run_variation_study",
+    "sample_array_lifetimes",
+    "sample_lifetimes_with_variation",
+    "service_life",
+]

@@ -1,0 +1,91 @@
+"""Relative lifetime improvement (Eq. 4) and its theoretical ceiling.
+
+Eq. 4 compares two usage distributions over the *same* total work:
+
+    improvement = (sum alpha_B**beta)**(1/beta)
+                / (sum alpha_WL**beta)**(1/beta)
+
+Because the ratio is scale-invariant, raw usage counts can be passed
+directly as the ``alpha`` vectors as long as both schemes processed the
+same tile stream (the engine guarantees equal totals).
+
+Section V-C derives the ceiling for a single layer with utilization
+``rho = (x*y)/(w*h)``: the baseline concentrates all stress on ``x*y``
+PEs while perfect wear-leveling spreads it over all ``w*h``, giving
+
+    upper bound = rho ** (1/beta - 1)   (>= 1 since rho <= 1, beta > 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.reliability.weibull import JEDEC_BETA, WeibullModel
+
+
+def relative_improvement(alpha_baseline, alpha_wear_leveled, beta: float = JEDEC_BETA) -> float:
+    """Eq. 4: lifetime of the wear-leveled scheme relative to the baseline.
+
+    Values above 1.0 mean the wear-leveled schedule lives longer. Both
+    vectors must represent the same amount of total work for the ratio to
+    be meaningful; the engine's equal-tile-stream construction guarantees
+    this, and a mismatch larger than rounding is rejected.
+    """
+    model = WeibullModel(beta=beta)
+    base = np.asarray(alpha_baseline, dtype=float)
+    leveled = np.asarray(alpha_wear_leveled, dtype=float)
+    total_base = float(base.sum())
+    total_leveled = float(leveled.sum())
+    if total_base <= 0 or total_leveled <= 0:
+        raise ConfigurationError("usage vectors must contain some activity")
+    if not np.isclose(total_base, total_leveled, rtol=1e-6):
+        raise ConfigurationError(
+            f"usage totals differ ({total_base} vs {total_leveled}); Eq. 4 "
+            f"compares schedules over the same work"
+        )
+    denominator = model.stress_norm(leveled)
+    if denominator == 0.0:
+        return float("inf")
+    return model.stress_norm(base) / denominator
+
+
+def improvement_from_counts(baseline_counts, wear_leveled_counts, beta: float = JEDEC_BETA) -> float:
+    """Eq. 4 applied to integer usage ledgers from two engine runs."""
+    return relative_improvement(
+        np.asarray(baseline_counts, dtype=float).ravel(),
+        np.asarray(wear_leveled_counts, dtype=float).ravel(),
+        beta=beta,
+    )
+
+
+def relative_lifetime(counts, beta: float = JEDEC_BETA) -> float:
+    """Lifetime of a usage distribution relative to perfect leveling.
+
+    Returns ``MTTF(counts) / MTTF(uniform with the same total)``, a value
+    in ``(0, 1]`` that equals 1 exactly when usage is perfectly level.
+    This is the "projected lifetime" axis of Fig. 7.
+    """
+    model = WeibullModel(beta=beta)
+    array = np.asarray(counts, dtype=float).ravel()
+    total = float(array.sum())
+    if total <= 0:
+        raise ConfigurationError("usage vector must contain some activity")
+    uniform = np.full(array.shape, total / array.size)
+    return model.stress_norm(uniform) / model.stress_norm(array)
+
+
+def lifetime_upper_bound(utilization: float, beta: float = JEDEC_BETA) -> float:
+    """Section V-C ceiling: ``utilization ** (1/beta - 1)``.
+
+    ``utilization`` is the PE-utilization ratio ``(x*y)/(w*h)`` of a
+    layer; the bound is what perfect wear-leveling would achieve over the
+    fixed-corner baseline for that layer.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigurationError(
+            f"utilization must be in (0, 1], got {utilization}"
+        )
+    if beta <= 0:
+        raise ConfigurationError(f"beta must be positive, got {beta}")
+    return utilization ** (1.0 / beta - 1.0)

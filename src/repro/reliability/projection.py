@@ -1,0 +1,99 @@
+"""Transient lifetime projection (Fig. 7).
+
+Fig. 7 plots, for the first 200 iterations of SqueezeNet under RWL+RO,
+how the accelerator's projected lifetime and the imbalance ratio
+``R_diff`` evolve together: ``R_diff`` converges toward 0 and the
+projected lifetime (relative to a perfectly wear-leveled array doing the
+same work) inversely follows it toward 1.
+
+:func:`project_lifetime` turns the usage snapshots recorded by the engine
+(``record_snapshots=True``) into those two series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import RunResult
+from repro.errors import SimulationError
+from repro.reliability.lifetime import relative_lifetime
+from repro.reliability.weibull import JEDEC_BETA
+
+
+@dataclass(frozen=True)
+class LifetimeProjection:
+    """Per-iteration projected lifetime and R_diff series."""
+
+    iterations: np.ndarray
+    relative_lifetime: np.ndarray
+    r_diff: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.iterations.size
+        if self.relative_lifetime.size != n or self.r_diff.size != n:
+            raise SimulationError("projection series lengths must match")
+
+    @property
+    def final_lifetime(self) -> float:
+        """Projected relative lifetime after the last iteration."""
+        return float(self.relative_lifetime[-1])
+
+    @property
+    def final_r_diff(self) -> float:
+        """R_diff after the last iteration."""
+        return float(self.r_diff[-1])
+
+    def converged(self, lifetime_floor: float = 0.95, r_diff_ceiling: float = 0.1) -> bool:
+        """Whether the run reached near-perfect wear-leveling."""
+        return (
+            self.final_lifetime >= lifetime_floor
+            and self.final_r_diff <= r_diff_ceiling
+        )
+
+
+def project_lifetime(result: RunResult, beta: float = JEDEC_BETA) -> LifetimeProjection:
+    """Build the Fig. 7 series from an engine run with snapshots.
+
+    Raises :class:`SimulationError` if the run was not executed with
+    ``record_snapshots=True``.
+    """
+    if result.snapshots is None or len(result.snapshots) == 0:
+        raise SimulationError(
+            "lifetime projection needs usage snapshots; rerun the engine "
+            "with record_snapshots=True"
+        )
+    return project_lifetime_from_snapshots(
+        result.snapshots, beta=beta, first_iteration=1
+    )
+
+
+def project_lifetime_from_snapshots(
+    snapshots: Sequence[np.ndarray],
+    beta: float = JEDEC_BETA,
+    first_iteration: int = 1,
+) -> LifetimeProjection:
+    """The same projection from a raw snapshot sequence."""
+    if len(snapshots) == 0:
+        raise SimulationError("need at least one usage snapshot")
+    iterations = np.arange(
+        first_iteration, first_iteration + len(snapshots), dtype=np.int64
+    )
+    lifetimes = np.empty(len(snapshots), dtype=float)
+    r_diffs = np.empty(len(snapshots), dtype=float)
+    for index, snapshot in enumerate(snapshots):
+        counts = np.asarray(snapshot, dtype=float)
+        lifetimes[index] = relative_lifetime(counts, beta=beta)
+        low = counts.min()
+        diff = counts.max() - low
+        if diff == 0:
+            r_diffs[index] = 0.0
+        elif low == 0:
+            r_diffs[index] = float("inf")
+        else:
+            r_diffs[index] = diff / low
+    return LifetimeProjection(
+        iterations=iterations, relative_lifetime=lifetimes, r_diff=r_diffs
+    )

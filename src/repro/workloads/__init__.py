@@ -1,0 +1,33 @@
+"""DNN workload definitions (paper Table II).
+
+Nine networks spanning four domains, matching the paper's roster:
+
+* image classification — ResNet-50, Inception v4;
+* object detection — YOLO v3;
+* lightweight networks — SqueezeNet, MobileNet v3, EfficientNet;
+* transformers — ViT, MobileViT, Llama 2.
+
+Workloads are layer-*shape* tables (what the scheduler consumes), built
+with :class:`repro.workloads.base.NetworkBuilder`, which tracks feature-
+map geometry through the network so each entry states only the layer's
+hyper-parameters.
+"""
+
+from repro.workloads.base import Network, NetworkBuilder
+from repro.workloads.registry import (
+    all_networks,
+    extra_network_names,
+    get_network,
+    network_abbreviations,
+    network_names,
+)
+
+__all__ = [
+    "Network",
+    "NetworkBuilder",
+    "all_networks",
+    "extra_network_names",
+    "get_network",
+    "network_abbreviations",
+    "network_names",
+]

@@ -1,0 +1,264 @@
+"""Network containers and the builder used to define workload tables.
+
+:class:`NetworkBuilder` tracks the running feature-map size and channel
+count so network definitions read like the architecture tables in the
+original papers: each call states a layer's hyper-parameters and the
+builder derives the full :class:`~repro.dataflow.layer.LayerShape`.
+
+Only MAC-bearing layers are emitted (conv / depthwise conv / GEMM);
+pooling, activation, and normalization update the tracked geometry but
+run outside the PE array, matching how dataflow schedulers treat them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dataflow.layer import LayerShape
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Network:
+    """A named, ordered collection of MAC-bearing layers."""
+
+    name: str
+    abbreviation: str
+    domain: str
+    feature: str
+    layers: Tuple[LayerShape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise WorkloadError(f"network {self.name!r} has no layers")
+        if not self.name or not self.abbreviation:
+            raise WorkloadError("network needs a name and an abbreviation")
+
+    @property
+    def num_layers(self) -> int:
+        """Number of MAC-bearing layers."""
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC operations of one inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Total parameter footprint in bytes."""
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    def describe(self) -> str:
+        """One-line roster entry (Table II style)."""
+        return (
+            f"{self.name} ({self.abbreviation}): {self.domain}; "
+            f"{self.num_layers} layers, {self.total_macs / 1e9:.2f} GMAC, "
+            f"{self.total_weight_bytes / 1e6:.1f} MB weights"
+        )
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: str) -> int:
+    """Output spatial extent of a conv/pool window."""
+    if padding == "same":
+        return math.ceil(size / stride)
+    if padding == "valid":
+        out = (size - kernel) // stride + 1
+        if out < 1:
+            raise WorkloadError(
+                f"valid conv with kernel {kernel} stride {stride} does not "
+                f"fit input size {size}"
+            )
+        return out
+    raise WorkloadError(f"unknown padding {padding!r}; use 'same' or 'valid'")
+
+
+@dataclass
+class NetworkBuilder:
+    """Incrementally defines a network, tracking geometry between layers.
+
+    Parameters
+    ----------
+    name, abbreviation, domain, feature:
+        Roster metadata (paper Table II columns).
+    input_hw:
+        Input feature-map size ``(height, width)``.
+    input_channels:
+        Input channel count (3 for RGB image networks).
+    """
+
+    name: str
+    abbreviation: str
+    domain: str
+    feature: str
+    input_hw: Tuple[int, int]
+    input_channels: int = 3
+    _layers: List[LayerShape] = field(default_factory=list)
+    _hw: Optional[Tuple[int, int]] = None
+    _channels: Optional[int] = None
+    _counter: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.input_hw) < 1 or self.input_channels < 1:
+            raise WorkloadError(
+                f"network {self.name!r}: input geometry must be positive"
+            )
+        self._hw = self.input_hw
+        self._channels = self.input_channels
+
+    # ------------------------------------------------------------------
+    # Geometry state
+    # ------------------------------------------------------------------
+    @property
+    def hw(self) -> Tuple[int, int]:
+        """Current feature-map size ``(height, width)``."""
+        return self._hw
+
+    @property
+    def channels(self) -> int:
+        """Current channel count."""
+        return self._channels
+
+    def set_channels(self, channels: int) -> None:
+        """Override the tracked channel count (after a concat, say)."""
+        if channels < 1:
+            raise WorkloadError(f"channel count must be positive, got {channels}")
+        self._channels = channels
+
+    def set_hw(self, hw: Tuple[int, int]) -> None:
+        """Override the tracked feature-map size (after an upsample, say)."""
+        if min(hw) < 1:
+            raise WorkloadError(f"feature-map size must be positive, got {hw}")
+        self._hw = hw
+
+    def _next_name(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter:03d}"
+
+    # ------------------------------------------------------------------
+    # MAC-bearing layers
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        out_channels: int,
+        kernel,
+        stride: int = 1,
+        padding: str = "same",
+        in_channels: Optional[int] = None,
+        name: Optional[str] = None,
+        update_state: bool = True,
+    ) -> LayerShape:
+        """Append a standard convolution and advance the geometry.
+
+        ``kernel`` may be an int (square) or an ``(R, S)`` pair —
+        asymmetric kernels cover Inception's 1x7/7x1 convolutions.
+        Pass ``update_state=False`` for parallel branches whose outputs
+        merge later (then call :meth:`set_channels` / :meth:`set_hw` with
+        the merged geometry).
+        """
+        r, s = (kernel, kernel) if isinstance(kernel, int) else kernel
+        h, w = self._hw
+        p = _out_size(h, r, stride, padding)
+        q = _out_size(w, s, stride, padding)
+        layer = LayerShape.conv(
+            name or self._next_name("conv"),
+            out_channels=out_channels,
+            in_channels=in_channels if in_channels is not None else self._channels,
+            out_hw=(p, q),
+            kernel=(r, s),
+            stride=stride,
+        )
+        self._layers.append(layer)
+        if update_state:
+            self._hw = (p, q)
+            self._channels = out_channels
+        return layer
+
+    def dwconv(
+        self,
+        kernel,
+        stride: int = 1,
+        padding: str = "same",
+        channels: Optional[int] = None,
+        name: Optional[str] = None,
+        update_state: bool = True,
+    ) -> LayerShape:
+        """Append a depthwise convolution over the current channels."""
+        r, s = (kernel, kernel) if isinstance(kernel, int) else kernel
+        h, w = self._hw
+        p = _out_size(h, r, stride, padding)
+        q = _out_size(w, s, stride, padding)
+        layer = LayerShape.depthwise(
+            name or self._next_name("dwconv"),
+            channels=channels if channels is not None else self._channels,
+            out_hw=(p, q),
+            kernel=(r, s),
+            stride=stride,
+        )
+        self._layers.append(layer)
+        if update_state:
+            self._hw = (p, q)
+        return layer
+
+    def fc(
+        self,
+        out_features: int,
+        in_features: Optional[int] = None,
+        rows: int = 1,
+        name: Optional[str] = None,
+    ) -> LayerShape:
+        """Append a fully-connected layer (GEMM with ``rows`` rows)."""
+        inner = in_features if in_features is not None else self._channels
+        layer = LayerShape.gemm(
+            name or self._next_name("fc"), rows=rows, cols=out_features, inner=inner
+        )
+        self._layers.append(layer)
+        self._channels = out_features
+        return layer
+
+    def gemm(
+        self, rows: int, cols: int, inner: int, name: Optional[str] = None
+    ) -> LayerShape:
+        """Append an explicit GEMM (transformer matmuls)."""
+        layer = LayerShape.gemm(
+            name or self._next_name("gemm"), rows=rows, cols=cols, inner=inner
+        )
+        self._layers.append(layer)
+        return layer
+
+    # ------------------------------------------------------------------
+    # Geometry-only operations (no MACs on the PE array)
+    # ------------------------------------------------------------------
+    def pool(self, kernel: int, stride: int, padding: str = "valid") -> None:
+        """Apply a pooling window to the tracked feature-map size."""
+        h, w = self._hw
+        self._hw = (
+            _out_size(h, kernel, stride, padding),
+            _out_size(w, kernel, stride, padding),
+        )
+
+    def global_pool(self) -> None:
+        """Collapse the feature map to 1x1."""
+        self._hw = (1, 1)
+
+    def upsample(self, factor: int) -> None:
+        """Scale the feature map up by an integer factor."""
+        if factor < 1:
+            raise WorkloadError(f"upsample factor must be >= 1, got {factor}")
+        h, w = self._hw
+        self._hw = (h * factor, w * factor)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Network:
+        """Produce the immutable :class:`Network`."""
+        return Network(
+            name=self.name,
+            abbreviation=self.abbreviation,
+            domain=self.domain,
+            feature=self.feature,
+            layers=tuple(self._layers),
+        )

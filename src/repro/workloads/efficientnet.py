@@ -1,0 +1,73 @@
+"""EfficientNet-B0 layer table (Tan & Le, 2019).
+
+MBConv blocks (expansion, depthwise conv, squeeze-and-excitation,
+projection) with compound-scaled widths — the "MBConv blocks" entry of
+Table II, and like MobileNet v3 a small network where residual
+optimization matters most.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _mbconv(
+    builder: NetworkBuilder,
+    name: str,
+    kernel: int,
+    expand_ratio: int,
+    out_channels: int,
+    stride: int = 1,
+) -> None:
+    """One MBConv block; EfficientNet always applies squeeze-excite."""
+    in_channels = builder.channels
+    expanded = in_channels * expand_ratio
+    if expand_ratio != 1:
+        builder.conv(expanded, 1, name=f"{name}_expand")
+    builder.dwconv(kernel, stride=stride, name=f"{name}_dw")
+    squeezed = max(1, in_channels // 4)
+    builder.fc(squeezed, in_features=expanded, name=f"{name}_se_reduce")
+    builder.fc(expanded, in_features=squeezed, name=f"{name}_se_expand")
+    builder.set_channels(expanded)
+    builder.conv(out_channels, 1, name=f"{name}_project")
+
+
+#: (kernel, expansion ratio, output channels, repeats, first stride) per
+#: stage, following Table 1 of the EfficientNet paper (B0).
+_STAGE_TABLE = (
+    (3, 1, 16, 1, 1),
+    (3, 6, 24, 2, 2),
+    (5, 6, 40, 2, 2),
+    (3, 6, 80, 3, 2),
+    (5, 6, 112, 3, 1),
+    (5, 6, 192, 4, 2),
+    (3, 6, 320, 1, 1),
+)
+
+
+def build(input_hw=(224, 224)) -> Network:
+    """EfficientNet-B0 at a configurable input size."""
+    builder = NetworkBuilder(
+        name="EfficientNet",
+        abbreviation="Eff",
+        domain="Lightweight network",
+        feature="MBConv. blocks",
+        input_hw=input_hw,
+    )
+    builder.conv(32, 3, stride=2, name="conv_stem")  # 112x112
+    for stage, (kernel, ratio, out_channels, repeats, stride) in enumerate(
+        _STAGE_TABLE, start=1
+    ):
+        for repeat in range(1, repeats + 1):
+            _mbconv(
+                builder,
+                f"s{stage}_b{repeat}",
+                kernel=kernel,
+                expand_ratio=ratio,
+                out_channels=out_channels,
+                stride=stride if repeat == 1 else 1,
+            )
+    builder.conv(1280, 1, name="conv_head")
+    builder.global_pool()
+    builder.fc(1000, name="fc_logits")
+    return builder.build()

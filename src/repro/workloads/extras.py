@@ -1,0 +1,79 @@
+"""Extra workloads beyond the paper's Table II roster.
+
+Classic networks users commonly want to sanity-check a scheduler or
+wear-leveling study against. They are *not* part of the paper's
+evaluation and never appear in the figure drivers; resolve them with
+:func:`repro.workloads.registry.get_network` like any other network, or
+enumerate them via :func:`repro.workloads.registry.extra_network_names`.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def build_alexnet() -> Network:
+    """AlexNet (Krizhevsky et al., 2012) at 227x227 input."""
+    builder = NetworkBuilder(
+        name="AlexNet",
+        abbreviation="Alx",
+        domain="Image classification",
+        feature="Classic CNN",
+        input_hw=(227, 227),
+    )
+    builder.conv(96, 11, stride=4, padding="valid", name="conv1")  # 55
+    builder.pool(3, 2)  # 27
+    builder.conv(256, 5, name="conv2")
+    builder.pool(3, 2)  # 13
+    builder.conv(384, 3, name="conv3")
+    builder.conv(384, 3, name="conv4")
+    builder.conv(256, 3, name="conv5")
+    builder.pool(3, 2)  # 6
+    builder.fc(4096, in_features=256 * 6 * 6, name="fc6")
+    builder.fc(4096, name="fc7")
+    builder.fc(1000, name="fc8")
+    return builder.build()
+
+
+def build_vgg16() -> Network:
+    """VGG-16 (Simonyan & Zisserman, 2015) at 224x224 input."""
+    builder = NetworkBuilder(
+        name="VGG-16",
+        abbreviation="Vgg",
+        domain="Image classification",
+        feature="Deep 3x3 stacks",
+        input_hw=(224, 224),
+    )
+    plan = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+    for stage, (channels, repeats) in enumerate(plan, start=1):
+        for repeat in range(1, repeats + 1):
+            builder.conv(channels, 3, name=f"conv{stage}_{repeat}")
+        builder.pool(2, 2)
+    builder.fc(4096, in_features=512 * 7 * 7, name="fc6")
+    builder.fc(4096, name="fc7")
+    builder.fc(1000, name="fc8")
+    return builder.build()
+
+
+def build_bert_base(seq_len: int = 384) -> Network:
+    """BERT-base (Devlin et al., 2019): 12 encoder blocks as GEMMs."""
+    hidden, heads, mlp = 768, 12, 3072
+    head_dim = hidden // heads
+    builder = NetworkBuilder(
+        name="BERT-base",
+        abbreviation="Brt",
+        domain="Transformer",
+        feature="Bidirectional encoder",
+        input_hw=(1, 1),
+        input_channels=hidden,
+    )
+    for index in range(1, 13):
+        prefix = f"enc{index:02d}"
+        builder.gemm(seq_len, 3 * hidden, hidden, name=f"{prefix}_qkv")
+        builder.gemm(seq_len * heads, seq_len, head_dim, name=f"{prefix}_attn_qk")
+        builder.gemm(seq_len * heads, head_dim, seq_len, name=f"{prefix}_attn_av")
+        builder.gemm(seq_len, hidden, hidden, name=f"{prefix}_proj")
+        builder.gemm(seq_len, mlp, hidden, name=f"{prefix}_mlp_fc1")
+        builder.gemm(seq_len, hidden, mlp, name=f"{prefix}_mlp_fc2")
+    builder.gemm(seq_len, hidden, hidden, name="pooler")
+    return builder.build()

@@ -1,0 +1,149 @@
+"""Inception v4 layer table (Szegedy et al., 2017).
+
+Stem plus Inception-A/B/C blocks with the reduction blocks between them.
+The asymmetric 1x7 / 7x1 / 1x3 / 3x1 convolutions are the "asymmetric
+weights" feature of Table II — they produce strongly non-square
+utilization spaces, which stresses the wear-leveling geometry.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _stem(builder: NetworkBuilder) -> None:
+    builder.conv(32, 3, stride=2, padding="valid", name="stem_conv1")  # 149
+    builder.conv(32, 3, padding="valid", name="stem_conv2")  # 147
+    builder.conv(64, 3, name="stem_conv3")  # 147
+    # mixed_3a: maxpool || conv stride-2, concatenated.
+    builder.conv(96, 3, stride=2, padding="valid", name="stem_mixed3a_conv")  # 73
+    builder.set_channels(96 + 64)
+    # mixed_4a: two branches ending in valid 3x3 convs to 71x71.
+    branch_in = builder.channels
+    builder.conv(64, 1, name="stem_m4a_b1_conv1", update_state=False)
+    builder.conv(
+        96, 3, padding="valid", in_channels=64, name="stem_m4a_b1_conv2",
+        update_state=False,
+    )
+    builder.conv(64, 1, in_channels=branch_in, name="stem_m4a_b2_conv1")
+    builder.conv(64, (7, 1), name="stem_m4a_b2_conv2")
+    builder.conv(64, (1, 7), name="stem_m4a_b2_conv3")
+    builder.conv(96, 3, padding="valid", name="stem_m4a_b2_conv4")  # 71
+    builder.set_channels(96 + 96)
+    # mixed_5a: conv stride-2 || maxpool.
+    builder.conv(192, 3, stride=2, padding="valid", name="stem_mixed5a_conv")  # 35
+    builder.set_channels(192 + 192)
+
+
+def _inception_a(builder: NetworkBuilder, name: str) -> None:
+    in_channels = builder.channels
+    builder.conv(96, 1, name=f"{name}_b1_conv", update_state=False)
+    builder.conv(64, 1, name=f"{name}_b2_conv1", update_state=False)
+    builder.conv(96, 3, in_channels=64, name=f"{name}_b2_conv2", update_state=False)
+    builder.conv(64, 1, name=f"{name}_b3_conv1", update_state=False)
+    builder.conv(96, 3, in_channels=64, name=f"{name}_b3_conv2", update_state=False)
+    builder.conv(96, 3, in_channels=96, name=f"{name}_b3_conv3", update_state=False)
+    builder.conv(96, 1, name=f"{name}_pool_conv", update_state=False)
+    builder.set_channels(96 * 4)
+
+
+def _reduction_a(builder: NetworkBuilder) -> None:
+    in_channels = builder.channels  # 384
+    builder.conv(
+        384, 3, stride=2, padding="valid", name="redA_b1_conv", update_state=False
+    )
+    builder.conv(192, 1, name="redA_b2_conv1")
+    builder.conv(224, 3, name="redA_b2_conv2")
+    builder.conv(256, 3, stride=2, padding="valid", name="redA_b2_conv3")  # 17
+    builder.set_channels(384 + 256 + in_channels)  # + pooled passthrough
+
+
+def _inception_b(builder: NetworkBuilder, name: str) -> None:
+    in_channels = builder.channels
+    builder.conv(384, 1, name=f"{name}_b1_conv", update_state=False)
+    builder.conv(192, 1, name=f"{name}_b2_conv1", update_state=False)
+    builder.conv(
+        224, (1, 7), in_channels=192, name=f"{name}_b2_conv2", update_state=False
+    )
+    builder.conv(
+        256, (7, 1), in_channels=224, name=f"{name}_b2_conv3", update_state=False
+    )
+    builder.conv(192, 1, name=f"{name}_b3_conv1", update_state=False)
+    builder.conv(
+        192, (7, 1), in_channels=192, name=f"{name}_b3_conv2", update_state=False
+    )
+    builder.conv(
+        224, (1, 7), in_channels=192, name=f"{name}_b3_conv3", update_state=False
+    )
+    builder.conv(
+        224, (7, 1), in_channels=224, name=f"{name}_b3_conv4", update_state=False
+    )
+    builder.conv(
+        256, (1, 7), in_channels=224, name=f"{name}_b3_conv5", update_state=False
+    )
+    builder.conv(128, 1, name=f"{name}_pool_conv", update_state=False)
+    builder.set_channels(384 + 256 + 256 + 128)
+
+
+def _reduction_b(builder: NetworkBuilder) -> None:
+    in_channels = builder.channels  # 1024
+    builder.conv(192, 1, name="redB_b1_conv1", update_state=False)
+    builder.conv(
+        192, 3, stride=2, padding="valid", in_channels=192, name="redB_b1_conv2",
+        update_state=False,
+    )
+    builder.conv(256, 1, name="redB_b2_conv1")
+    builder.conv(256, (1, 7), name="redB_b2_conv2")
+    builder.conv(320, (7, 1), name="redB_b2_conv3")
+    builder.conv(320, 3, stride=2, padding="valid", name="redB_b2_conv4")  # 8
+    builder.set_channels(192 + 320 + in_channels)  # + pooled passthrough
+
+
+def _inception_c(builder: NetworkBuilder, name: str) -> None:
+    in_channels = builder.channels
+    builder.conv(256, 1, name=f"{name}_b1_conv", update_state=False)
+    builder.conv(384, 1, name=f"{name}_b2_conv1", update_state=False)
+    builder.conv(
+        256, (1, 3), in_channels=384, name=f"{name}_b2_conv2a", update_state=False
+    )
+    builder.conv(
+        256, (3, 1), in_channels=384, name=f"{name}_b2_conv2b", update_state=False
+    )
+    builder.conv(384, 1, name=f"{name}_b3_conv1", update_state=False)
+    builder.conv(
+        448, (1, 3), in_channels=384, name=f"{name}_b3_conv2", update_state=False
+    )
+    builder.conv(
+        512, (3, 1), in_channels=448, name=f"{name}_b3_conv3", update_state=False
+    )
+    builder.conv(
+        256, (3, 1), in_channels=512, name=f"{name}_b3_conv4a", update_state=False
+    )
+    builder.conv(
+        256, (1, 3), in_channels=512, name=f"{name}_b3_conv4b", update_state=False
+    )
+    builder.conv(256, 1, name=f"{name}_pool_conv", update_state=False)
+    builder.set_channels(256 * 4 + 512)
+
+
+def build() -> Network:
+    """Inception v4 at 299x299 input."""
+    builder = NetworkBuilder(
+        name="Inception v4",
+        abbreviation="Inc",
+        domain="Image classification",
+        feature="Asymmetric weights",
+        input_hw=(299, 299),
+    )
+    _stem(builder)
+    for index in range(1, 5):
+        _inception_a(builder, f"incA{index}")
+    _reduction_a(builder)
+    for index in range(1, 8):
+        _inception_b(builder, f"incB{index}")
+    _reduction_b(builder)
+    for index in range(1, 4):
+        _inception_c(builder, f"incC{index}")
+    builder.global_pool()
+    builder.fc(1000, name="fc_logits")
+    return builder.build()

@@ -1,0 +1,51 @@
+"""Llama 2 (7B) layer table (Touvron et al., 2023).
+
+A 512-token prefill pass through all 32 decoder blocks, each expressed as
+GEMMs: Q/K/V/O projections (4096x4096), attention score and context
+matmuls, and the SwiGLU MLP (gate/up 4096->11008, down 11008->4096) —
+the "large language model" entry of Table II. Every matmul is enormous
+relative to the 14x12 array, so utilization spaces are large and tile
+counts are in the hundreds of thousands.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+#: Llama-2-7B hyper-parameters.
+_HIDDEN = 4096
+_HEADS = 32
+_HEAD_DIM = _HIDDEN // _HEADS
+_FFN = 11008
+_SEQ = 512  # default prefill length; build(seq_len=...) overrides
+_VOCAB = 32000
+_BLOCKS = 32
+
+
+def _decoder_block(builder: NetworkBuilder, name: str, seq_len: int) -> None:
+    """One decoder block as nine GEMMs."""
+    builder.gemm(seq_len, _HIDDEN, _HIDDEN, name=f"{name}_q")
+    builder.gemm(seq_len, _HIDDEN, _HIDDEN, name=f"{name}_k")
+    builder.gemm(seq_len, _HIDDEN, _HIDDEN, name=f"{name}_v")
+    builder.gemm(seq_len * _HEADS, seq_len, _HEAD_DIM, name=f"{name}_attn_qk")
+    builder.gemm(seq_len * _HEADS, _HEAD_DIM, seq_len, name=f"{name}_attn_av")
+    builder.gemm(seq_len, _HIDDEN, _HIDDEN, name=f"{name}_o")
+    builder.gemm(seq_len, _FFN, _HIDDEN, name=f"{name}_gate")
+    builder.gemm(seq_len, _FFN, _HIDDEN, name=f"{name}_up")
+    builder.gemm(seq_len, _HIDDEN, _FFN, name=f"{name}_down")
+
+
+def build(seq_len: int = _SEQ) -> Network:
+    """Llama 2 7B prefill at a configurable sequence length."""
+    builder = NetworkBuilder(
+        name="Llama v2",
+        abbreviation="LM",
+        domain="Transformer",
+        feature="Large language model",
+        input_hw=(1, 1),
+        input_channels=_HIDDEN,
+    )
+    for index in range(1, _BLOCKS + 1):
+        _decoder_block(builder, f"blk{index:02d}", seq_len)
+    builder.gemm(seq_len, _VOCAB, _HIDDEN, name="lm_head")
+    return builder.build()

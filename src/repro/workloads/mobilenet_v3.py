@@ -1,0 +1,75 @@
+"""MobileNet v3-Large layer table (Howard et al., 2019).
+
+Inverted-residual "bneck" blocks: pointwise expansion, depthwise
+convolution (3x3 or 5x5), optional squeeze-and-excitation, pointwise
+projection — the "group conv" entry of Table II and one of the small
+networks where the paper reports RWL-only visibly trailing RWL+RO.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _bneck(
+    builder: NetworkBuilder,
+    index: int,
+    kernel: int,
+    expand: int,
+    out_channels: int,
+    stride: int = 1,
+    se: bool = False,
+) -> None:
+    """One inverted-residual block of MobileNet v3."""
+    in_channels = builder.channels
+    if expand != in_channels:
+        builder.conv(expand, 1, name=f"bneck{index}_expand")
+    builder.dwconv(kernel, stride=stride, name=f"bneck{index}_dw")
+    if se:
+        squeezed = max(8, expand // 4)
+        builder.fc(squeezed, in_features=expand, name=f"bneck{index}_se_reduce")
+        builder.fc(expand, in_features=squeezed, name=f"bneck{index}_se_expand")
+        builder.set_channels(expand)
+    builder.conv(out_channels, 1, name=f"bneck{index}_project")
+
+
+#: (kernel, expansion, output channels, stride, squeeze-excite) per block,
+#: following Table 1 of the MobileNetV3 paper (Large variant).
+_BNECK_TABLE = (
+    (3, 16, 16, 1, False),
+    (3, 64, 24, 2, False),
+    (3, 72, 24, 1, False),
+    (5, 72, 40, 2, True),
+    (5, 120, 40, 1, True),
+    (5, 120, 40, 1, True),
+    (3, 240, 80, 2, False),
+    (3, 200, 80, 1, False),
+    (3, 184, 80, 1, False),
+    (3, 184, 80, 1, False),
+    (3, 480, 112, 1, True),
+    (3, 672, 112, 1, True),
+    (5, 672, 160, 2, True),
+    (5, 960, 160, 1, True),
+    (5, 960, 160, 1, True),
+)
+
+
+def build(input_hw=(224, 224)) -> Network:
+    """MobileNet v3-Large at a configurable input size."""
+    builder = NetworkBuilder(
+        name="MobileNet v3",
+        abbreviation="Mb",
+        domain="Lightweight network",
+        feature="Group Conv.",
+        input_hw=input_hw,
+    )
+    builder.conv(16, 3, stride=2, name="conv_stem")  # 112x112
+    for index, (kernel, expand, out_channels, stride, se) in enumerate(
+        _BNECK_TABLE, start=1
+    ):
+        _bneck(builder, index, kernel, expand, out_channels, stride=stride, se=se)
+    builder.conv(960, 1, name="conv_head")
+    builder.global_pool()
+    builder.fc(1280, name="fc_features")
+    builder.fc(1000, name="fc_logits")
+    return builder.build()

@@ -1,0 +1,80 @@
+"""MobileViT-S layer table (Mehta & Rastegari, 2021).
+
+MobileNetV2-style inverted residual blocks interleaved with MobileViT
+blocks that unfold the feature map into patches and run small
+transformers over them — the "embedded transformer" entry of Table II,
+and the third of the small networks where residual optimization shows a
+visible gain over RWL alone.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _mv2(
+    builder: NetworkBuilder,
+    name: str,
+    out_channels: int,
+    stride: int = 1,
+    expand_ratio: int = 4,
+) -> None:
+    """One MobileNetV2 inverted-residual block."""
+    expanded = builder.channels * expand_ratio
+    builder.conv(expanded, 1, name=f"{name}_expand")
+    builder.dwconv(3, stride=stride, name=f"{name}_dw")
+    builder.conv(out_channels, 1, name=f"{name}_project")
+
+
+def _mobilevit_block(
+    builder: NetworkBuilder,
+    name: str,
+    dim: int,
+    depth: int,
+    mlp_dim: int,
+    patch_area: int = 4,
+) -> None:
+    """One MobileViT block: local convs + a patch-level transformer."""
+    channels = builder.channels
+    h, w = builder.hw
+    tokens = max(1, (h * w) // patch_area)
+    builder.conv(channels, 3, name=f"{name}_local3x3")
+    builder.conv(dim, 1, name=f"{name}_local1x1")
+    for layer in range(1, depth + 1):
+        prefix = f"{name}_t{layer}"
+        builder.gemm(tokens * patch_area, 3 * dim, dim, name=f"{prefix}_qkv")
+        builder.gemm(tokens * patch_area, patch_area, dim // 4, name=f"{prefix}_attn_qk")
+        builder.gemm(tokens * patch_area, dim // 4, patch_area, name=f"{prefix}_attn_av")
+        builder.gemm(tokens * patch_area, dim, dim, name=f"{prefix}_proj")
+        builder.gemm(tokens * patch_area, mlp_dim, dim, name=f"{prefix}_mlp_fc1")
+        builder.gemm(tokens * patch_area, dim, mlp_dim, name=f"{prefix}_mlp_fc2")
+    builder.set_channels(dim)
+    builder.conv(channels, 1, name=f"{name}_fold1x1")
+    builder.set_channels(2 * channels)  # concat with the residual input
+    builder.conv(channels, 3, name=f"{name}_fuse3x3")
+
+
+def build(input_hw=(256, 256)) -> Network:
+    """MobileViT-S at a configurable input size."""
+    builder = NetworkBuilder(
+        name="MobileViT",
+        abbreviation="MVT",
+        domain="Transformer",
+        feature="Embedded transformer",
+        input_hw=input_hw,
+    )
+    builder.conv(16, 3, stride=2, name="conv_stem")  # 128
+    _mv2(builder, "mv2_1", 32)
+    _mv2(builder, "mv2_2", 64, stride=2)  # 64
+    _mv2(builder, "mv2_3", 64)
+    _mv2(builder, "mv2_4", 64)
+    _mv2(builder, "mv2_5", 96, stride=2)  # 32
+    _mobilevit_block(builder, "mvit1", dim=144, depth=2, mlp_dim=288)
+    _mv2(builder, "mv2_6", 128, stride=2)  # 16
+    _mobilevit_block(builder, "mvit2", dim=192, depth=4, mlp_dim=384)
+    _mv2(builder, "mv2_7", 160, stride=2)  # 8
+    _mobilevit_block(builder, "mvit3", dim=240, depth=3, mlp_dim=480)
+    builder.conv(640, 1, name="conv_head")
+    builder.global_pool()
+    builder.fc(1000, name="fc_logits")
+    return builder.build()

@@ -1,0 +1,107 @@
+"""The workload registry: Table II of the paper as a lookup table.
+
+Networks are built lazily on first access and cached; both full names
+("ResNet-50") and the paper's abbreviations ("Res") resolve, matching
+the labels of Figs. 2a and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    efficientnet,
+    extras,
+    inception_v4,
+    llama2,
+    mobilenet_v3,
+    mobilevit,
+    resnet50,
+    squeezenet,
+    vit,
+    yolov3,
+)
+from repro.workloads.base import Network
+
+#: Builders in the paper's Table II order.
+_BUILDERS: Dict[str, Callable[[], Network]] = {
+    "ResNet-50": resnet50.build,
+    "Inception v4": inception_v4.build,
+    "YOLO v3": yolov3.build,
+    "SqueezeNet": squeezenet.build,
+    "MobileNet v3": mobilenet_v3.build,
+    "EfficientNet": efficientnet.build,
+    "ViT": vit.build,
+    "MobileViT": mobilevit.build,
+    "Llama v2": llama2.build,
+}
+
+#: Extra workloads beyond Table II (never used by the figure drivers).
+_EXTRA_BUILDERS: Dict[str, Callable[[], Network]] = {
+    "AlexNet": extras.build_alexnet,
+    "VGG-16": extras.build_vgg16,
+    "BERT-base": extras.build_bert_base,
+}
+
+#: Paper abbreviations (Table II, Fig. 8 x-axis labels) plus extras.
+_ABBREVIATIONS: Dict[str, str] = {
+    "Res": "ResNet-50",
+    "Inc": "Inception v4",
+    "YL": "YOLO v3",
+    "Sqz": "SqueezeNet",
+    "Mb": "MobileNet v3",
+    "Eff": "EfficientNet",
+    "VT": "ViT",
+    "MVT": "MobileViT",
+    "LM": "Llama v2",
+    "Alx": "AlexNet",
+    "Vgg": "VGG-16",
+    "Brt": "BERT-base",
+}
+
+_CACHE: Dict[str, Network] = {}
+
+
+def network_names() -> List[str]:
+    """Full network names in Table II order (extras excluded)."""
+    return list(_BUILDERS)
+
+
+def extra_network_names() -> List[str]:
+    """Extra (non-Table II) network names."""
+    return list(_EXTRA_BUILDERS)
+
+
+def network_abbreviations() -> List[str]:
+    """Paper abbreviations in Table II order (extras excluded)."""
+    table_ii = {abbr: name for abbr, name in _ABBREVIATIONS.items() if name in _BUILDERS}
+    return sorted(table_ii, key=lambda abbr: network_names().index(table_ii[abbr]))
+
+
+def get_network(name: str) -> Network:
+    """Resolve a network by full name or paper abbreviation.
+
+    Lookup is case-insensitive on full names; abbreviations are matched
+    exactly (they are case-sensitive in the paper's figures). Extras
+    (AlexNet, VGG-16, BERT-base) resolve too but never appear in
+    :func:`all_networks`.
+    """
+    builders = {**_BUILDERS, **_EXTRA_BUILDERS}
+    canonical = _ABBREVIATIONS.get(name)
+    if canonical is None:
+        matches = [key for key in builders if key.lower() == name.lower()]
+        if not matches:
+            known = list(builders) + list(_ABBREVIATIONS)
+            raise WorkloadError(
+                f"unknown network {name!r}; known workloads: {sorted(known)}"
+            )
+        canonical = matches[0]
+    if canonical not in _CACHE:
+        _CACHE[canonical] = builders[canonical]()
+    return _CACHE[canonical]
+
+
+def all_networks() -> List[Network]:
+    """Every Table II network, in the paper's order."""
+    return [get_network(name) for name in network_names()]

@@ -1,0 +1,71 @@
+"""ResNet-50 layer table (He et al., 2016).
+
+Four stages of bottleneck blocks (1x1 reduce, 3x3, 1x1 expand) with a
+projection shortcut at each stage entry — the "residual blocks" entry of
+Table II. The C5-stage 3x3 convolutions are the Fig. 5 walk-through
+layers of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _bottleneck(
+    builder: NetworkBuilder,
+    stage: str,
+    index: int,
+    mid_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    project: bool = False,
+) -> None:
+    """One bottleneck block; ``project`` adds the shortcut convolution."""
+    in_channels = builder.channels
+    if project:
+        builder.conv(
+            out_channels,
+            1,
+            stride=stride,
+            in_channels=in_channels,
+            name=f"{stage}_b{index}_proj",
+            update_state=False,
+        )
+    builder.conv(mid_channels, 1, name=f"{stage}_b{index}_conv1")
+    builder.conv(mid_channels, 3, stride=stride, name=f"{stage}_b{index}_conv2")
+    builder.conv(out_channels, 1, name=f"{stage}_b{index}_conv3")
+
+
+def _stage(
+    builder: NetworkBuilder,
+    stage: str,
+    blocks: int,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+) -> None:
+    _bottleneck(
+        builder, stage, 1, mid_channels, out_channels, stride=stride, project=True
+    )
+    for index in range(2, blocks + 1):
+        _bottleneck(builder, stage, index, mid_channels, out_channels)
+
+
+def build(input_hw=(224, 224)) -> Network:
+    """ResNet-50; any input size the four stride-2 stages can divide."""
+    builder = NetworkBuilder(
+        name="ResNet-50",
+        abbreviation="Res",
+        domain="Image classification",
+        feature="Residual blocks",
+        input_hw=input_hw,
+    )
+    builder.conv(64, 7, stride=2, name="conv1")  # 112x112
+    builder.pool(3, 2, padding="same")  # 56x56
+    _stage(builder, "c2", blocks=3, mid_channels=64, out_channels=256, stride=1)
+    _stage(builder, "c3", blocks=4, mid_channels=128, out_channels=512, stride=2)
+    _stage(builder, "c4", blocks=6, mid_channels=256, out_channels=1024, stride=2)
+    _stage(builder, "c5", blocks=3, mid_channels=512, out_channels=2048, stride=2)
+    builder.global_pool()
+    builder.fc(1000, name="fc1000")
+    return builder.build()

@@ -1,0 +1,45 @@
+"""SqueezeNet v1.0 layer table (Iandola et al., 2016).
+
+Fire modules squeeze the channel count with 1x1 convolutions and expand
+with parallel 1x1/3x3 branches whose outputs concatenate — the "small
+weights" entry of the paper's Table II and the workload behind
+Figs. 2b, 6, 7, and 10.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _fire(builder: NetworkBuilder, index: int, squeeze: int, expand: int) -> None:
+    """One fire module: squeeze 1x1, then parallel expand 1x1 and 3x3."""
+    builder.conv(squeeze, 1, name=f"fire{index}_squeeze1x1")
+    builder.conv(expand, 1, name=f"fire{index}_expand1x1", update_state=False)
+    builder.conv(expand, 3, name=f"fire{index}_expand3x3", update_state=False)
+    builder.set_channels(2 * expand)
+
+
+def build(input_hw=(224, 224)) -> Network:
+    """SqueezeNet v1.0; ``input_hw`` must be at least 63x63 (valid conv1
+    plus three 3x3/2 pools)."""
+    builder = NetworkBuilder(
+        name="SqueezeNet",
+        abbreviation="Sqz",
+        domain="Lightweight network",
+        feature="Small weights",
+        input_hw=input_hw,
+    )
+    builder.conv(96, 7, stride=2, padding="valid", name="conv1")  # 109x109
+    builder.pool(3, 2)  # 54x54
+    _fire(builder, 2, squeeze=16, expand=64)
+    _fire(builder, 3, squeeze=16, expand=64)
+    _fire(builder, 4, squeeze=32, expand=128)
+    builder.pool(3, 2)  # 26x26
+    _fire(builder, 5, squeeze=32, expand=128)
+    _fire(builder, 6, squeeze=48, expand=192)
+    _fire(builder, 7, squeeze=48, expand=192)
+    _fire(builder, 8, squeeze=64, expand=256)
+    builder.pool(3, 2)  # 12x12
+    _fire(builder, 9, squeeze=64, expand=256)
+    builder.conv(1000, 1, name="conv10")
+    return builder.build()

@@ -1,0 +1,53 @@
+"""ViT-B/16 layer table (Dosovitskiy et al., 2020).
+
+Patch embedding as a strided convolution, then 12 transformer encoder
+blocks expressed as GEMMs (QKV projection, attention score and context
+matmuls, output projection, two MLP matmuls) over the token sequence —
+the "transformer encoding" entry of Table II. The input resolution is
+configurable (multiples of the 16-pixel patch); the token count follows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Network, NetworkBuilder
+
+#: ViT-Base hyper-parameters.
+_EMBED = 768
+_HEADS = 12
+_HEAD_DIM = _EMBED // _HEADS
+_MLP = 3072
+_PATCH = 16
+
+
+def _encoder_block(builder: NetworkBuilder, name: str, tokens: int) -> None:
+    """One transformer encoder block as six GEMMs."""
+    builder.gemm(tokens, 3 * _EMBED, _EMBED, name=f"{name}_qkv")
+    # Attention scores Q @ K^T and context (scores @ V), batched over
+    # heads: rows = tokens * heads.
+    builder.gemm(tokens * _HEADS, tokens, _HEAD_DIM, name=f"{name}_attn_qk")
+    builder.gemm(tokens * _HEADS, _HEAD_DIM, tokens, name=f"{name}_attn_av")
+    builder.gemm(tokens, _EMBED, _EMBED, name=f"{name}_proj")
+    builder.gemm(tokens, _MLP, _EMBED, name=f"{name}_mlp_fc1")
+    builder.gemm(tokens, _EMBED, _MLP, name=f"{name}_mlp_fc2")
+
+
+def build(input_hw=(224, 224)) -> Network:
+    """ViT-B/16; ``input_hw`` must be a multiple of the 16-pixel patch."""
+    if input_hw[0] % _PATCH or input_hw[1] % _PATCH:
+        raise WorkloadError(
+            f"ViT-B/16 needs inputs divisible by {_PATCH}, got {input_hw}"
+        )
+    tokens = (input_hw[0] // _PATCH) * (input_hw[1] // _PATCH) + 1  # + class
+    builder = NetworkBuilder(
+        name="ViT",
+        abbreviation="VT",
+        domain="Transformer",
+        feature="Transformer encoding",
+        input_hw=input_hw,
+    )
+    builder.conv(_EMBED, _PATCH, stride=_PATCH, name="patch_embed")
+    for index in range(1, 13):
+        _encoder_block(builder, f"enc{index:02d}", tokens)
+    builder.gemm(1, 1000, _EMBED, name="head")
+    return builder.build()

@@ -1,0 +1,81 @@
+"""YOLO v3 layer table (Redmon & Farhadi, 2018).
+
+Darknet-53 backbone plus the three multi-scale detection heads at
+13x13, 26x26, and 52x52 — the "large dataset" entry of Table II. YOLO v3
+has the lowest PE-utilization ratios of the paper's workloads and
+correspondingly the largest reported lifetime gain (2.37x).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def _residual(builder: NetworkBuilder, name: str, channels: int) -> None:
+    """One Darknet residual block: 1x1 halve, 3x3 restore."""
+    builder.conv(channels // 2, 1, name=f"{name}_conv1")
+    builder.conv(channels, 3, name=f"{name}_conv2")
+
+
+def _detection_block(builder: NetworkBuilder, name: str, channels: int) -> None:
+    """The 5-conv detection block preceding each YOLO head."""
+    builder.conv(channels, 1, name=f"{name}_conv1")
+    builder.conv(channels * 2, 3, name=f"{name}_conv2")
+    builder.conv(channels, 1, name=f"{name}_conv3")
+    builder.conv(channels * 2, 3, name=f"{name}_conv4")
+    builder.conv(channels, 1, name=f"{name}_conv5")
+
+
+def build(input_hw=(416, 416)) -> Network:
+    """YOLO v3 (COCO: 255 output channels per head); ``input_hw`` should
+    be a multiple of 32 so the three heads land on integer grids."""
+    builder = NetworkBuilder(
+        name="YOLO v3",
+        abbreviation="YL",
+        domain="Object detection",
+        feature="Large dataset",
+        input_hw=input_hw,
+    )
+    # Darknet-53 backbone.
+    builder.conv(32, 3, name="d53_conv1")  # 416
+    builder.conv(64, 3, stride=2, name="d53_down1")  # 208
+    _residual(builder, "d53_r1", 64)
+    builder.conv(128, 3, stride=2, name="d53_down2")  # 104
+    for index in range(1, 3):
+        _residual(builder, f"d53_r2_{index}", 128)
+    builder.conv(256, 3, stride=2, name="d53_down3")  # 52
+    for index in range(1, 9):
+        _residual(builder, f"d53_r3_{index}", 256)
+    route_52 = builder.hw
+    builder.conv(512, 3, stride=2, name="d53_down4")  # 26
+    for index in range(1, 9):
+        _residual(builder, f"d53_r4_{index}", 512)
+    route_26 = builder.hw
+    builder.conv(1024, 3, stride=2, name="d53_down5")  # 13
+    for index in range(1, 5):
+        _residual(builder, f"d53_r5_{index}", 1024)
+
+    # Head 1 at 13x13.
+    _detection_block(builder, "head13", 512)
+    builder.conv(1024, 3, name="head13_conv6", update_state=False)
+    builder.conv(255, 1, in_channels=1024, name="head13_detect", update_state=False)
+
+    # Head 2 at 26x26 (upsample + concat with the 512-channel route).
+    builder.conv(256, 1, name="head26_route")
+    builder.upsample(2)
+    builder.set_hw(route_26)
+    builder.set_channels(256 + 512)
+    _detection_block(builder, "head26", 256)
+    builder.conv(512, 3, name="head26_conv6", update_state=False)
+    builder.conv(255, 1, in_channels=512, name="head26_detect", update_state=False)
+
+    # Head 3 at 52x52 (upsample + concat with the 256-channel route).
+    builder.conv(128, 1, name="head52_route")
+    builder.upsample(2)
+    builder.set_hw(route_52)
+    builder.set_channels(128 + 256)
+    _detection_block(builder, "head52", 128)
+    builder.conv(256, 3, name="head52_conv6", update_state=False)
+    builder.conv(255, 1, in_channels=256, name="head52_detect", update_state=False)
+
+    return builder.build()

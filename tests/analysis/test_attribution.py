@@ -1,0 +1,58 @@
+"""Tests for per-layer wear attribution."""
+
+import pytest
+
+from repro.analysis.attribution import attribute_wear
+from repro.errors import SimulationError
+from repro.experiments.common import paper_accelerator, streams_for
+
+from tests.conftest import make_stream
+
+
+class TestToyAttribution:
+    def test_shares_partition_hot_pe(self, small_torus):
+        streams = [
+            make_stream(name="big", x=4, y=3, z=10),
+            make_stream(name="small", x=2, y=2, z=5),
+        ]
+        attribution = attribute_wear(small_torus, streams)
+        assert attribution.shares_sum_to_one
+        assert attribution.hot_pe == (0, 0)  # baseline anchors at origin
+
+    def test_bigger_z_contributes_more(self, small_torus):
+        streams = [
+            make_stream(name="heavy", x=2, y=2, z=30),
+            make_stream(name="light", x=2, y=2, z=3),
+        ]
+        attribution = attribute_wear(small_torus, streams)
+        heavy = next(r for r in attribution.rows if r.layer == "heavy")
+        light = next(r for r in attribution.rows if r.layer == "light")
+        assert heavy.hot_share == pytest.approx(30 / 33)
+        assert heavy.hot_share > light.hot_share
+
+    def test_iterations_scale_counts_not_shares(self, small_torus):
+        streams = [
+            make_stream(name="a", x=3, y=2, z=4),
+            make_stream(name="b", x=2, y=3, z=6),
+        ]
+        one = attribute_wear(small_torus, streams, iterations=1)
+        five = attribute_wear(small_torus, streams, iterations=5)
+        assert five.hot_pe_usage == 5 * one.hot_pe_usage
+        for r1, r5 in zip(one.rows, five.rows):
+            assert r5.hot_share == pytest.approx(r1.hot_share)
+
+    def test_empty_streams_rejected(self, small_torus):
+        with pytest.raises(SimulationError):
+            attribute_wear(small_torus, [])
+
+
+class TestRealWorkload:
+    def test_squeezenet_attribution(self):
+        accelerator = paper_accelerator()
+        streams = streams_for("SqueezeNet", accelerator)
+        attribution = attribute_wear(accelerator, streams)
+        assert attribution.shares_sum_to_one
+        assert len(attribution.rows) == len(streams)
+        # conv1's 11,881 tiles dominate the hot corner.
+        assert attribution.top(1)[0].layer == "conv1"
+        assert "conv1" in attribution.format()

@@ -1,0 +1,84 @@
+"""Tests for CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import counts_to_csv, trace_to_csv, write_csv
+from repro.core.engine import simulate_policy
+from repro.core.policies import RwlRoPolicy
+from repro.errors import SimulationError
+
+from tests.conftest import make_stream
+
+
+def read_csv(path):
+    with open(path, newline="") as stream:
+        return list(csv.reader(stream))
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        target = write_csv(tmp_path / "out.csv", ("a", "b"), [(1, 2), (3, 4)])
+        rows = read_csv(target)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        target = write_csv(tmp_path / "deep" / "dir" / "out.csv", ("a",), [(1,)])
+        assert target.exists()
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            write_csv(tmp_path / "out.csv", ("a", "b"), [(1,)])
+
+    def test_no_headers_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            write_csv(tmp_path / "out.csv", (), [])
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "out.csv"
+        write_csv(target, ("a",), [(1,)])
+        write_csv(target, ("a",), [(2,)])
+        assert read_csv(target) == [["a"], ["2"]]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestTraceExport:
+    def test_trace_rows(self, small_torus, tmp_path):
+        result = simulate_policy(
+            small_torus, [make_stream(z=5)], RwlRoPolicy(), iterations=4
+        )
+        target = trace_to_csv(result, tmp_path / "trace.csv")
+        rows = read_csv(target)
+        assert rows[0][0] == "iteration"
+        assert len(rows) == 5  # header + 4 iterations
+        assert rows[1][0] == "1"
+
+    def test_missing_trace_rejected(self, small_torus, tmp_path):
+        result = simulate_policy(
+            small_torus, [make_stream()], RwlRoPolicy(), iterations=1
+        )
+        stripped = type(result)(
+            policy_name=result.policy_name,
+            accelerator_name=result.accelerator_name,
+            iterations=result.iterations,
+            counts=result.counts,
+            trace=(),
+        )
+        with pytest.raises(SimulationError):
+            trace_to_csv(stripped, tmp_path / "trace.csv")
+
+
+class TestCountsExport:
+    def test_counts_rows(self, tmp_path):
+        counts = np.array([[1, 2], [3, 4]])
+        target = counts_to_csv(counts, tmp_path / "counts.csv")
+        rows = read_csv(target)
+        assert rows[0] == ["row", "col", "usage"]
+        assert len(rows) == 5
+        assert rows[-1] == ["1", "1", "4"]
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            counts_to_csv(np.zeros(4), tmp_path / "bad.csv")

@@ -1,0 +1,42 @@
+"""Tests for the ASCII heatmap renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import heatmap_grid, render_heatmap
+from repro.errors import SimulationError
+
+
+class TestHeatmapGrid:
+    def test_normalizes_to_unit_peak(self):
+        grid = heatmap_grid(np.array([[0, 5], [10, 2]]))
+        assert grid.max() == pytest.approx(1.0)
+        assert grid[0, 0] == 0.0
+
+    def test_all_zero_stays_zero(self):
+        grid = heatmap_grid(np.zeros((2, 2)))
+        assert (grid == 0).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(SimulationError):
+            heatmap_grid(np.zeros(4))
+
+
+class TestRenderHeatmap:
+    def test_row_count_and_flip(self):
+        counts = np.zeros((3, 4))
+        counts[0, 0] = 10  # bottom-left in the paper's orientation
+        text = render_heatmap(counts, legend=False)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # Row 0 renders at the bottom: the hot cell is on the last line.
+        assert lines[-1][0] == "@"
+
+    def test_title_and_legend(self):
+        text = render_heatmap(np.ones((2, 2)), title="T")
+        assert text.splitlines()[0] == "T"
+        assert "min=1" in text
+
+    def test_idle_array_renders_spaces(self):
+        text = render_heatmap(np.zeros((2, 2)), legend=False)
+        assert set(text) <= {" ", "\n"}

@@ -1,0 +1,67 @@
+"""Tests for the PPM/PGM heatmap export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.image import heatmap_rgb, heatmap_to_ppm, write_pgm, write_ppm
+from repro.errors import SimulationError
+
+
+class TestHeatmapRgb:
+    def test_shape_scales(self):
+        rgb = heatmap_rgb(np.ones((3, 4)), scale=10)
+        assert rgb.shape == (30, 40, 3)
+
+    def test_idle_cells_get_idle_color(self):
+        counts = np.array([[0, 10]])
+        rgb = heatmap_rgb(counts, scale=1)
+        assert tuple(rgb[0, 0]) == (235, 235, 235)
+        assert tuple(rgb[0, 1]) != (235, 235, 235)
+
+    def test_hotter_is_redder(self):
+        counts = np.array([[1, 100]])
+        rgb = heatmap_rgb(counts, scale=1)
+        cold, hot = rgb[0, 0], rgb[0, 1]
+        assert int(hot[0]) > int(cold[0])  # more red
+        assert int(hot[2]) < int(cold[2])  # less blue
+
+    def test_origin_drawn_at_bottom(self):
+        counts = np.zeros((2, 1))
+        counts[0, 0] = 5  # row 0 = origin row
+        rgb = heatmap_rgb(counts, scale=1)
+        assert tuple(rgb[1, 0]) != (235, 235, 235)  # bottom pixel is hot
+        assert tuple(rgb[0, 0]) == (235, 235, 235)
+
+    def test_all_idle_renders(self):
+        rgb = heatmap_rgb(np.zeros((2, 2)), scale=1)
+        assert (rgb == 235).all()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            heatmap_rgb(np.zeros(4))
+        with pytest.raises(SimulationError):
+            heatmap_rgb(np.zeros((2, 2)), scale=0)
+
+
+class TestFileFormats:
+    def test_ppm_header_and_size(self, tmp_path):
+        target = heatmap_to_ppm(np.ones((12, 14)), tmp_path / "map.ppm", scale=4)
+        data = target.read_bytes()
+        assert data.startswith(b"P6\n56 48\n255\n")
+        header_len = len(b"P6\n56 48\n255\n")
+        assert len(data) == header_len + 56 * 48 * 3
+
+    def test_pgm_round_trip(self, tmp_path):
+        gray = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        target = write_pgm(gray, tmp_path / "g.pgm")
+        data = target.read_bytes()
+        assert data.startswith(b"P5\n3 2\n255\n")
+        assert data.endswith(bytes(range(6)))
+
+    def test_ppm_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(SimulationError):
+            write_ppm(np.zeros((2, 2)), tmp_path / "bad.ppm")
+
+    def test_pgm_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(SimulationError):
+            write_pgm(np.zeros((2, 2, 3)), tmp_path / "bad.pgm")

@@ -1,0 +1,74 @@
+"""Tests for the imbalance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import (
+    balance_summary,
+    max_usage_difference,
+    usage_gini,
+    usage_r_diff,
+)
+from repro.errors import SimulationError
+
+
+class TestMaxUsageDifference:
+    def test_level_array(self):
+        assert max_usage_difference(np.full((3, 3), 5)) == 0.0
+
+    def test_simple_difference(self):
+        assert max_usage_difference([1, 5, 3]) == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            max_usage_difference([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            max_usage_difference([-1, 2])
+
+
+class TestRDiff:
+    def test_level_is_zero(self):
+        assert usage_r_diff([4, 4, 4]) == 0.0
+
+    def test_untouched_pe_is_infinite(self):
+        assert usage_r_diff([0, 3]) == float("inf")
+
+    def test_ratio(self):
+        assert usage_r_diff([2, 4]) == pytest.approx(1.0)
+
+    def test_all_zero_is_zero(self):
+        assert usage_r_diff([0, 0]) == 0.0
+
+
+class TestGini:
+    def test_perfectly_level_is_zero(self):
+        assert usage_gini(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentration_near_one(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        assert usage_gini(counts) > 0.9
+
+    def test_all_idle_is_zero(self):
+        assert usage_gini(np.zeros(5)) == 0.0
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_gini_in_unit_interval(self, counts):
+        value = usage_gini(np.array(counts, dtype=float))
+        assert -1e-9 <= value <= 1.0
+
+
+class TestBalanceSummary:
+    def test_summary_consistent(self):
+        counts = np.array([[1, 2], [3, 4]], dtype=float)
+        summary = balance_summary(counts)
+        assert summary.max_usage == 4.0
+        assert summary.min_usage == 1.0
+        assert summary.mean_usage == pytest.approx(2.5)
+        assert summary.max_difference == 3.0
+        assert summary.r_diff == pytest.approx(3.0)
+        assert 0 <= summary.gini <= 1

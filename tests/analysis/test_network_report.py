@@ -1,0 +1,45 @@
+"""Tests for the whole-network profiler."""
+
+import pytest
+
+from repro.analysis.network_report import profile_network
+from repro.experiments.common import execution_for, paper_accelerator
+
+
+@pytest.fixture(scope="module")
+def profile():
+    accelerator = paper_accelerator()
+    return profile_network(accelerator, execution_for("SqueezeNet", accelerator))
+
+
+class TestProfile:
+    def test_one_row_per_layer(self, profile):
+        execution = execution_for("SqueezeNet")
+        assert len(profile.layers) == len(execution.layers)
+
+    def test_totals_match_execution(self, profile):
+        execution = execution_for("SqueezeNet")
+        assert profile.total_cycles == execution.total_cycles
+        assert profile.mean_utilization == pytest.approx(
+            execution.mean_utilization
+        )
+
+    def test_dram_share_in_unit_interval(self, profile):
+        for layer in profile.layers:
+            assert 0.0 <= layer.dram_energy_share <= 1.0
+
+    def test_rwl_bounds_present(self, profile):
+        for layer in profile.layers:
+            assert layer.rwl_d_max_bound >= 2  # W + 1 >= 2
+            assert layer.rwl_min_a_pe >= 0
+
+    def test_layer_lookup(self, profile):
+        assert profile.layer_for("conv1").space[0] >= 1
+        with pytest.raises(KeyError):
+            profile.layer_for("nope")
+
+    def test_format_truncation(self, profile):
+        text = profile.format(limit=5)
+        assert "more layers" in text
+        full = profile.format()
+        assert "more layers" not in full

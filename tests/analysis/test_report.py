@@ -1,0 +1,35 @@
+"""Tests for the fixed-width table formatter."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.errors import SimulationError
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (33, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(("a",), [(1,)], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_floats_formatted(self):
+        text = format_table(("x",), [(1.23456,)])
+        assert "1.235" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(SimulationError):
+            format_table((), [])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SimulationError):
+            format_table(("a", "b"), [(1,)])

@@ -1,0 +1,84 @@
+"""Unit tests for the accelerator assembly and presets."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator, DramInterface
+from repro.arch.array import PEArray
+from repro.arch.presets import eyeriss_v1, scaled_array
+from repro.arch.topology import Topology
+from repro.errors import ConfigurationError
+
+
+class TestAccelerator:
+    def test_dimension_properties(self):
+        acc = eyeriss_v1()
+        assert (acc.width, acc.height, acc.num_pes) == (14, 12, 168)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Accelerator(name="", array=PEArray(width=2, height=2))
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Accelerator(name="a", array=PEArray(width=2, height=2), clock_mhz=0)
+
+    def test_as_torus_round_trip(self):
+        mesh = eyeriss_v1(torus=False)
+        torus = mesh.as_torus()
+        assert not mesh.is_torus
+        assert torus.is_torus
+        assert torus.as_torus() is torus
+        assert not torus.as_mesh().is_torus
+
+    def test_as_mesh_is_identity_on_mesh(self):
+        mesh = eyeriss_v1(torus=False)
+        assert mesh.as_mesh() is mesh
+
+    def test_topology_conversion_preserves_glb(self):
+        mesh = eyeriss_v1(torus=False)
+        assert mesh.as_torus().glb.capacity_bytes == mesh.glb.capacity_bytes
+
+
+class TestDram:
+    def test_dram_dominates_hierarchy_energy(self):
+        """DRAM must be the most expensive level or scheduling degenerates."""
+        acc = eyeriss_v1()
+        assert acc.dram.energy_per_byte_pj > acc.glb.buffer.read_energy_pj
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramInterface(bandwidth_bytes_per_cycle=0)
+
+
+class TestPresets:
+    def test_eyeriss_matches_paper_platform(self):
+        """Section V: 14x12 array, 24/448/48 B LBs, 108 KB GLB."""
+        acc = eyeriss_v1()
+        assert (acc.width, acc.height) == (14, 12)
+        pe = acc.array.pe
+        assert pe.local_buffers.input.capacity_bytes == 24
+        assert pe.local_buffers.weight.capacity_bytes == 448
+        assert pe.local_buffers.output.capacity_bytes == 48
+        assert acc.glb.capacity_bytes == 108 * 1024
+
+    def test_eyeriss_torus_flag(self):
+        assert eyeriss_v1(torus=True).is_torus
+        assert not eyeriss_v1(torus=False).is_torus
+
+    def test_scaled_array_keeps_glb_by_default(self):
+        """Fig. 10 scales only the PE array."""
+        small = scaled_array(8, 8)
+        large = scaled_array(32, 32)
+        assert small.glb.capacity_bytes == large.glb.capacity_bytes == 108 * 1024
+
+    def test_scaled_array_can_co_scale_glb(self):
+        large = scaled_array(32, 32, scale_glb=True)
+        assert large.glb.capacity_bytes > 108 * 1024
+
+    def test_scaled_array_topology(self):
+        assert scaled_array(8, 8, torus=True).is_torus
+        assert not scaled_array(8, 8, torus=False).is_torus
+
+    def test_scaled_array_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            scaled_array(0, 8)

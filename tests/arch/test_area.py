@@ -1,0 +1,79 @@
+"""Unit tests for the area model and the Section V-D overhead claim."""
+
+import pytest
+
+from repro.arch.area import AreaModel, WireParameters
+from repro.arch.presets import eyeriss_v1, scaled_array
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return AreaModel()
+
+
+class TestWireParameters:
+    def test_link_area_grows_with_length(self):
+        wires = WireParameters()
+        assert wires.link_area_um2(240.0) > wires.link_area_um2(120.0)
+
+    def test_endpoint_cost_present_at_zero_length(self):
+        wires = WireParameters()
+        assert wires.link_area_um2(0.0) > 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireParameters().link_area_um2(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireParameters(wires_per_link=0)
+
+
+class TestBreakdown:
+    def test_buffers_and_logic_dominate(self, model):
+        """The premise of the 0.3% claim: wires are a small slice."""
+        breakdown = model.breakdown(eyeriss_v1(torus=False))
+        compute_and_sram = (
+            breakdown.pe_logic_um2 + breakdown.local_buffer_um2 + breakdown.glb_um2
+        )
+        assert compute_and_sram > 0.8 * breakdown.total_um2
+
+    def test_torus_controller_includes_wear_leveling_logic(self, model):
+        mesh = model.breakdown(eyeriss_v1(torus=False))
+        torus = model.breakdown(eyeriss_v1(torus=True))
+        assert torus.controller_um2 > mesh.controller_um2
+
+    def test_total_mm2_conversion(self, model):
+        breakdown = model.breakdown(eyeriss_v1(torus=False))
+        assert breakdown.total_mm2 == pytest.approx(breakdown.total_um2 / 1e6)
+
+
+class TestOverheadClaim:
+    def test_overhead_is_sub_one_percent(self, model):
+        """Paper Section V-D: 0.3% — we require the same order (<1%)."""
+        ratio = model.torus_overhead_ratio(eyeriss_v1(torus=False))
+        assert 0.0 < ratio < 0.01
+
+    def test_overhead_shrinks_for_larger_arrays(self, model):
+        """Extra links grow as w+h, PE area as w*h."""
+        small = model.torus_overhead_ratio(scaled_array(8, 8, torus=False))
+        large = model.torus_overhead_ratio(scaled_array(32, 32, torus=False))
+        assert large < small
+
+    def test_folded_no_more_expensive_than_naive_plus_margin(self, model):
+        """Folding exists for timing; it must not blow up area."""
+        acc = eyeriss_v1(torus=False)
+        folded = model.torus_overhead_ratio(acc, folded=True)
+        naive = model.torus_overhead_ratio(acc, folded=False)
+        assert folded <= naive * 1.5 + 1e-9
+
+    def test_wear_leveling_logic_is_tiny(self, model):
+        """Four registers + two counters: hundreds of um^2, not more."""
+        logic = model.wear_leveling_logic_um2(eyeriss_v1(torus=True))
+        total = model.breakdown(eyeriss_v1(torus=False)).total_um2
+        assert logic < 1e-3 * total
+
+    def test_negative_controller_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AreaModel(controller_area_um2=-1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for PEArray geometry and footprints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.array import PEArray
+from repro.arch.topology import Topology
+from repro.errors import ConfigurationError
+
+
+def torus(w=5, h=4):
+    return PEArray(width=w, height=h, topology=Topology.TORUS)
+
+
+def mesh(w=5, h=4):
+    return PEArray(width=w, height=h, topology=Topology.MESH)
+
+
+class TestConstruction:
+    def test_num_pes_and_shape(self):
+        array = mesh(14, 12)
+        assert array.num_pes == 168
+        assert array.shape == (12, 14)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PEArray(width=0, height=4)
+
+    def test_negative_pitch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PEArray(width=4, height=4, pitch_um=-1.0)
+
+    def test_with_topology_preserves_geometry(self):
+        array = mesh(7, 3)
+        rotated = array.with_topology(Topology.TORUS)
+        assert rotated.is_torus
+        assert (rotated.width, rotated.height) == (7, 3)
+
+
+class TestWrap:
+    def test_torus_wraps_modulo(self):
+        assert torus().wrap((6, 5)) == (1, 1)
+        assert torus().wrap((-1, -1)) == (4, 3)
+
+    def test_mesh_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            mesh().wrap((5, 0))
+
+    def test_mesh_accepts_in_range(self):
+        assert mesh().wrap((4, 3)) == (4, 3)
+
+    def test_contains(self):
+        assert mesh().contains((0, 0))
+        assert mesh().contains((4, 3))
+        assert not mesh().contains((5, 3))
+        assert not mesh().contains((0, -1))
+
+
+class TestFootprint:
+    def test_interior_footprint_no_wrap(self):
+        rows, cols = mesh().footprint_indices((1, 1), 2, 2)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        assert cells == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_mesh_rejects_boundary_crossing(self):
+        with pytest.raises(ConfigurationError):
+            mesh().footprint_indices((4, 0), 2, 1)
+
+    def test_torus_wraps_boundary_crossing(self):
+        rows, cols = torus().footprint_indices((4, 3), 2, 2)
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        assert cells == {(3, 4), (3, 0), (0, 4), (0, 0)}
+
+    def test_oversized_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            torus().footprint_indices((0, 0), 6, 1)
+
+    def test_full_array_footprint(self):
+        mask = torus().footprint_mask((2, 1), 5, 4)
+        assert mask.all()
+
+    @given(
+        u=st.integers(0, 4),
+        v=st.integers(0, 3),
+        x=st.integers(1, 5),
+        y=st.integers(1, 4),
+    )
+    def test_footprint_size_is_position_independent(self, u, v, x, y):
+        """A wrapped rectangle always covers exactly x*y distinct PEs —
+        the invariant behind the no-performance-degradation claim."""
+        mask = torus().footprint_mask((u, v), x, y)
+        assert int(mask.sum()) == x * y
+
+    @given(
+        u=st.integers(-10, 10),
+        v=st.integers(-10, 10),
+    )
+    def test_footprint_start_wraps(self, u, v):
+        mask_a = torus().footprint_mask((u, v), 2, 2)
+        mask_b = torus().footprint_mask((u % 5, v % 4), 2, 2)
+        assert np.array_equal(mask_a, mask_b)
+
+
+class TestCoords:
+    def test_coords_row_major_complete(self):
+        coords = mesh(3, 2).coords()
+        assert len(coords) == 6
+        assert coords[0] == (0, 0)
+        assert coords[-1] == (2, 1)
+        assert len(set(coords)) == 6

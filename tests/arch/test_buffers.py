@@ -1,0 +1,84 @@
+"""Unit tests for the buffer models."""
+
+import pytest
+
+from repro.arch.buffers import Buffer, GlobalBuffer, LocalBufferSet
+from repro.errors import ConfigurationError
+
+
+class TestBuffer:
+    def test_capacity_and_energy_are_stored(self):
+        buffer = Buffer("b", 128, read_energy_pj=0.5, write_energy_pj=0.7)
+        assert buffer.capacity_bytes == 128
+        assert buffer.read_energy_pj == 0.5
+        assert buffer.write_energy_pj == 0.7
+
+    def test_write_energy_defaults_to_read_energy(self):
+        buffer = Buffer("b", 128, read_energy_pj=0.5)
+        assert buffer.write_energy_pj == 0.5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("b", 0, read_energy_pj=0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("b", -4, read_energy_pj=0.5)
+
+    def test_negative_read_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Buffer("b", 4, read_energy_pj=-0.1)
+
+    def test_fits_within_capacity(self):
+        buffer = Buffer("b", 100, read_energy_pj=0.1)
+        assert buffer.fits(0)
+        assert buffer.fits(100)
+        assert not buffer.fits(101)
+        assert not buffer.fits(-1)
+
+    def test_area_scales_with_capacity(self):
+        small = Buffer("s", 100, read_energy_pj=0.1)
+        large = Buffer("l", 200, read_energy_pj=0.1)
+        assert large.area_um2 == pytest.approx(2 * small.area_um2)
+
+
+class TestLocalBufferSet:
+    def test_paper_default_sizes(self):
+        """Section V: 24 B input, 448 B weight, 48 B output."""
+        buffers = LocalBufferSet()
+        assert buffers.input.capacity_bytes == 24
+        assert buffers.weight.capacity_bytes == 448
+        assert buffers.output.capacity_bytes == 48
+        assert buffers.total_capacity_bytes == 520
+
+    def test_fits_tile_checks_each_buffer(self):
+        buffers = LocalBufferSet()
+        assert buffers.fits_tile(24, 448, 48)
+        assert not buffers.fits_tile(25, 448, 48)
+        assert not buffers.fits_tile(24, 449, 48)
+        assert not buffers.fits_tile(24, 448, 49)
+
+    def test_area_is_sum_of_parts(self):
+        buffers = LocalBufferSet()
+        expected = (
+            buffers.input.area_um2 + buffers.weight.area_um2 + buffers.output.area_um2
+        )
+        assert buffers.area_um2 == pytest.approx(expected)
+
+
+class TestGlobalBuffer:
+    def test_paper_default_is_108_kb(self):
+        glb = GlobalBuffer()
+        assert glb.capacity_bytes == 108 * 1024
+
+    def test_fits_delegates_to_buffer(self):
+        glb = GlobalBuffer()
+        assert glb.fits(108 * 1024)
+        assert not glb.fits(108 * 1024 + 1)
+
+    def test_glb_access_costs_more_than_local_buffers(self):
+        """The hierarchy must be energy-ordered for scheduling to make sense."""
+        glb = GlobalBuffer()
+        local = LocalBufferSet()
+        assert glb.buffer.read_energy_pj > local.weight.read_energy_pj
+        assert glb.buffer.read_energy_pj > local.input.read_energy_pj

@@ -1,0 +1,62 @@
+"""Unit tests for the on-chip network models."""
+
+import pytest
+
+from repro.arch.noc import GlobalNetwork, LocalNetwork, NocModel
+from repro.errors import ConfigurationError
+
+
+class TestGlobalNetwork:
+    def test_transfer_cycles_round_up(self):
+        net = GlobalNetwork(bandwidth_bytes_per_cycle=16)
+        assert net.transfer_cycles(0) == 0
+        assert net.transfer_cycles(16) == 1
+        assert net.transfer_cycles(17) == 2
+
+    def test_transfer_energy_linear(self):
+        net = GlobalNetwork(energy_per_byte_pj=0.5)
+        assert net.transfer_energy_pj(10) == pytest.approx(5.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalNetwork().transfer_cycles(-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalNetwork(bandwidth_bytes_per_cycle=0)
+
+
+class TestLocalNetwork:
+    def test_forward_cycles(self):
+        net = LocalNetwork(hop_latency_cycles=2)
+        assert net.forward_cycles(3) == 6
+        assert net.forward_cycles(0) == 0
+
+    def test_forward_energy(self):
+        net = LocalNetwork(energy_per_hop_pj=0.1)
+        assert net.forward_energy_pj(4, 3) == pytest.approx(1.2)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalNetwork().forward_cycles(-1)
+
+
+class TestNocModel:
+    def test_scatter_is_position_independent_by_construction(self):
+        """Scatter cost is a function of data volume only."""
+        noc = NocModel()
+        assert noc.scatter_cycles(100, 200) == noc.scatter_cycles(200, 100)
+
+    def test_gather_cycles(self):
+        noc = NocModel()
+        assert noc.gather_cycles(0) == 0
+        assert noc.gather_cycles(1) == 1
+
+    def test_psum_chain_latency(self):
+        noc = NocModel()
+        assert noc.psum_forward_cycles(1) == 0
+        assert noc.psum_forward_cycles(4) == 3
+
+    def test_psum_chain_requires_positive_length(self):
+        with pytest.raises(ConfigurationError):
+            NocModel().psum_forward_cycles(0)

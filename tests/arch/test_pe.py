@@ -1,0 +1,52 @@
+"""Unit tests for the PE model."""
+
+import pytest
+
+from repro.arch.pe import MacUnit, ProcessingElement
+from repro.errors import ConfigurationError
+
+
+class TestMacUnit:
+    def test_defaults_are_16_bit(self):
+        assert MacUnit().operand_bits == 16
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacUnit(operand_bits=0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacUnit(energy_pj=-1.0)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacUnit(area_um2=0.0)
+
+
+class TestProcessingElement:
+    def test_area_sums_mac_buffers_control(self):
+        pe = ProcessingElement()
+        expected = (
+            pe.mac.area_um2 + pe.local_buffers.area_um2 + pe.control_area_um2
+        )
+        assert pe.area_um2 == pytest.approx(expected)
+
+    def test_storage_matches_paper_total(self):
+        assert ProcessingElement().storage_bytes == 24 + 448 + 48
+
+    def test_mac_energy_scales_linearly(self):
+        pe = ProcessingElement()
+        assert pe.mac_energy_pj(0) == 0.0
+        assert pe.mac_energy_pj(10) == pytest.approx(10 * pe.mac.energy_pj)
+
+    def test_negative_mac_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingElement().mac_energy_pj(-1)
+
+    def test_negative_control_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingElement(control_area_um2=-1.0)
+
+    def test_is_hashable_for_cache_keys(self):
+        """The scheduler keys its cache on the PE design."""
+        assert hash(ProcessingElement()) == hash(ProcessingElement())

@@ -1,0 +1,67 @@
+"""Tests for accelerator config serialization."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1, scaled_array
+from repro.arch.serialize import (
+    accelerator_from_dict,
+    accelerator_to_dict,
+    load_accelerator,
+    save_accelerator,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "accelerator",
+        [eyeriss_v1(), eyeriss_v1(torus=True), scaled_array(24, 20)],
+        ids=["mesh", "torus", "scaled"],
+    )
+    def test_dict_round_trip(self, accelerator):
+        rebuilt = accelerator_from_dict(accelerator_to_dict(accelerator))
+        assert rebuilt == accelerator
+
+    def test_file_round_trip(self, tmp_path):
+        accelerator = eyeriss_v1(torus=True)
+        target = save_accelerator(accelerator, tmp_path / "configs" / "e.json")
+        assert load_accelerator(target) == accelerator
+
+    def test_round_trip_preserves_scheduling(self):
+        """Serialized configs schedule identically to the original."""
+        from repro.dataflow.layer import LayerShape
+        from repro.dataflow.scheduler import Scheduler
+
+        original = eyeriss_v1()
+        rebuilt = accelerator_from_dict(accelerator_to_dict(original))
+        layer = LayerShape.conv("s", 32, 16, (14, 14), (3, 3))
+        a = Scheduler(original).schedule_layer(layer)
+        b = Scheduler(rebuilt).schedule_layer(layer)
+        assert a.space_shape == b.space_shape
+        assert a.energy.total_pj == pytest.approx(b.energy.total_pj)
+
+
+class TestValidation:
+    def test_unknown_top_level_key_rejected(self):
+        payload = accelerator_to_dict(eyeriss_v1())
+        payload["typo_key"] = 1
+        with pytest.raises(ConfigurationError):
+            accelerator_from_dict(payload)
+
+    def test_unknown_nested_key_rejected(self):
+        payload = accelerator_to_dict(eyeriss_v1())
+        payload["array"]["typo"] = 1
+        with pytest.raises(ConfigurationError):
+            accelerator_from_dict(payload)
+
+    def test_missing_section_rejected(self):
+        payload = accelerator_to_dict(eyeriss_v1())
+        del payload["glb"]
+        with pytest.raises(ConfigurationError):
+            accelerator_from_dict(payload)
+
+    def test_bad_topology_rejected(self):
+        payload = accelerator_to_dict(eyeriss_v1())
+        payload["array"]["topology"] = "hypercube"
+        with pytest.raises(ConfigurationError):
+            accelerator_from_dict(payload)

@@ -1,0 +1,115 @@
+"""Unit tests for mesh/torus link enumeration and the folded layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.topology import (
+    Topology,
+    folded_ring_hop_lengths,
+    folded_torus_links,
+    mesh_links,
+    naive_torus_links,
+    ring_neighbors,
+    total_wire_pitches,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTopologyEnum:
+    def test_torus_supports_wraparound(self):
+        assert Topology.TORUS.supports_wraparound
+        assert not Topology.MESH.supports_wraparound
+
+
+class TestMeshLinks:
+    def test_link_count(self):
+        """A w x h mesh has (w-1)h horizontal + w(h-1) vertical links."""
+        links = mesh_links(14, 12)
+        assert len(links) == 13 * 12 + 14 * 11
+
+    def test_all_links_unit_length(self):
+        assert all(link.length_pitches == 1.0 for link in mesh_links(5, 4))
+
+    def test_single_pe_has_no_links(self):
+        assert mesh_links(1, 1) == []
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mesh_links(0, 4)
+
+
+class TestFoldedRing:
+    @given(st.integers(min_value=3, max_value=64))
+    def test_max_hop_is_two(self, n):
+        """The folded layout's whole point: no hop exceeds 2 pitches."""
+        assert max(folded_ring_hop_lengths(n)) <= 2.0
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_hop_count_equals_ring_size(self, n):
+        assert len(folded_ring_hop_lengths(n)) == n
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_total_length_close_to_naive(self, n):
+        """Folding trades the long wrap wire for ~2x short hops; the
+        total stays within 2x of the naive ring's total."""
+        folded = sum(folded_ring_hop_lengths(n))
+        naive = (n - 1) + (n - 1)  # n-1 unit hops + one long wrap wire
+        assert folded <= max(2 * (n - 1), 2)
+        assert folded >= n - 1
+        assert folded <= naive + 2
+
+    def test_ring_of_one(self):
+        assert folded_ring_hop_lengths(1) == [1.0]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            folded_ring_hop_lengths(0)
+
+
+class TestTorusLinks:
+    def test_torus_has_one_extra_link_per_row_and_column(self):
+        """The entire area argument of Section V-D."""
+        mesh = mesh_links(14, 12)
+        torus = folded_torus_links(14, 12)
+        assert len(torus) - len(mesh) == 14 + 12
+
+    def test_every_pe_has_two_outgoing_links(self):
+        links = folded_torus_links(5, 4)
+        outgoing = {}
+        for link in links:
+            outgoing[link.src] = outgoing.get(link.src, 0) + 1
+        assert all(count == 2 for count in outgoing.values())
+        assert len(outgoing) == 20
+
+    def test_naive_torus_has_long_wrap_wires(self):
+        links = naive_torus_links(14, 12)
+        assert max(link.length_pitches for link in links) == 13.0
+
+    def test_folded_torus_has_no_long_wires(self):
+        links = folded_torus_links(14, 12)
+        assert max(link.length_pitches for link in links) <= 2.0
+
+    def test_rings_are_closed(self):
+        """Following east links from any PE returns to it after w hops."""
+        links = folded_torus_links(5, 4)
+        east = {link.src: link.dst for link in links if link.src[1] == link.dst[1]}
+        node = (0, 0)
+        for _ in range(5):
+            node = east[node]
+        assert node == (0, 0)
+
+    def test_total_wire_pitches_sums(self):
+        links = mesh_links(3, 3)
+        assert total_wire_pitches(links) == pytest.approx(len(links))
+
+
+class TestRingNeighbors:
+    def test_interior_neighbors(self):
+        assert list(ring_neighbors((1, 1), 5, 4)) == [(2, 1), (1, 2)]
+
+    def test_edge_wraps(self):
+        assert list(ring_neighbors((4, 3), 5, 4)) == [(0, 3), (4, 0)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(ring_neighbors((5, 0), 5, 4))

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Also makes ``src/`` importable when the package has not been pip-installed
+(e.g. a fresh clone running ``pytest`` directly).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+
+
+@pytest.fixture
+def mesh_accelerator():
+    """The paper's mesh baseline: Eyeriss-style 14x12."""
+    return eyeriss_v1(torus=False)
+
+
+@pytest.fixture
+def torus_accelerator():
+    """The RoTA variant of the Eyeriss-style accelerator."""
+    return eyeriss_v1(torus=True)
+
+
+@pytest.fixture
+def small_torus():
+    """A tiny torus array for exhaustive-enumeration tests."""
+    from repro.arch.array import PEArray
+    from repro.arch.topology import Topology
+    from repro.arch.accelerator import Accelerator
+
+    return Accelerator(
+        name="tiny-5x4-torus",
+        array=PEArray(width=5, height=4, topology=Topology.TORUS),
+    )
+
+
+@pytest.fixture
+def small_mesh():
+    """A tiny mesh array for boundary-violation tests."""
+    from repro.arch.array import PEArray
+    from repro.arch.topology import Topology
+    from repro.arch.accelerator import Accelerator
+
+    return Accelerator(
+        name="tiny-5x4-mesh",
+        array=PEArray(width=5, height=4, topology=Topology.MESH),
+    )
+
+
+def make_stream(name="layer", x=3, y=2, z=7, **kwargs):
+    """Convenience TileStream builder for engine/policy tests."""
+    from repro.dataflow.tiling import TileStream
+
+    return TileStream(
+        layer_name=name, space_width=x, space_height=y, num_tiles=z, **kwargs
+    )
+
+
+@pytest.fixture
+def stream_factory():
+    """Expose :func:`make_stream` as a fixture."""
+    return make_stream

@@ -1,0 +1,123 @@
+"""Tests for the Section IV-F controller model.
+
+The key property: the register-transfer-level controller (counters +
+compares only) reproduces Algorithm 1's position sequence exactly,
+including the RO relay across layers.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import (
+    CircularCounter,
+    ControllerConfig,
+    WearLevelingController,
+)
+from repro.core.positions import StrideTrigger, stride_positions
+from repro.errors import ConfigurationError
+
+
+class TestCircularCounter:
+    def test_wraps_like_modulo(self):
+        counter = CircularCounter(14)
+        for expected in (8, 2, 10, 4, 12, 6, 0):
+            counter.add(8)
+            assert counter.value == expected
+
+    def test_wrap_flag(self):
+        counter = CircularCounter(5, initial=3)
+        assert not counter.add(1)  # 4
+        assert counter.add(1)  # wraps to 0
+        assert counter.value == 0
+
+    def test_full_modulus_stride_wraps_to_same_value(self):
+        counter = CircularCounter(5, initial=2)
+        assert counter.add(5)
+        assert counter.value == 2
+
+    def test_width_bits(self):
+        assert CircularCounter(14).width_bits == 4
+        assert CircularCounter(12).width_bits == 4
+        assert CircularCounter(1).width_bits == 1
+
+    def test_oversized_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircularCounter(5).add(6)
+
+    def test_load(self):
+        counter = CircularCounter(5)
+        counter.load(3)
+        assert counter.value == 3
+        with pytest.raises(ConfigurationError):
+            counter.load(5)
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircularCounter(0)
+
+
+class TestControllerConfig:
+    def test_oversized_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(w=14, h=12, x=15, y=1)
+
+
+class TestWearLevelingController:
+    def test_paper_example_walk(self):
+        """Fig. 5: 8-wide spaces on the 14x12 array."""
+        controller = WearLevelingController(14, 12)
+        controller.configure_layer(8, 8)
+        positions = [controller.issue_tile() for _ in range(8)]
+        assert [u for u, _ in positions[:7]] == [0, 8, 2, 10, 4, 12, 6]
+        assert positions[7] == (0, 8)
+
+    @given(
+        w=st.integers(2, 16),
+        h=st.integers(2, 12),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_controller_reproduces_algorithm_1(self, w, h, data):
+        """RTL counters == closed-form stride sequence, across layers."""
+        controller = WearLevelingController(w, h)
+        state = (0, 0)
+        for _ in range(data.draw(st.integers(1, 4))):  # layers
+            x = data.draw(st.integers(1, w))
+            y = data.draw(st.integers(1, h))
+            z = data.draw(st.integers(0, 60))
+            controller.configure_layer(x, y)  # RO: no reset
+            hardware = list(controller.run_layer(z))
+            us, vs, state = stride_positions(
+                state, x, y, w, h, z, StrideTrigger.ORIGIN
+            )
+            reference = list(zip(us.tolist(), vs.tolist()))
+            assert hardware == reference
+
+    def test_rwl_mode_resets_each_layer(self):
+        controller = WearLevelingController(5, 4)
+        controller.configure_layer(2, 2)
+        list(controller.run_layer(3))
+        controller.configure_layer(3, 1, reset=True)
+        assert controller.position == (0, 0)
+
+    def test_tiles_issued_counts(self):
+        controller = WearLevelingController(5, 4)
+        controller.configure_layer(2, 2)
+        list(controller.run_layer(7))
+        assert controller.tiles_issued == 7
+
+    def test_register_bits_match_area_model(self):
+        """Controller state bits feed Section V-D's logic estimate."""
+        from repro.arch.area import AreaModel
+        from repro.arch.presets import eyeriss_v1
+
+        controller = WearLevelingController(14, 12)
+        model = AreaModel()
+        logic = model.wear_leveling_logic_um2(eyeriss_v1(torus=True))
+        assert logic == controller.register_bits * AreaModel._REGISTER_BIT_UM2
+
+    def test_negative_tiles_rejected(self):
+        controller = WearLevelingController(5, 4)
+        controller.configure_layer(1, 1)
+        with pytest.raises(ConfigurationError):
+            list(controller.run_layer(-1))

@@ -1,0 +1,215 @@
+"""Tests for the wear-leveling simulation engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import WearLevelingEngine, simulate_policy
+from repro.core.policies import (
+    BaselinePolicy,
+    RwlPolicy,
+    RwlRoPolicy,
+    make_policy,
+)
+from repro.core.tracker import UsageTracker
+from repro.dataflow.tiling import TileStream
+from repro.errors import ConfigurationError, SimulationError
+
+from tests.conftest import make_stream
+
+
+class TestConstruction:
+    def test_striding_policy_requires_torus(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(small_mesh, RwlPolicy())
+
+    def test_baseline_allowed_on_mesh(self, small_mesh):
+        engine = WearLevelingEngine(small_mesh, BaselinePolicy())
+        assert engine.policy.name == "baseline"
+
+    def test_baseline_allowed_on_torus_too(self, small_torus):
+        WearLevelingEngine(small_torus, BaselinePolicy())
+
+
+class TestRunLayer:
+    def test_usage_conservation(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        stream = make_stream(x=3, y=2, z=11)
+        engine.run_layer(stream)
+        assert engine.tracker.total_usage == 11 * 6
+        assert engine.tracker.tiles_seen == 11
+
+    def test_oversized_space_rejected(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        with pytest.raises(SimulationError):
+            engine.run_layer(make_stream(x=6, y=1, z=1))
+
+    def test_state_advances(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        engine.run_layer(make_stream(x=3, y=2, z=1))
+        assert engine.state == (3, 0)
+
+    def test_memo_consistency_across_repeats(self, small_torus):
+        """The memoized delta path gives the same ledger as fresh runs."""
+        stream = make_stream(x=3, y=2, z=7)
+        engine = WearLevelingEngine(small_torus, RwlPolicy())
+        for _ in range(3):
+            engine.run_layer(stream)
+        fresh = UsageTracker(small_torus.array)
+        policy = RwlPolicy()
+        state = policy.initial_state()
+        for _ in range(3):
+            us, vs, state = policy.layer_positions(3, 2, 7, 5, 4, state)
+            fresh.add_positions(us, vs, 3, 2)
+        assert np.array_equal(engine.tracker.counts, fresh.counts)
+
+
+class TestRun:
+    def test_trace_length_matches_iterations(self, small_torus):
+        result = simulate_policy(
+            small_torus, [make_stream(z=5)], RwlRoPolicy(), iterations=7
+        )
+        assert len(result.trace) == 7
+        assert result.trace[-1].iteration == 7
+        assert result.iterations == 7
+
+    def test_trace_tiles_monotone(self, small_torus):
+        result = simulate_policy(
+            small_torus, [make_stream(z=5)], RwlRoPolicy(), iterations=5
+        )
+        tiles = [point.tiles_seen for point in result.trace]
+        assert tiles == sorted(tiles)
+        assert tiles[-1] == 25
+
+    def test_snapshots_recorded_on_request(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        result = engine.run([make_stream()], iterations=3, record_snapshots=True)
+        assert len(result.snapshots) == 3
+        assert (result.snapshots[-1] == result.counts).all()
+
+    def test_no_snapshots_by_default(self, small_torus):
+        result = simulate_policy(small_torus, [make_stream()], RwlRoPolicy())
+        assert result.snapshots is None
+
+    def test_zero_iterations_rejected(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        with pytest.raises(SimulationError):
+            engine.run([make_stream()], iterations=0)
+
+    def test_empty_network_rejected(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        with pytest.raises(SimulationError):
+            engine.run([], iterations=1)
+
+    def test_reset_restores_initial_state(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        engine.run([make_stream()], iterations=2)
+        engine.reset()
+        assert engine.tracker.total_usage == 0
+        assert engine.state == (0, 0)
+
+    def test_result_metrics_match_counts(self, small_torus):
+        result = simulate_policy(small_torus, [make_stream()], RwlRoPolicy())
+        assert result.max_difference == int(result.counts.max() - result.counts.min())
+        assert result.min_usage == int(result.counts.min())
+
+    def test_trace_arrays(self, small_torus):
+        result = simulate_policy(
+            small_torus, [make_stream()], RwlRoPolicy(), iterations=4
+        )
+        assert len(result.max_difference_trace()) == 4
+        assert len(result.r_diff_trace()) == 4
+
+
+class TestPolicySemantics:
+    def test_baseline_counts_scale_linearly(self, small_torus):
+        """Baseline (and RWL) ledgers after n iterations are exactly n x
+        the single-iteration ledger."""
+        streams = [make_stream(x=3, y=2, z=7), make_stream(x=2, y=3, z=5)]
+        one = simulate_policy(small_torus, streams, BaselinePolicy(), iterations=1)
+        many = simulate_policy(small_torus, streams, BaselinePolicy(), iterations=6)
+        assert np.array_equal(many.counts, 6 * one.counts)
+
+    def test_rwl_counts_scale_linearly(self, small_torus):
+        streams = [make_stream(x=3, y=2, z=7), make_stream(x=2, y=3, z=5)]
+        one = simulate_policy(small_torus, streams, RwlPolicy(), iterations=1)
+        many = simulate_policy(small_torus, streams, RwlPolicy(), iterations=6)
+        assert np.array_equal(many.counts, 6 * one.counts)
+
+    def test_rwl_ro_does_not_scale_linearly_in_general(self, small_torus):
+        """RO carries state, so iteration ledgers differ — that is the
+        whole point of residual optimization."""
+        streams = [make_stream(x=3, y=2, z=7), make_stream(x=2, y=3, z=5)]
+        one = simulate_policy(small_torus, streams, RwlRoPolicy(), iterations=1)
+        two = simulate_policy(small_torus, streams, RwlRoPolicy(), iterations=2)
+        assert not np.array_equal(two.counts, 2 * one.counts)
+
+    @given(
+        z=st.integers(1, 60),
+        x=st.integers(1, 5),
+        y=st.integers(1, 4),
+        iterations=st.integers(1, 5),
+        policy_name=st.sampled_from(["baseline", "rwl", "rwl+ro"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_work_identical_across_policies(
+        self, z, x, y, iterations, policy_name
+    ):
+        """Every policy processes the same tiles — the precondition for
+        Eq. 4 comparisons."""
+        from repro.arch.accelerator import Accelerator
+        from repro.arch.array import PEArray
+        from repro.arch.topology import Topology
+
+        accelerator = Accelerator(
+            name="t", array=PEArray(width=5, height=4, topology=Topology.TORUS)
+        )
+        result = simulate_policy(
+            accelerator,
+            [make_stream(x=x, y=y, z=z)],
+            make_policy(policy_name),
+            iterations=iterations,
+        )
+        assert result.counts.sum() == iterations * z * x * y
+
+
+class TestCycleWeighting:
+    def test_weighted_counts_scale_by_tile_cycles(self, small_torus):
+        stream = make_stream(x=3, y=2, z=7, tile_cycles=10)
+        plain = WearLevelingEngine(small_torus, RwlPolicy())
+        weighted = WearLevelingEngine(small_torus, RwlPolicy(), cycle_weighted=True)
+        plain.run([stream], iterations=2)
+        weighted.run([stream], iterations=2)
+        assert np.array_equal(weighted.tracker.counts, 10 * plain.tracker.counts)
+
+
+class TestTraceGranularity:
+    def test_layer_granular_trace_length(self, small_torus):
+        streams = [make_stream(name="a", z=3), make_stream(name="b", z=4)]
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        result = engine.run(streams, iterations=3, trace_granularity="layer")
+        assert len(result.trace) == 6  # 2 layers x 3 iterations
+        assert [p.layer for p in result.trace[:2]] == ["a", "b"]
+
+    def test_layer_granular_final_counts_match_iteration_granular(
+        self, small_torus
+    ):
+        streams = [make_stream(name="a", z=3), make_stream(name="b", z=4)]
+        fine = WearLevelingEngine(small_torus, RwlRoPolicy()).run(
+            streams, iterations=3, trace_granularity="layer"
+        )
+        coarse = WearLevelingEngine(small_torus, RwlRoPolicy()).run(
+            streams, iterations=3
+        )
+        assert np.array_equal(fine.counts, coarse.counts)
+
+    def test_iteration_granular_has_empty_layer_field(self, small_torus):
+        result = WearLevelingEngine(small_torus, RwlRoPolicy()).run(
+            [make_stream()], iterations=2
+        )
+        assert all(point.layer == "" for point in result.trace)
+
+    def test_unknown_granularity_rejected(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        with pytest.raises(SimulationError):
+            engine.run([make_stream()], trace_granularity="tile")

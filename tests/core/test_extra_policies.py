@@ -1,0 +1,142 @@
+"""Tests for the extension policies (diagonal and random-start)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WearLevelingEngine, simulate_policy
+from repro.core.extra_policies import DiagonalPolicy, RandomStartPolicy
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_stream
+
+W, H = 5, 4
+
+
+class TestRegistry:
+    def test_factory_knows_extensions(self):
+        assert make_policy("diagonal").name == "diagonal"
+        assert make_policy("random").name == "random"
+
+    def test_extensions_require_torus(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(small_mesh, DiagonalPolicy())
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(small_mesh, RandomStartPolicy())
+
+
+class TestDiagonal:
+    def test_strides_plus_one_plus_one(self):
+        us, vs, final = DiagonalPolicy().layer_positions(2, 2, 4, W, H, (0, 0))
+        assert us.tolist() == [0, 1, 2, 3]
+        assert vs.tolist() == [0, 1, 2, 3]
+        assert final == (4, 0)
+
+    def test_carries_state_across_layers(self):
+        policy = DiagonalPolicy()
+        _, _, state = policy.layer_positions(1, 1, 3, W, H, (0, 0))
+        us, vs, _ = policy.layer_positions(1, 1, 1, W, H, state)
+        assert (us[0], vs[0]) == state
+
+    def test_grouped_matches_positions(self):
+        policy = DiagonalPolicy()
+        for z in (1, 7, 19, 20, 21, 100):
+            us, vs, final_a = policy.layer_positions(2, 2, z, W, H, (2, 3))
+            uu, vv, mult, final_b = policy.layer_grouped(2, 2, z, W, H, (2, 3))
+            assert final_a == final_b
+            explicit = {}
+            for a, b in zip(us.tolist(), vs.tolist()):
+                explicit[(a, b)] = explicit.get((a, b), 0) + 1
+            grouped = {(int(a), int(b)): int(m) for a, b, m in zip(uu, vv, mult)}
+            assert grouped == explicit
+
+    def test_full_cycle_is_level(self, small_torus):
+        """lcm(w, h) diagonal steps with a 1x1 space touch every cell of
+        each visited diagonal equally."""
+        result = simulate_policy(
+            small_torus, [make_stream(x=1, y=1, z=20)], DiagonalPolicy()
+        )
+        # 20 = lcm(5, 4): the walk closes, every visited cell hit once.
+        visited = result.counts[result.counts > 0]
+        assert (visited == visited[0]).all()
+
+
+class TestRandomStart:
+    def test_reproducible_under_seed(self, small_torus):
+        a = simulate_policy(small_torus, [make_stream(z=50)], RandomStartPolicy(7))
+        b = simulate_policy(small_torus, [make_stream(z=50)], RandomStartPolicy(7))
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_different_seeds_differ(self, small_torus):
+        a = simulate_policy(small_torus, [make_stream(z=50)], RandomStartPolicy(7))
+        b = simulate_policy(small_torus, [make_stream(z=50)], RandomStartPolicy(8))
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_positions_in_range(self):
+        us, vs, _ = RandomStartPolicy(1).layer_positions(2, 2, 200, W, H, (0, 0))
+        assert us.min() >= 0 and us.max() < W
+        assert vs.min() >= 0 and vs.max() < H
+
+    def test_counter_advances_per_layer(self):
+        policy = RandomStartPolicy(1)
+        us1, _, state = policy.layer_positions(1, 1, 10, W, H, (0, 0))
+        us2, _, _ = policy.layer_positions(1, 1, 10, W, H, state)
+        assert state == (1, 0)
+        assert not np.array_equal(us1, us2)
+
+    def test_roughly_uniform_at_scale(self, small_torus):
+        result = simulate_policy(
+            small_torus,
+            [make_stream(x=1, y=1, z=4000)],
+            RandomStartPolicy(3),
+        )
+        counts = result.counts
+        # 4000 draws over 20 cells: mean 200, expect all within +-40%.
+        assert counts.min() > 120
+        assert counts.max() < 280
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStartPolicy(-1)
+
+    def test_usage_conservation(self, small_torus):
+        result = simulate_policy(
+            small_torus, [make_stream(x=3, y=2, z=33)], RandomStartPolicy(2)
+        )
+        assert result.counts.sum() == 33 * 6
+
+
+class TestGreedyOracle:
+    def test_factory_and_feedback_flag(self):
+        policy = make_policy("greedy")
+        assert policy.name == "greedy"
+        assert policy.needs_feedback
+
+    def test_layer_positions_unsupported(self):
+        from repro.core.extra_policies import GreedyMinUsagePolicy
+
+        with pytest.raises(ConfigurationError):
+            GreedyMinUsagePolicy().layer_positions(1, 1, 1, W, H, (0, 0))
+
+    def test_first_tiles_avoid_each_other(self, small_torus):
+        """On a fresh array, greedy placements never overlap while a
+        perfect packing exists (5 full-height columns tile the array)."""
+        engine = WearLevelingEngine(small_torus, make_policy("greedy"))
+        engine.run_layer(make_stream(x=1, y=4, z=5))  # 5 columns = whole array
+        counts = engine.tracker.counts
+        assert counts.max() == 1
+        assert counts.min() == 1
+
+    def test_near_perfect_leveling(self, small_torus):
+        engine = WearLevelingEngine(small_torus, make_policy("greedy"))
+        engine.run([make_stream(x=3, y=2, z=13)], iterations=4, record_trace=False)
+        assert engine.tracker.max_difference <= 1
+
+    def test_usage_conservation(self, small_torus):
+        engine = WearLevelingEngine(small_torus, make_policy("greedy"))
+        engine.run_layer(make_stream(x=3, y=2, z=9))
+        assert engine.tracker.total_usage == 9 * 6
+
+    def test_mesh_rejected(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(small_mesh, make_policy("greedy"))

@@ -1,0 +1,104 @@
+"""Tests for the three wear-leveling policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policies import (
+    BaselinePolicy,
+    RwlPolicy,
+    RwlRoPolicy,
+    StrideTrigger,
+    make_policy,
+)
+from repro.errors import ConfigurationError
+
+W, H = 5, 4
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_policy("baseline").name == "baseline"
+        assert make_policy("rwl").name == "rwl"
+        assert make_policy("rwl+ro").name == "rwl+ro"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("rwl+++")
+
+    def test_trigger_threading(self):
+        policy = make_policy("rwl", StrideTrigger.WRAP)
+        assert policy.trigger is StrideTrigger.WRAP
+
+    def test_torus_requirements(self):
+        assert not BaselinePolicy.requires_torus
+        assert RwlPolicy.requires_torus
+        assert RwlRoPolicy.requires_torus
+
+
+class TestBaseline:
+    def test_all_tiles_at_origin(self):
+        us, vs, state = BaselinePolicy().layer_positions(2, 2, 5, W, H, (3, 3))
+        assert (us == 0).all()
+        assert (vs == 0).all()
+        assert state == (0, 0)
+
+    def test_grouped_is_single_entry(self):
+        uu, vv, mult, state = BaselinePolicy().layer_grouped(2, 2, 9, W, H, (0, 0))
+        assert uu.tolist() == [0]
+        assert vv.tolist() == [0]
+        assert mult.tolist() == [9]
+
+    def test_ignores_carried_state(self):
+        assert BaselinePolicy().layer_start_state((2, 3)) == (0, 0)
+
+
+class TestRwl:
+    def test_resets_each_layer(self):
+        assert RwlPolicy().layer_start_state((3, 2)) == (0, 0)
+
+    def test_first_tile_at_origin_regardless_of_state(self):
+        us, vs, _ = RwlPolicy().layer_positions(2, 2, 3, W, H, (3, 1))
+        assert (us[0], vs[0]) == (0, 0)
+
+    def test_strides_by_space_width(self):
+        us, vs, _ = RwlPolicy().layer_positions(2, 2, 3, W, H, (0, 0))
+        assert us.tolist() == [0, 2, 4]
+
+
+class TestRwlRo:
+    def test_carries_state(self):
+        assert RwlRoPolicy().layer_start_state((3, 2)) == (3, 2)
+
+    def test_first_tile_continues_from_state(self):
+        us, vs, _ = RwlRoPolicy().layer_positions(2, 2, 3, W, H, (3, 1))
+        assert (us[0], vs[0]) == (3, 1)
+
+    def test_state_threads_through_layers(self):
+        policy = RwlRoPolicy()
+        _, _, state = policy.layer_positions(2, 2, 3, W, H, (0, 0))
+        us, _, _ = policy.layer_positions(3, 1, 1, W, H, state)
+        assert us[0] == state[0]
+
+
+class TestGroupedConsistency:
+    @given(
+        x=st.integers(1, W),
+        y=st.integers(1, H),
+        z=st.integers(1, 100),
+        u0=st.integers(0, W - 1),
+        v0=st.integers(0, H - 1),
+        policy_name=st.sampled_from(["baseline", "rwl", "rwl+ro"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_grouped_matches_positions(self, x, y, z, u0, v0, policy_name):
+        policy = make_policy(policy_name)
+        us, vs, final_a = policy.layer_positions(x, y, z, W, H, (u0, v0))
+        uu, vv, mult, final_b = policy.layer_grouped(x, y, z, W, H, (u0, v0))
+        assert final_a == final_b
+        assert int(mult.sum()) == z
+        explicit = {}
+        for a, b in zip(us.tolist(), vs.tolist()):
+            explicit[(a, b)] = explicit.get((a, b), 0) + 1
+        grouped = {(int(a), int(b)): int(m) for a, b, m in zip(uu, vv, mult)}
+        assert grouped == explicit

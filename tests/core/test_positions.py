@@ -1,0 +1,134 @@
+"""Tests for the Algorithm 1 stride sequence — closed form vs reference."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.positions import (
+    StrideTrigger,
+    grouped_positions,
+    next_position,
+    position_sequence,
+    stride_positions,
+)
+from repro.errors import ConfigurationError
+
+TRIGGERS = [StrideTrigger.ORIGIN, StrideTrigger.WRAP]
+
+
+def geometry():
+    """Strategy for a consistent (u, v, x, y, w, h) tuple."""
+    return st.tuples(
+        st.integers(2, 16),  # w
+        st.integers(2, 12),  # h
+    ).flatmap(
+        lambda wh: st.tuples(
+            st.integers(0, wh[0] - 1),  # u
+            st.integers(0, wh[1] - 1),  # v
+            st.integers(1, wh[0]),  # x
+            st.integers(1, wh[1]),  # y
+            st.just(wh[0]),
+            st.just(wh[1]),
+        )
+    )
+
+
+class TestNextPosition:
+    def test_paper_example_first_strides(self):
+        """Fig. 5: 8-wide spaces on the 14-wide array from the origin."""
+        position = (0, 0)
+        seen = [position]
+        for _ in range(7):
+            position = next_position(position, 8, 8, 14, 12)
+            seen.append(position)
+        # After X = LCM(14,8)/8 = 7 strides, u returns to 0 and v advances.
+        assert seen[7] == (0, 8)
+        us = [u for u, _ in seen[:7]]
+        assert us == [0, 8, 2, 10, 4, 12, 6]
+
+    def test_origin_trigger_requires_exact_zero(self):
+        # u=4, x=3, w=5: next u = 2 (wrapped past boundary but not to 0).
+        assert next_position((4, 0), 3, 2, 5, 4, StrideTrigger.ORIGIN) == (2, 0)
+        assert next_position((4, 0), 3, 2, 5, 4, StrideTrigger.WRAP) == (2, 2)
+
+    def test_full_width_space_always_wraps(self):
+        assert next_position((0, 0), 5, 2, 5, 4, StrideTrigger.ORIGIN) == (0, 2)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            next_position((0, 0), 6, 1, 5, 4)
+        with pytest.raises(ConfigurationError):
+            next_position((5, 0), 1, 1, 5, 4)
+
+
+class TestStridePositionsAgainstReference:
+    @given(geometry(), st.integers(0, 200), st.sampled_from(TRIGGERS))
+    @settings(max_examples=200, deadline=None)
+    def test_vectorized_equals_generator(self, geo, z, trigger):
+        u, v, x, y, w, h = geo
+        us, vs, final = stride_positions((u, v), x, y, w, h, z, trigger)
+        reference = list(position_sequence((u, v), x, y, w, h, z, trigger))
+        assert [(a, b) for a, b in zip(us.tolist(), vs.tolist())] == reference
+        # Final state is the position the (z+1)-th tile would take.
+        more_us, more_vs, _ = stride_positions((u, v), x, y, w, h, z + 1, trigger)
+        assert final == (int(more_us[-1]), int(more_vs[-1]))
+
+    @given(geometry(), st.sampled_from(TRIGGERS))
+    @settings(max_examples=100, deadline=None)
+    def test_stride_map_is_bijective(self, geo, trigger):
+        """Algorithm 1's map permutes the coordinate grid — the formal
+        basis of the periodicity optimization."""
+        u, v, x, y, w, h = geo
+        images = {
+            next_position((a, b), x, y, w, h, trigger)
+            for a in range(w)
+            for b in range(h)
+        }
+        assert len(images) == w * h
+
+
+class TestGroupedPositions:
+    @given(geometry(), st.integers(1, 500), st.sampled_from(TRIGGERS))
+    @settings(max_examples=200, deadline=None)
+    def test_grouped_equals_explicit(self, geo, z, trigger):
+        u, v, x, y, w, h = geo
+        us, vs, final = stride_positions((u, v), x, y, w, h, z, trigger)
+        guu, gvv, gmult, gfinal = grouped_positions((u, v), x, y, w, h, z, trigger)
+        assert gfinal == final
+        assert int(gmult.sum()) == z
+        explicit = {}
+        for a, b in zip(us.tolist(), vs.tolist()):
+            explicit[(a, b)] = explicit.get((a, b), 0) + 1
+        grouped = {
+            (int(a), int(b)): int(m) for a, b, m in zip(guu, gvv, gmult)
+        }
+        assert grouped == explicit
+
+    def test_huge_tile_counts_are_constant_time(self):
+        """A Llama-scale Z must not materialize Z positions."""
+        z = 10**9
+        uu, vv, mult, final = grouped_positions((0, 0), 8, 8, 14, 12, z)
+        assert int(mult.sum()) == z
+        assert len(uu) <= 14 * 12
+
+    def test_zero_tiles(self):
+        uu, vv, mult, final = grouped_positions((3, 2), 2, 2, 5, 4, 0)
+        assert len(uu) == 0
+        assert final == (3, 2)
+
+    @given(geometry())
+    @settings(max_examples=100, deadline=None)
+    def test_one_full_period_is_balanced_from_origin(self, geo):
+        """After LCM(w,x)/x horizontal strides from the origin, every
+        column has been covered exactly W = LCM/w times (Section IV-C)."""
+        _, _, x, y, w, h = geo
+        big_x = math.lcm(w, x) // x
+        big_w = math.lcm(w, x) // w
+        us, vs, _ = stride_positions((0, 0), x, y, w, h, big_x)
+        coverage = np.zeros(w, dtype=int)
+        for u in us.tolist():
+            for j in range(x):
+                coverage[(u + j) % w] += 1
+        assert (coverage == big_w).all()

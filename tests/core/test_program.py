@@ -1,0 +1,111 @@
+"""Tests for controller programs (the scheduler -> firmware bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import RwlRoPolicy
+from repro.core.program import ControllerProgram, LayerProgram, program_from_execution
+from repro.core.tracker import UsageTracker
+from repro.errors import ConfigurationError
+from repro.experiments.common import execution_for, paper_accelerator
+
+
+def toy_program():
+    return ControllerProgram(
+        network="toy",
+        w=5,
+        h=4,
+        layers=(
+            LayerProgram("a", x=3, y=2, z=7),
+            LayerProgram("b", x=2, y=3, z=5),
+        ),
+    )
+
+
+class TestValidation:
+    def test_oversized_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerProgram(
+                network="bad", w=5, h=4, layers=(LayerProgram("a", 6, 1, 1),)
+            )
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerProgram(network="bad", w=5, h=4, layers=())
+
+    def test_bad_layer_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LayerProgram("a", 0, 1, 1)
+
+    def test_total_tiles(self):
+        assert toy_program().total_tiles == 12
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        program = toy_program()
+        assert ControllerProgram.from_json(program.to_json()) == program
+
+    def test_file_round_trip(self, tmp_path):
+        program = toy_program()
+        target = program.save(tmp_path / "firmware" / "toy.json")
+        assert ControllerProgram.load(target) == program
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerProgram.from_json('{"network": "x"}')
+
+
+class TestReplay:
+    def test_replay_matches_engine_ledger(self, small_torus):
+        """The firmware replay reproduces the engine's tile placements —
+        the scheduler -> controller path is closed end to end."""
+        from tests.conftest import make_stream
+
+        program = toy_program()
+        placements = program.replay(iterations=3)
+
+        replay_tracker = UsageTracker(small_torus.array)
+        sizes = {entry.layer: (entry.x, entry.y) for entry in program.layers}
+        for layer, u, v in placements:
+            x, y = sizes[layer]
+            replay_tracker.add_space((u, v), x, y)
+
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        engine.run(
+            [make_stream(name="a", x=3, y=2, z=7), make_stream(name="b", x=2, y=3, z=5)],
+            iterations=3,
+            record_trace=False,
+        )
+        assert np.array_equal(replay_tracker.counts, engine.tracker.counts)
+
+    def test_reset_per_layer_gives_rwl_semantics(self):
+        placements = toy_program().replay(reset_per_layer=True)
+        # Every layer's first tile restarts at the origin.
+        assert placements[0][1:] == (0, 0)
+        first_b = next(p for p in placements if p[0] == "b")
+        assert first_b[1:] == (0, 0)
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            toy_program().replay(iterations=0)
+
+
+class TestFromExecution:
+    def test_program_matches_schedule(self):
+        accelerator = paper_accelerator()
+        execution = execution_for("SqueezeNet", accelerator)
+        program = program_from_execution(
+            execution, accelerator.width, accelerator.height
+        )
+        assert program.network == "SqueezeNet"
+        assert len(program.layers) == len(execution.layers)
+        assert program.total_tiles == execution.total_tiles
+        first = program.layers[0]
+        stream = execution.layers[0].stream
+        assert (first.x, first.y, first.z) == (
+            stream.space_width,
+            stream.space_height,
+            stream.num_tiles,
+        )

@@ -1,0 +1,123 @@
+"""Tests for the closed-form RWL math (Eqs. 5-11), pinned to the paper."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.array import PEArray
+from repro.arch.topology import Topology
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import RwlPolicy
+from repro.core.rwl_math import (
+    horizontal_strides,
+    horizontal_unfoldings,
+    rwl_parameters,
+)
+from repro.dataflow.tiling import TileStream
+from repro.errors import ConfigurationError
+
+
+class TestPaperExample:
+    """Fig. 5: ResNet C5, 8x8 space, Z = 32 tiles on the 14x12 array."""
+
+    def test_equation_5(self):
+        assert horizontal_strides(14, 8) == 7  # X = LCM(14,8)/8
+
+    def test_equation_6(self):
+        assert horizontal_unfoldings(14, 8) == 4  # W = LCM(14,8)/14
+
+    def test_full_parameter_set(self):
+        params = rwl_parameters(w=14, h=12, x=8, y=8, z=32)
+        assert params.X == 7
+        assert params.W == 4
+        assert params.Y == 4  # Eq. 7: floor(32/7)
+        assert params.H_rwl == 2  # Eq. 8: floor(4*8/12)
+        assert params.d_max_bound == 5  # Eq. 9: W + 1
+
+    def test_min_a_pe_positive_for_paper_example(self):
+        params = rwl_parameters(w=14, h=12, x=8, y=8, z=32)
+        assert params.min_a_pe > 0
+        assert params.r_diff_bound == params.d_max_bound / params.min_a_pe
+
+    def test_describe_mentions_key_quantities(self):
+        text = rwl_parameters(w=14, h=12, x=8, y=8, z=32).describe()
+        assert "X=7" in text and "W=4" in text
+
+
+class TestEdgeCases:
+    def test_space_equal_to_array(self):
+        params = rwl_parameters(w=14, h=12, x=14, y=12, z=10)
+        assert params.X == 1
+        assert params.W == 1
+        assert params.min_a_pe == 10  # every tile covers every PE
+
+    def test_tiny_z_gives_infinite_r_diff_bound(self):
+        """The small-layer regime where RWL alone cannot level."""
+        params = rwl_parameters(w=14, h=12, x=8, y=8, z=3)
+        assert params.min_a_pe == 0
+        assert params.r_diff_bound == float("inf")
+        assert not params.horizontally_leveled
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rwl_parameters(w=14, h=12, x=15, y=8, z=10)
+        with pytest.raises(ConfigurationError):
+            rwl_parameters(w=14, h=12, x=8, y=8, z=0)
+        with pytest.raises(ConfigurationError):
+            horizontal_strides(0, 8)
+
+
+def _simulated_d_max(w, h, x, y, z):
+    accelerator = Accelerator(
+        name="t", array=PEArray(width=w, height=h, topology=Topology.TORUS)
+    )
+    engine = WearLevelingEngine(accelerator, RwlPolicy())
+    engine.run_layer(TileStream("l", x, y, z))
+    return engine.tracker.max_difference, engine.tracker.min_usage
+
+
+class TestBoundsAgainstSimulation:
+    @given(
+        w=st.integers(2, 16),
+        h=st.integers(2, 12),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_d_max_bound_holds(self, w, h, data):
+        """Eq. 9: simulated D_max never exceeds W + 1 for origin-started
+        RWL on a single layer."""
+        x = data.draw(st.integers(1, w))
+        y = data.draw(st.integers(1, h))
+        z = data.draw(st.integers(1, 400))
+        params = rwl_parameters(w, h, x, y, z)
+        d_max, _ = _simulated_d_max(w, h, x, y, z)
+        assert d_max <= params.d_max_bound
+
+    @given(
+        w=st.integers(2, 16),
+        h=st.integers(2, 12),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_min_a_pe_is_a_lower_bound(self, w, h, data):
+        """Eq. 10: the closed-form minimum usage never exceeds the
+        simulated minimum."""
+        x = data.draw(st.integers(1, w))
+        y = data.draw(st.integers(1, h))
+        z = data.draw(st.integers(1, 400))
+        params = rwl_parameters(w, h, x, y, z)
+        _, min_usage = _simulated_d_max(w, h, x, y, z)
+        assert min_usage >= params.min_a_pe
+
+    def test_perfect_leveling_after_full_rotation(self):
+        """Running Z = X * (h / gcd(y, h)) ... LCM-many tiles levels the
+        array exactly (usage diff 0) — the Fig. 5 'bottom part'."""
+        w, h, x, y = 14, 12, 8, 8
+        big_x = math.lcm(w, x) // x
+        vertical_period = h // math.gcd(y, h)
+        z = big_x * vertical_period
+        d_max, min_usage = _simulated_d_max(w, h, x, y, z)
+        assert d_max == 0
+        assert min_usage > 0

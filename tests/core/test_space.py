@@ -1,0 +1,68 @@
+"""Tests for utilization-space geometry."""
+
+import pytest
+
+from repro.arch.array import PEArray
+from repro.arch.topology import Topology
+from repro.core.space import UtilizationSpace
+from repro.errors import ConfigurationError
+
+
+def torus():
+    return PEArray(width=5, height=4, topology=Topology.TORUS)
+
+
+def mesh():
+    return PEArray(width=5, height=4, topology=Topology.MESH)
+
+
+class TestConstruction:
+    def test_properties(self):
+        space = UtilizationSpace(1, 2, 3, 2)
+        assert space.start == (1, 2)
+        assert space.shape == (3, 2)
+        assert space.num_pes == 6
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationSpace(0, 0, 0, 1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationSpace(-1, 0, 1, 1)
+
+
+class TestWrapDetection:
+    def test_interior_space_does_not_wrap(self):
+        assert not UtilizationSpace(0, 0, 5, 4).wraps_on(torus())
+
+    def test_edge_space_wraps(self):
+        assert UtilizationSpace(3, 0, 3, 1).wraps_on(torus())
+        assert UtilizationSpace(0, 3, 1, 2).wraps_on(torus())
+
+
+class TestFootprint:
+    def test_footprint_size(self):
+        space = UtilizationSpace(4, 3, 2, 2)
+        assert int(space.footprint(torus()).sum()) == 4
+
+    def test_mesh_rejects_wrapping_footprint(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationSpace(4, 3, 2, 2).footprint(mesh())
+
+    def test_indices_match_footprint(self):
+        space = UtilizationSpace(1, 1, 2, 3)
+        rows, cols = space.indices(torus())
+        mask = space.footprint(torus())
+        assert mask[rows, cols].all()
+        assert len(rows) == 6
+
+    def test_utilization_ratio(self):
+        assert UtilizationSpace(0, 0, 5, 2).utilization(torus()) == pytest.approx(0.5)
+
+
+class TestMovedTo:
+    def test_moved_space_keeps_shape(self):
+        space = UtilizationSpace(0, 0, 3, 2).moved_to(2, 1)
+        assert space.start == (2, 1)
+        assert space.shape == (3, 2)

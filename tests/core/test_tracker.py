@@ -1,0 +1,204 @@
+"""Tests for the usage tracker, including batch-vs-naive equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.array import PEArray
+from repro.arch.topology import Topology
+from repro.core.tracker import UsageTracker
+from repro.errors import ConfigurationError, SimulationError
+
+
+def torus_array(w=5, h=4):
+    return PEArray(width=w, height=h, topology=Topology.TORUS)
+
+
+def mesh_array(w=5, h=4):
+    return PEArray(width=w, height=h, topology=Topology.MESH)
+
+
+class TestAddSpace:
+    def test_single_space_counts(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((0, 0), 2, 2)
+        assert tracker.total_usage == 4
+        assert tracker.tiles_seen == 1
+        assert tracker.max_usage == 1
+
+    def test_wrapping_space_on_torus(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((4, 3), 2, 2)
+        counts = tracker.counts
+        assert counts[3, 4] == 1 and counts[3, 0] == 1
+        assert counts[0, 4] == 1 and counts[0, 0] == 1
+
+    def test_wrapping_space_on_mesh_rejected(self):
+        tracker = UsageTracker(mesh_array())
+        with pytest.raises(ConfigurationError):
+            tracker.add_space((4, 3), 2, 2)
+
+    def test_multiplicity(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((1, 1), 1, 1, count=7)
+        assert tracker.counts[1, 1] == 7
+        assert tracker.tiles_seen == 7
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(SimulationError):
+            UsageTracker(torus_array()).add_space((0, 0), 1, 1, count=0)
+
+
+class TestAddPositionsEquivalence:
+    @given(
+        x=st.integers(1, 5),
+        y=st.integers(1, 4),
+        starts=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 3)),
+            min_size=0,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_batch_equals_per_tile(self, x, y, starts):
+        """The difference-array fast path is bit-identical to the naive
+        per-tile loop."""
+        batch = UsageTracker(torus_array())
+        naive = UsageTracker(torus_array())
+        us = np.array([s[0] for s in starts], dtype=np.int64)
+        vs = np.array([s[1] for s in starts], dtype=np.int64)
+        batch.add_positions(us, vs, x, y)
+        for u, v in starts:
+            naive.add_space((u, v), x, y)
+        assert np.array_equal(batch.counts, naive.counts)
+        assert batch.tiles_seen == naive.tiles_seen
+
+    @given(
+        x=st.integers(1, 5),
+        y=st.integers(1, 4),
+        n=st.integers(1, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_usage_conservation(self, x, y, n):
+        """Total usage equals tiles x space area, always."""
+        tracker = UsageTracker(torus_array())
+        rng = np.random.default_rng(42)
+        us = rng.integers(0, 5, n)
+        vs = rng.integers(0, 4, n)
+        tracker.add_positions(us, vs, x, y)
+        assert tracker.total_usage == n * x * y
+
+    def test_mesh_rejects_wrapping_batch(self):
+        tracker = UsageTracker(mesh_array())
+        with pytest.raises(SimulationError):
+            tracker.add_positions(np.array([4]), np.array([0]), 2, 1)
+
+    def test_mesh_accepts_interior_batch(self):
+        tracker = UsageTracker(mesh_array())
+        tracker.add_positions(np.array([0, 1]), np.array([0, 1]), 2, 2)
+        assert tracker.total_usage == 8
+
+    def test_out_of_range_positions_rejected(self):
+        tracker = UsageTracker(torus_array())
+        with pytest.raises(SimulationError):
+            tracker.add_positions(np.array([5]), np.array([0]), 1, 1)
+
+    def test_mismatched_arrays_rejected(self):
+        tracker = UsageTracker(torus_array())
+        with pytest.raises(SimulationError):
+            tracker.add_positions(np.array([0, 1]), np.array([0]), 1, 1)
+
+    def test_empty_batch_is_noop(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_positions(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 2, 2)
+        assert tracker.total_usage == 0
+
+
+class TestAddGrouped:
+    def test_grouped_multiplicities(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_grouped(
+            np.array([0, 2]), np.array([0, 1]), np.array([3, 5]), 1, 1
+        )
+        assert tracker.counts[0, 0] == 3
+        assert tracker.counts[1, 2] == 5
+        assert tracker.tiles_seen == 8
+
+    def test_zero_multiplicity_rejected(self):
+        tracker = UsageTracker(torus_array())
+        with pytest.raises(SimulationError):
+            tracker.add_grouped(np.array([0]), np.array([0]), np.array([0]), 1, 1)
+
+
+class TestAddDelta:
+    def test_delta_accumulates(self):
+        tracker = UsageTracker(torus_array())
+        delta = np.ones(torus_array().shape, dtype=np.int64)
+        tracker.add_delta(delta, tiles=1)
+        tracker.add_delta(delta * 2, tiles=2)
+        assert tracker.counts.max() == 3
+        assert tracker.tiles_seen == 3
+
+    def test_wrong_shape_rejected(self):
+        tracker = UsageTracker(torus_array())
+        with pytest.raises(SimulationError):
+            tracker.add_delta(np.zeros((2, 2), dtype=np.int64), tiles=0)
+
+
+class TestMetrics:
+    def test_fresh_tracker_is_level(self):
+        tracker = UsageTracker(torus_array())
+        assert tracker.max_difference == 0
+        assert tracker.r_diff == 0.0
+
+    def test_r_diff_infinite_with_untouched_pe(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((0, 0), 1, 1)
+        assert tracker.r_diff == float("inf")
+
+    def test_r_diff_finite(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((0, 0), 5, 4)  # everyone 1
+        tracker.add_space((0, 0), 1, 1)  # origin 2
+        assert tracker.max_difference == 1
+        assert tracker.r_diff == pytest.approx(1.0)
+
+    def test_usage_coefficients_normalized_to_peak(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((0, 0), 2, 2, count=4)
+        coefficients = tracker.usage_coefficients()
+        assert coefficients.max() == pytest.approx(1.0)
+        assert coefficients.min() == 0.0
+
+    def test_reset(self):
+        tracker = UsageTracker(torus_array())
+        tracker.add_space((0, 0), 2, 2)
+        tracker.reset()
+        assert tracker.total_usage == 0
+        assert tracker.tiles_seen == 0
+
+    def test_merged_with(self):
+        a = UsageTracker(torus_array())
+        b = UsageTracker(torus_array())
+        a.add_space((0, 0), 1, 1)
+        b.add_space((1, 1), 1, 1)
+        merged = a.merged_with(b)
+        assert merged.total_usage == 2
+        assert a.total_usage == 1  # originals untouched
+
+    def test_merge_shape_mismatch_rejected(self):
+        a = UsageTracker(torus_array(5, 4))
+        b = UsageTracker(torus_array(4, 5))
+        with pytest.raises(SimulationError):
+            a.merged_with(b)
+
+    def test_counts_view_is_read_only(self):
+        tracker = UsageTracker(torus_array())
+        with pytest.raises(ValueError):
+            tracker.counts[0, 0] = 99
+
+    def test_snapshot_is_independent_copy(self):
+        tracker = UsageTracker(torus_array())
+        snap = tracker.snapshot()
+        tracker.add_space((0, 0), 1, 1)
+        assert snap[0, 0] == 0

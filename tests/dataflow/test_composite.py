@@ -1,0 +1,90 @@
+"""Tests for composite (two-dims-per-axis) spatial mapping."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.dataflow.scheduler import Scheduler, SchedulerOptions
+from repro.errors import MappingError
+
+
+def conv():
+    return LayerShape.conv("c", 64, 32, (28, 28), (3, 3))
+
+
+def composite_mapping():
+    return Mapping(
+        layer=conv(),
+        spatial_x=SpatialAssignment("K", 4),
+        spatial_y=SpatialAssignment("P", 7),
+        spatial_x2=SpatialAssignment("C", 2),
+        pe_temporal={"R": 3, "S": 3},
+    )
+
+
+class TestCompositeMappingGeometry:
+    def test_space_shape_is_factor_product(self):
+        assert composite_mapping().space_shape == (8, 7)
+
+    def test_spatial_factor_sees_secondary(self):
+        mapping = composite_mapping()
+        assert mapping.spatial_factor("K") == 4
+        assert mapping.spatial_factor("C") == 2
+
+    def test_duplicate_dim_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping(
+                layer=conv(),
+                spatial_x=SpatialAssignment("K", 4),
+                spatial_y=SpatialAssignment("P", 7),
+                spatial_x2=SpatialAssignment("K", 2),
+            )
+
+    def test_pass_extents_include_secondary(self):
+        mapping = composite_mapping()
+        assert mapping.pass_extent("C") == 2
+        # Tile MACs account for the co-mapped reduction slice.
+        assert mapping.tile_extent("C") == 2
+
+    def test_tile_count_shrinks_with_secondary(self):
+        plain = Mapping(
+            layer=conv(),
+            spatial_x=SpatialAssignment("K", 4),
+            spatial_y=SpatialAssignment("P", 7),
+            pe_temporal={"R": 3, "S": 3},
+        )
+        assert composite_mapping().num_tiles < plain.num_tiles
+
+
+class TestCompositeSearch:
+    def test_composite_never_worse_than_plain(self):
+        layer = conv()
+        plain = Scheduler(eyeriss_v1()).schedule_layer(layer)
+        composite = Scheduler(
+            eyeriss_v1(), SchedulerOptions(composite_spatial=True)
+        ).schedule_layer(layer)
+        # The composite search space is a superset, so the optimum can
+        # only improve under the same objective.
+        assert composite.energy.total_pj <= plain.energy.total_pj + 1e-6
+
+    def test_composite_space_fits_array(self):
+        layer = conv()
+        schedule = Scheduler(
+            eyeriss_v1(), SchedulerOptions(composite_spatial=True)
+        ).schedule_layer(layer)
+        x, y = schedule.space_shape
+        assert x <= 14 and y <= 12
+
+    def test_composite_cache_round_trip(self):
+        """Composite schedules survive the signature/disk cache paths."""
+        layer_a = LayerShape.conv("alpha", 64, 32, (28, 28), (3, 3))
+        layer_b = LayerShape.conv("beta", 64, 32, (28, 28), (3, 3))
+        scheduler = Scheduler(
+            eyeriss_v1(), SchedulerOptions(composite_spatial=True)
+        )
+        a = scheduler.schedule_layer(layer_a)
+        b = scheduler.schedule_layer(layer_b)
+        assert a.mapping.spatial_x2 == b.mapping.spatial_x2
+        assert a.space_shape == b.space_shape
+        assert b.layer.name == "beta"

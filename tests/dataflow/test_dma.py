@@ -1,0 +1,151 @@
+"""Tests for DMA descriptor generation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.dma import DmaDescriptor, DmaGenerator
+from repro.dataflow.layer import WORD_BYTES, LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.dataflow.scheduler import Scheduler
+from repro.errors import SimulationError
+
+
+def small_conv():
+    return LayerShape.conv("c", 8, 4, (6, 6), (3, 3))
+
+
+def mapping_for(layer=None, glb=None):
+    layer = layer or small_conv()
+    return Mapping(
+        layer=layer,
+        spatial_x=SpatialAssignment("K", 4),
+        spatial_y=SpatialAssignment("P", 3),
+        pe_temporal={"R": 3, "S": 3},
+        glb_temporal=glb or {},
+    )
+
+
+class TestDescriptors:
+    def test_descriptor_validation(self):
+        with pytest.raises(SimulationError):
+            DmaDescriptor("input", -1, 4)
+        with pytest.raises(SimulationError):
+            DmaDescriptor("input", 0, 0)
+
+    def test_tile_grid_matches_trips(self):
+        generator = DmaGenerator(mapping_for())
+        mapping = mapping_for()
+        assert generator.tile_grid() == (
+            mapping.trips("K"),
+            mapping.trips("C"),
+            mapping.trips("P"),
+            mapping.trips("Q"),
+        )
+
+    def test_tile_count_matches_z(self):
+        mapping = mapping_for()
+        generator = DmaGenerator(mapping)
+        assert len(list(generator.tiles())) == mapping.num_tiles
+
+    def test_out_of_range_tile_rejected(self):
+        generator = DmaGenerator(mapping_for())
+        with pytest.raises(SimulationError):
+            generator.tile_dma(10**9)
+
+
+class TestCoverage:
+    """Descriptors must cover each tensor exactly: reading back every
+    output byte exactly once, and weights exactly once per (P,Q) sweep."""
+
+    def _paint(self, runs, size_bytes):
+        painted = np.zeros(size_bytes // WORD_BYTES, dtype=int)
+        for run in runs:
+            start = run.offset_bytes // WORD_BYTES
+            stop = run.end_bytes // WORD_BYTES
+            assert run.offset_bytes % WORD_BYTES == 0
+            painted[start:stop] += 1
+        return painted
+
+    def test_output_written_once_per_c_trip(self):
+        """Each output word is written exactly once per reduction trip
+        (partial-sum round trips when C is split across tiles)."""
+        layer = small_conv()
+        mapping = mapping_for(layer)
+        generator = DmaGenerator(mapping)
+        runs = [run for tile in generator.tiles() for run in tile.output_runs]
+        painted = self._paint(runs, layer.output_bytes)
+        assert (painted == mapping.trips("C")).all()
+
+    def test_output_written_exactly_once_with_full_c_tiles(self):
+        layer = small_conv()
+        mapping = mapping_for(layer, glb={"C": 4})  # tile covers all of C
+        assert mapping.trips("C") == 1
+        runs = [
+            run
+            for tile in DmaGenerator(mapping).tiles()
+            for run in tile.output_runs
+        ]
+        painted = self._paint(runs, layer.output_bytes)
+        assert (painted == 1).all()
+
+    def test_weights_fetched_once_per_pq_trip(self):
+        layer = small_conv()
+        mapping = mapping_for(layer)
+        generator = DmaGenerator(mapping)
+        runs = [run for tile in generator.tiles() for run in tile.weight_runs]
+        painted = self._paint(runs, layer.weight_bytes)
+        expected = mapping.trips("P") * mapping.trips("Q")
+        assert (painted == expected).all()
+
+    def test_input_interior_covered(self):
+        """Every input word that feeds some output is fetched >= once."""
+        layer = small_conv()
+        generator = DmaGenerator(mapping_for(layer))
+        runs = [run for tile in generator.tiles() for run in tile.input_runs]
+        painted = self._paint(runs, layer.input_bytes)
+        assert (painted >= 1).all()
+
+    def test_halo_rows_fetched_more_than_interior(self):
+        """Tiling P with a 3x3 kernel refetches boundary input rows."""
+        layer = small_conv()
+        generator = DmaGenerator(mapping_for(layer))
+        runs = [run for tile in generator.tiles() for run in tile.input_runs]
+        painted = self._paint(runs, layer.input_bytes)
+        assert painted.max() > painted.min()
+
+
+class TestTrafficCrossCheck:
+    def test_totals_match_mapping_tile_working_sets(self):
+        """Descriptor totals never exceed Z x the modeled tile working
+        set (the model rounds tile extents up at edges)."""
+        layer = small_conv()
+        mapping = mapping_for(layer)
+        generator = DmaGenerator(mapping)
+        input_total, weight_total, output_total = generator.total_traffic_bytes()
+        z = mapping.num_tiles
+        assert 0 < input_total <= z * mapping.tile_input_words() * WORD_BYTES
+        assert 0 < weight_total <= z * mapping.tile_weight_words() * WORD_BYTES
+        assert 0 < output_total <= z * mapping.tile_output_words() * WORD_BYTES
+
+    def test_scheduled_layer_descriptors_generate(self):
+        """Real scheduler output produces coherent descriptor lists."""
+        schedule = Scheduler(eyeriss_v1()).schedule_layer(
+            LayerShape.conv("real", 32, 16, (14, 14), (3, 3))
+        )
+        generator = DmaGenerator(schedule.mapping)
+        first = generator.tile_dma(0)
+        assert first.input_bytes > 0
+        assert first.weight_bytes > 0
+        assert first.output_bytes > 0
+
+    def test_depthwise_weights_contiguous(self):
+        layer = LayerShape.depthwise("dw", 16, (8, 8), (3, 3))
+        mapping = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 4),
+            spatial_y=SpatialAssignment("P", 4),
+            pe_temporal={"R": 3, "S": 3},
+        )
+        tile = DmaGenerator(mapping).tile_dma(0)
+        assert len(tile.weight_runs) == 1

@@ -1,0 +1,118 @@
+"""Unit tests for the hierarchical energy model."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.energy import EnergyModel
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(eyeriss_v1())
+
+
+def small_conv():
+    return LayerShape.conv("c", 16, 8, (14, 14), (3, 3))
+
+
+def mapping_for(layer, glb=None, pe=None):
+    return Mapping(
+        layer=layer,
+        spatial_x=SpatialAssignment("K", 8),
+        spatial_y=SpatialAssignment("P", 7),
+        pe_temporal=pe if pe is not None else {"R": 3, "S": 3},
+        glb_temporal=glb or {},
+    )
+
+
+class TestBreakdown:
+    def test_all_components_nonnegative(self, model):
+        breakdown = model.evaluate(mapping_for(small_conv()))
+        assert breakdown.mac_pj > 0
+        assert breakdown.local_buffer_pj > 0
+        assert breakdown.glb_pj > 0
+        assert breakdown.noc_pj >= 0
+        assert breakdown.dram_pj > 0
+
+    def test_total_is_sum(self, model):
+        b = model.evaluate(mapping_for(small_conv()))
+        assert b.total_pj == pytest.approx(
+            b.mac_pj + b.local_buffer_pj + b.glb_pj + b.noc_pj + b.dram_pj
+        )
+        assert b.total_uj == pytest.approx(b.total_pj / 1e6)
+
+    def test_mac_energy_independent_of_mapping(self, model):
+        layer = small_conv()
+        a = model.evaluate(mapping_for(layer))
+        b = model.evaluate(mapping_for(layer, glb={"Q": 14}))
+        assert a.mac_pj == pytest.approx(b.mac_pj)
+
+
+class TestTrafficAccounting:
+    def test_bigger_glb_tiles_do_not_increase_dram_traffic(self, model):
+        layer = small_conv()
+        few_tiles = model.dram_traffic_bytes(mapping_for(layer, glb={"Q": 14}))
+        many_tiles = model.dram_traffic_bytes(mapping_for(layer))
+        assert few_tiles <= many_tiles
+
+    def test_dram_traffic_at_least_compulsory(self, model):
+        layer = small_conv()
+        traffic = model.dram_traffic_bytes(mapping_for(layer))
+        compulsory = layer.input_bytes + layer.weight_bytes + layer.output_bytes
+        assert traffic >= compulsory
+
+    def test_fitting_tensor_streams_once(self, model):
+        layer = small_conv()  # tiny: everything fits the 108 KB GLB
+        mapping = mapping_for(layer)
+        assert model.dram_input_streams(mapping) == 1
+        assert model.dram_weight_streams(mapping) == 1
+
+    def test_oversized_weights_restream(self, model):
+        layer = LayerShape.conv("big", 512, 512, (14, 14), (3, 3))
+        mapping = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 8),
+            spatial_y=SpatialAssignment("P", 7),
+            pe_temporal={"R": 3, "S": 3},
+            glb_temporal={"P": 2},
+        )
+        assert layer.weight_bytes > eyeriss_v1().glb.capacity_bytes
+        assert model.dram_weight_streams(mapping) > 1
+
+    def test_depthwise_input_never_restreams(self, model):
+        layer = LayerShape.depthwise("dw", 512, (112, 112), (3, 3))
+        mapping = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 8),
+            spatial_y=SpatialAssignment("P", 7),
+            pe_temporal={"R": 3, "S": 3},
+        )
+        assert model.dram_input_streams(mapping) == 1
+
+    def test_splitting_reduction_costs_psum_spill(self, model):
+        layer = LayerShape.conv("c", 16, 64, (14, 14), (3, 3))
+        split = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 8),
+            spatial_y=SpatialAssignment("P", 7),
+            pe_temporal={"R": 3, "S": 3, "C": 2},
+            glb_temporal={},
+        )  # tile C extent 2 => 32 C-trips
+        whole = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 8),
+            spatial_y=SpatialAssignment("P", 7),
+            pe_temporal={"R": 3, "S": 3, "C": 2},
+            glb_temporal={"C": 32},
+        )  # tile covers full C
+        assert model.dram_traffic_bytes(split) > model.dram_traffic_bytes(whole)
+
+    def test_glb_reads_scale_with_passes(self, model):
+        layer = small_conv()
+        mapping = mapping_for(layer)
+        assert model.glb_read_words(mapping) >= mapping.num_passes
+        assert model.glb_write_words(mapping) == (
+            mapping.num_passes * mapping.pass_output_words()
+        )

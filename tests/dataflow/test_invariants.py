@@ -1,0 +1,131 @@
+"""Cross-cutting mapping/energy invariants over random legal mappings.
+
+Hypothesis builds random layers and random legal factorizations; every
+example must satisfy the structural relations the energy and cycle
+models silently rely on.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.energy import EnergyModel
+from repro.dataflow.layer import LOOP_DIMS, LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.errors import MappingError
+
+
+@st.composite
+def legal_mapping(draw):
+    """A random conv layer with a random legal mapping."""
+    layer = LayerShape.conv(
+        "inv",
+        out_channels=draw(st.integers(1, 64)),
+        in_channels=draw(st.integers(1, 32)),
+        out_hw=(draw(st.integers(1, 32)), draw(st.integers(1, 32))),
+        kernel=draw(st.sampled_from([(1, 1), (3, 3)])),
+        stride=draw(st.integers(1, 2)),
+    )
+    sizes = layer.dim_sizes()
+    dim_x, dim_y = draw(
+        st.sampled_from(
+            [("K", "P"), ("K", "C"), ("Q", "P"), ("C", "Q"), ("P", "K")]
+        )
+    )
+
+    def pick_factor(size, limit):
+        candidates = [f for f in range(1, min(size, limit) + 1) if size % f == 0]
+        return draw(st.sampled_from(candidates))
+
+    fx = pick_factor(sizes[dim_x], 14)
+    fy = pick_factor(sizes[dim_y], 12)
+
+    temporal = {}
+    if layer.R > 1:
+        temporal["R"] = layer.R
+        temporal["S"] = layer.S
+    glb = {}
+    for dim in ("C", "Q"):
+        spatial = fx if dim == dim_x else fy if dim == dim_y else 1
+        quotient = sizes[dim] // spatial
+        if quotient > 1 and draw(st.booleans()):
+            divisors = [f for f in range(1, quotient + 1) if quotient % f == 0]
+            glb[dim] = draw(st.sampled_from(divisors))
+    try:
+        mapping = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment(dim_x, fx),
+            spatial_y=SpatialAssignment(dim_y, fy),
+            pe_temporal=temporal,
+            glb_temporal=glb,
+        )
+    except MappingError:
+        assume(False)
+    return mapping
+
+
+class TestMappingInvariants:
+    @given(legal_mapping())
+    @settings(max_examples=150, deadline=None)
+    def test_extent_hierarchy(self, mapping):
+        """spatial <= pass <= tile <= layer extent for every dimension."""
+        sizes = mapping.layer.dim_sizes()
+        for dim in LOOP_DIMS:
+            assert mapping.spatial_factor(dim) <= mapping.pass_extent(dim)
+            assert mapping.pass_extent(dim) <= mapping.tile_extent(dim)
+            assert mapping.tile_extent(dim) <= sizes[dim]
+
+    @given(legal_mapping())
+    @settings(max_examples=150, deadline=None)
+    def test_pass_working_sets_never_exceed_tile(self, mapping):
+        assert mapping.pass_input_words() <= mapping.tile_input_words()
+        assert mapping.pass_weight_words() <= mapping.tile_weight_words()
+        assert mapping.pass_output_words() <= mapping.tile_output_words()
+        assert mapping.pass_macs() <= mapping.tile_macs()
+
+    @given(legal_mapping())
+    @settings(max_examples=150, deadline=None)
+    def test_counts_cover_the_layer(self, mapping):
+        """Trip products always cover every loop iteration."""
+        layer = mapping.layer
+        assert mapping.num_tiles * mapping.tile_macs() >= layer.macs
+        assert mapping.num_passes * mapping.pass_macs() >= layer.macs
+        assert mapping.num_passes >= mapping.num_tiles
+
+    @given(legal_mapping())
+    @settings(max_examples=100, deadline=None)
+    def test_dram_traffic_at_least_compulsory(self, mapping):
+        model = EnergyModel(eyeriss_v1())
+        layer = mapping.layer
+        compulsory = layer.input_bytes + layer.weight_bytes + layer.output_bytes
+        assert model.dram_traffic_bytes(mapping) >= compulsory
+
+    @given(legal_mapping())
+    @settings(max_examples=100, deadline=None)
+    def test_glb_traffic_covers_operand_delivery(self, mapping):
+        """Every pass's operands move through the GLB at least once."""
+        model = EnergyModel(eyeriss_v1())
+        floor = mapping.num_passes * (
+            mapping.pass_input_words() + mapping.pass_weight_words()
+        )
+        assert model.glb_read_words(mapping) >= floor
+
+
+class TestGlbGrowthMonotonicity:
+    def test_growing_glb_tiles_never_increases_dram_traffic(self):
+        """Bundling more passes per tile only improves DRAM reuse."""
+        model = EnergyModel(eyeriss_v1())
+        layer = LayerShape.conv("m", 32, 16, (16, 16), (3, 3))
+        base = dict(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 8),
+            spatial_y=SpatialAssignment("P", 4),
+            pe_temporal={"R": 3, "S": 3},
+        )
+        previous = None
+        for q_factor in (1, 2, 4, 8, 16):
+            mapping = Mapping(**base, glb_temporal={"Q": q_factor})
+            traffic = model.dram_traffic_bytes(mapping)
+            if previous is not None:
+                assert traffic <= previous
+            previous = traffic

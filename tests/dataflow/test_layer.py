@@ -1,0 +1,98 @@
+"""Unit tests for layer shape descriptions."""
+
+import pytest
+
+from repro.dataflow.layer import LayerKind, LayerShape
+from repro.errors import WorkloadError
+
+
+class TestConvConstructor:
+    def test_basic_conv(self):
+        layer = LayerShape.conv("c", 64, 3, (112, 112), (7, 7), stride=2)
+        assert layer.kind is LayerKind.CONV
+        assert (layer.K, layer.C, layer.P, layer.Q, layer.R, layer.S) == (
+            64, 3, 112, 112, 7, 7,
+        )
+
+    def test_macs(self):
+        layer = LayerShape.conv("c", 2, 3, (4, 5), (1, 1))
+        assert layer.macs == 2 * 3 * 4 * 5
+
+    def test_input_geometry_from_stride(self):
+        layer = LayerShape.conv("c", 1, 1, (10, 10), (3, 3), stride=2)
+        assert layer.input_hw == (21, 21)
+
+    def test_tensor_volumes(self):
+        layer = LayerShape.conv("c", 2, 3, (4, 4), (3, 3))
+        assert layer.weight_words == 2 * 3 * 9
+        assert layer.output_words == 2 * 16
+        assert layer.input_words == 3 * 6 * 6
+        assert layer.weight_bytes == layer.weight_words * 2
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(WorkloadError):
+            LayerShape.conv("c", 0, 3, (4, 4), (3, 3))
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(WorkloadError):
+            LayerShape.conv("c", 1, 3, (4, 4), (3, 3), stride=0)
+
+
+class TestDepthwiseConstructor:
+    def test_channel_loop_lives_in_k(self):
+        layer = LayerShape.depthwise("d", 32, (56, 56), (3, 3))
+        assert layer.kind is LayerKind.DEPTHWISE
+        assert layer.K == 32
+        assert layer.C == 1
+
+    def test_macs_scale_with_channels_not_squared(self):
+        layer = LayerShape.depthwise("d", 32, (8, 8), (3, 3))
+        assert layer.macs == 32 * 64 * 9
+
+    def test_weights_one_filter_per_channel(self):
+        layer = LayerShape.depthwise("d", 32, (8, 8), (3, 3))
+        assert layer.weight_words == 32 * 9
+
+    def test_input_uses_channel_count(self):
+        layer = LayerShape.depthwise("d", 32, (8, 8), (3, 3))
+        assert layer.input_words == 32 * 10 * 10
+
+    def test_direct_construction_rejects_c_not_one(self):
+        with pytest.raises(WorkloadError):
+            LayerShape(
+                name="bad", kind=LayerKind.DEPTHWISE,
+                K=8, C=2, P=4, Q=4, R=3, S=3,
+            )
+
+
+class TestGemmConstructor:
+    def test_dimension_mapping(self):
+        layer = LayerShape.gemm("g", rows=197, cols=768, inner=64)
+        assert layer.kind is LayerKind.GEMM
+        assert (layer.P, layer.K, layer.C) == (197, 768, 64)
+        assert (layer.Q, layer.R, layer.S) == (1, 1, 1)
+
+    def test_macs(self):
+        layer = LayerShape.gemm("g", rows=10, cols=20, inner=30)
+        assert layer.macs == 6000
+
+    def test_direct_construction_rejects_nontrivial_kernel(self):
+        with pytest.raises(WorkloadError):
+            LayerShape(
+                name="bad", kind=LayerKind.GEMM, K=8, C=8, P=8, Q=1, R=3, S=1,
+            )
+
+
+class TestDescribe:
+    def test_conv_describe_mentions_kernel(self):
+        layer = LayerShape.conv("c1", 64, 3, (112, 112), (7, 7), stride=2)
+        assert "7x7" in layer.describe()
+        assert "c1" in layer.describe()
+
+    def test_gemm_describe_mentions_shape(self):
+        layer = LayerShape.gemm("g", rows=10, cols=20, inner=30)
+        assert "10x30" in layer.describe()
+
+    def test_dim_sizes_covers_all_loops(self):
+        layer = LayerShape.gemm("g", rows=10, cols=20, inner=30)
+        assert set(layer.dim_sizes()) == {"K", "C", "P", "Q", "R", "S"}

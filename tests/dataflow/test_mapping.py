@@ -1,0 +1,185 @@
+"""Unit tests for the three-level mapping model."""
+
+import pytest
+
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def conv_layer():
+    return LayerShape.conv("c", 64, 32, (28, 28), (3, 3))
+
+
+def make_mapping(layer, dim_x="K", fx=8, dim_y="P", fy=7, pe=None, glb=None):
+    return Mapping(
+        layer=layer,
+        spatial_x=SpatialAssignment(dim_x, fx),
+        spatial_y=SpatialAssignment(dim_y, fy),
+        pe_temporal=pe or {},
+        glb_temporal=glb or {},
+    )
+
+
+class TestSpatialAssignment:
+    def test_unknown_dim_rejected(self):
+        with pytest.raises(MappingError):
+            SpatialAssignment("Z", 2)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(MappingError):
+            SpatialAssignment("K", 0)
+
+
+class TestValidation:
+    def test_same_dim_both_axes_rejected(self, conv_layer):
+        with pytest.raises(MappingError):
+            make_mapping(conv_layer, dim_x="K", dim_y="K")
+
+    def test_spatial_factor_exceeding_extent_rejected(self, conv_layer):
+        with pytest.raises(MappingError):
+            make_mapping(conv_layer, dim_x="R", fx=4)
+
+    def test_tile_extent_exceeding_layer_rejected(self, conv_layer):
+        with pytest.raises(MappingError):
+            make_mapping(conv_layer, pe={"K": 16})  # 8 * 16 = 128 > 64
+
+    def test_unknown_temporal_dim_rejected(self, conv_layer):
+        with pytest.raises(MappingError):
+            make_mapping(conv_layer, pe={"Z": 2})
+
+
+class TestGeometry:
+    def test_space_shape(self, conv_layer):
+        mapping = make_mapping(conv_layer)
+        assert mapping.space_shape == (8, 7)
+        assert mapping.active_pes == 56
+
+    def test_extent_hierarchy(self, conv_layer):
+        mapping = make_mapping(conv_layer, pe={"K": 2}, glb={"K": 4})
+        assert mapping.spatial_factor("K") == 8
+        assert mapping.pass_extent("K") == 16
+        assert mapping.tile_extent("K") == 64
+
+    def test_unmapped_dim_factors_default_to_one(self, conv_layer):
+        mapping = make_mapping(conv_layer)
+        assert mapping.spatial_factor("C") == 1
+        assert mapping.pe_temporal_factor("C") == 1
+        assert mapping.glb_temporal_factor("C") == 1
+
+    def test_num_tiles_is_product_of_glb_trips(self, conv_layer):
+        # K: 64/8 = 8 trips, P: 28/7 = 4, others full extent per tile? No:
+        # unmapped dims have tile extent 1, so they contribute their size.
+        mapping = make_mapping(
+            conv_layer,
+            pe={"C": 32, "Q": 28, "R": 3, "S": 3},
+            glb={"P": 4},
+        )
+        # tile extents: K=8, C=32, P=28, Q=28, R=3, S=3
+        assert mapping.num_tiles == (64 // 8) * 1 * 1 * 1 * 1 * 1
+
+    def test_num_passes_at_least_num_tiles(self, conv_layer):
+        mapping = make_mapping(
+            conv_layer, pe={"C": 32, "R": 3, "S": 3}, glb={"P": 4, "Q": 28}
+        )
+        assert mapping.num_passes >= mapping.num_tiles
+
+    def test_passes_per_tile_is_product_of_glb_factors(self, conv_layer):
+        mapping = make_mapping(conv_layer, pe={"R": 3}, glb={"P": 4, "Q": 2})
+        assert mapping.passes_per_tile == 8
+
+
+class TestWorkingSets:
+    def test_tile_output_words(self, conv_layer):
+        mapping = make_mapping(conv_layer, glb={"Q": 2})
+        # tile extents: K=8, P=7, Q=2
+        assert mapping.tile_output_words() == 8 * 7 * 2
+
+    def test_tile_input_patch_includes_halo(self, conv_layer):
+        mapping = make_mapping(conv_layer)
+        # tile extents: C=1, P=7, Q=1; patch (7-1)+3 x (1-1)+3 = 9 x 3
+        assert mapping.tile_input_words() == 1 * 9 * 3
+
+    def test_tile_weight_words(self, conv_layer):
+        mapping = make_mapping(conv_layer, pe={"R": 3, "S": 3})
+        assert mapping.tile_weight_words() == 8 * 1 * 3 * 3
+
+    def test_tile_bytes_is_word_sum_times_two(self, conv_layer):
+        mapping = make_mapping(conv_layer)
+        words = (
+            mapping.tile_input_words()
+            + mapping.tile_weight_words()
+            + mapping.tile_output_words()
+        )
+        assert mapping.tile_bytes() == 2 * words
+
+    def test_pass_working_sets_smaller_than_tile(self, conv_layer):
+        mapping = make_mapping(conv_layer, glb={"K": 8})
+        assert mapping.pass_weight_words() < mapping.tile_weight_words()
+
+    def test_total_tile_macs_cover_layer(self, conv_layer):
+        """Tiles x MACs-per-tile >= layer MACs (edge tiles overcount)."""
+        mapping = make_mapping(
+            conv_layer, pe={"C": 32, "R": 3, "S": 3}, glb={"P": 4, "Q": 28}
+        )
+        assert mapping.num_tiles * mapping.tile_macs() >= conv_layer.macs
+
+
+class TestPerPe:
+    def test_pe_weight_words(self, conv_layer):
+        mapping = make_mapping(conv_layer, pe={"K": 2, "C": 4, "R": 3, "S": 3})
+        assert mapping.pe_weight_words() == 2 * 4 * 3 * 3
+
+    def test_spatial_r_reduces_pe_kernel_share(self):
+        layer = LayerShape.conv("c", 16, 16, (28, 28), (3, 3))
+        mapping = Mapping(
+            layer=layer,
+            spatial_x=SpatialAssignment("K", 4),
+            spatial_y=SpatialAssignment("R", 3),
+            pe_temporal={"C": 2},
+        )
+        assert mapping.pe_weight_words() == 1 * 2 * 1 * 3
+
+    def test_pe_output_words(self, conv_layer):
+        mapping = make_mapping(conv_layer, pe={"K": 2, "P": 3})
+        assert mapping.pe_output_words() == 2 * 3 * 1
+
+    def test_fits_default_local_buffers(self, conv_layer):
+        small = make_mapping(conv_layer, pe={"R": 3, "S": 3})
+        assert small.fits_local_buffers()
+
+    def test_violates_small_output_buffer(self, conv_layer):
+        big = make_mapping(conv_layer, pe={"K": 8, "P": 4})  # 32 words > 24
+        assert not big.fits_local_buffers()
+
+    def test_describe_mentions_space_and_z(self, conv_layer):
+        text = make_mapping(conv_layer).describe()
+        assert "8x7" in text
+        assert "Z=" in text
+
+
+class TestLoopNest:
+    def test_loopnest_structure(self, conv_layer):
+        mapping = make_mapping(
+            conv_layer, pe={"C": 4, "R": 3, "S": 3}, glb={"Q": 4}
+        )
+        text = mapping.to_loopnest()
+        lines = text.splitlines()
+        assert lines[0].startswith("//")
+        assert any("parallel-for" in line for line in lines)
+        assert text.rstrip().endswith("mac()")
+        # GLB passes appear above the spatial level, PE loops below it.
+        glb_line = next(i for i, l in enumerate(lines) if "array passes" in l)
+        spatial_line = next(i for i, l in enumerate(lines) if "parallel-for" in l)
+        pe_line = next(i for i, l in enumerate(lines) if "inside one PE" in l)
+        assert glb_line < spatial_line < pe_line
+
+    def test_unit_factors_omitted(self, conv_layer):
+        mapping = make_mapping(conv_layer)
+        text = mapping.to_loopnest()
+        assert "[0:1)" not in text
+
+    def test_space_shape_in_header(self, conv_layer):
+        mapping = make_mapping(conv_layer)
+        assert "8x7 utilization space" in mapping.to_loopnest()

@@ -1,0 +1,125 @@
+"""Tests for the discrete-event tile pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.cycles import CycleModel, TileCycles
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.pipeline import (
+    PipelineSimulator,
+    simulate_layer,
+    validate_cycle_model,
+)
+from repro.dataflow.scheduler import Scheduler
+from repro.errors import SimulationError
+
+
+def costs(compute=100, scatter=40, gather=20, drain=5):
+    return TileCycles(compute=compute, scatter=scatter, gather=gather, drain=drain)
+
+
+class TestSinglePass:
+    def test_one_pass_is_fully_serialized(self):
+        result = PipelineSimulator(costs()).simulate(1)
+        assert result.makespan == costs().serialized
+        timeline = result.timelines[0]
+        assert timeline.scatter_start == 0
+        assert timeline.gather_end == result.makespan
+
+
+class TestSteadyState:
+    @given(
+        compute=st.integers(1, 300),
+        scatter=st.integers(1, 300),
+        gather=st.integers(1, 300),
+        drain=st.integers(0, 20),
+        passes=st.integers(2, 60),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_analytic_model_bounds_simulation(
+        self, compute, scatter, gather, drain, passes
+    ):
+        """The closed form `serialized + (n-1)*steady` is an upper bound
+        on the double-buffered shared-bus simulation, and tight."""
+        per_pass = TileCycles(
+            compute=compute, scatter=scatter, gather=gather, drain=drain
+        )
+        simulated = PipelineSimulator(per_pass, buffers=2).simulate(passes).makespan
+        analytic = per_pass.serialized + (passes - 1) * per_pass.steady_state
+        assert simulated <= analytic
+        # Tight: within one pass's serialized cost.
+        assert analytic - simulated <= per_pass.serialized
+
+    @given(
+        compute=st.integers(1, 200),
+        scatter=st.integers(1, 200),
+        gather=st.integers(1, 200),
+        passes=st.integers(2, 40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lower_bounds_hold(self, compute, scatter, gather, passes):
+        """Makespan can never beat the compute roof or the bus roof."""
+        per_pass = TileCycles(
+            compute=compute, scatter=scatter, gather=gather, drain=0
+        )
+        simulated = PipelineSimulator(per_pass, buffers=2).simulate(passes).makespan
+        assert simulated >= passes * compute
+        assert simulated >= passes * (scatter + gather)
+
+    def test_single_buffer_serializes(self):
+        per_pass = costs()
+        double = PipelineSimulator(per_pass, buffers=2).simulate(20).makespan
+        single = PipelineSimulator(per_pass, buffers=1).simulate(20).makespan
+        assert single > double
+
+    def test_dual_port_no_slower_than_shared(self):
+        per_pass = costs(compute=50, scatter=100, gather=100)
+        shared = PipelineSimulator(per_pass, buffers=2).simulate(30).makespan
+        dual = PipelineSimulator(
+            per_pass, buffers=2, shared_glb_port=False
+        ).simulate(30).makespan
+        assert dual <= shared
+
+    def test_deeper_buffers_never_slower(self):
+        per_pass = costs()
+        two = PipelineSimulator(per_pass, buffers=2).simulate(30).makespan
+        four = PipelineSimulator(per_pass, buffers=4).simulate(30).makespan
+        assert four <= two
+
+
+class TestTimelineConsistency:
+    def test_stage_ordering_per_pass(self):
+        result = PipelineSimulator(costs()).simulate(10)
+        for timeline in result.timelines:
+            assert timeline.scatter_end - timeline.scatter_start == costs().scatter
+            assert timeline.gather_end - timeline.gather_start == costs().gather
+
+    def test_compute_utilization_bounds(self):
+        result = PipelineSimulator(costs(compute=1000, scatter=1)).simulate(20)
+        assert 0.9 < result.compute_utilization <= 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            PipelineSimulator(costs(), buffers=0)
+        with pytest.raises(SimulationError):
+            PipelineSimulator(costs()).simulate(0)
+
+
+class TestAgainstCycleModel:
+    def test_real_layer_validates(self):
+        accelerator = eyeriss_v1()
+        cycle_model = CycleModel(accelerator)
+        schedule = Scheduler(accelerator).schedule_layer(
+            LayerShape.conv("c", 64, 32, (28, 28), (3, 3))
+        )
+        assert validate_cycle_model(cycle_model, schedule.mapping)
+
+    def test_simulate_layer_caps_passes(self):
+        accelerator = eyeriss_v1()
+        cycle_model = CycleModel(accelerator)
+        schedule = Scheduler(accelerator).schedule_layer(
+            LayerShape.gemm("g", 512, 4096, 4096)
+        )
+        result = simulate_layer(cycle_model, schedule.mapping, max_passes=64)
+        assert result.num_passes == min(64, schedule.mapping.num_passes)

@@ -1,0 +1,75 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.roofline import Bound, analyze_roofline
+from repro.dataflow.scheduler import Scheduler
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    accelerator = eyeriss_v1()
+    scheduler = Scheduler(accelerator)
+    layers = [
+        # High reuse: big conv, compute-friendly.
+        LayerShape.conv("fat_conv", 64, 64, (28, 28), (3, 3)),
+        # Low reuse: a GEMV-like layer, memory-bound.
+        LayerShape.gemm("skinny_fc", 1, 1000, 512),
+    ]
+    schedules = [scheduler.schedule_layer(layer) for layer in layers]
+    return analyze_roofline(accelerator, schedules)
+
+
+class TestClassification:
+    def test_fat_conv_has_higher_intensity(self, analysis):
+        fat = analysis.point_for("fat_conv")
+        skinny = analysis.point_for("skinny_fc")
+        assert fat.arithmetic_intensity > skinny.arithmetic_intensity
+
+    def test_gemv_is_memory_bound(self, analysis):
+        assert analysis.point_for("skinny_fc").bound is Bound.MEMORY
+
+    def test_machine_balance_consistent(self, analysis):
+        accelerator = eyeriss_v1()
+        expected = accelerator.num_pes / accelerator.dram.bandwidth_bytes_per_cycle
+        for point in analysis.points:
+            assert point.machine_balance == pytest.approx(expected)
+
+    def test_bound_matches_intensity_vs_balance(self, analysis):
+        for point in analysis.points:
+            expected = (
+                Bound.COMPUTE
+                if point.arithmetic_intensity >= point.machine_balance
+                else Bound.MEMORY
+            )
+            assert point.bound is expected
+
+
+class TestEfficiency:
+    def test_efficiency_positive_and_compute_bounded_by_peak(self, analysis):
+        for point in analysis.points:
+            assert point.efficiency > 0.0
+            if point.bound is Bound.COMPUTE:
+                # Compute-bound layers can never beat the MAC roof.
+                assert point.efficiency <= 1.0 + 1e-9
+
+    def test_achieved_below_peak(self, analysis):
+        peak = eyeriss_v1().num_pes
+        for point in analysis.points:
+            assert point.achieved_macs_per_cycle <= peak
+
+
+class TestApi:
+    def test_compute_bound_fraction(self, analysis):
+        assert 0.0 <= analysis.compute_bound_fraction <= 1.0
+
+    def test_unknown_layer_lookup(self, analysis):
+        with pytest.raises(KeyError):
+            analysis.point_for("nope")
+
+    def test_empty_schedules_rejected(self):
+        with pytest.raises(SimulationError):
+            analyze_roofline(eyeriss_v1(), [])

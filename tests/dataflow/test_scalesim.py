@@ -1,0 +1,76 @@
+"""Tests for the SCALE-Sim export."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.layer import LayerKind
+from repro.dataflow.scalesim import export_scalesim
+from repro.errors import WorkloadError
+from repro.workloads.registry import get_network
+
+
+class TestConfig:
+    def test_architecture_presets(self, tmp_path):
+        export = export_scalesim(eyeriss_v1(), get_network("SqueezeNet"), tmp_path)
+        text = export.config.read_text()
+        assert "ArrayHeight : 12" in text
+        assert "ArrayWidth : 14" in text
+        assert "Dataflow : ws" in text
+        assert "run_name = squeezenet" in text
+
+    def test_output_stationary_keyword(self, tmp_path):
+        export = export_scalesim(
+            eyeriss_v1(), get_network("SqueezeNet"), tmp_path,
+            dataflow="output_stationary",
+        )
+        assert "Dataflow : os" in export.config.read_text()
+
+    def test_flexible_dataflow_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            export_scalesim(
+                eyeriss_v1(), get_network("SqueezeNet"), tmp_path,
+                dataflow="flexible",
+            )
+
+
+class TestTopologies:
+    def test_conv_rows_match_network(self, tmp_path):
+        network = get_network("SqueezeNet")
+        export = export_scalesim(eyeriss_v1(), network, tmp_path)
+        lines = export.conv_topology.read_text().strip().splitlines()
+        conv_layers = [
+            l for l in network.layers if l.kind is not LayerKind.GEMM
+        ]
+        assert len(lines) == len(conv_layers) + 1  # header
+        first = lines[1].split(",")
+        assert first[0].strip() == "conv1"
+        assert int(first[3]) == 7  # filter height
+        assert int(first[7]) == 2  # stride
+
+    def test_gemm_rows_for_transformers(self, tmp_path):
+        network = get_network("ViT")
+        export = export_scalesim(eyeriss_v1(), network, tmp_path)
+        lines = export.gemm_topology.read_text().strip().splitlines()
+        assert lines[0].startswith("Layer, M, N, K")
+        qkv = next(line for line in lines if "enc01_qkv" in line)
+        _, m, n, k, _ = [cell.strip() for cell in qkv.split(",")]
+        assert (int(m), int(n), int(k)) == (197, 2304, 768)
+
+    def test_pure_gemm_network_has_no_conv_file(self, tmp_path):
+        export = export_scalesim(eyeriss_v1(), get_network("BERT-base"), tmp_path)
+        assert export.conv_topology is None
+        assert export.gemm_topology is not None
+
+    def test_mixed_network_writes_both(self, tmp_path):
+        export = export_scalesim(eyeriss_v1(), get_network("MobileViT"), tmp_path)
+        assert export.conv_topology is not None
+        assert export.gemm_topology is not None
+        assert len(export.files) == 3
+
+    def test_depthwise_channels_exported(self, tmp_path):
+        network = get_network("MobileNet v3")
+        export = export_scalesim(eyeriss_v1(), network, tmp_path)
+        lines = export.conv_topology.read_text().splitlines()
+        dw = next(line for line in lines if "bneck1_dw" in line)
+        cells = [cell.strip() for cell in dw.split(",")]
+        assert cells[5] == "16"  # channels

@@ -1,0 +1,187 @@
+"""Unit tests for the mapping-space search."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1, scaled_array
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.scheduler import (
+    DATAFLOW_PRESETS,
+    Scheduler,
+    SchedulerOptions,
+    divisors,
+)
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler(eyeriss_v1())
+
+
+def conv(name="c", k=64, c=32, pq=(28, 28), rs=(3, 3), stride=1):
+    return LayerShape.conv(name, k, c, pq, rs, stride=stride)
+
+
+class TestDivisors:
+    def test_small_cases(self):
+        assert divisors(1) == [1]
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(49) == [1, 7, 49]
+
+    def test_sorted_and_exact(self):
+        ds = divisors(360)
+        assert ds == sorted(ds)
+        assert all(360 % d == 0 for d in ds)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(MappingError):
+            divisors(0)
+
+
+class TestOptions:
+    def test_unknown_dataflow_rejected(self):
+        with pytest.raises(MappingError):
+            SchedulerOptions(dataflow="nope")
+
+    def test_unknown_priority_dim_rejected(self):
+        with pytest.raises(MappingError):
+            SchedulerOptions(temporal_priority=("Z",))
+
+    def test_presets_cover_expected_pairs(self):
+        assert ("Q", "P") in DATAFLOW_PRESETS["output_stationary"]
+        assert ("K", "C") in DATAFLOW_PRESETS["weight_stationary"]
+        assert len(DATAFLOW_PRESETS["flexible"]) == 30
+
+
+class TestScheduleLayer:
+    def test_space_fits_array(self, scheduler):
+        schedule = scheduler.schedule_layer(conv())
+        x, y = schedule.space_shape
+        assert 1 <= x <= 14
+        assert 1 <= y <= 12
+
+    def test_spatial_factors_divide_extents(self, scheduler):
+        """Default mode: divisor-based factorization (no partial spaces)."""
+        layer = conv()
+        schedule = scheduler.schedule_layer(layer)
+        mapping = schedule.mapping
+        sizes = layer.dim_sizes()
+        assert sizes[mapping.spatial_x.dim] % mapping.spatial_x.factor == 0
+        assert sizes[mapping.spatial_y.dim] % mapping.spatial_y.factor == 0
+
+    def test_mapping_fits_buffers(self, scheduler):
+        schedule = scheduler.schedule_layer(conv())
+        buffers = scheduler.accelerator.array.pe.local_buffers
+        assert not schedule.mapping.violates_local_buffers(buffers)
+        assert schedule.mapping.tile_bytes() <= (
+            scheduler.accelerator.glb.capacity_bytes // 2
+        )
+
+    def test_utilization_in_unit_interval(self, scheduler):
+        schedule = scheduler.schedule_layer(conv())
+        assert 0.0 < schedule.utilization <= 1.0
+
+    def test_energy_and_cycles_positive(self, scheduler):
+        schedule = scheduler.schedule_layer(conv())
+        assert schedule.energy.total_pj > 0
+        assert schedule.cycles > 0
+
+    def test_z_at_least_one(self, scheduler):
+        assert scheduler.schedule_layer(conv()).num_tiles >= 1
+
+    def test_deterministic(self, scheduler):
+        layer = conv("det")
+        assert scheduler.schedule_layer(layer) == scheduler.schedule_layer(layer)
+
+    def test_gemm_layers_schedulable(self, scheduler):
+        schedule = scheduler.schedule_layer(LayerShape.gemm("g", 197, 768, 64))
+        assert schedule.num_tiles >= 1
+
+    def test_depthwise_layers_schedulable(self, scheduler):
+        schedule = scheduler.schedule_layer(
+            LayerShape.depthwise("dw", 32, (56, 56), (3, 3))
+        )
+        assert schedule.num_tiles >= 1
+
+    def test_degenerate_1x1_layer(self, scheduler):
+        schedule = scheduler.schedule_layer(
+            LayerShape.conv("tiny", 1, 1, (1, 1), (1, 1))
+        )
+        assert schedule.space_shape == (1, 1)
+        assert schedule.num_tiles == 1
+
+    def test_tiny_array_still_schedules(self):
+        scheduler = Scheduler(scaled_array(2, 2))
+        schedule = scheduler.schedule_layer(conv())
+        x, y = schedule.space_shape
+        assert x <= 2 and y <= 2
+
+
+class TestNameIndependentCache:
+    def test_same_shape_different_name_shares_search(self, scheduler):
+        a = scheduler.schedule_layer(conv("alpha"))
+        b = scheduler.schedule_layer(conv("beta"))
+        assert a.mapping.spatial_x == b.mapping.spatial_x
+        assert a.mapping.spatial_y == b.mapping.spatial_y
+        assert a.layer.name == "alpha"
+        assert b.layer.name == "beta"
+        assert a.energy.total_pj == pytest.approx(b.energy.total_pj)
+
+
+class TestPartialSpaces:
+    def test_partial_mode_allows_capped_factors(self):
+        options = SchedulerOptions(allow_partial_spaces=True)
+        scheduler = Scheduler(eyeriss_v1(), options)
+        # K = 17 is prime and > 14: divisor-only mode caps the K-spatial
+        # factor at 1, partial mode may use 14.
+        layer = conv("prime", k=17)
+        schedule = scheduler.schedule_layer(layer)
+        assert schedule.num_tiles >= 1
+
+
+class TestScheduleNetwork:
+    def test_preserves_order_and_length(self, scheduler):
+        layers = [conv("a"), conv("b", k=128), conv("c", rs=(1, 1))]
+        schedules = scheduler.schedule_network(layers)
+        assert [s.layer.name for s in schedules] == ["a", "b", "c"]
+
+
+class TestParetoFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        return Scheduler(eyeriss_v1()).schedule_layer_pareto(conv("pareto"))
+
+    def test_frontier_is_non_dominated(self, frontier):
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    a.energy.total_pj <= b.energy.total_pj
+                    and a.cycles <= b.cycles
+                    and (
+                        a.energy.total_pj < b.energy.total_pj
+                        or a.cycles < b.cycles
+                    )
+                )
+                assert not dominates, "frontier contains a dominated point"
+
+    def test_sorted_by_energy_latency_tradeoff(self, frontier):
+        energies = [s.energy.total_pj for s in frontier]
+        cycles = [s.cycles for s in frontier]
+        assert energies == sorted(energies)
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_contains_single_objective_optima(self, frontier):
+        energy_opt = Scheduler(eyeriss_v1()).schedule_layer(conv("pareto"))
+        assert frontier[0].energy.total_pj <= energy_opt.energy.total_pj + 1e-6
+
+    def test_max_points_truncation(self):
+        frontier = Scheduler(eyeriss_v1()).schedule_layer_pareto(
+            conv("pareto"), max_points=3
+        )
+        assert 1 <= len(frontier) <= 3
+
+    def test_invalid_max_points_rejected(self):
+        with pytest.raises(MappingError):
+            Scheduler(eyeriss_v1()).schedule_layer_pareto(conv(), max_points=0)

@@ -1,0 +1,91 @@
+"""Unit tests for the end-to-end dataflow simulator."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.simulator import DataflowSimulator
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def simulator():
+    return DataflowSimulator(eyeriss_v1(torus=True))
+
+
+def layers():
+    return [
+        LayerShape.conv("c1", 16, 3, (56, 56), (3, 3)),
+        LayerShape.conv("c2", 32, 16, (28, 28), (3, 3), stride=2),
+        LayerShape.gemm("fc", 1, 100, 32),
+    ]
+
+
+class TestExecuteLayer:
+    def test_produces_schedule_and_stream(self, simulator):
+        execution = simulator.execute_layer(layers()[0])
+        assert execution.layer.name == "c1"
+        assert execution.stream.num_tiles == execution.schedule.num_tiles
+        assert 0 < execution.utilization <= 1
+
+
+class TestExecuteNetwork:
+    def test_aggregates(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        assert execution.network_name == "toy"
+        assert len(execution.layers) == 3
+        assert execution.total_tiles == sum(
+            ex.stream.num_tiles for ex in execution.layers
+        )
+        assert execution.total_energy_pj > 0
+        assert execution.total_cycles > 0
+
+    def test_mean_utilization_bounds(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        assert 0 < execution.mean_utilization <= 1
+        assert 0 < execution.tile_weighted_utilization <= 1
+
+    def test_streams_in_layer_order(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        assert [s.layer_name for s in execution.streams()] == ["c1", "c2", "fc"]
+
+    def test_empty_network_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.execute_network([], name="empty")
+
+
+class TestDeploymentMetrics:
+    def test_latency_scales_inversely_with_clock(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        assert execution.latency_ms(400.0) == pytest.approx(
+            execution.latency_ms(200.0) / 2
+        )
+
+    def test_average_power_positive_and_plausible(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        power = execution.average_power_mw(200.0)
+        # An Eyeriss-class accelerator draws milliwatts to watts.
+        assert 0.01 < power < 10_000
+
+    def test_energy_invariant_under_clock(self, simulator):
+        """Power x latency == energy regardless of clock."""
+        execution = simulator.execute_network(layers(), name="toy")
+        for clock in (100.0, 200.0, 800.0):
+            energy_uj = (
+                execution.average_power_mw(clock)
+                * execution.latency_ms(clock)
+            )  # mW * ms = uJ
+            assert energy_uj == pytest.approx(
+                execution.total_energy_pj / 1e6, rel=1e-9
+            )
+
+    def test_throughput_matches_latency(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        assert execution.throughput_inferences_per_second(
+            200.0
+        ) == pytest.approx(1e3 / execution.latency_ms(200.0))
+
+    def test_invalid_clock_rejected(self, simulator):
+        execution = simulator.execute_network(layers(), name="toy")
+        with pytest.raises(SimulationError):
+            execution.latency_ms(0)

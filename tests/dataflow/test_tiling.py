@@ -1,0 +1,47 @@
+"""Unit tests for tile streams."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.scheduler import Scheduler
+from repro.dataflow.tiling import TileStream, tile_stream_for
+from repro.errors import SimulationError
+
+
+class TestTileStream:
+    def test_shape_and_totals(self):
+        stream = TileStream("l", 3, 2, 10)
+        assert stream.space_shape == (3, 2)
+        assert stream.active_pes_per_tile == 6
+        assert stream.total_pe_activations == 60
+
+    def test_tiles_iterator_yields_z_shapes(self):
+        stream = TileStream("l", 3, 2, 4)
+        assert list(stream.tiles()) == [(3, 2)] * 4
+
+    def test_zero_tiles_rejected(self):
+        with pytest.raises(SimulationError):
+            TileStream("l", 3, 2, 0)
+
+    def test_degenerate_space_rejected(self):
+        with pytest.raises(SimulationError):
+            TileStream("l", 0, 2, 4)
+
+    def test_negative_metadata_rejected(self):
+        with pytest.raises(SimulationError):
+            TileStream("l", 3, 2, 4, tile_bytes=-1)
+
+
+class TestTileStreamFor:
+    def test_matches_schedule(self):
+        scheduler = Scheduler(eyeriss_v1())
+        schedule = scheduler.schedule_layer(
+            LayerShape.conv("c", 64, 32, (28, 28), (3, 3))
+        )
+        stream = tile_stream_for(schedule)
+        assert stream.layer_name == "c"
+        assert stream.space_shape == schedule.space_shape
+        assert stream.num_tiles == schedule.num_tiles
+        assert stream.tile_bytes == schedule.mapping.tile_bytes()
+        assert stream.tile_cycles > 0

@@ -1,0 +1,78 @@
+"""Tests for the mapping validator."""
+
+import pytest
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.dataflow.scheduler import Scheduler
+from repro.dataflow.validate import CheckKind, validate_mapping
+
+
+def conv():
+    return LayerShape.conv("c", 64, 32, (28, 28), (3, 3))
+
+
+def mapping(pe=None, glb=None, fx=8, fy=7):
+    return Mapping(
+        layer=conv(),
+        spatial_x=SpatialAssignment("K", fx),
+        spatial_y=SpatialAssignment("P", fy),
+        pe_temporal=pe if pe is not None else {"R": 3, "S": 3},
+        glb_temporal=glb or {},
+    )
+
+
+class TestLegalMappings:
+    def test_scheduler_output_always_validates(self):
+        accelerator = eyeriss_v1()
+        scheduler = Scheduler(accelerator)
+        for layer in (
+            conv(),
+            LayerShape.gemm("g", 197, 768, 64),
+            LayerShape.depthwise("d", 32, (56, 56), (3, 3)),
+        ):
+            schedule = scheduler.schedule_layer(layer)
+            report = validate_mapping(accelerator, schedule.mapping)
+            assert report.ok, report.format()
+
+    def test_report_has_all_checks(self):
+        report = validate_mapping(eyeriss_v1(), mapping())
+        assert {check.kind for check in report.checks} == set(CheckKind)
+
+    def test_tightest_constraint_identified(self):
+        report = validate_mapping(eyeriss_v1(), mapping())
+        assert report.tightest_constraint.utilization == max(
+            check.utilization for check in report.checks
+        )
+
+
+class TestViolations:
+    def test_weight_buffer_overflow_flagged(self):
+        # K=8, C=16 per PE: 8*16*9 weights = 2304 bytes >> 448.
+        report = validate_mapping(
+            eyeriss_v1(), mapping(pe={"R": 3, "S": 3, "C": 16, "K": 8})
+        )
+        kinds = {check.kind for check in report.violations}
+        assert CheckKind.WEIGHT_BUFFER in kinds
+        assert not report.ok
+
+    def test_output_buffer_overflow_flagged(self):
+        report = validate_mapping(
+            eyeriss_v1(), mapping(pe={"R": 3, "S": 3, "K": 8, "P": 4})
+        )
+        kinds = {check.kind for check in report.violations}
+        assert CheckKind.OUTPUT_BUFFER in kinds
+
+    def test_kernel_coverage_flagged(self):
+        # Tile covers only one kernel row (no R temporal factor).
+        report = validate_mapping(eyeriss_v1(), mapping(pe={"S": 3}))
+        kinds = {check.kind for check in report.violations}
+        assert CheckKind.KERNEL_COVERAGE in kinds
+
+    def test_format_marks_failures(self):
+        report = validate_mapping(
+            eyeriss_v1(), mapping(pe={"R": 3, "S": 3, "C": 16, "K": 8})
+        )
+        assert "FAIL" in report.format()
+        assert "ok" in report.format()

@@ -1,0 +1,58 @@
+"""Tests for the design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_accounting_ablation,
+    run_dataflow_ablation,
+    run_trigger_ablation,
+)
+
+
+class TestTriggerAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_trigger_ablation(networks=("SqueezeNet",), iterations=60)
+
+    def test_both_triggers_still_beat_baseline(self, result):
+        for row in result.rows:
+            assert row.origin_trigger > 1.0
+            assert row.wrap_trigger > 1.0
+
+    def test_format(self, result):
+        assert "origin trigger" in result.format()
+
+    def test_relative_difference_computed(self, result):
+        assert result.max_relative_difference >= 0.0
+
+
+class TestDataflowAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dataflow_ablation(
+            network="SqueezeNet",
+            iterations=30,
+            presets=("flexible", "weight_stationary"),
+        )
+
+    def test_conclusion_robust_across_dataflows(self, result):
+        """Wear-leveling must win regardless of the mapper style."""
+        assert result.conclusion_robust
+
+    def test_rows_per_preset(self, result):
+        assert [row.dataflow for row in result.rows] == [
+            "flexible",
+            "weight_stationary",
+        ]
+
+
+class TestAccountingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_accounting_ablation(network="SqueezeNet", iterations=30)
+
+    def test_both_accountings_agree_wear_leveling_helps(self, result):
+        assert result.consistent
+
+    def test_format(self, result):
+        assert "cycle-weighted" in result.format()

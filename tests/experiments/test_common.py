@@ -1,0 +1,56 @@
+"""Tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro.experiments.common import (
+    execution_for,
+    paper_accelerator,
+    run_policies,
+    streams_for,
+)
+
+
+class TestPaperAccelerator:
+    def test_dimensions(self):
+        acc = paper_accelerator()
+        assert (acc.width, acc.height) == (14, 12)
+        assert acc.is_torus
+
+    def test_mesh_variant(self):
+        assert not paper_accelerator(torus=False).is_torus
+
+
+class TestExecutionCache:
+    def test_repeated_calls_share_object(self):
+        first = execution_for("SqueezeNet")
+        second = execution_for("SqueezeNet")
+        assert first is second
+
+    def test_streams_match_execution(self):
+        streams = streams_for("SqueezeNet")
+        execution = execution_for("SqueezeNet")
+        assert len(streams) == len(execution.layers)
+
+
+class TestRunPolicies:
+    def test_all_three_policies(self):
+        streams = streams_for("SqueezeNet")
+        results = run_policies(streams, iterations=2)
+        assert set(results) == {"baseline", "rwl", "rwl+ro"}
+
+    def test_equal_total_work(self):
+        """The Eq. 4 precondition."""
+        streams = streams_for("SqueezeNet")
+        results = run_policies(streams, iterations=2, record_trace=False)
+        totals = {name: int(res.counts.sum()) for name, res in results.items()}
+        assert len(set(totals.values())) == 1
+
+    def test_baseline_runs_on_mesh(self):
+        streams = streams_for("SqueezeNet")
+        results = run_policies(streams, policies=("baseline",), iterations=1)
+        assert "mesh" in results["baseline"].accelerator_name
+
+    def test_striding_runs_on_torus(self):
+        streams = streams_for("SqueezeNet")
+        results = run_policies(streams, policies=("rwl+ro",), iterations=1)
+        assert "torus" in results["rwl+ro"].accelerator_name

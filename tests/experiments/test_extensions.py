@@ -1,0 +1,157 @@
+"""Tests for the extension studies."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_montecarlo_validation,
+    run_objective_ablation,
+    run_policy_comparison,
+)
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_policy_comparison(iterations=120)
+
+    def test_all_policies_present(self, result):
+        assert [row.policy for row in result.rows] == [
+            "baseline", "diagonal", "random", "rwl", "rwl+ro",
+        ]
+
+    def test_rwl_ro_competitive(self, result):
+        assert result.rwl_ro_is_best_or_tied
+
+    def test_random_drifts_rwl_ro_does_not(self, result):
+        assert result.only_structured_policies_bounded
+
+    def test_baseline_is_reference(self, result):
+        assert result.row_for("baseline").improvement == pytest.approx(1.0)
+
+    def test_unknown_policy_lookup(self, result):
+        with pytest.raises(KeyError):
+            result.row_for("nope")
+
+
+class TestMonteCarloValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_montecarlo_validation(iterations=30, num_samples=8_000)
+
+    def test_closed_form_validated(self, result):
+        assert result.closed_form_validated
+        assert result.improvement_relative_error < 0.05
+
+    def test_wear_leveling_helps_early_failures(self, result):
+        assert result.leveled_b10_life > result.baseline_b10_life
+
+    def test_failures_decorrelate_from_hot_pes(self, result):
+        assert (
+            result.leveled_failure_concentration
+            < result.baseline_failure_concentration
+        )
+
+    def test_format(self, result):
+        assert "Monte Carlo" in result.format()
+
+
+class TestObjectiveAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_objective_ablation(
+            iterations=30, objectives=("energy", "latency")
+        )
+
+    def test_robust_across_objectives(self, result):
+        assert result.conclusion_robust
+
+    def test_rows_per_objective(self, result):
+        assert [row.objective for row in result.rows] == ["energy", "latency"]
+
+
+class TestBetaSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import run_beta_sensitivity
+
+        return run_beta_sensitivity(iterations=30, betas=(2.0, 3.4, 5.0))
+
+    def test_always_improves(self, result):
+        assert result.always_improves
+
+    def test_monotone_in_beta(self, result):
+        assert result.monotone_in_beta
+
+    def test_paper_beta_present(self, result):
+        assert any(row.beta == pytest.approx(3.4) for row in result.rows)
+
+    def test_format(self, result):
+        assert "Weibull" in result.format()
+
+
+class TestVariationSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import run_variation_sensitivity
+
+        return run_variation_sensitivity(
+            iterations=20, sigmas=(0.0, 1.0), num_samples=6_000
+        )
+
+    def test_always_improves(self, result):
+        assert result.always_improves
+
+    def test_margin_shrinks(self, result):
+        assert result.margin_shrinks
+
+    def test_format(self, result):
+        assert "variation" in result.format()
+
+
+class TestMixedWorkload:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import run_mixed_workload
+
+        return run_mixed_workload(
+            networks=("SqueezeNet", "MobileNet v3"), iterations=50
+        )
+
+    def test_ordering_holds_under_mix(self, result):
+        assert result.ordering_holds
+
+    def test_mix_levels_out(self, result):
+        assert result.mix_levels_out
+
+    def test_improvement_positive(self, result):
+        assert result.improvement_rwl_ro > 1.0
+
+    def test_format_names_networks(self, result):
+        assert "SqueezeNet + MobileNet v3" in result.format()
+
+
+class TestAspectRatio:
+    def test_shapes_must_share_pe_count(self):
+        from repro.experiments.extensions import run_aspect_ratio_study
+
+        with pytest.raises(ValueError):
+            run_aspect_ratio_study(shapes=((4, 4), (4, 8)), iterations=1)
+
+    def test_small_sweep_improves_everywhere(self):
+        from repro.experiments.extensions import run_aspect_ratio_study
+
+        result = run_aspect_ratio_study(
+            shapes=((12, 8), (8, 12)), iterations=20
+        )
+        assert result.all_improve
+        assert len(result.points) == 2
+
+
+class TestBufferSweep:
+    def test_small_sweep(self):
+        from repro.experiments.extensions import run_buffer_sweep
+
+        result = run_buffer_sweep(scales=(1.0, 2.0), iterations=20)
+        assert result.all_improve
+        assert [point.scale for point in result.points] == [1.0, 2.0]
+        assert "local-buffer sizing" in result.format()

@@ -1,0 +1,47 @@
+"""Tests for the Fig. 4 unfolded-walk driver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import scaled_array
+from repro.errors import SimulationError
+from repro.experiments.fig4 import run_fig4
+
+
+class TestPaperGeometry:
+    def test_paper_example(self):
+        result = run_fig4(x=8, y=8)
+        assert (result.X, result.W) == (7, 4)
+        assert result.tiling_is_exact
+        assert result.folded_coverage_uniform
+
+    def test_divisible_width_never_wraps(self):
+        result = run_fig4(x=7, y=8)  # 7 divides 14: W = 1
+        assert result.W == 1
+        assert result.wrapping_spaces == ()
+
+    def test_oversized_space_rejected(self):
+        with pytest.raises(SimulationError):
+            run_fig4(x=15, y=8)
+
+    def test_format_shows_seams(self):
+        text = run_fig4(x=8, y=8).format()
+        assert "|" in text
+        assert "U1" in text
+
+
+class TestUnfoldingInvariants:
+    @given(
+        w=st.integers(2, 20),
+        h=st.integers(2, 16),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_tiling_and_coverage_for_any_geometry(self, w, h, data):
+        """Fig. 4's claims hold for every array/space geometry."""
+        x = data.draw(st.integers(1, w))
+        y = data.draw(st.integers(1, h))
+        accelerator = scaled_array(w, h, torus=True)
+        result = run_fig4(x=x, y=y, accelerator=accelerator)
+        assert result.tiling_is_exact
+        assert result.folded_coverage_uniform

@@ -1,0 +1,211 @@
+"""Driver-level tests: every figure/table runs and has the paper's shape.
+
+Iteration counts are reduced where the shape is already visible at small
+scale; the full-scale runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table2 import run_table2
+
+
+class TestTable2:
+    def test_roster_complete(self):
+        result = run_table2()
+        assert len(result.networks) == 9
+        assert "SqueezeNet" in result.format()
+
+
+class TestFig2:
+    def test_average_utilization_near_paper(self):
+        """Paper: 55.8% average. Same ballpark required (40-75%)."""
+        result = run_fig2a()
+        assert 0.40 <= result.overall_mean <= 0.75
+
+    def test_underutilization_exists(self):
+        """The motivation: no workload fully utilizes the array."""
+        result = run_fig2a()
+        assert all(value < 1.0 for _, value in result.rows)
+
+    def test_fig2b_layers_vary_drastically(self):
+        """Fig. 2b's point: large within-network spread."""
+        result = run_fig2b("SqueezeNet")
+        assert result.spread > 0.2
+
+    def test_formats(self):
+        assert "AVERAGE" in run_fig2a().format()
+        assert "SqueezeNet" in run_fig2b().format()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(iterations=3)
+
+    def test_baseline_hotspot_at_origin_corner(self, result):
+        counts = result.pair_for("SqueezeNet").baseline_counts
+        assert counts[0, 0] == counts.max()
+        assert counts[-1, -1] == 0
+
+    def test_wear_leveled_is_nearly_uniform(self, result):
+        pair = result.pair_for("SqueezeNet")
+        assert pair.wear_leveled_r_diff < 0.2
+        assert pair.baseline_r_diff > pair.wear_leveled_r_diff
+
+    def test_format_renders_both(self, result):
+        text = result.format()
+        assert "Fig. 3a" in text and "Fig. 3b" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5("ResNet-50")
+
+    def test_paper_example_pinned(self, result):
+        assert (result.example.X, result.example.W) == (7, 4)
+        assert (result.example.Y, result.example.H_rwl) == (4, 2)
+
+    def test_eq9_bound_holds_for_every_layer(self, result):
+        assert result.all_bounds_hold
+
+    def test_format_contains_rows(self, result):
+        assert "Dmax bound" in result.format()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(iterations=400)
+
+    def test_baseline_grows_fastest(self, result):
+        assert result.slope("baseline") > result.slope("rwl") > 0
+
+    def test_rwl_ro_bounded(self, result):
+        assert result.rwl_ro_bounded
+        assert result.slope("rwl+ro") < 0.1 * result.slope("rwl")
+
+    def test_final_heatmap_ordering(self, result):
+        """Final D_max: baseline >> rwl >> rwl+ro."""
+        base = result.final_counts("baseline")
+        rwl = result.final_counts("rwl")
+        ro = result.final_counts("rwl+ro")
+        assert (base.max() - base.min()) > (rwl.max() - rwl.min())
+        assert (rwl.max() - rwl.min()) > (ro.max() - ro.min())
+
+    def test_traces_have_requested_length(self, result):
+        assert len(result.trace("baseline")) == 400
+
+    def test_format(self, result):
+        assert "Fig. 6a" in result.format()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(iterations=120)
+
+    def test_r_diff_converges(self, result):
+        assert result.r_diff_converges
+
+    def test_lifetime_rises(self, result):
+        assert result.lifetime_rises
+
+    def test_inverse_correlation(self, result):
+        assert result.inversely_correlated
+
+    def test_final_state_near_perfect(self, result):
+        assert result.projection.final_lifetime > 0.99
+        assert result.projection.final_r_diff < 0.05
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(iterations=60)
+
+    def test_every_workload_improves(self, result):
+        for row in result.rows:
+            assert row.rwl > 1.0, row.network
+            assert row.rwl_ro > 1.0, row.network
+
+    def test_mean_improvement_in_paper_ballpark(self, result):
+        """Paper: 1.69x average; we require clearly >1.2x."""
+        assert result.mean_rwl_ro > 1.2
+
+    def test_improvement_anticorrelates_with_utilization(self, result):
+        """Paper Section V-B: strong correlation with (low) utilization."""
+        assert result.utilization_correlation() < -0.5
+
+    def test_best_network_is_lowest_utilization(self, result):
+        lowest = min(result.rows, key=lambda row: row.utilization)
+        assert result.best_network.network == lowest.network
+
+    def test_small_networks_gain_from_ro(self, result):
+        """Paper: MobileNet/EfficientNet/MobileViT show the RO gap."""
+        assert result.small_network_gap > 1.0
+
+    def test_row_lookup(self, result):
+        assert result.row_for("Sqz").network == "SqueezeNet"
+        with pytest.raises(KeyError):
+            result.row_for("nope")
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(networks=("SqueezeNet", "MobileNet v3"))
+
+    def test_no_layer_exceeds_ceiling(self, result):
+        assert result.all_within_bound
+
+    def test_rwl_approaches_ceiling(self, result):
+        """Paper: per-layer RWL closely approaches the bound."""
+        assert result.mean_gap > 0.8
+
+    def test_every_layer_has_a_point(self, result):
+        from repro.workloads.registry import get_network
+
+        expected = sum(
+            get_network(n).num_layers for n in ("SqueezeNet", "MobileNet v3")
+        )
+        assert len(result.points) == expected
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(sizes=((8, 8), (14, 12), (24, 24)), iterations=60)
+
+    def test_gain_grows_with_array_size(self, result):
+        assert result.gain_grows_with_size
+
+    def test_all_points_improve(self, result):
+        for point in result.points:
+            assert point.rwl_ro > 1.0
+
+
+class TestOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_overhead()
+
+    def test_area_overhead_sub_one_percent(self, result):
+        assert result.matches_paper_order
+        assert 0 < result.overhead_percent < 1.0
+
+    def test_zero_cycle_penalty(self, result):
+        assert result.cycle_penalty == 0
+
+    def test_format_mentions_paper_number(self, result):
+        assert "0.3%" in result.format()

@@ -1,0 +1,54 @@
+"""Tests for the full-report writer."""
+
+import pytest
+
+from repro.experiments.report import write_report
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    return write_report(
+        out, fig6_iterations=50, fig7_iterations=30, fig8_iterations=10
+    )
+
+
+class TestReport:
+    def test_all_files_exist(self, manifest):
+        for path in manifest.files:
+            assert path.exists(), path
+
+    def test_every_figure_covered(self, manifest):
+        names = set(manifest.file_names)
+        for expected in (
+            "table2.txt",
+            "fig2a.txt",
+            "fig2b.txt",
+            "fig3.txt",
+            "fig4.txt",
+            "fig5.txt",
+            "fig6.txt",
+            "fig7.txt",
+            "fig8.txt",
+            "fig9.txt",
+            "fig10.txt",
+            "sec5d_overhead.txt",
+        ):
+            assert expected in names
+
+    def test_heatmap_images_written(self, manifest):
+        ppms = [name for name in manifest.file_names if name.endswith(".ppm")]
+        # 2 networks x 2 schemes (Fig. 3) + 3 schemes (Fig. 6c-e).
+        assert len(ppms) == 7
+
+    def test_csv_series_written(self, manifest):
+        csvs = [name for name in manifest.file_names if name.endswith(".csv")]
+        assert "fig7_series.csv" in csvs
+        assert "fig8_improvements.csv" in csvs
+        assert "fig9_points.csv" in csvs
+        assert len([c for c in csvs if c.startswith("fig6_trace")]) == 3
+
+    def test_manifest_format(self, manifest):
+        text = manifest.format()
+        assert "report written to" in text
+        assert "fig10.txt" in text

@@ -1,0 +1,28 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import run_scorecard
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def scorecard(self):
+        return run_scorecard(iterations=50)
+
+    def test_every_claim_holds(self, scorecard):
+        failing = [e.artifact for e in scorecard.entries if not e.passed]
+        assert scorecard.all_passed, f"claims broken: {failing}"
+
+    def test_covers_every_evaluation_artifact(self, scorecard):
+        artifacts = {entry.artifact for entry in scorecard.entries}
+        for expected in (
+            "Fig. 2a", "Fig. 2b", "Fig. 3", "Fig. 4", "Fig. 5",
+            "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Sec. V-D",
+        ):
+            assert expected in artifacts
+
+    def test_format_verdict(self, scorecard):
+        text = scorecard.format()
+        assert "claims hold" in text
+        assert "FAIL" not in text.split("\n")[0] or scorecard.all_passed

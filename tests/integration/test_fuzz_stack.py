@@ -1,0 +1,102 @@
+"""End-to-end fuzzing: random layers through the whole stack.
+
+Hypothesis generates random (but legal) layer shapes and array sizes;
+each example runs the complete pipeline — scheduler, validator, tile
+stream, all three wear-leveling policies, closed-form RWL math, and the
+Eq. 4 reliability comparison — and asserts the cross-module invariants
+that must hold for *any* input, not just the paper's workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import scaled_array
+from repro.core.engine import simulate_policy
+from repro.core.policies import make_policy
+from repro.core.rwl_math import rwl_parameters
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.scheduler import Scheduler
+from repro.dataflow.tiling import tile_stream_for
+from repro.dataflow.validate import validate_mapping
+from repro.reliability.lifetime import improvement_from_counts
+
+
+def random_layer(draw):
+    kind = draw(st.sampled_from(["conv", "depthwise", "gemm"]))
+    if kind == "gemm":
+        return LayerShape.gemm(
+            "fz",
+            rows=draw(st.integers(1, 128)),
+            cols=draw(st.integers(1, 256)),
+            inner=draw(st.integers(1, 256)),
+        )
+    kernel = draw(st.sampled_from([(1, 1), (3, 3), (5, 5), (1, 7), (7, 1)]))
+    out_hw = (draw(st.integers(1, 56)), draw(st.integers(1, 56)))
+    stride = draw(st.integers(1, 2))
+    if kind == "depthwise":
+        return LayerShape.depthwise(
+            "fz", channels=draw(st.integers(1, 128)), out_hw=out_hw,
+            kernel=kernel, stride=stride,
+        )
+    return LayerShape.conv(
+        "fz",
+        out_channels=draw(st.integers(1, 128)),
+        in_channels=draw(st.integers(1, 64)),
+        out_hw=out_hw,
+        kernel=kernel,
+        stride=stride,
+    )
+
+
+@st.composite
+def stack_case(draw):
+    width = draw(st.integers(2, 16))
+    height = draw(st.integers(2, 14))
+    return width, height, random_layer(draw)
+
+
+class TestFullStackFuzz:
+    @given(stack_case(), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_every_random_layer_survives_the_stack(self, case, iterations):
+        width, height, layer = case
+        accelerator = scaled_array(width, height, torus=True)
+
+        # 1. Scheduling always finds a legal mapping...
+        schedule = Scheduler(accelerator).schedule_layer(layer)
+        x, y = schedule.space_shape
+        assert 1 <= x <= width and 1 <= y <= height
+        # ...that passes the independent validator.
+        assert validate_mapping(accelerator, schedule.mapping).ok
+
+        # 2. The closed-form RWL quantities are internally consistent.
+        params = rwl_parameters(width, height, x, y, schedule.num_tiles)
+        assert params.d_max_bound == params.W + 1
+        assert params.min_a_pe >= 0
+
+        # 3. All policies process exactly the same work.
+        stream = tile_stream_for(schedule)
+        ledgers = {}
+        for name in ("baseline", "rwl", "rwl+ro"):
+            result = simulate_policy(
+                accelerator, [stream], make_policy(name), iterations=iterations
+            )
+            ledgers[name] = result.counts
+            assert result.counts.sum() == iterations * schedule.num_tiles * x * y
+
+        # 4. Eq. 9 holds for single-layer RWL.
+        rwl_single = simulate_policy(
+            accelerator, [stream], make_policy("rwl"), iterations=1
+        )
+        assert (
+            rwl_single.counts.max() - rwl_single.counts.min()
+            <= params.d_max_bound
+        )
+
+        # 5. Wear-leveling never hurts Eq. 4 lifetime.
+        for name in ("rwl", "rwl+ro"):
+            improvement = improvement_from_counts(
+                ledgers["baseline"], ledgers[name]
+            )
+            assert improvement >= 1.0 - 1e-9

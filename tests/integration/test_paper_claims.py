@@ -1,0 +1,157 @@
+"""Integration tests: the paper's headline claims, end to end.
+
+Each test exercises the whole stack — workload tables -> scheduler ->
+tile streams -> wear-leveling engine -> reliability math — and checks a
+qualitative claim from the paper's evaluation section. Absolute numbers
+are substrate-dependent; shapes (orderings, boundedness, correlations)
+are required to hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import make_policy
+from repro.experiments.common import paper_accelerator, run_policies, streams_for
+from repro.reliability.lifetime import improvement_from_counts, lifetime_upper_bound
+
+
+class TestHeadlineClaim:
+    """Abstract: 'RoTA improves lifetime reliability by 1.69x.'"""
+
+    def test_rwl_ro_beats_baseline_on_every_workload(self):
+        from repro.workloads.registry import network_names
+
+        for name in network_names():
+            streams = streams_for(name)
+            results = run_policies(
+                streams,
+                policies=("baseline", "rwl+ro"),
+                iterations=20,
+                record_trace=False,
+            )
+            improvement = improvement_from_counts(
+                results["baseline"].counts, results["rwl+ro"].counts
+            )
+            assert improvement > 1.0, name
+
+
+class TestSection1Claims:
+    def test_usage_imbalance_biased_to_pe_locations(self):
+        """Intro: fixed starting point concentrates stress at the corner."""
+        streams = streams_for("ResNet-50")
+        results = run_policies(
+            streams, policies=("baseline",), iterations=5, record_trace=False
+        )
+        counts = results["baseline"].counts
+        assert counts[0, 0] == counts.max()
+        # Opposite corner is the least used.
+        assert counts[-1, -1] == counts.min()
+
+    def test_imbalance_accumulates_over_time(self):
+        """Intro: imbalance 'gradually accumulated over time'."""
+        streams = streams_for("ResNet-50")
+        short = run_policies(
+            streams, policies=("baseline",), iterations=2, record_trace=False
+        )["baseline"]
+        long = run_policies(
+            streams, policies=("baseline",), iterations=20, record_trace=False
+        )["baseline"]
+        assert long.max_difference == 10 * short.max_difference
+
+
+class TestSection4Claims:
+    def test_rwl_needs_torus(self):
+        """Section IV-A: rotation requires wrap-around connectivity."""
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(paper_accelerator(torus=False), make_policy("rwl"))
+
+    def test_wrapping_space_rejected_on_mesh_but_fine_on_torus(self):
+        """Section III: mesh arrays cannot relocate spaces past the edge."""
+        from repro.core.tracker import UsageTracker
+        from repro.errors import SimulationError
+
+        mesh_tracker = UsageTracker(paper_accelerator(torus=False).array)
+        torus_tracker = UsageTracker(paper_accelerator(torus=True).array)
+        us = np.array([10])
+        vs = np.array([9])
+        torus_tracker.add_positions(us, vs, 8, 8)
+        with pytest.raises(SimulationError):
+            mesh_tracker.add_positions(us, vs, 8, 8)
+
+
+class TestSection5Claims:
+    def test_scheme_ordering_on_squeezenet(self):
+        """Fig. 6: D_max(baseline) >> D_max(RWL) >> D_max(RWL+RO)."""
+        streams = streams_for("SqueezeNet")
+        results = run_policies(streams, iterations=300, record_trace=False)
+        d_base = results["baseline"].max_difference
+        d_rwl = results["rwl"].max_difference
+        d_ro = results["rwl+ro"].max_difference
+        assert d_base > 10 * d_rwl
+        assert d_rwl > 10 * d_ro
+
+    def test_lifetime_never_exceeds_perfect_leveling(self):
+        """Section V-C: the utilization ceiling holds for whole networks
+        too (mixing layers can only stay below the best layer's bound)."""
+        streams = streams_for("SqueezeNet")
+        results = run_policies(
+            streams,
+            policies=("baseline", "rwl+ro"),
+            iterations=50,
+            record_trace=False,
+        )
+        improvement = improvement_from_counts(
+            results["baseline"].counts, results["rwl+ro"].counts
+        )
+        min_utilization = min(
+            stream.active_pes_per_tile / 168 for stream in streams
+        )
+        assert improvement <= lifetime_upper_bound(min_utilization)
+
+    def test_rwl_ro_state_carries_across_iterations(self):
+        """Section IV-D: no reset between layers or networks."""
+        streams = streams_for("SqueezeNet")
+        engine = WearLevelingEngine(paper_accelerator(), make_policy("rwl+ro"))
+        engine.run_network(streams)
+        state_after_one = engine.state
+        assert state_after_one != (0, 0) or True  # state is data-dependent
+        engine.run_network(streams)
+        # A second pass continues from the first pass's endpoint: ledgers
+        # of pass 1 and pass 2 differ (unlike RWL's exact repetition).
+        one_pass = run_policies(
+            streams, policies=("rwl+ro",), iterations=1, record_trace=False
+        )["rwl+ro"].counts
+        two_pass = engine.tracker.counts
+        assert not np.array_equal(two_pass, 2 * one_pass)
+
+
+class TestAbsolutePlausibility:
+    """Absolute outputs land in physically plausible ranges — a guard
+    against unit mistakes that relative comparisons would mask."""
+
+    def test_squeezenet_latency_and_energy(self):
+        from repro.experiments.common import execution_for
+
+        execution = execution_for("SqueezeNet")
+        # ~0.78 GMAC on 168 MACs @ 200 MHz: >= 23 ms compute floor,
+        # and under a second for a mobile-class network.
+        latency = execution.latency_ms(200.0)
+        assert 20.0 < latency < 1000.0
+        # Energy per inference: mJ-range for an Eyeriss-class design.
+        energy_mj = execution.total_energy_pj / 1e9
+        assert 0.1 < energy_mj < 50.0
+        # Average power: tens of mW to a few W.
+        assert 1.0 < execution.average_power_mw(200.0) < 5000.0
+
+    def test_compute_floor_never_violated(self):
+        """No layer finishes faster than MACs / (num_PEs) cycles."""
+        from repro.experiments.common import execution_for, paper_accelerator
+
+        accelerator = paper_accelerator()
+        execution = execution_for("MobileNet v3", accelerator)
+        for layer_execution in execution.layers:
+            floor = layer_execution.layer.macs / accelerator.num_pes
+            assert layer_execution.schedule.cycles >= floor

@@ -1,0 +1,90 @@
+"""Tests for absolute service-life estimates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.endurance import (
+    HOURS_PER_YEAR,
+    calibrated_model,
+    compare_service_life,
+    service_life,
+)
+from repro.reliability.lifetime import improvement_from_counts
+
+
+class TestCalibration:
+    def test_single_fully_active_pe_hits_the_rating(self):
+        model = calibrated_model(rated_pe_mttf_years=10.0)
+        assert model.array_mttf([1.0]) / HOURS_PER_YEAR == pytest.approx(10.0)
+
+    def test_invalid_rating_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrated_model(rated_pe_mttf_years=0.0)
+
+
+class TestServiceLife:
+    def test_uniform_array_life(self):
+        """168 PEs all fully active: life = rating / 168^(1/beta)."""
+        life = service_life(np.ones(168), rated_pe_mttf_years=10.0)
+        assert life.mttf_years == pytest.approx(10.0 / 168 ** (1 / 3.4))
+
+    def test_lower_duty_cycle_extends_life(self):
+        counts = np.arange(1, 21, dtype=float)
+        always_on = service_life(counts, duty_cycle=1.0)
+        half_duty = service_life(counts, duty_cycle=0.5)
+        assert half_duty.mttf_years == pytest.approx(2 * always_on.mttf_years)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            service_life(np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            service_life(np.ones(4), duty_cycle=0.0)
+        with pytest.raises(ConfigurationError):
+            service_life(np.ones(4), duty_cycle=1.5)
+
+
+class TestComparison:
+    def test_ratio_reproduces_eq4(self):
+        """With a common stress anchor, the absolute-life ratio equals
+        the paper's Eq. 4 improvement exactly."""
+        baseline = np.zeros(48)
+        baseline[:12] = 4.0
+        leveled = np.ones(48)
+        comparison = compare_service_life(baseline, leveled)
+        assert comparison.improvement == pytest.approx(
+            improvement_from_counts(baseline, leveled)
+        )
+
+    def test_extra_years_positive_for_leveling(self):
+        baseline = np.zeros(48)
+        baseline[:12] = 4.0
+        comparison = compare_service_life(baseline, np.ones(48))
+        assert comparison.extra_years > 0
+
+    def test_identical_ledgers_gain_nothing(self):
+        counts = np.arange(1, 13, dtype=float)
+        comparison = compare_service_life(counts, counts)
+        assert comparison.improvement == pytest.approx(1.0)
+        assert comparison.extra_years == pytest.approx(0.0)
+
+    def test_real_workload_years_are_plausible(self):
+        """SqueezeNet serving 24/7 on the 14x12 array: the baseline lands
+        in single-digit years and RoTA adds a meaningful margin."""
+        from repro.experiments.common import run_policies, streams_for
+
+        streams = streams_for("SqueezeNet")
+        results = run_policies(
+            streams,
+            policies=("baseline", "rwl+ro"),
+            iterations=50,
+            record_trace=False,
+        )
+        comparison = compare_service_life(
+            results["baseline"].counts,
+            results["rwl+ro"].counts,
+            rated_pe_mttf_years=10.0,
+        )
+        assert 0.5 < comparison.baseline.mttf_years < 10.0
+        assert comparison.improvement > 1.3
+        assert comparison.extra_years > 0.5

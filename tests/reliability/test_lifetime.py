@@ -1,0 +1,99 @@
+"""Tests for Eq. 4 improvements and the Section V-C ceiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.reliability.lifetime import (
+    improvement_from_counts,
+    lifetime_upper_bound,
+    relative_improvement,
+    relative_lifetime,
+)
+from repro.reliability.weibull import JEDEC_BETA
+
+
+class TestRelativeImprovement:
+    def test_identical_distributions_give_one(self):
+        counts = np.array([3.0, 2.0, 1.0])
+        assert relative_improvement(counts, counts) == pytest.approx(1.0)
+
+    def test_balancing_improves(self):
+        base = np.array([4.0, 0.0, 0.0, 0.0])
+        leveled = np.array([1.0, 1.0, 1.0, 1.0])
+        improvement = relative_improvement(base, leveled)
+        assert improvement == pytest.approx(4 ** (1 - 1 / JEDEC_BETA))
+
+    def test_section_vc_closed_form(self):
+        """Single layer: x*y active PEs vs perfect spread over w*h gives
+        exactly the (utilization)^(1/beta - 1) ceiling."""
+        active, total = 56, 168
+        base = np.zeros(total)
+        base[:active] = 1.0
+        leveled = np.full(total, active / total)
+        improvement = relative_improvement(base, leveled)
+        assert improvement == pytest.approx(
+            lifetime_upper_bound(active / total)
+        )
+
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_improvement([1.0, 1.0], [3.0, 3.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_improvement([0.0], [0.0])
+
+    def test_counts_wrapper_flattens(self):
+        base = np.array([[4, 0], [0, 0]])
+        leveled = np.ones((2, 2))
+        assert improvement_from_counts(base, leveled) > 1.0
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=4, max_size=30).filter(
+            lambda counts: sum(counts) > 0
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_leveling_is_optimal(self, counts):
+        """No distribution of the same total beats the uniform one."""
+        array = np.array(counts, dtype=float)
+        uniform = np.full(array.shape, array.sum() / array.size)
+        assert relative_improvement(array, uniform) >= 1.0 - 1e-12
+
+
+class TestRelativeLifetime:
+    def test_uniform_is_one(self):
+        assert relative_lifetime(np.ones(10)) == pytest.approx(1.0)
+
+    def test_imbalanced_below_one(self):
+        counts = np.array([10.0, 0.0, 0.0, 0.0])
+        assert relative_lifetime(counts) < 1.0
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_lifetime(np.zeros(4))
+
+
+class TestUpperBound:
+    def test_full_utilization_gives_one(self):
+        assert lifetime_upper_bound(1.0) == pytest.approx(1.0)
+
+    def test_bound_above_one_for_underutilized(self):
+        assert lifetime_upper_bound(0.5) > 1.0
+
+    def test_paper_exponent(self):
+        assert lifetime_upper_bound(0.25) == pytest.approx(
+            0.25 ** (1 / JEDEC_BETA - 1)
+        )
+
+    def test_lower_utilization_higher_bound(self):
+        """The Fig. 8/9 correlation: low utilization, big opportunity."""
+        assert lifetime_upper_bound(0.2) > lifetime_upper_bound(0.8)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lifetime_upper_bound(0.0)
+        with pytest.raises(ConfigurationError):
+            lifetime_upper_bound(1.2)

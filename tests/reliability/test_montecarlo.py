@@ -1,0 +1,136 @@
+"""Tests for the Monte Carlo lifetime estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.montecarlo import (
+    empirical_improvement,
+    sample_array_lifetimes,
+)
+from repro.reliability.weibull import WeibullModel
+
+
+class TestSampling:
+    def test_matches_closed_form_single_pe(self):
+        model = WeibullModel()
+        samples = sample_array_lifetimes(
+            [1.0], model=model, num_samples=40_000, rng=np.random.default_rng(3)
+        )
+        assert samples.empirical_mttf == pytest.approx(model.mttf, rel=0.03)
+        assert samples.agrees_with_analytic()
+
+    def test_matches_closed_form_heterogeneous(self):
+        rng = np.random.default_rng(4)
+        alphas = rng.uniform(0.1, 1.0, 64)
+        samples = sample_array_lifetimes(alphas, num_samples=40_000, rng=rng)
+        assert samples.relative_error < 0.03
+        assert samples.agrees_with_analytic()
+
+    def test_idle_pes_never_fail_first(self):
+        alphas = np.array([1.0, 0.0, 1.0, 0.0])
+        samples = sample_array_lifetimes(
+            alphas, num_samples=2_000, rng=np.random.default_rng(5)
+        )
+        histogram = samples.failure_histogram(4)
+        assert histogram[1] == 0
+        assert histogram[3] == 0
+        assert histogram.sum() == 2_000
+
+    def test_busier_pes_fail_first_more_often(self):
+        alphas = np.array([4.0, 1.0])
+        samples = sample_array_lifetimes(
+            alphas, num_samples=10_000, rng=np.random.default_rng(6)
+        )
+        histogram = samples.failure_histogram(2)
+        assert histogram[0] > 5 * histogram[1]
+
+    def test_reproducible_under_seed(self):
+        alphas = [0.5, 1.0, 0.25]
+        a = sample_array_lifetimes(
+            alphas, num_samples=100, rng=np.random.default_rng(9)
+        )
+        b = sample_array_lifetimes(
+            alphas, num_samples=100, rng=np.random.default_rng(9)
+        )
+        assert np.array_equal(a.lifetimes, b.lifetimes)
+
+    def test_percentiles_ordered(self):
+        samples = sample_array_lifetimes(
+            [1.0] * 8, num_samples=5_000, rng=np.random.default_rng(10)
+        )
+        assert samples.percentile(10) < samples.percentile(50) < samples.percentile(90)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([])
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([-1.0])
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([1.0], num_samples=0)
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([1.0], num_samples=10).percentile(101)
+
+
+class TestSpares:
+    def test_zero_spares_is_series_system(self):
+        alphas = [1.0, 0.5, 0.25]
+        a = sample_array_lifetimes(
+            alphas, num_samples=500, rng=np.random.default_rng(20)
+        )
+        b = sample_array_lifetimes(
+            alphas, num_samples=500, rng=np.random.default_rng(20), spares=0
+        )
+        assert np.array_equal(a.lifetimes, b.lifetimes)
+
+    def test_spares_extend_lifetime_monotonically(self):
+        alphas = [1.0] * 16
+        means = []
+        for spares in (0, 1, 3):
+            samples = sample_array_lifetimes(
+                alphas,
+                num_samples=4_000,
+                rng=np.random.default_rng(21),
+                spares=spares,
+            )
+            means.append(samples.empirical_mttf)
+        assert means[0] < means[1] < means[2]
+
+    def test_spares_must_leave_an_active_pe(self):
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([1.0, 1.0], spares=2)
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([1.0], spares=-1)
+
+    def test_one_spare_matches_second_order_statistic(self):
+        """For two PEs with one spare, the lifetime is the max of the
+        two failure times; verify against a direct computation."""
+        rng = np.random.default_rng(22)
+        samples = sample_array_lifetimes(
+            [1.0, 1.0], num_samples=2_000, rng=rng, spares=1
+        )
+        direct_rng = np.random.default_rng(22)
+        stress = direct_rng.weibull(3.4, size=(2_000, 2))
+        assert np.allclose(samples.lifetimes, stress.max(axis=1))
+
+
+class TestEmpiricalImprovement:
+    def test_matches_eq4_for_perfect_leveling(self):
+        from repro.reliability.lifetime import improvement_from_counts
+
+        base = np.zeros(32)
+        base[:8] = 4.0
+        leveled = np.full(32, 1.0)
+        analytic = improvement_from_counts(base, leveled)
+        empirical = empirical_improvement(
+            base, leveled, num_samples=30_000, rng=np.random.default_rng(11)
+        )
+        assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_identical_ledgers_give_one(self):
+        counts = np.arange(1, 17, dtype=float)
+        assert empirical_improvement(
+            counts, counts, num_samples=2_000, rng=np.random.default_rng(12)
+        ) == pytest.approx(1.0)

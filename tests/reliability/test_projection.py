@@ -1,0 +1,60 @@
+"""Tests for the transient lifetime projection (Fig. 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import RwlRoPolicy
+from repro.errors import SimulationError
+from repro.reliability.projection import (
+    project_lifetime,
+    project_lifetime_from_snapshots,
+)
+
+from tests.conftest import make_stream
+
+
+class TestProjectionFromSnapshots:
+    def test_series_lengths(self):
+        snapshots = [np.ones((2, 2)) * (i + 1) for i in range(5)]
+        projection = project_lifetime_from_snapshots(snapshots)
+        assert projection.iterations.tolist() == [1, 2, 3, 4, 5]
+        assert projection.relative_lifetime.shape == (5,)
+        assert projection.r_diff.shape == (5,)
+
+    def test_uniform_snapshots_project_perfect(self):
+        projection = project_lifetime_from_snapshots([np.full((3, 3), 7.0)])
+        assert projection.final_lifetime == pytest.approx(1.0)
+        assert projection.final_r_diff == 0.0
+
+    def test_untouched_pe_gives_infinite_r_diff(self):
+        snapshot = np.array([[1.0, 0.0], [1.0, 1.0]])
+        projection = project_lifetime_from_snapshots([snapshot])
+        assert projection.final_r_diff == float("inf")
+        assert projection.final_lifetime < 1.0
+
+    def test_empty_snapshots_rejected(self):
+        with pytest.raises(SimulationError):
+            project_lifetime_from_snapshots([])
+
+    def test_convergence_predicate(self):
+        good = project_lifetime_from_snapshots([np.full((3, 3), 5.0)])
+        assert good.converged()
+        bad = project_lifetime_from_snapshots([np.array([[9.0, 1.0]])])
+        assert not bad.converged()
+
+
+class TestProjectionFromRun:
+    def test_requires_snapshots(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        result = engine.run([make_stream()], iterations=2)
+        with pytest.raises(SimulationError):
+            project_lifetime(result)
+
+    def test_end_to_end_projection_improves(self, small_torus):
+        engine = WearLevelingEngine(small_torus, RwlRoPolicy())
+        result = engine.run(
+            [make_stream(x=3, y=2, z=4)], iterations=40, record_snapshots=True
+        )
+        projection = project_lifetime(result)
+        assert projection.relative_lifetime[-1] >= projection.relative_lifetime[0]

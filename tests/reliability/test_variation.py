@@ -1,0 +1,89 @@
+"""Tests for the process-variation lifetime model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.montecarlo import sample_array_lifetimes
+from repro.reliability.variation import (
+    run_variation_study,
+    sample_lifetimes_with_variation,
+)
+
+
+class TestSampling:
+    def test_sigma_zero_matches_homogeneous_model(self):
+        """With sigma = 0 the variation model must reduce to the plain
+        Weibull sampler (statistically)."""
+        alphas = np.array([1.0, 0.5, 0.25, 0.8])
+        varied = sample_lifetimes_with_variation(
+            alphas, sigma=0.0, num_samples=20_000, rng=np.random.default_rng(1)
+        )
+        plain = sample_array_lifetimes(
+            alphas, num_samples=20_000, rng=np.random.default_rng(2)
+        )
+        assert varied.mean() == pytest.approx(plain.empirical_mttf, rel=0.03)
+
+    def test_variation_shortens_expected_lifetime(self):
+        """A lognormal scale spread creates weak PEs that fail early,
+        pulling the first-failure time down."""
+        alphas = np.ones(32)
+        tight = sample_lifetimes_with_variation(
+            alphas, sigma=0.0, num_samples=10_000, rng=np.random.default_rng(3)
+        )
+        loose = sample_lifetimes_with_variation(
+            alphas, sigma=0.5, num_samples=10_000, rng=np.random.default_rng(3)
+        )
+        assert loose.mean() < tight.mean()
+
+    def test_reproducible_under_seed(self):
+        alphas = [1.0, 2.0]
+        a = sample_lifetimes_with_variation(
+            alphas, 0.2, num_samples=100, rng=np.random.default_rng(4)
+        )
+        b = sample_lifetimes_with_variation(
+            alphas, 0.2, num_samples=100, rng=np.random.default_rng(4)
+        )
+        assert np.array_equal(a, b)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_lifetimes_with_variation([], 0.1)
+        with pytest.raises(ConfigurationError):
+            sample_lifetimes_with_variation([1.0], -0.1)
+        with pytest.raises(ConfigurationError):
+            sample_lifetimes_with_variation([0.0], 0.1)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        baseline = np.zeros(48)
+        baseline[:12] = 4.0
+        leveled = np.ones(48)
+        return run_variation_study(
+            baseline, leveled, sigmas=(0.0, 0.3, 0.6), num_samples=6_000
+        )
+
+    def test_wear_leveling_survives_variation(self, study):
+        assert study.always_improves
+
+    def test_margin_shrinks(self, study):
+        assert study.margin_shrinks_with_variation
+
+    def test_sigma_zero_matches_closed_form(self, study):
+        from repro.reliability.lifetime import improvement_from_counts
+
+        baseline = np.zeros(48)
+        baseline[:12] = 4.0
+        leveled = np.ones(48)
+        analytic = improvement_from_counts(baseline, leveled)
+        assert study.point_for(0.0).improvement == pytest.approx(analytic, rel=0.05)
+
+    def test_unknown_sigma_lookup(self, study):
+        with pytest.raises(KeyError):
+            study.point_for(0.12345)
+
+    def test_all_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_variation_study(np.zeros(4), np.zeros(4))

@@ -1,0 +1,93 @@
+"""Tests for the Weibull wear-out model (Eqs. 1-3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reliability.weibull import JEDEC_BETA, WeibullModel
+from repro.errors import ConfigurationError
+
+
+class TestSinglePe:
+    def test_jedec_beta(self):
+        assert WeibullModel().beta == pytest.approx(3.4)
+        assert JEDEC_BETA == pytest.approx(3.4)
+
+    def test_reliability_at_zero_is_one(self):
+        assert WeibullModel().reliability(0.0) == pytest.approx(1.0)
+
+    def test_reliability_monotone_decreasing(self):
+        model = WeibullModel()
+        times = np.linspace(0, 3, 50)
+        series = model.reliability(times)
+        assert (np.diff(series) <= 0).all()
+
+    def test_cdf_complements_reliability(self):
+        model = WeibullModel()
+        assert model.cdf(1.3) == pytest.approx(1.0 - model.reliability(1.3))
+
+    def test_mttf_closed_form(self):
+        model = WeibullModel(beta=3.4, eta=2.0)
+        assert model.mttf == pytest.approx(2.0 * math.gamma(1 + 1 / 3.4))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeibullModel().reliability(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeibullModel(beta=0)
+        with pytest.raises(ConfigurationError):
+            WeibullModel(eta=-1)
+
+
+class TestArray:
+    def test_uniform_array_mttf_scales_with_count(self):
+        """n identical PEs: stress norm = n^(1/beta), MTTF shrinks."""
+        model = WeibullModel()
+        one = model.array_mttf([1.0])
+        four = model.array_mttf([1.0] * 4)
+        assert four == pytest.approx(one / 4 ** (1 / model.beta))
+
+    def test_idle_array_lives_forever(self):
+        assert WeibullModel().array_mttf([0.0, 0.0]) == float("inf")
+
+    def test_array_reliability_matches_eq2(self):
+        model = WeibullModel()
+        alphas = np.array([1.0, 0.5, 0.0])
+        t = 0.7
+        expected = math.exp(-sum((t * a / model.eta) ** model.beta for a in alphas))
+        assert model.array_reliability(alphas, t) == pytest.approx(expected)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeibullModel().stress_norm([-0.1])
+
+    def test_empty_alphas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeibullModel().stress_norm([])
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=2, max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_balancing_never_hurts(self, alphas):
+        """Replacing every alpha by the common mean (same total stress)
+        never reduces the array MTTF — the formal reason wear-leveling
+        helps for beta > 1."""
+        model = WeibullModel()
+        mean = sum(alphas) / len(alphas)
+        balanced = [mean] * len(alphas)
+        assert model.array_mttf(balanced) >= model.array_mttf(alphas) - 1e-12
+
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=20), st.floats(1.1, 9.9))
+    @settings(max_examples=100, deadline=None)
+    def test_stress_norm_is_a_norm(self, alphas, scale):
+        """Homogeneous: norm(c * a) == c * norm(a)."""
+        model = WeibullModel()
+        scaled = [scale * a for a in alphas]
+        assert model.stress_norm(scaled) == pytest.approx(
+            scale * model.stress_norm(alphas), rel=1e-9
+        )

@@ -1,0 +1,115 @@
+"""Tests for the ``rota`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in (
+            ["table2"],
+            ["utilization"],
+            ["heatmaps"],
+            ["walkthrough"],
+            ["usage-diff"],
+            ["projection"],
+            ["lifetime"],
+            ["upper-bound"],
+            ["sweep"],
+            ["overhead"],
+            ["ablations"],
+            ["all"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestMain:
+    def test_table2_prints_roster(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "SqueezeNet" in out
+        assert "Llama v2" in out
+
+    def test_overhead_prints_claim(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "0.3%" in capsys.readouterr().out
+
+    def test_walkthrough_prints_paper_example(self, capsys):
+        assert main(["walkthrough"]) == 0
+        out = capsys.readouterr().out
+        assert "X=7" in out
+
+    def test_lifetime_with_reduced_iterations(self, capsys):
+        assert main(["lifetime", "--iterations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "RWL+RO" in out
+        assert "AVG" in out
+
+    def test_usage_diff_small(self, capsys):
+        assert main(["usage-diff", "--iterations", "20"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+
+class TestExtensionsCommand:
+    def test_extensions_prints_all_studies(self, capsys):
+        assert main(["extensions", "--iterations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "policy comparison" in out
+        assert "Monte Carlo" in out
+        assert "objective" in out
+        assert "Weibull" in out
+
+    def test_projection_command(self, capsys):
+        assert main(["projection", "--iterations", "20"]) == 0
+        assert "R_diff" in capsys.readouterr().out
+
+    def test_heatmaps_command(self, capsys):
+        assert main(["heatmaps", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3a" in out and "Fig. 3b" in out
+
+    def test_utilization_with_network(self, capsys):
+        assert main(["utilization", "--network", "Sqz"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2a" in out and "Fig. 2b" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--network", "Sqz", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Profile" in out
+        assert "more layers" in out
+
+    def test_export_command(self, capsys, tmp_path):
+        assert main(["export", "--network", "Sqz", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rota_wl_controller.v" in out
+        assert (tmp_path / "controller_program.json").exists()
+        assert (tmp_path / "rota_wl_controller.v").exists()
+        assert (tmp_path / "scalesim" / "squeezenet.cfg").exists()
+
+    def test_unfold_command(self, capsys):
+        assert main(["unfold"]) == 0
+        assert "unfolded torus walk" in capsys.readouterr().out
+
+    def test_attribution_command(self, capsys):
+        assert main(["attribution", "--network", "Sqz", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Wear attribution" in out
+        assert "conv1" in out
+
+    def test_scorecard_command(self, capsys):
+        assert main(["scorecard", "--iterations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction scorecard" in out
+        assert "claims hold" in out

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process (``runpy``) with lightweight
+arguments so the suite stays fast while guaranteeing the examples never
+rot as the API evolves.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *argv: str, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", "SqueezeNet", "5", capsys=capsys)
+        assert "Lifetime improvement" in out
+        assert "RoTA" in out
+
+    def test_reliability_report(self, capsys):
+        out = run_example("reliability_report.py", "5", capsys=capsys)
+        assert "Lifetime reliability report" in out
+        assert "Llama v2" in out
+
+    def test_wear_leveling_visualizer(self, capsys):
+        out = run_example("wear_leveling_visualizer.py", capsys=capsys)
+        assert "Eq. 9 bound" in out
+        assert "Dmax=5" in out  # the paper example's exact final D_max
+
+    def test_visualizer_baseline_mode(self, capsys):
+        out = run_example(
+            "wear_leveling_visualizer.py", "4", "4", "8", "--policy", "baseline",
+            capsys=capsys,
+        )
+        assert "after tile 8/8" in out
+
+    def test_llm_serving_study(self, capsys):
+        out = run_example("llm_serving_study.py", "BERT-base", "3", capsys=capsys)
+        assert "Roofline" in out
+        assert "Spare-PE budget" in out
+
+    @pytest.mark.slow
+    def test_custom_accelerator(self, capsys):
+        out = run_example("custom_accelerator.py", "SqueezeNet", capsys=capsys)
+        assert "design sweep" in out

@@ -1,0 +1,119 @@
+"""Tests for the network builder machinery."""
+
+import pytest
+
+from repro.dataflow.layer import LayerKind
+from repro.errors import WorkloadError
+from repro.workloads.base import Network, NetworkBuilder
+
+
+def builder(**kwargs):
+    defaults = dict(
+        name="toy",
+        abbreviation="T",
+        domain="test",
+        feature="none",
+        input_hw=(32, 32),
+        input_channels=3,
+    )
+    defaults.update(kwargs)
+    return NetworkBuilder(**defaults)
+
+
+class TestGeometryTracking:
+    def test_same_padding_conv(self):
+        b = builder()
+        layer = b.conv(8, 3, stride=2)
+        assert layer.P == 16 and layer.Q == 16
+        assert b.hw == (16, 16)
+        assert b.channels == 8
+
+    def test_valid_padding_conv(self):
+        b = builder()
+        layer = b.conv(8, 5, stride=1, padding="valid")
+        assert layer.P == 28
+        assert b.hw == (28, 28)
+
+    def test_valid_conv_too_large_rejected(self):
+        b = builder(input_hw=(4, 4))
+        with pytest.raises(WorkloadError):
+            b.conv(8, 7, padding="valid")
+
+    def test_unknown_padding_rejected(self):
+        with pytest.raises(WorkloadError):
+            builder().conv(8, 3, padding="mirror")
+
+    def test_asymmetric_kernel(self):
+        layer = builder().conv(8, (1, 7))
+        assert (layer.R, layer.S) == (1, 7)
+
+    def test_pool_updates_geometry_without_layer(self):
+        b = builder()
+        b.pool(2, 2, padding="valid")
+        assert b.hw == (16, 16)
+        assert b.build
+        with pytest.raises(WorkloadError):
+            b.build()  # still no MAC layers
+
+    def test_global_pool(self):
+        b = builder()
+        b.global_pool()
+        assert b.hw == (1, 1)
+
+    def test_upsample(self):
+        b = builder()
+        b.upsample(2)
+        assert b.hw == (64, 64)
+
+    def test_branch_without_state_update(self):
+        b = builder()
+        b.conv(8, 1, update_state=False)
+        assert b.channels == 3  # unchanged
+
+    def test_set_channels_and_hw(self):
+        b = builder()
+        b.set_channels(128)
+        b.set_hw((7, 7))
+        layer = b.conv(8, 1)
+        assert layer.C == 128
+        assert layer.P == 7
+
+    def test_dwconv_uses_current_channels(self):
+        b = builder()
+        b.conv(16, 3)
+        layer = b.dwconv(3, stride=2)
+        assert layer.kind is LayerKind.DEPTHWISE
+        assert layer.K == 16
+
+    def test_fc_sets_channels(self):
+        b = builder()
+        b.conv(16, 3)
+        b.global_pool()
+        layer = b.fc(100)
+        assert layer.C == 16
+        assert b.channels == 100
+
+    def test_auto_names_unique(self):
+        b = builder()
+        names = {b.conv(8, 3).name for _ in range(5)}
+        assert len(names) == 5
+
+
+class TestNetwork:
+    def test_totals(self):
+        b = builder()
+        b.conv(8, 3)
+        b.fc(10, in_features=8)
+        network = b.build()
+        assert network.num_layers == 2
+        assert network.total_macs == sum(l.macs for l in network.layers)
+        assert network.total_weight_bytes > 0
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(WorkloadError):
+            Network(name="x", abbreviation="x", domain="d", feature="f", layers=())
+
+    def test_describe(self):
+        b = builder()
+        b.conv(8, 3)
+        assert "toy" in b.build().describe()

@@ -1,0 +1,75 @@
+"""Tests for the extra (non-Table II) workloads."""
+
+import pytest
+
+from repro.dataflow.layer import LayerKind
+from repro.workloads.registry import (
+    all_networks,
+    extra_network_names,
+    get_network,
+)
+
+
+class TestRoster:
+    def test_extras_listed(self):
+        assert extra_network_names() == ["AlexNet", "VGG-16", "BERT-base"]
+
+    def test_extras_not_in_table_ii(self):
+        table_ii = {network.name for network in all_networks()}
+        assert table_ii.isdisjoint(extra_network_names())
+
+    def test_extras_resolve_by_name_and_abbreviation(self):
+        assert get_network("AlexNet").abbreviation == "Alx"
+        assert get_network("Vgg").name == "VGG-16"
+
+
+class TestAlexNet:
+    def test_structure(self):
+        network = get_network("AlexNet")
+        assert network.num_layers == 8  # 5 conv + 3 fc
+        conv1 = network.layers[0]
+        assert (conv1.K, conv1.R, conv1.stride) == (96, 11, 4)
+        assert conv1.P == 55
+
+    def test_fc_weights_dominate(self):
+        """AlexNet's famous property: FC layers hold most parameters."""
+        network = get_network("AlexNet")
+        fc_bytes = sum(
+            l.weight_bytes for l in network.layers if l.kind is LayerKind.GEMM
+        )
+        assert fc_bytes > 0.8 * network.total_weight_bytes
+
+
+class TestVgg16:
+    def test_structure(self):
+        network = get_network("VGG-16")
+        assert network.num_layers == 16  # 13 conv + 3 fc
+        assert all(
+            l.R == 3 for l in network.layers if l.kind is LayerKind.CONV
+        )
+
+    def test_published_sizes(self):
+        network = get_network("VGG-16")
+        params_m = network.total_weight_bytes / 2 / 1e6
+        assert params_m == pytest.approx(138, rel=0.1)
+        assert network.total_macs / 1e9 == pytest.approx(15.5, rel=0.1)
+
+
+class TestBertBase:
+    def test_structure(self):
+        network = get_network("BERT-base")
+        qkvs = [l for l in network.layers if l.name.endswith("_qkv")]
+        assert len(qkvs) == 12
+        assert qkvs[0].K == 3 * 768
+
+    def test_all_gemm(self):
+        kinds = {l.kind for l in get_network("BERT-base").layers}
+        assert kinds == {LayerKind.GEMM}
+
+    def test_schedulable_on_eyeriss(self):
+        from repro.arch.presets import eyeriss_v1
+        from repro.dataflow.scheduler import Scheduler
+
+        scheduler = Scheduler(eyeriss_v1())
+        schedule = scheduler.schedule_layer(get_network("BERT-base").layers[0])
+        assert schedule.num_tiles >= 1

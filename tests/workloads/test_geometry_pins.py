@@ -1,0 +1,124 @@
+"""Geometry pins: known feature-map sizes at landmark layers.
+
+Each network's shape table must hit the spatial sizes the original
+papers publish at well-known points — a typo in a stride or padding mode
+shifts everything downstream, and these pins catch it.
+"""
+
+import pytest
+
+from repro.workloads.registry import get_network
+
+
+def layer(network, name):
+    return next(l for l in get_network(network).layers if l.name == name)
+
+
+class TestResNet50Pins:
+    @pytest.mark.parametrize(
+        "name,p,c,k",
+        [
+            ("conv1", 112, 3, 64),
+            ("c2_b1_conv2", 56, 64, 64),
+            ("c3_b1_conv2", 28, 128, 128),
+            ("c4_b1_conv2", 14, 256, 256),
+            ("c5_b1_conv2", 7, 512, 512),
+            ("c5_b3_conv3", 7, 512, 2048),
+        ],
+    )
+    def test_stage_geometry(self, name, p, c, k):
+        shape = layer("ResNet-50", name)
+        assert (shape.P, shape.C, shape.K) == (p, c, k)
+
+
+class TestSqueezeNetPins:
+    @pytest.mark.parametrize(
+        "name,p,c,k",
+        [
+            ("conv1", 109, 3, 96),
+            ("fire2_squeeze1x1", 54, 96, 16),
+            ("fire5_squeeze1x1", 26, 256, 32),
+            ("fire9_expand3x3", 12, 64, 256),
+            ("conv10", 12, 512, 1000),
+        ],
+    )
+    def test_fire_geometry(self, name, p, c, k):
+        shape = layer("SqueezeNet", name)
+        assert (shape.P, shape.C, shape.K) == (p, c, k)
+
+
+class TestYoloPins:
+    @pytest.mark.parametrize(
+        "name,p",
+        [
+            ("d53_conv1", 416),
+            ("d53_down3", 52),
+            ("d53_down5", 13),
+            ("head13_detect", 13),
+            ("head26_detect", 26),
+            ("head52_detect", 52),
+        ],
+    )
+    def test_grid_sizes(self, name, p):
+        assert layer("YOLO v3", name).P == p
+
+
+class TestMobileNetPins:
+    @pytest.mark.parametrize(
+        "name,p,k",
+        [
+            ("conv_stem", 112, 16),
+            ("bneck4_dw", 28, 72),   # first 5x5 stride-2 block
+            ("bneck13_dw", 7, 672),  # last stride-2 block
+            ("conv_head", 7, 960),
+        ],
+    )
+    def test_bneck_geometry(self, name, p, k):
+        shape = layer("MobileNet v3", name)
+        assert (shape.P, shape.K) == (p, k)
+
+
+class TestEfficientNetPins:
+    @pytest.mark.parametrize(
+        "name,p,k",
+        [
+            ("conv_stem", 112, 32),
+            ("s2_b1_dw", 56, 96),
+            ("s6_b1_dw", 7, 672),
+            ("conv_head", 7, 1280),
+        ],
+    )
+    def test_mbconv_geometry(self, name, p, k):
+        shape = layer("EfficientNet", name)
+        assert (shape.P, shape.K) == (p, k)
+
+
+class TestInceptionPins:
+    def test_stem_reaches_35x35(self):
+        assert layer("Inception v4", "incA1_b1_conv").P == 35
+
+    def test_b_blocks_at_17(self):
+        assert layer("Inception v4", "incB1_b1_conv").P == 17
+
+    def test_c_blocks_at_8(self):
+        assert layer("Inception v4", "incC1_b1_conv").P == 8
+
+    def test_channel_concat_totals(self):
+        assert layer("Inception v4", "incA2_b1_conv").C == 384
+        assert layer("Inception v4", "incB2_b1_conv").C == 1024
+        assert layer("Inception v4", "incC2_b1_conv").C == 1536
+
+
+class TestTransformerPins:
+    def test_vit_patch_grid(self):
+        patch = layer("ViT", "patch_embed")
+        assert (patch.P, patch.Q, patch.K) == (14, 14, 768)
+
+    def test_mobilevit_transformer_dims(self):
+        qkv = layer("MobileViT", "mvit2_t1_qkv")
+        assert qkv.K == 3 * 192
+        assert qkv.C == 192
+
+    def test_llama_lm_head(self):
+        head = layer("Llama v2", "lm_head")
+        assert (head.K, head.C, head.P) == (32000, 4096, 512)

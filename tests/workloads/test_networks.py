@@ -1,0 +1,143 @@
+"""Sanity checks on all nine Table II workload tables.
+
+Published reference points (parameter counts, MAC counts) pin each shape
+table to the cited architecture within loose tolerances — the tables are
+reproductions of layer *shapes*, not weight-exact model dumps.
+"""
+
+import pytest
+
+from repro.dataflow.layer import LayerKind
+from repro.workloads.registry import all_networks, get_network
+
+#: (abbr, published params (millions), published GMACs, tolerance)
+REFERENCE_SIZES = {
+    "Res": (25.6, 4.1, 0.30),
+    "Sqz": (1.25, 0.85, 0.45),
+    "Mb": (5.4, 0.22, 0.45),
+    "Eff": (5.3, 0.39, 0.45),
+    "VT": (86.0, 17.6, 0.30),
+    "YL": (62.0, 33.0, 0.30),
+    "Inc": (42.7, 12.3, 0.35),
+    "MVT": (5.6, 2.0, 0.50),
+}
+
+
+class TestRoster:
+    def test_nine_networks(self):
+        assert len(all_networks()) == 9
+
+    def test_all_layers_have_positive_macs(self):
+        for network in all_networks():
+            for layer in network.layers:
+                assert layer.macs > 0, layer.name
+
+    def test_layer_names_unique_within_network(self):
+        for network in all_networks():
+            names = [layer.name for layer in network.layers]
+            assert len(names) == len(set(names)), network.name
+
+    @pytest.mark.parametrize("abbr", sorted(REFERENCE_SIZES))
+    def test_parameter_counts_near_published(self, abbr):
+        published_m, _, tolerance = REFERENCE_SIZES[abbr]
+        network = get_network(abbr)
+        params_m = network.total_weight_bytes / 2 / 1e6  # 2 bytes per word
+        assert params_m == pytest.approx(published_m, rel=tolerance), network.name
+
+    @pytest.mark.parametrize("abbr", sorted(REFERENCE_SIZES))
+    def test_mac_counts_near_published(self, abbr):
+        _, published_g, tolerance = REFERENCE_SIZES[abbr]
+        network = get_network(abbr)
+        gmacs = network.total_macs / 1e9
+        assert gmacs == pytest.approx(published_g, rel=tolerance), network.name
+
+
+class TestResNet50:
+    def test_convolution_count(self):
+        """49 convs + 4 projections + 1 FC = 54 MAC layers."""
+        assert get_network("ResNet-50").num_layers == 54
+
+    def test_c5_stage_shapes(self):
+        layers = {l.name: l for l in get_network("ResNet-50").layers}
+        c5 = layers["c5_b2_conv2"]
+        assert (c5.K, c5.C, c5.P, c5.Q) == (512, 512, 7, 7)
+
+
+class TestSqueezeNet:
+    def test_fire_module_count(self):
+        network = get_network("SqueezeNet")
+        squeezes = [l for l in network.layers if "squeeze" in l.name]
+        assert len(squeezes) == 8
+
+    def test_expand_channels_match_iandola_table(self):
+        layers = {l.name: l for l in get_network("SqueezeNet").layers}
+        assert layers["fire9_expand3x3"].K == 256
+        assert layers["fire9_expand3x3"].C == 64
+
+
+class TestDepthwiseNetworks:
+    @pytest.mark.parametrize("name", ["MobileNet v3", "EfficientNet"])
+    def test_contains_depthwise_layers(self, name):
+        kinds = {l.kind for l in get_network(name).layers}
+        assert LayerKind.DEPTHWISE in kinds
+
+    def test_mobilenet_bneck_count(self):
+        dw = [
+            l
+            for l in get_network("MobileNet v3").layers
+            if l.kind is LayerKind.DEPTHWISE
+        ]
+        assert len(dw) == 15  # one per bneck row
+
+
+class TestTransformers:
+    @pytest.mark.parametrize("name", ["ViT", "Llama v2"])
+    def test_gemm_dominated(self, name):
+        layers = get_network(name).layers
+        gemms = [l for l in layers if l.kind is LayerKind.GEMM]
+        assert len(gemms) / len(layers) > 0.9
+
+    def test_vit_encoder_block_count(self):
+        qkvs = [l for l in get_network("ViT").layers if l.name.endswith("_qkv")]
+        assert len(qkvs) == 12
+
+    def test_llama_decoder_block_count(self):
+        qs = [l for l in get_network("Llama v2").layers if l.name.endswith("_q")]
+        assert len(qs) == 32
+
+    def test_llama_ffn_shapes(self):
+        layers = {l.name: l for l in get_network("Llama v2").layers}
+        gate = layers["blk01_gate"]
+        assert (gate.K, gate.C) == (11008, 4096)
+
+    def test_mobilevit_mixes_convs_and_gemms(self):
+        kinds = {l.kind for l in get_network("MobileViT").layers}
+        assert kinds == {LayerKind.CONV, LayerKind.DEPTHWISE, LayerKind.GEMM}
+
+
+class TestInceptionV4:
+    def test_has_asymmetric_kernels(self):
+        """Table II's 'asymmetric weights' feature."""
+        asymmetric = [
+            l for l in get_network("Inception v4").layers if l.R != l.S
+        ]
+        assert len(asymmetric) >= 10
+
+    def test_block_counts(self):
+        names = [l.name for l in get_network("Inception v4").layers]
+        assert sum(1 for n in names if n.startswith("incA")) > 0
+        assert sum(1 for n in names if n.startswith("incB")) > 0
+        assert sum(1 for n in names if n.startswith("incC")) > 0
+
+
+class TestYoloV3:
+    def test_three_detection_heads(self):
+        names = [l.name for l in get_network("YOLO v3").layers]
+        detects = [n for n in names if n.endswith("_detect")]
+        assert len(detects) == 3
+
+    def test_residual_block_total(self):
+        """Darknet-53: 1+2+8+8+4 = 23 residual blocks."""
+        names = [l.name for l in get_network("YOLO v3").layers]
+        res_conv1 = [n for n in names if "_r" in n and n.endswith("_conv1")]
+        assert len(res_conv1) == 23

@@ -1,0 +1,57 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.registry import (
+    all_networks,
+    get_network,
+    network_abbreviations,
+    network_names,
+)
+
+
+class TestLookup:
+    def test_by_full_name(self):
+        assert get_network("SqueezeNet").abbreviation == "Sqz"
+
+    def test_by_abbreviation(self):
+        assert get_network("Sqz").name == "SqueezeNet"
+
+    def test_case_insensitive_full_names(self):
+        assert get_network("squeezenet").name == "SqueezeNet"
+
+    def test_unknown_rejected_with_suggestions(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_network("LeNet-99")
+        assert "known workloads" in str(excinfo.value)
+
+    def test_networks_cached(self):
+        assert get_network("ViT") is get_network("VT")
+
+
+class TestRoster:
+    def test_table_ii_order(self):
+        assert network_names() == [
+            "ResNet-50",
+            "Inception v4",
+            "YOLO v3",
+            "SqueezeNet",
+            "MobileNet v3",
+            "EfficientNet",
+            "ViT",
+            "MobileViT",
+            "Llama v2",
+        ]
+
+    def test_abbreviations_match_paper(self):
+        assert network_abbreviations() == [
+            "Res", "Inc", "YL", "Sqz", "Mb", "Eff", "VT", "MVT", "LM",
+        ]
+
+    def test_all_networks_in_order(self):
+        assert [n.name for n in all_networks()] == network_names()
+
+    def test_four_domains(self):
+        domains = {n.domain for n in all_networks()}
+        assert len(domains) == 4
