@@ -1,0 +1,165 @@
+"""Runtime benchmarks: process-pool fan-out and the persistent cache.
+
+Three measurements back the parallel-runtime acceptance criteria:
+
+1. the Fig. 8 workload sweep, serial vs parallel — bit-identical tables,
+   recorded speedup (only meaningful on a multi-core runner);
+2. a cold vs warm `rota lifetime` subprocess against a fresh cache
+   directory — the warm run skips both the mapping search and the
+   engine runs, and must be at least 5x faster when the cold run paid
+   the full scheduling pass;
+3. chunked Monte Carlo sampling, serial vs parallel — bit-identical.
+
+Each test appends a JSON record to ``benchmarks/results/
+runtime_parallel.json`` (relocatable via ``REPRO_BENCH_JSON_DIR``) so
+the speedups accumulate into a trajectory across commits. Reduce the
+workload for smoke runs with ``REPRO_BENCH_ITERATIONS``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import once
+
+from repro import __version__
+from repro.experiments.fig8 import run_fig8
+from repro.reliability.montecarlo import sample_array_lifetimes
+
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "100"))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _record(entry: dict) -> None:
+    """Append one benchmark record to the trajectory file."""
+    out_dir = Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON_DIR", Path(__file__).resolve().parent / "results"
+        )
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "runtime_parallel.json"
+    try:
+        records = json.loads(path.read_text()) if path.exists() else []
+    except (OSError, ValueError):
+        records = []
+    records.append({"version": __version__, **entry})
+    path.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def test_bench_fig8_serial_vs_parallel(benchmark, monkeypatch):
+    """Parallel Fig. 8 sweep: identical table, recorded speedup."""
+    # Measure the fan-out, not the result cache: with caching on, the
+    # second sweep would be a pure cache read.
+    monkeypatch.setenv("REPRO_RESULT_CACHE", "off")
+    start = time.perf_counter()
+    serial = run_fig8(iterations=BENCH_ITERATIONS, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    jobs = os.cpu_count() or 1
+    parallel = once(benchmark, run_fig8, iterations=BENCH_ITERATIONS, jobs=jobs)
+    parallel_seconds = benchmark.stats["mean"]
+
+    assert serial.rows == parallel.rows
+    assert serial.format() == parallel.format()
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print()
+    print(
+        f"fig8 sweep x{BENCH_ITERATIONS}: serial {serial_seconds:.3f}s, "
+        f"parallel({jobs}) {parallel_seconds:.3f}s, speedup {speedup:.2f}x"
+    )
+    _record(
+        {
+            "bench": "fig8_serial_vs_parallel",
+            "iterations": BENCH_ITERATIONS,
+            "jobs": jobs,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+        }
+    )
+    # On a multi-core runner the fan-out must help; on a single core it
+    # must at least not corrupt results (asserted above).
+    if jobs >= 4:
+        assert speedup > 1.05
+
+
+def test_bench_result_cache_cold_vs_warm(benchmark, tmp_path):
+    """A repeat `rota lifetime` against a warm persistent cache."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(tmp_path)
+    env.pop("REPRO_RESULT_CACHE", None)  # cache on, in a fresh directory
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "lifetime",
+        "--iterations",
+        str(BENCH_ITERATIONS),
+    ]
+
+    start = time.perf_counter()
+    cold = subprocess.run(command, env=env, capture_output=True, text=True)
+    cold_seconds = time.perf_counter() - start
+    assert cold.returncode == 0, cold.stderr
+
+    def warm_run():
+        result = subprocess.run(command, env=env, capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+        return result
+
+    warm = once(benchmark, warm_run)
+    warm_seconds = benchmark.stats["mean"]
+    assert warm.stdout == cold.stdout  # cached results render identically
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    print()
+    print(
+        f"rota lifetime x{BENCH_ITERATIONS}: cold {cold_seconds:.2f}s, "
+        f"warm {warm_seconds:.2f}s, speedup {speedup:.2f}x"
+    )
+    _record(
+        {
+            "bench": "lifetime_cold_vs_warm",
+            "iterations": BENCH_ITERATIONS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+        }
+    )
+    assert warm_seconds < cold_seconds
+    # When the cold run paid the full mapping search, warm must win big.
+    if cold_seconds > 20:
+        assert speedup >= 5
+
+
+def test_bench_montecarlo_chunked(benchmark):
+    """Chunked Monte Carlo: parallel draws identical to serial."""
+    rng = np.random.default_rng(42)
+    alphas = rng.uniform(0.1, 1.0, 168)  # one 14x12 array's activities
+    samples = 50_000
+
+    serial = sample_array_lifetimes(alphas, num_samples=samples, seed=7, jobs=1)
+
+    def parallel_run():
+        return sample_array_lifetimes(
+            alphas, num_samples=samples, seed=7, jobs=os.cpu_count() or 1
+        )
+
+    parallel = once(benchmark, parallel_run)
+    assert np.array_equal(serial.lifetimes, parallel.lifetimes)
+    assert serial.agrees_with_analytic()
+    _record(
+        {
+            "bench": "montecarlo_chunked",
+            "num_samples": samples,
+            "jobs": os.cpu_count() or 1,
+            "seconds": benchmark.stats["mean"],
+        }
+    )

@@ -63,6 +63,12 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.runtime import (
+    ParallelRunner,
+    ResultCache,
+    content_hash,
+    run_parallel,
+)
 from repro.reliability import (
     JEDEC_BETA,
     WeibullModel,
@@ -90,6 +96,8 @@ __all__ = [
     "MappingError",
     "Network",
     "PEArray",
+    "ParallelRunner",
+    "ResultCache",
     "ReproError",
     "RunResult",
     "RwlParameters",
@@ -108,6 +116,7 @@ __all__ = [
     "WeibullModel",
     "WorkloadError",
     "all_networks",
+    "content_hash",
     "eyeriss_v1",
     "get_network",
     "improvement_from_counts",
@@ -117,6 +126,7 @@ __all__ = [
     "project_lifetime",
     "relative_improvement",
     "relative_lifetime",
+    "run_parallel",
     "rwl_parameters",
     "scaled_array",
     "stride_positions",

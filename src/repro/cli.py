@@ -69,7 +69,7 @@ def _cmd_projection(args: argparse.Namespace) -> str:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> str:
-    return run_fig8(iterations=args.iterations).format()
+    return run_fig8(iterations=args.iterations, jobs=args.jobs).format()
 
 
 def _cmd_upper_bound(args: argparse.Namespace) -> str:
@@ -77,7 +77,9 @@ def _cmd_upper_bound(args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    return run_fig10(network=args.network, iterations=args.iterations).format()
+    return run_fig10(
+        network=args.network, iterations=args.iterations, jobs=args.jobs
+    ).format()
 
 
 def _cmd_overhead(args: argparse.Namespace) -> str:
@@ -168,22 +170,82 @@ def _cmd_scorecard(args: argparse.Namespace) -> str:
     return run_scorecard(iterations=args.iterations).format()
 
 
+#: The ``rota all`` sections, in paper order. Independent drivers, so
+#: ``--jobs N`` runs them concurrently; output order never changes.
+_ALL_SECTIONS = (
+    "table2",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "overhead",
+)
+
+
+def _render_section(name: str) -> str:
+    """Run one ``rota all`` section (module-level so pools can pickle it)."""
+    runners = {
+        "table2": run_table2,
+        "fig2a": run_fig2a,
+        "fig2b": run_fig2b,
+        "fig3": run_fig3,
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+        "fig10": run_fig10,
+        "overhead": run_overhead,
+    }
+    return runners[name]().format()
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
-    sections = [
-        run_table2().format(),
-        run_fig2a().format(),
-        run_fig2b().format(),
-        run_fig3().format(),
-        run_fig4().format(),
-        run_fig5().format(),
-        run_fig6().format(),
-        run_fig7().format(),
-        run_fig8().format(),
-        run_fig9().format(),
-        run_fig10().format(),
-        run_overhead().format(),
-    ]
+    from repro.runtime import ParallelRunner
+
+    runner = ParallelRunner(args.jobs)
+    sections = runner.map(_render_section, _ALL_SECTIONS, labels=_ALL_SECTIONS)
     return "\n\n".join(sections)
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    from repro.dataflow.scheduler import _disk_cache_path
+    from repro.runtime import result_cache
+
+    cache = result_cache()
+    lines = []
+    if args.clear:
+        removed = cache.clear()
+        lines.append(f"cleared {removed} cached results")
+    lines.append(cache.stats().format())
+    schedule_path = _disk_cache_path()
+    if schedule_path is not None:
+        lines.append(
+            f"schedule cache at {schedule_path} "
+            f"({'present' if schedule_path.exists() else 'empty'}; "
+            f"delete the file to clear)"
+        )
+    return "\n".join(lines)
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help=(
+            "worker processes (default: $REPRO_JOBS or 1 = serial; "
+            "0 = all CPUs); results are identical at any value"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lifetime", help="Fig. 8 lifetime improvement per workload")
     p.add_argument("--iterations", type=int, default=200)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_lifetime)
 
     sub.add_parser(
@@ -239,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="Fig. 10 PE-array size sweep")
     p.add_argument("--network", default="SqueezeNet")
     p.add_argument("--iterations", type=int, default=200)
+    _add_jobs_flag(p)
     p.set_defaults(func=_cmd_sweep)
 
     sub.add_parser("overhead", help="Sec. V-D area/cycle overhead").set_defaults(
@@ -283,9 +347,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--iterations", type=int, default=100)
     p.set_defaults(func=_cmd_scorecard)
-    sub.add_parser("all", help="every table and figure in order").set_defaults(
-        func=_cmd_all
+    p = sub.add_parser(
+        "cache", help="show (or --clear) the persistent result cache"
     )
+    p.add_argument("--clear", action="store_true", help="delete cached results")
+    p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("all", help="every table and figure in order")
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_all)
     return parser
 
 

@@ -211,7 +211,12 @@ def _load_disk_cache() -> Dict[str, dict]:
 
 
 def save_schedule_cache() -> None:
-    """Flush newly computed schedules to the on-disk cache (best effort)."""
+    """Flush newly computed schedules to the on-disk cache (best effort).
+
+    Merges with whatever is on disk first, so concurrent worker
+    processes (a parallel Fig. 8 sweep scheduling different networks)
+    accumulate entries instead of overwriting each other's.
+    """
     global _DISK_CACHE_DIRTY
     if not _DISK_CACHE_DIRTY or _DISK_CACHE is None:
         return
@@ -221,8 +226,15 @@ def save_schedule_cache() -> None:
     import json
 
     try:
+        merged: Dict[str, dict] = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except (OSError, ValueError):
+                merged = {}
+        merged.update(_DISK_CACHE)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(_DISK_CACHE))
+        path.write_text(json.dumps(merged))
         _DISK_CACHE_DIRTY = False
     except OSError:
         pass
@@ -488,7 +500,12 @@ class Scheduler:
         )
 
     def _disk_key(self, layer: LayerShape) -> str:
-        return repr(self._cache_key(layer))
+        # Content-addressed (repro.runtime.fingerprint) rather than
+        # repr-based: stable across processes and Python versions, and
+        # immune to dataclass repr-format drift.
+        from repro.runtime.fingerprint import content_hash
+
+        return content_hash("schedule", self._cache_key(layer))
 
     def _from_disk(self, layer: LayerShape) -> Optional[Schedule]:
         entry = _load_disk_cache().get(self._disk_key(layer))

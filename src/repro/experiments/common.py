@@ -1,8 +1,9 @@
 """Shared plumbing for the experiment drivers.
 
 Centralizes the paper's evaluation setup (Eyeriss-style 14x12 array,
-energy-optimal scheduling) plus per-process caches so that drivers,
-benches, and examples never schedule the same network twice.
+energy-optimal scheduling) plus the caches and the parallel fan-out so
+that drivers, benches, and examples never schedule the same network —
+or re-run the same policy — twice.
 """
 
 from __future__ import annotations
@@ -16,6 +17,14 @@ from repro.core.policies import StrideTrigger, make_policy
 from repro.dataflow.scheduler import SchedulerOptions
 from repro.dataflow.simulator import DataflowSimulator, NetworkExecution
 from repro.dataflow.tiling import TileStream
+from repro.runtime import (
+    CACHE_SCHEMA_VERSION,
+    ParallelRunner,
+    ResultCache,
+    accelerator_fingerprint,
+    content_hash,
+    result_cache,
+)
 from repro.workloads.registry import get_network
 
 #: Iteration counts of the paper's transient experiments (Fig. 6a / 6b-7).
@@ -38,10 +47,16 @@ def execution_for(
     accelerator: Optional[Accelerator] = None,
     options: SchedulerOptions = SchedulerOptions(),
 ) -> NetworkExecution:
-    """Schedule one Table II network (cached per process)."""
+    """Schedule one Table II network (cached per process).
+
+    The cache keys on the *full* accelerator configuration (via its
+    content fingerprint), not just the array dimensions — two
+    accelerators with identical width/height but different buffer or
+    NoC configurations schedule differently and must not share entries.
+    """
     accelerator = accelerator or paper_accelerator()
     network = get_network(network_name)
-    key = (network.name, accelerator.width, accelerator.height, options)
+    key = (network.name, accelerator_fingerprint(accelerator), options)
     cached = _EXECUTION_CACHE.get(key)
     if cached is None:
         simulator = DataflowSimulator(accelerator, options)
@@ -59,6 +74,57 @@ def streams_for(
     return execution_for(network_name, accelerator, options).streams()
 
 
+def run_policy_key(
+    accelerator: Accelerator,
+    policy_name: str,
+    trigger: StrideTrigger,
+    streams: Sequence[TileStream],
+    iterations: int,
+    record_trace: bool,
+    record_snapshots: bool,
+) -> str:
+    """Content key of one policy run, for the persistent result cache.
+
+    Covers everything that determines the engine's output: the full
+    accelerator configuration, the policy and its trigger, the exact
+    tile streams, the iteration count, what gets recorded, and the
+    cache schema version (bumped when engine semantics change).
+    """
+    return content_hash(
+        "run_policy",
+        CACHE_SCHEMA_VERSION,
+        accelerator_fingerprint(accelerator),
+        policy_name,
+        trigger,
+        tuple(streams),
+        iterations,
+        record_trace,
+        record_snapshots,
+    )
+
+
+def _policy_task(spec: Tuple) -> RunResult:
+    """Run one policy over one stream set (module-level for pickling)."""
+    (
+        accelerator,
+        policy_name,
+        trigger,
+        streams,
+        iterations,
+        record_trace,
+        record_snapshots,
+    ) = spec
+    policy = make_policy(policy_name, trigger)
+    target = accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
+    engine = WearLevelingEngine(target, policy)
+    return engine.run(
+        streams,
+        iterations=iterations,
+        record_trace=record_trace,
+        record_snapshots=record_snapshots,
+    )
+
+
 def run_policies(
     streams: Sequence[TileStream],
     accelerator: Optional[Accelerator] = None,
@@ -67,6 +133,8 @@ def run_policies(
     record_trace: bool = True,
     record_snapshots: bool = False,
     trigger: StrideTrigger = StrideTrigger.ORIGIN,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, RunResult]:
     """Run the same tile streams under several policies.
 
@@ -74,17 +142,45 @@ def run_policies(
     torus) and the striding policies on the torus variant, matching the
     paper's baseline-vs-RoTA comparison. Results share identical total
     work, so Eq. 4 applies directly to any pair of count arrays.
+
+    Policies that miss the persistent result cache fan out over a
+    :class:`~repro.runtime.parallel.ParallelRunner` (``jobs=None`` reads
+    ``REPRO_JOBS``; the default is serial). Serial and parallel runs
+    return bit-identical results, and cache hits skip the engine
+    entirely. Pass ``cache`` to use a non-default store (tests), or
+    disable caching globally with ``REPRO_RESULT_CACHE=off``.
     """
     accelerator = accelerator or paper_accelerator()
+    streams = tuple(streams)
+    store = result_cache() if cache is None else cache
     results: Dict[str, RunResult] = {}
+    pending: List[Tuple[str, str]] = []
     for name in policies:
-        policy = make_policy(name, trigger)
-        target = accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
-        engine = WearLevelingEngine(target, policy)
-        results[name] = engine.run(
-            streams,
-            iterations=iterations,
-            record_trace=record_trace,
-            record_snapshots=record_snapshots,
+        key = run_policy_key(
+            accelerator, name, trigger, streams, iterations,
+            record_trace, record_snapshots,
         )
-    return results
+        hit = store.get(key)
+        if isinstance(hit, RunResult):
+            results[name] = hit
+        else:
+            pending.append((name, key))
+    if pending:
+        runner = ParallelRunner(jobs)
+        specs = [
+            (
+                accelerator,
+                name,
+                trigger,
+                streams,
+                iterations,
+                record_trace,
+                record_snapshots,
+            )
+            for name, _ in pending
+        ]
+        fresh = runner.map(_policy_task, specs, labels=[name for name, _ in pending])
+        for (name, key), result in zip(pending, fresh):
+            results[name] = result
+            store.put(key, result)
+    return {name: results[name] for name in policies}

@@ -9,13 +9,14 @@ matters *more* for bigger accelerators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.analysis.report import format_table
 from repro.arch.presets import scaled_array
 from repro.dataflow.simulator import DataflowSimulator
 from repro.experiments.common import run_policies
 from repro.reliability.lifetime import improvement_from_counts
+from repro.runtime import ParallelRunner
 from repro.workloads.registry import get_network
 
 #: Array sizes swept by the reproduction (the paper sweeps upward from
@@ -73,32 +74,45 @@ class Fig10Result:
         )
 
 
+def _size_point(spec: Tuple) -> ArraySizePoint:
+    """Evaluate one array size (module-level so the pool can pickle it)."""
+    network, width, height, iterations = spec
+    workload = get_network(network)
+    accelerator = scaled_array(width, height, torus=True)
+    simulator = DataflowSimulator(accelerator)
+    execution = simulator.execute_network(workload.layers, name=workload.name)
+    results = run_policies(
+        execution.streams(),
+        accelerator,
+        iterations=iterations,
+        record_trace=False,
+    )
+    baseline = results["baseline"].counts
+    return ArraySizePoint(
+        width=width,
+        height=height,
+        utilization=execution.mean_utilization,
+        rwl=improvement_from_counts(baseline, results["rwl"].counts),
+        rwl_ro=improvement_from_counts(baseline, results["rwl+ro"].counts),
+    )
+
+
 def run_fig10(
     network: str = "SqueezeNet",
     sizes: Tuple[Tuple[int, int], ...] = DEFAULT_SIZES,
     iterations: int = 200,
+    jobs: Optional[int] = None,
 ) -> Fig10Result:
-    """Sweep PE-array sizes and measure the wear-leveling gains."""
-    workload = get_network(network)
-    points = []
-    for width, height in sizes:
-        accelerator = scaled_array(width, height, torus=True)
-        simulator = DataflowSimulator(accelerator)
-        execution = simulator.execute_network(workload.layers, name=workload.name)
-        results = run_policies(
-            execution.streams(),
-            accelerator,
-            iterations=iterations,
-            record_trace=False,
-        )
-        baseline = results["baseline"].counts
-        points.append(
-            ArraySizePoint(
-                width=width,
-                height=height,
-                utilization=execution.mean_utilization,
-                rwl=improvement_from_counts(baseline, results["rwl"].counts),
-                rwl_ro=improvement_from_counts(baseline, results["rwl+ro"].counts),
-            )
-        )
+    """Sweep PE-array sizes and measure the wear-leveling gains.
+
+    The per-size evaluations are independent and fan out over a
+    :class:`~repro.runtime.parallel.ParallelRunner`; point order and
+    contents are identical for any job count.
+    """
+    runner = ParallelRunner(jobs)
+    points = runner.map(
+        _size_point,
+        [(network, width, height, iterations) for width, height in sizes],
+        labels=[f"{width}x{height}" for width, height in sizes],
+    )
     return Fig10Result(network=network, iterations=iterations, points=tuple(points))

@@ -17,6 +17,7 @@ from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.experiments.common import execution_for, run_policies
 from repro.reliability.lifetime import improvement_from_counts
+from repro.runtime import ParallelRunner
 from repro.workloads.registry import get_network, network_names
 
 #: The trio of small networks the paper singles out (Section V-B).
@@ -111,28 +112,44 @@ class Fig8Result:
         )
 
 
+def _workload_row(spec: Tuple) -> WorkloadImprovement:
+    """Evaluate one workload (module-level so the pool can pickle it)."""
+    name, accelerator, iterations = spec
+    network = get_network(name)
+    execution = execution_for(name, accelerator)
+    results = run_policies(
+        execution.streams(),
+        accelerator,
+        iterations=iterations,
+        record_trace=False,
+    )
+    baseline = results["baseline"].counts
+    return WorkloadImprovement(
+        network=network.name,
+        abbreviation=network.abbreviation,
+        utilization=execution.mean_utilization,
+        rwl=improvement_from_counts(baseline, results["rwl"].counts),
+        rwl_ro=improvement_from_counts(baseline, results["rwl+ro"].counts),
+    )
+
+
 def run_fig8(
-    accelerator: Optional[Accelerator] = None, iterations: int = 200
+    accelerator: Optional[Accelerator] = None,
+    iterations: int = 200,
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
-    """Compute Fig. 8 for every Table II workload."""
-    rows = []
-    for name in network_names():
-        network = get_network(name)
-        execution = execution_for(name, accelerator)
-        results = run_policies(
-            execution.streams(),
-            accelerator,
-            iterations=iterations,
-            record_trace=False,
-        )
-        baseline = results["baseline"].counts
-        rows.append(
-            WorkloadImprovement(
-                network=network.name,
-                abbreviation=network.abbreviation,
-                utilization=execution.mean_utilization,
-                rwl=improvement_from_counts(baseline, results["rwl"].counts),
-                rwl_ro=improvement_from_counts(baseline, results["rwl+ro"].counts),
-            )
-        )
+    """Compute Fig. 8 for every Table II workload.
+
+    The per-workload evaluations are independent, so they fan out over
+    a :class:`~repro.runtime.parallel.ParallelRunner` (``jobs=None``
+    reads ``REPRO_JOBS``; serial by default). Row order and contents
+    are identical for any job count.
+    """
+    names = network_names()
+    runner = ParallelRunner(jobs)
+    rows = runner.map(
+        _workload_row,
+        [(name, accelerator, iterations) for name in names],
+        labels=names,
+    )
     return Fig8Result(iterations=iterations, rows=tuple(rows))

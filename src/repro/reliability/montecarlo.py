@@ -8,17 +8,29 @@ array fails at the first PE failure. Sampling many arrays yields an
 empirical MTTF whose agreement with Eq. 3 validates the closed form the
 paper's Figs. 7-10 rest on — and gives distributional quantities the
 closed form cannot (lifetime percentiles, failure-location histograms).
+
+Two sampling modes coexist:
+
+* **legacy generator mode** (``rng=...``): one process, one generator,
+  every draw in a single block — byte-compatible with the historical
+  behavior the pinned tests rely on;
+* **seeded chunk mode** (``seed=...``): draws are split into fixed-size
+  chunks, each seeded from its own :meth:`numpy.random.SeedSequence.
+  spawn` child. The sample set depends only on ``(seed, chunk_size,
+  num_samples)`` — never on how chunks are distributed over workers —
+  so serial and parallel runs are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.reliability.weibull import WeibullModel
+from repro.runtime import ParallelRunner
 
 
 @dataclass(frozen=True)
@@ -73,12 +85,41 @@ class LifetimeSamples:
         )
 
 
+#: Chunk granularity of seeded sampling. Part of the determinism
+#: contract: the drawn sample set depends on ``(seed, chunk_size,
+#: num_samples)`` and nothing else.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def _order_statistic_lifetimes(
+    stress: np.ndarray, active_alphas: np.ndarray, spares: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """First-failure (or ``spares+1``-th) times and their PE columns."""
+    times = stress / active_alphas
+    order = np.argpartition(times, spares, axis=1)[:, : spares + 1]
+    ordered_times = np.take_along_axis(times, order, axis=1)
+    which = ordered_times.argmax(axis=1)  # the (spares+1)-th failure
+    rows = np.arange(times.shape[0])
+    return ordered_times[rows, which], order[rows, which]
+
+
+def _sample_chunk(spec: Tuple) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw one seeded chunk (module-level so the pool can pickle it)."""
+    child_seed, count, active_alphas, eta, beta, spares = spec
+    chunk_rng = np.random.default_rng(child_seed)
+    stress = eta * chunk_rng.weibull(beta, size=(count, active_alphas.size))
+    return _order_statistic_lifetimes(stress, active_alphas, spares)
+
+
 def sample_array_lifetimes(
     alphas,
     model: WeibullModel = WeibullModel(),
     num_samples: int = 10_000,
     rng: Optional[np.random.Generator] = None,
     spares: int = 0,
+    seed: Optional[Union[int, np.random.SeedSequence]] = None,
+    jobs: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> LifetimeSamples:
     """Monte Carlo estimate of the array MTTF for given PE activities.
 
@@ -92,7 +133,8 @@ def sample_array_lifetimes(
     num_samples:
         Simulated arrays. 10k gives a ~1% standard error for beta = 3.4.
     rng:
-        Numpy generator for reproducibility (default: seeded with 2025).
+        Numpy generator for the legacy single-block mode (default:
+        seeded with 2025). Mutually exclusive with ``seed``.
     spares:
         Redundancy study: the array survives its first ``spares`` PE
         failures (spare PEs absorb them), so its lifetime is the
@@ -100,6 +142,17 @@ def sample_array_lifetimes(
         system; the ``analytic_mttf`` field then matches Eq. 3, while for
         ``spares > 0`` it still reports the series-system closed form as
         the no-redundancy reference.
+    seed:
+        An integer or :class:`numpy.random.SeedSequence` selecting the
+        reproducible chunked mode: draws split into ``chunk_size``-sized
+        chunks, each seeded from a spawned child, so results are
+        bit-identical for any ``jobs`` value.
+    jobs:
+        Worker processes for the chunked mode (``None`` reads
+        ``REPRO_JOBS``; serial by default). Requires ``seed``.
+    chunk_size:
+        Samples per chunk in the chunked mode. Changing it changes the
+        drawn sample set (but never the distribution).
     """
     activities = np.asarray(alphas, dtype=float).ravel()
     if activities.size == 0:
@@ -112,8 +165,15 @@ def sample_array_lifetimes(
         raise ConfigurationError("at least one PE must be active")
     if spares < 0:
         raise ConfigurationError(f"spares must be non-negative, got {spares}")
+    if seed is not None and rng is not None:
+        raise ConfigurationError("pass either rng (legacy) or seed (chunked), not both")
+    if seed is None and jobs is not None and jobs != 1:
+        raise ConfigurationError(
+            "parallel sampling needs an explicit seed for reproducible chunking"
+        )
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
 
-    rng = rng or np.random.default_rng(2025)
     active = activities > 0
     active_alphas = activities[active]
     active_index = np.nonzero(active)[0]
@@ -122,17 +182,37 @@ def sample_array_lifetimes(
             f"{spares} spares cannot exceed the {active_alphas.size} active PEs"
         )
 
-    # Stress-to-failure draws: S ~ Weibull(eta, beta); wall-clock failure
-    # of PE i at S / alpha_i.
-    stress = model.eta * rng.weibull(
-        model.beta, size=(num_samples, active_alphas.size)
-    )
-    times = stress / active_alphas
-    order = np.argpartition(times, spares, axis=1)[:, : spares + 1]
-    ordered_times = np.take_along_axis(times, order, axis=1)
-    which = ordered_times.argmax(axis=1)  # the (spares+1)-th failure
-    lifetimes = ordered_times[np.arange(num_samples), which]
-    fatal = order[np.arange(num_samples), which]
+    if seed is not None:
+        sequence = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        counts = [
+            min(chunk_size, num_samples - start)
+            for start in range(0, num_samples, chunk_size)
+        ]
+        children = sequence.spawn(len(counts))
+        runner = ParallelRunner(jobs)
+        chunks = runner.map(
+            _sample_chunk,
+            [
+                (child, count, active_alphas, model.eta, model.beta, spares)
+                for child, count in zip(children, counts)
+            ],
+            labels=[f"chunk-{index}" for index in range(len(counts))],
+        )
+        lifetimes = np.concatenate([chunk[0] for chunk in chunks])
+        fatal = np.concatenate([chunk[1] for chunk in chunks])
+    else:
+        # Legacy mode: one generator, every draw in a single block.
+        # Stress-to-failure draws: S ~ Weibull(eta, beta); wall-clock
+        # failure of PE i at S / alpha_i.
+        rng = rng or np.random.default_rng(2025)
+        stress = model.eta * rng.weibull(
+            model.beta, size=(num_samples, active_alphas.size)
+        )
+        lifetimes, fatal = _order_statistic_lifetimes(stress, active_alphas, spares)
     failure_indices = active_index[fatal]
 
     return LifetimeSamples(

@@ -1,0 +1,170 @@
+"""Persistent content-addressed result cache.
+
+Stores arbitrary picklable experiment results under
+``<cache root>/results/<content-key>.pkl``, where the key comes from
+:func:`repro.runtime.fingerprint.content_hash`. Because keys are pure
+functions of the inputs, the cache needs no invalidation protocol:
+changed inputs simply miss. Writes are atomic (tempfile + rename), so
+concurrent worker processes can share one directory safely.
+
+Environment knobs (matching the scheduler's on-disk cache):
+
+* ``REPRO_CACHE_DIR`` — relocate the cache root (default
+  ``~/.cache/repro``);
+* ``REPRO_RESULT_CACHE=off`` — disable result caching entirely (the
+  schedule cache has its own ``REPRO_SCHEDULE_CACHE`` switch).
+
+Clear it with ``rota cache --clear`` or by deleting the directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+
+def cache_root() -> Path:
+    """The root cache directory (shared with the schedule cache)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path.home() / ".cache" / "repro"
+
+
+def results_enabled() -> bool:
+    """Whether the persistent result cache is switched on."""
+    return os.environ.get("REPRO_RESULT_CACHE", "").lower() != "off"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the result cache's disk footprint."""
+
+    path: str
+    enabled: bool
+    entries: int
+    total_bytes: int
+
+    def format(self) -> str:
+        """Human-readable one-paragraph summary."""
+        state = "enabled" if self.enabled else "disabled (REPRO_RESULT_CACHE=off)"
+        size_kib = self.total_bytes / 1024
+        return (
+            f"result cache at {self.path} [{state}]\n"
+            f"  {self.entries} entries, {size_kib:.1f} KiB"
+        )
+
+
+class ResultCache:
+    """A content-addressed pickle store for experiment results.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; defaults to ``<cache root>/results``.
+    enabled:
+        Override the ``REPRO_RESULT_CACHE`` environment switch (mainly
+        for tests). A disabled cache is a no-op: ``get`` always misses
+        and ``put`` never writes.
+    """
+
+    def __init__(
+        self, directory: Optional[Path] = None, enabled: Optional[bool] = None
+    ) -> None:
+        self._directory = Path(directory) if directory else cache_root() / "results"
+        self._enabled = results_enabled() if enabled is None else enabled
+
+    @property
+    def directory(self) -> Path:
+        """The directory entries are stored in."""
+        return self._directory
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this cache reads and writes anything."""
+        return self._enabled
+
+    def _entry_path(self, key: str) -> Path:
+        return self._directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load the entry for ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses (a concurrent
+        writer may be mid-rename on a non-POSIX filesystem; a partial
+        entry must never poison a run).
+        """
+        if not self._enabled:
+            return None
+        path = self._entry_path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically (best effort)."""
+        if not self._enabled:
+            return
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self._directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self._entry_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            pass  # a full disk or unpicklable payload must not fail the run
+
+    def __contains__(self, key: str) -> bool:
+        return self._enabled and self._entry_path(key).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self._directory.is_dir():
+            return removed
+        for path in self._directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entry count and byte footprint of the cache directory."""
+        entries = 0
+        total = 0
+        if self._directory.is_dir():
+            for path in self._directory.glob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return CacheStats(
+            path=str(self._directory),
+            enabled=self._enabled,
+            entries=entries,
+            total_bytes=total,
+        )
+
+
+def result_cache() -> ResultCache:
+    """The default result cache, resolved from the environment."""
+    return ResultCache()

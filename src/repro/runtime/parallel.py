@@ -1,0 +1,195 @@
+"""Process-pool fan-out with a serial fallback.
+
+The experiment layer's hot loops — per-policy runs, the Fig. 8
+per-workload sweep, the Fig. 10 per-size sweep, Monte Carlo chunks, and
+the ``rota all`` figure drivers — are embarrassingly parallel: tasks
+share no state beyond read-only inputs. :class:`ParallelRunner` maps a
+module-level function over a list of such tasks, either serially
+(``jobs=1``, the default) or on a :class:`concurrent.futures.
+ProcessPoolExecutor`, with three guarantees the callers rely on:
+
+* **deterministic ordering** — results come back in input order
+  regardless of completion order, so parallel tables are bit-identical
+  to serial ones;
+* **per-task wall-time instrumentation** — every task's duration is
+  recorded as a :class:`TaskTiming` for the benchmark trajectory;
+* **no nested pools** — worker processes see ``REPRO_JOBS=1``, so a
+  parallel Fig. 8 sweep runs its inner per-policy loop serially instead
+  of oversubscribing (or deadlocking on daemonic-process limits).
+
+The default job count comes from the ``REPRO_JOBS`` environment
+variable (``auto``/``0`` means the machine's CPU count); CLI ``--jobs``
+flags override it per invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable naming the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Resolve the default job count from ``REPRO_JOBS`` (serial if unset)."""
+    raw = os.environ.get(JOBS_ENV, "").strip().lower()
+    if raw in ("", "1"):
+        return 1
+    if raw in ("0", "auto"):
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOBS_ENV} must be a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"{JOBS_ENV} must be a positive integer or 'auto', got {raw!r}"
+        )
+    return value
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize an explicit ``jobs`` argument (``None`` = environment)."""
+    if jobs is None:
+        return default_jobs()
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall-time record of one task executed by a runner."""
+
+    label: str
+    seconds: float
+    mode: str  # "serial" or "pool"
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: force nested runners to run serially."""
+    os.environ[JOBS_ENV] = "1"
+
+
+def _timed_call(payload: Tuple[Callable, object]) -> Tuple[object, float]:
+    """Run one task in a worker and measure its wall time there."""
+    fn, item = payload
+    start = time.perf_counter()
+    result = fn(item)
+    # Pool workers exit via os._exit, which skips the atexit hook that
+    # normally flushes the schedule disk cache — flush after each task
+    # instead (merge-on-save makes concurrent flushes safe).
+    from repro.dataflow.scheduler import save_schedule_cache
+
+    save_schedule_cache()
+    return result, time.perf_counter() - start
+
+
+class ParallelRunner:
+    """Maps a function over tasks, serially or on a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``None`` reads ``REPRO_JOBS`` (default 1 =
+        serial, no pool at all); ``0`` means the CPU count. With one job
+        or one task the pool is skipped entirely, so ``jobs=1`` has zero
+        multiprocessing overhead and needs no picklability.
+
+    Notes
+    -----
+    For ``jobs > 1`` the mapped function and every task must be
+    picklable — in practice: a module-level function applied to plain
+    data (the frozen dataclasses this codebase is built from all
+    qualify).
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self._jobs = resolve_jobs(jobs)
+        self._timings: List[TaskTiming] = []
+
+    @property
+    def jobs(self) -> int:
+        """The resolved worker count."""
+        return self._jobs
+
+    @property
+    def timings(self) -> Tuple[TaskTiming, ...]:
+        """Per-task wall times of every ``map`` call so far, in order."""
+        return tuple(self._timings)
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Sum of all recorded task durations (CPU-side work)."""
+        return sum(timing.seconds for timing in self._timings)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every task, returning results in input order.
+
+        ``labels`` (same length as ``tasks``) name the per-task timing
+        records; indices are used when omitted.
+        """
+        items = list(tasks)
+        if labels is None:
+            names = [f"task-{index}" for index in range(len(items))]
+        else:
+            names = [str(label) for label in labels]
+            if len(names) != len(items):
+                raise ConfigurationError(
+                    f"got {len(names)} labels for {len(items)} tasks"
+                )
+        if self._jobs <= 1 or len(items) <= 1:
+            results: List[R] = []
+            for name, item in zip(names, items):
+                start = time.perf_counter()
+                results.append(fn(item))
+                self._timings.append(
+                    TaskTiming(
+                        label=name,
+                        seconds=time.perf_counter() - start,
+                        mode="serial",
+                    )
+                )
+            return results
+
+        workers = min(self._jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init
+        ) as pool:
+            futures = [pool.submit(_timed_call, (fn, item)) for item in items]
+            results = []
+            for name, future in zip(names, futures):
+                result, seconds = future.result()
+                results.append(result)
+                self._timings.append(
+                    TaskTiming(label=name, seconds=seconds, mode="pool")
+                )
+        return results
+
+
+def run_parallel(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List[R]:
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    return ParallelRunner(jobs).map(fn, tasks, labels=labels)

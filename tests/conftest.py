@@ -4,8 +4,15 @@ Also makes ``src/`` importable when the package has not been pip-installed
 (e.g. a fresh clone running ``pytest`` directly).
 """
 
+import os
 import sys
 from pathlib import Path
+
+# The persistent result cache must not leak state between test runs of
+# different code versions: tests exercise the engines directly unless a
+# test injects an explicit ResultCache. (The schedule disk cache stays
+# on — it only memoizes the deterministic mapping search.)
+os.environ.setdefault("REPRO_RESULT_CACHE", "off")
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:

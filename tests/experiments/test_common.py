@@ -31,6 +31,32 @@ class TestExecutionCache:
         execution = execution_for("SqueezeNet")
         assert len(streams) == len(execution.layers)
 
+    def test_same_dimensions_different_config_do_not_collide(self):
+        """Regression: the cache used to key on (name, width, height,
+        options) only, aliasing accelerators that differ in anything
+        but array dimensions."""
+        from dataclasses import replace
+
+        from repro.arch.buffers import GlobalBuffer
+
+        base = paper_accelerator()
+        shrunk_glb = replace(
+            base,
+            name=base.name,  # same name, same dimensions: worst case
+            glb=GlobalBuffer(
+                replace(
+                    base.glb.buffer,
+                    capacity_bytes=base.glb.capacity_bytes // 4,
+                )
+            ),
+        )
+        assert (base.width, base.height) == (shrunk_glb.width, shrunk_glb.height)
+        normal = execution_for("SqueezeNet", base)
+        constrained = execution_for("SqueezeNet", shrunk_glb)
+        assert normal is not constrained
+        # A quarter of the GLB changes the energy-optimal schedules.
+        assert constrained.total_tiles != normal.total_tiles
+
 
 class TestRunPolicies:
     def test_all_three_policies(self):
@@ -54,3 +80,12 @@ class TestRunPolicies:
         streams = streams_for("SqueezeNet")
         results = run_policies(streams, policies=("rwl+ro",), iterations=1)
         assert "torus" in results["rwl+ro"].accelerator_name
+
+    def test_explicit_jobs_accepted(self):
+        import numpy as np
+
+        streams = streams_for("SqueezeNet")
+        serial = run_policies(streams, iterations=2, record_trace=False, jobs=1)
+        parallel = run_policies(streams, iterations=2, record_trace=False, jobs=2)
+        for name in serial:
+            assert np.array_equal(serial[name].counts, parallel[name].counts)

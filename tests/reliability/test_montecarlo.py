@@ -74,6 +74,79 @@ class TestSampling:
             sample_array_lifetimes([1.0], num_samples=10).percentile(101)
 
 
+class TestChunkedSampling:
+    """The seeded mode: reproducible under any serial/parallel split."""
+
+    ALPHAS = (0.5, 1.0, 0.25, 0.8)
+
+    def test_pinned_mttf_for_fixed_seed(self):
+        """Regression pin: the (seed, chunk_size, num_samples) contract.
+
+        This value must never drift — it guarantees chunked draws are
+        derived from SeedSequence.spawn children, independent of how
+        chunks are scheduled.
+        """
+        samples = sample_array_lifetimes(
+            list(self.ALPHAS), num_samples=10_000, seed=1234
+        )
+        assert samples.empirical_mttf == pytest.approx(
+            0.7880149425998093, rel=1e-12
+        )
+
+    def test_serial_and_parallel_bit_identical(self):
+        serial = sample_array_lifetimes(
+            list(self.ALPHAS), num_samples=5_000, seed=77, jobs=1
+        )
+        parallel = sample_array_lifetimes(
+            list(self.ALPHAS), num_samples=5_000, seed=77, jobs=3
+        )
+        assert np.array_equal(serial.lifetimes, parallel.lifetimes)
+        assert np.array_equal(serial.failure_indices, parallel.failure_indices)
+
+    def test_seed_sequence_accepted(self):
+        a = sample_array_lifetimes(
+            list(self.ALPHAS), num_samples=2_000, seed=55
+        )
+        b = sample_array_lifetimes(
+            list(self.ALPHAS),
+            num_samples=2_000,
+            seed=np.random.SeedSequence(55),
+        )
+        assert np.array_equal(a.lifetimes, b.lifetimes)
+
+    def test_partial_final_chunk(self):
+        samples = sample_array_lifetimes(
+            list(self.ALPHAS), num_samples=100, seed=3, chunk_size=64
+        )
+        assert samples.num_samples == 100
+
+    def test_chunked_matches_closed_form(self):
+        samples = sample_array_lifetimes(
+            [1.0] * 32, num_samples=40_000, seed=2025, jobs=2
+        )
+        assert samples.relative_error < 0.03
+        assert samples.agrees_with_analytic()
+
+    def test_chunked_spares_still_work(self):
+        serial = sample_array_lifetimes(
+            [1.0] * 8, num_samples=3_000, seed=11, spares=2, jobs=1
+        )
+        parallel = sample_array_lifetimes(
+            [1.0] * 8, num_samples=3_000, seed=11, spares=2, jobs=2
+        )
+        assert np.array_equal(serial.lifetimes, parallel.lifetimes)
+
+    def test_invalid_combinations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes(
+                [1.0], seed=1, rng=np.random.default_rng(1)
+            )
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([1.0], jobs=2)  # parallel needs a seed
+        with pytest.raises(ConfigurationError):
+            sample_array_lifetimes([1.0], seed=1, chunk_size=0)
+
+
 class TestSpares:
     def test_zero_spares_is_series_system(self):
         alphas = [1.0, 0.5, 0.25]

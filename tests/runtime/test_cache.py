@@ -1,0 +1,129 @@
+"""Tests for content hashing and the persistent result cache."""
+
+import numpy as np
+import pytest
+
+from repro.arch.buffers import Buffer, GlobalBuffer
+from repro.arch.presets import eyeriss_v1
+from repro.core.policies import StrideTrigger
+from repro.dataflow.scheduler import SchedulerOptions
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.fingerprint import accelerator_fingerprint, content_hash
+
+
+class TestContentHash:
+    def test_deterministic(self):
+        assert content_hash("a", 1, 2.5) == content_hash("a", 1, 2.5)
+
+    def test_order_sensitive(self):
+        assert content_hash(1, 2) != content_hash(2, 1)
+
+    def test_type_sensitive(self):
+        assert content_hash(1) != content_hash("1")
+        assert content_hash(1) != content_hash(1.0)
+
+    def test_dict_key_order_irrelevant(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+    def test_dataclasses_and_enums(self):
+        a = content_hash(SchedulerOptions(), StrideTrigger.ORIGIN)
+        b = content_hash(SchedulerOptions(), StrideTrigger.WRAP)
+        c = content_hash(SchedulerOptions(objective="latency"), StrideTrigger.ORIGIN)
+        assert len({a, b, c}) == 3
+
+    def test_ndarray_content(self):
+        x = np.arange(6)
+        assert content_hash(x) == content_hash(np.arange(6))
+        assert content_hash(x) != content_hash(x.astype(np.int32))
+        assert content_hash(x) != content_hash(x.reshape(2, 3))
+
+    def test_unknown_objects_rejected(self):
+        with pytest.raises(ConfigurationError):
+            content_hash(object())
+
+
+class TestAcceleratorFingerprint:
+    def test_full_config_participates(self):
+        """Regression for the old (name, width, height) execution-cache
+        key: same array dimensions, different GLB, different key."""
+        base = eyeriss_v1(torus=True)
+        bigger_glb = type(base)(
+            name=base.name,
+            array=base.array,
+            glb=GlobalBuffer(
+                Buffer(
+                    name="glb",
+                    capacity_bytes=base.glb.capacity_bytes * 2,
+                    read_energy_pj=base.glb.buffer.read_energy_pj,
+                    write_energy_pj=base.glb.buffer.write_energy_pj,
+                )
+            ),
+            noc=base.noc,
+            dram=base.dram,
+            clock_mhz=base.clock_mhz,
+        )
+        assert (base.width, base.height) == (bigger_glb.width, bigger_glb.height)
+        assert accelerator_fingerprint(base) != accelerator_fingerprint(bigger_glb)
+
+    def test_topology_participates(self):
+        rota = eyeriss_v1(torus=True)
+        assert accelerator_fingerprint(rota) != accelerator_fingerprint(
+            rota.as_mesh()
+        )
+
+    def test_stable_across_calls(self):
+        assert accelerator_fingerprint(eyeriss_v1()) == accelerator_fingerprint(
+            eyeriss_v1()
+        )
+
+
+class TestResultCache:
+    def test_roundtrip_numpy_payload(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        payload = {"counts": np.arange(12).reshape(3, 4), "label": "x"}
+        cache.put("k1", payload)
+        loaded = cache.get("k1")
+        assert np.array_equal(loaded["counts"], payload["counts"])
+        assert loaded["label"] == "x"
+        assert "k1" in cache
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        assert cache.get("absent") is None
+        assert "absent" not in cache
+
+    def test_disabled_cache_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        cache.put("k", 42)
+        assert cache.get("k") is None
+        assert cache.stats().entries == 0
+
+    def test_env_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "off")
+        assert not ResultCache(tmp_path).enabled
+        monkeypatch.delenv("REPRO_RESULT_CACHE")
+        assert ResultCache(tmp_path).enabled
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.put("k", [1, 2, 3])
+        (tmp_path / "k.pkl").write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        for index in range(3):
+            cache.put(f"k{index}", index)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert "3 entries" in stats.format()
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_respects_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        cache = ResultCache()
+        assert str(cache.directory) == str(tmp_path / "results")

@@ -1,0 +1,120 @@
+"""Serial/parallel equivalence and persistent-result-cache semantics.
+
+The runtime's contract: any ``jobs`` value produces bit-identical
+results, and a cache hit returns exactly what the engine would have
+computed. These tests exercise the real wiring (``run_policies``,
+Fig. 8, Fig. 10) rather than toy tasks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import run_policies, run_policy_key, streams_for
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig10 import run_fig10
+from repro.core.policies import StrideTrigger
+from repro.runtime.cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def squeezenet_streams():
+    return streams_for("SqueezeNet")
+
+
+def _disabled_cache():
+    return ResultCache(enabled=False)
+
+
+class TestRunPoliciesEquivalence:
+    def test_serial_and_parallel_counts_bit_identical(self, squeezenet_streams):
+        serial = run_policies(
+            squeezenet_streams, iterations=4, record_trace=False,
+            jobs=1, cache=_disabled_cache(),
+        )
+        parallel = run_policies(
+            squeezenet_streams, iterations=4, record_trace=False,
+            jobs=4, cache=_disabled_cache(),
+        )
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert np.array_equal(serial[name].counts, parallel[name].counts)
+            assert serial[name].max_difference == parallel[name].max_difference
+            assert serial[name].final_state == parallel[name].final_state
+
+    def test_traces_survive_the_pool(self, squeezenet_streams):
+        serial = run_policies(
+            squeezenet_streams, policies=("rwl",), iterations=3,
+            jobs=1, cache=_disabled_cache(),
+        )
+        parallel = run_policies(
+            squeezenet_streams, policies=("rwl",), iterations=3,
+            jobs=2, cache=_disabled_cache(),
+        )
+        serial_trace = serial["rwl"].max_difference_trace()
+        parallel_trace = parallel["rwl"].max_difference_trace()
+        assert np.array_equal(serial_trace, parallel_trace)
+
+
+class TestResultCacheWiring:
+    def test_warm_cache_returns_identical_results(
+        self, squeezenet_streams, tmp_path
+    ):
+        cache = ResultCache(tmp_path, enabled=True)
+        cold = run_policies(
+            squeezenet_streams, iterations=3, record_trace=False, cache=cache
+        )
+        assert cache.stats().entries == 3
+        warm = run_policies(
+            squeezenet_streams, iterations=3, record_trace=False, cache=cache
+        )
+        for name in cold:
+            assert np.array_equal(cold[name].counts, warm[name].counts)
+            assert cold[name].policy_name == warm[name].policy_name
+            assert cold[name].accelerator_name == warm[name].accelerator_name
+
+    def test_key_separates_iterations_and_recording(self, squeezenet_streams):
+        from repro.experiments.common import paper_accelerator
+
+        accelerator = paper_accelerator()
+        keys = {
+            run_policy_key(
+                accelerator, "rwl", StrideTrigger.ORIGIN,
+                squeezenet_streams, iterations, record_trace, False,
+            )
+            for iterations in (2, 3)
+            for record_trace in (True, False)
+        }
+        assert len(keys) == 4
+
+    def test_key_separates_policies_and_streams(self, squeezenet_streams):
+        from repro.experiments.common import paper_accelerator
+
+        accelerator = paper_accelerator()
+        a = run_policy_key(
+            accelerator, "rwl", StrideTrigger.ORIGIN,
+            squeezenet_streams, 2, False, False,
+        )
+        b = run_policy_key(
+            accelerator, "rwl+ro", StrideTrigger.ORIGIN,
+            squeezenet_streams, 2, False, False,
+        )
+        c = run_policy_key(
+            accelerator, "rwl", StrideTrigger.ORIGIN,
+            squeezenet_streams[:-1], 2, False, False,
+        )
+        assert len({a, b, c}) == 3
+
+
+class TestFigureEquivalence:
+    def test_fig8_tables_identical_any_job_count(self):
+        serial = run_fig8(iterations=2, jobs=1)
+        parallel = run_fig8(iterations=2, jobs=4)
+        assert serial.rows == parallel.rows
+        assert serial.format() == parallel.format()
+
+    def test_fig10_tables_identical_any_job_count(self):
+        sizes = ((8, 8), (14, 12))
+        serial = run_fig10(sizes=sizes, iterations=2, jobs=1)
+        parallel = run_fig10(sizes=sizes, iterations=2, jobs=2)
+        assert serial.points == parallel.points
+        assert serial.format() == parallel.format()

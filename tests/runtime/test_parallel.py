@@ -1,0 +1,106 @@
+"""Tests for the process-pool runner and its serial fallback."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.parallel import (
+    ParallelRunner,
+    default_jobs,
+    resolve_jobs,
+    run_parallel,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _pid_and_square(value):
+    return (os.getpid(), value * value)
+
+
+class TestJobResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert ParallelRunner().jobs == 3
+
+    def test_env_auto_means_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert default_jobs() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ConfigurationError):
+            default_jobs()
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1)
+
+
+class TestSerialPath:
+    def test_preserves_order(self):
+        runner = ParallelRunner(jobs=1)
+        assert runner.map(_square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_records_timings(self):
+        runner = ParallelRunner(jobs=1)
+        runner.map(_square, [2, 3], labels=["two", "three"])
+        assert [t.label for t in runner.timings] == ["two", "three"]
+        assert all(t.mode == "serial" for t in runner.timings)
+        assert all(t.seconds >= 0 for t in runner.timings)
+        assert runner.total_task_seconds >= 0
+
+    def test_serial_path_needs_no_pickling(self):
+        # Closures are unpicklable; jobs=1 must accept them anyway.
+        offset = 10
+        runner = ParallelRunner(jobs=1)
+        assert runner.map(lambda v: v + offset, [1, 2]) == [11, 12]
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(jobs=1).map(_square, [1, 2], labels=["only-one"])
+
+    def test_empty_task_list(self):
+        assert ParallelRunner(jobs=1).map(_square, []) == []
+        assert ParallelRunner(jobs=4).map(_square, []) == []
+
+
+class TestPoolPath:
+    def test_preserves_order_and_values(self):
+        runner = ParallelRunner(jobs=2)
+        values = list(range(11))
+        assert runner.map(_square, values) == [v * v for v in values]
+        assert all(t.mode == "pool" for t in runner.timings)
+
+    def test_matches_serial_results(self):
+        tasks = [0, 7, 13, 2]
+        assert run_parallel(_square, tasks, jobs=2) == run_parallel(
+            _square, tasks, jobs=1
+        )
+
+    def test_single_task_skips_the_pool(self):
+        runner = ParallelRunner(jobs=4)
+        assert runner.map(_square, [6]) == [36]
+        assert runner.timings[0].mode == "serial"
+
+    def test_runs_in_worker_processes(self):
+        results = run_parallel(_pid_and_square, [1, 2, 3, 4], jobs=2)
+        assert [square for _, square in results] == [1, 4, 9, 16]
+        worker_pids = {pid for pid, _ in results}
+        assert os.getpid() not in worker_pids

@@ -33,6 +33,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_jobs_flag_where_fanout_exists(self):
+        parser = build_parser()
+        assert parser.parse_args(["all", "--jobs", "4"]).jobs == 4
+        assert parser.parse_args(["lifetime", "-j", "2"]).jobs == 2
+        assert parser.parse_args(["sweep", "--jobs", "0"]).jobs == 0
+        assert parser.parse_args(["all"]).jobs is None
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache"])
+        assert callable(args.func)
+        assert not args.clear
+        assert build_parser().parse_args(["cache", "--clear"]).clear
+
 
 class TestMain:
     def test_table2_prints_roster(self, capsys):
@@ -113,3 +126,29 @@ class TestExtensionsCommand:
         out = capsys.readouterr().out
         assert "Reproduction scorecard" in out
         assert "claims hold" in out
+
+
+class TestCacheCommand:
+    def test_cache_info(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "on")
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "result cache" in out
+        assert "0 entries" in out
+        assert "schedule cache" in out
+
+    def test_cache_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "on")
+        from repro.runtime import ResultCache
+
+        ResultCache().put("deadbeef", {"x": 1})
+        assert main(["cache", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 cached results" in out
+        assert "0 entries" in out
+
+    def test_lifetime_accepts_jobs(self, capsys):
+        assert main(["lifetime", "--iterations", "2", "--jobs", "1"]) == 0
+        assert "AVG" in capsys.readouterr().out
