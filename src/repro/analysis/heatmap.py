@@ -29,20 +29,47 @@ def heatmap_grid(counts) -> np.ndarray:
     return array / peak
 
 
-def render_heatmap(counts, title: str = "", legend: bool = True) -> str:
-    """Render a usage array as an ASCII heatmap string."""
+#: Glyph marking a permanently dead PE in fault-study heatmaps.
+_DEAD_GLYPH = "X"
+
+
+def render_heatmap(counts, title: str = "", legend: bool = True, dead=None) -> str:
+    """Render a usage array as an ASCII heatmap string.
+
+    ``dead`` (optional) is a boolean ``(h, w)`` mask of permanently
+    failed PEs; those cells render as ``X`` on top of the density ramp —
+    the dead-PE overlay of the fault and degradation studies.
+    """
     grid = heatmap_grid(counts)
     levels = np.minimum((grid * (len(_RAMP) - 1)).round().astype(int), len(_RAMP) - 1)
+    dead_mask = None
+    if dead is not None:
+        dead_mask = np.asarray(dead, dtype=bool)
+        if dead_mask.shape != levels.shape:
+            raise SimulationError(
+                f"dead mask shape {dead_mask.shape} does not match counts "
+                f"shape {levels.shape}"
+            )
     lines: List[str] = []
     if title:
         lines.append(title)
     # Flip vertically: row 0 is the array's bottom row in the paper.
-    for row in levels[::-1]:
-        lines.append("".join(_RAMP[level] for level in row))
+    for v in range(levels.shape[0] - 1, -1, -1):
+        lines.append(
+            "".join(
+                _DEAD_GLYPH
+                if dead_mask is not None and dead_mask[v, u]
+                else _RAMP[levels[v, u]]
+                for u in range(levels.shape[1])
+            )
+        )
     if legend:
         array = np.asarray(counts, dtype=float)
+        extra = ""
+        if dead_mask is not None:
+            extra = f" dead={int(dead_mask.sum())}({_DEAD_GLYPH})"
         lines.append(
             f"[min={array.min():g} max={array.max():g} "
-            f"ramp='{_RAMP.strip() or ' '}']"
+            f"ramp='{_RAMP.strip() or ' '}'{extra}]"
         )
     return "\n".join(lines)

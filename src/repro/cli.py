@@ -33,6 +33,8 @@ from repro.experiments.extensions import (
     run_objective_ablation,
     run_policy_comparison,
 )
+from repro.errors import ReproError
+from repro.experiments.faults import run_fault_montecarlo, run_faults
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table2 import run_table2
 
@@ -107,6 +109,44 @@ def _cmd_extensions(args: argparse.Namespace) -> str:
             run_mixed_workload().format(),
         ]
     )
+
+
+def _parse_dead(specs: List[str]) -> List[tuple]:
+    """Parse ``--dead U,V`` coordinate options."""
+    coords = []
+    for spec in specs:
+        try:
+            u, v = (int(part) for part in spec.split(","))
+        except ValueError:
+            raise SystemExit(f"--dead expects 'U,V' integer pairs, got {spec!r}")
+        coords.append((u, v))
+    return coords
+
+
+def _cmd_faults(args: argparse.Namespace) -> str:
+    result = run_faults(
+        network=args.network,
+        dead=_parse_dead(args.dead),
+        wearout=not args.no_wearout,
+        deaths=args.deaths,
+        max_iterations=args.iterations,
+        mean_budget=args.mean_budget,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    parts = [result.format(heatmaps=not args.no_heatmaps)]
+    if args.scenarios:
+        parts.append(
+            run_fault_montecarlo(
+                network=args.network,
+                num_scenarios=args.scenarios,
+                max_iterations=args.iterations,
+                mean_budget=args.mean_budget,
+                seed=args.seed,
+                jobs=args.jobs,
+            ).format()
+        )
+    return "\n\n".join(parts)
 
 
 def _cmd_attribution(args: argparse.Namespace) -> str:
@@ -305,6 +345,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
     p.set_defaults(func=_cmd_sweep)
 
+    p = sub.add_parser(
+        "faults",
+        help="fault study: run past PE wear-out deaths, report degradation",
+    )
+    p.add_argument("--network", default="SqueezeNet")
+    p.add_argument(
+        "--dead",
+        action="append",
+        default=[],
+        metavar="U,V",
+        help="inject an explicit dead PE (repeatable)",
+    )
+    p.add_argument(
+        "--no-wearout",
+        action="store_true",
+        help="disable Weibull wear-out deaths (explicit --dead faults only)",
+    )
+    p.add_argument("--deaths", type=int, default=3, help="stop after N wear-out deaths")
+    p.add_argument("--iterations", type=int, default=300, help="iteration cap")
+    p.add_argument(
+        "--mean-budget",
+        type=float,
+        default=None,
+        help="mean per-PE endurance budget (default: auto-calibrated)",
+    )
+    p.add_argument("--seed", type=int, default=2025)
+    p.add_argument(
+        "--scenarios",
+        type=int,
+        default=0,
+        help="also run an N-scenario lifetime Monte Carlo",
+    )
+    p.add_argument("--no-heatmaps", action="store_true", help="skip dead-PE heatmaps")
+    _add_jobs_flag(p)
+    p.set_defaults(func=_cmd_faults)
+
     sub.add_parser("overhead", help="Sec. V-D area/cycle overhead").set_defaults(
         func=_cmd_overhead
     )
@@ -368,6 +444,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — normal shell usage.
         return 0
+    except ReproError as error:
+        # Library errors are user-facing (bad network name, impossible
+        # config, ...): one line on stderr, nonzero exit, no traceback.
+        print(f"rota: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -16,7 +16,7 @@ loop (property-tested in ``tests/core/test_engine.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,10 @@ from repro.core.policies import WearLevelingPolicy
 from repro.core.tracker import UsageTracker
 from repro.dataflow.tiling import TileStream
 from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # avoid a load-time core -> faults dependency
+    from repro.faults.injection import EnduranceBudgets
+    from repro.faults.state import DeathEvent, DegradationStats, FaultState
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,12 @@ class RunResult:
     trace: Sequence[TracePoint] = field(default_factory=tuple)
     snapshots: Optional[Sequence[np.ndarray]] = None
     final_state: Tuple[int, int] = (0, 0)
+    #: Wear-out failures observed during the run (empty without faults).
+    death_events: Tuple["DeathEvent", ...] = ()
+    #: ``(u, v)`` coordinates dead at the end of the run.
+    dead_pes: Tuple[Tuple[int, int], ...] = ()
+    #: Tile-slot accounting; ``None`` when the engine ran fault-free.
+    degradation: Optional["DegradationStats"] = None
 
     @property
     def max_difference(self) -> int:
@@ -93,6 +103,8 @@ class WearLevelingEngine:
         accelerator: Accelerator,
         policy: WearLevelingPolicy,
         cycle_weighted: bool = False,
+        fault_state: Optional["FaultState"] = None,
+        budgets: Optional["EnduranceBudgets"] = None,
     ) -> None:
         """Create an engine.
 
@@ -100,6 +112,17 @@ class WearLevelingEngine:
         its steady-state cycle count instead of counting allocations —
         the paper's ``A_PE`` is allocation-granular (the default); the
         weighted mode backs the accounting-granularity ablation.
+
+        ``fault_state`` marks permanently dead PEs: placements that would
+        overlap one shift along the torus to the next clean start (and
+        split into sub-tiles when no full-size start exists). With no
+        dead PEs the engine takes exactly the fault-free fast path, so an
+        empty fault state is bit-identical to passing ``None``.
+
+        ``budgets`` enables wear-out deaths: after every layer, any PE
+        whose usage count crossed its endurance budget dies permanently
+        (recorded as a :class:`~repro.faults.state.DeathEvent`). Death
+        detection is layer-granular — a PE cannot die mid-layer.
         """
         if policy.requires_torus and not accelerator.is_torus:
             raise ConfigurationError(
@@ -107,15 +130,46 @@ class WearLevelingEngine:
                 f"{accelerator.name} has a mesh local network; use "
                 f"accelerator.as_torus()"
             )
+        if budgets is not None and fault_state is None:
+            from repro.faults.state import FaultState as _FaultState
+
+            fault_state = _FaultState.none(accelerator.array)
+        if fault_state is not None:
+            if fault_state.array != accelerator.array:
+                raise ConfigurationError(
+                    "fault state tracks a different array than the "
+                    "accelerator; build it from accelerator.array"
+                )
+            if not getattr(policy, "supports_fault_remap", True):
+                raise ConfigurationError(
+                    f"policy {policy.name!r} places against the live ledger "
+                    f"and does not support fault-aware remapping"
+                )
+        if budgets is not None and budgets.shape != accelerator.array.shape:
+            raise ConfigurationError(
+                f"endurance budget shape {budgets.shape} does not match "
+                f"array shape {accelerator.array.shape}"
+            )
         self._accelerator = accelerator
         self._policy = policy
         self._cycle_weighted = cycle_weighted
         self._tracker = UsageTracker(accelerator.array)
         self._state = policy.initial_state()
+        self._fault_state = fault_state
+        self._budgets = budgets
+        self._death_events: List["DeathEvent"] = []
+        self._iteration = 0
+        self._nominal_tiles = 0
+        self._executed_slots = 0
         # Position batches are deterministic in (state, x, y, Z); the RO
         # state cycles with a short period, so long runs hit this memo on
         # almost every layer call.
         self._batch_memo: dict = {}
+        # Fault placements and fault-path layer batches are deterministic
+        # in (start/state, shape, fault version); both memos are cleared
+        # whenever the fault set changes.
+        self._placement_memo: dict = {}
+        self._fault_batch_memo: dict = {}
 
     @property
     def accelerator(self) -> Accelerator:
@@ -137,10 +191,43 @@ class WearLevelingEngine:
         """The carried ``(u, v)`` coordinate."""
         return self._state
 
+    @property
+    def fault_state(self) -> Optional["FaultState"]:
+        """The live fault state (``None`` when running fault-free)."""
+        return self._fault_state
+
+    @property
+    def death_events(self) -> Tuple["DeathEvent", ...]:
+        """Wear-out failures detected so far, in death order."""
+        return tuple(self._death_events)
+
+    @property
+    def degradation(self) -> Optional["DegradationStats"]:
+        """Tile-slot accounting (``None`` when running fault-free)."""
+        if self._fault_state is None:
+            return None
+        from repro.faults.state import DegradationStats
+
+        return DegradationStats(
+            nominal_tiles=self._nominal_tiles,
+            executed_slots=self._executed_slots,
+        )
+
     def reset(self) -> None:
-        """Zero the ledger and restart from the policy's initial state."""
+        """Zero the ledger and restart from the policy's initial state.
+
+        Death bookkeeping restarts too, but an externally supplied fault
+        state keeps its dead PEs — revive them explicitly via
+        ``fault_state.revive_all()`` if a fresh array is intended.
+        """
         self._tracker.reset()
         self._state = self._policy.initial_state()
+        self._death_events = []
+        self._iteration = 0
+        self._nominal_tiles = 0
+        self._executed_slots = 0
+        self._placement_memo.clear()
+        self._fault_batch_memo.clear()
 
     # ------------------------------------------------------------------
     # Execution
@@ -166,19 +253,100 @@ class WearLevelingEngine:
         weight = 1
         if self._cycle_weighted:
             weight = max(1, stream.tile_cycles)
-        key = (self._state, x, y, stream.num_tiles, weight)
-        cached = self._batch_memo.get(key)
+        if self._fault_state is not None and self._fault_state.any_dead:
+            self._run_layer_with_faults(stream, x, y, weight)
+        else:
+            key = (self._state, x, y, stream.num_tiles, weight)
+            cached = self._batch_memo.get(key)
+            if cached is None:
+                uu, vv, multiplicity, final = self._policy.layer_grouped(
+                    x, y, stream.num_tiles, width, height, self._state
+                )
+                scratch = UsageTracker(self._accelerator.array)
+                scratch.add_grouped(uu, vv, multiplicity, x, y)
+                cached = (scratch.snapshot() * weight, stream.num_tiles, final)
+                self._batch_memo[key] = cached
+            delta, tiles, final = cached
+            self._tracker.add_delta(delta, tiles)
+            self._state = final
+            self._nominal_tiles += stream.num_tiles
+            self._executed_slots += stream.num_tiles
+        if self._budgets is not None:
+            self._record_deaths(stream.layer_name)
+
+    def _run_layer_with_faults(
+        self, stream: TileStream, x: int, y: int, weight: int
+    ) -> None:
+        """Fault-aware layer execution: remap placements around dead PEs.
+
+        The policy's nominal stride sequence is unchanged (its state
+        machine never sees the faults, just as the hardware controller
+        would not); each nominal placement is post-transformed by
+        :func:`repro.faults.placement.place_with_faults`, so blocked
+        placements shift along the torus and, when necessary, split into
+        sub-tiles. Dead PEs receive no work by construction.
+        """
+        from repro.faults.placement import place_with_faults
+
+        width = self._accelerator.width
+        height = self._accelerator.height
+        version = self._fault_state.version
+        key = (self._state, x, y, stream.num_tiles, weight, version)
+        cached = self._fault_batch_memo.get(key)
         if cached is None:
             uu, vv, multiplicity, final = self._policy.layer_grouped(
                 x, y, stream.num_tiles, width, height, self._state
             )
             scratch = UsageTracker(self._accelerator.array)
-            scratch.add_grouped(uu, vv, multiplicity, x, y)
-            cached = (scratch.snapshot() * weight, stream.num_tiles, final)
-            self._batch_memo[key] = cached
-        delta, tiles, final = cached
+            slots = 0
+            for u, v, count in zip(uu, vv, multiplicity):
+                piece_key = (int(u), int(v), x, y, version)
+                placement = self._placement_memo.get(piece_key)
+                if placement is None:
+                    placement = place_with_faults(
+                        self._fault_state, (int(u), int(v)), x, y
+                    )
+                    self._placement_memo[piece_key] = placement
+                for piece in placement.pieces:
+                    scratch.add_space(
+                        (piece.u, piece.v),
+                        piece.width,
+                        piece.height,
+                        count=int(count),
+                    )
+                slots += placement.slots * int(count)
+            cached = (scratch.snapshot() * weight, scratch.tiles_seen, slots, final)
+            self._fault_batch_memo[key] = cached
+        delta, tiles, slots, final = cached
         self._tracker.add_delta(delta, tiles)
         self._state = final
+        self._nominal_tiles += stream.num_tiles
+        self._executed_slots += slots
+
+    def _record_deaths(self, layer_name: str) -> None:
+        """Kill PEs whose usage crossed their endurance budget."""
+        from repro.faults.state import DeathEvent
+
+        counts = self._tracker.counts
+        alive = ~self._fault_state.dead_mask
+        crossed = self._budgets.exceeded(counts) & alive
+        if not crossed.any():
+            return
+        # The fault set changed: every memoized placement is stale.
+        self._placement_memo.clear()
+        self._fault_batch_memo.clear()
+        for v, u in np.argwhere(crossed):
+            u, v = int(u), int(v)
+            self._fault_state.kill(u, v)
+            self._death_events.append(
+                DeathEvent(
+                    iteration=self._iteration,
+                    layer=layer_name,
+                    u=u,
+                    v=v,
+                    usage=int(counts[v, u]),
+                )
+            )
 
     def run_network(self, streams: Sequence[TileStream]) -> None:
         """Process every layer of one network iteration, in order."""
@@ -187,6 +355,16 @@ class WearLevelingEngine:
         for stream in streams:
             self.run_layer(stream)
 
+    def run_iteration(self, streams: Sequence[TileStream]) -> None:
+        """Run one network pass, advancing the iteration counter.
+
+        Drivers that need per-iteration control (e.g. the fault study's
+        degradation curve) call this in a loop instead of :meth:`run`;
+        death events are stamped with the advanced iteration number.
+        """
+        self._iteration += 1
+        self.run_network(streams)
+
     def run(
         self,
         streams: Sequence[TileStream],
@@ -194,6 +372,7 @@ class WearLevelingEngine:
         record_trace: bool = True,
         record_snapshots: bool = False,
         trace_granularity: str = "iteration",
+        stop_after_deaths: Optional[int] = None,
     ) -> RunResult:
         """Run ``iterations`` passes of a network and collect results.
 
@@ -213,6 +392,11 @@ class WearLevelingEngine:
             ``"iteration"`` (default, one trace point per network pass)
             or ``"layer"`` (one per layer — the fine-grained view of a
             Fig. 6-style trace).
+        stop_after_deaths:
+            Stop early once this many PEs have worn out (requires
+            endurance ``budgets``); the returned ``iterations`` then
+            reflects the passes actually executed — the
+            lifetime-to-N-failures measurement of the fault studies.
         """
         if iterations < 1:
             raise SimulationError(f"iterations must be >= 1, got {iterations}")
@@ -221,6 +405,16 @@ class WearLevelingEngine:
                 f"trace granularity must be 'iteration' or 'layer', got "
                 f"{trace_granularity!r}"
             )
+        if stop_after_deaths is not None:
+            if self._budgets is None:
+                raise ConfigurationError(
+                    "stop_after_deaths needs endurance budgets — without "
+                    "them no PE can ever die"
+                )
+            if stop_after_deaths < 1:
+                raise SimulationError(
+                    f"stop_after_deaths must be >= 1, got {stop_after_deaths}"
+                )
         trace: List[TracePoint] = []
         snapshots: List[np.ndarray] = []
 
@@ -237,7 +431,9 @@ class WearLevelingEngine:
                 )
             )
 
+        executed = 0
         for iteration in range(1, iterations + 1):
+            self._iteration = iteration
             if record_trace and trace_granularity == "layer":
                 for stream in streams:
                     self.run_layer(stream)
@@ -248,14 +444,26 @@ class WearLevelingEngine:
                     record(iteration)
             if record_snapshots:
                 snapshots.append(self._tracker.snapshot())
+            executed = iteration
+            if (
+                stop_after_deaths is not None
+                and len(self._death_events) >= stop_after_deaths
+            ):
+                break
+        dead_pes: Tuple[Tuple[int, int], ...] = ()
+        if self._fault_state is not None:
+            dead_pes = tuple(self._fault_state.dead_coords())
         return RunResult(
             policy_name=self._policy.name,
             accelerator_name=self._accelerator.name,
-            iterations=iterations,
+            iterations=executed,
             counts=self._tracker.snapshot(),
             trace=tuple(trace),
             snapshots=tuple(snapshots) if record_snapshots else None,
             final_state=self._state,
+            death_events=self.death_events,
+            dead_pes=dead_pes,
+            degradation=self.degradation,
         )
 
 
@@ -265,9 +473,13 @@ def simulate_policy(
     policy: WearLevelingPolicy,
     iterations: int = 1,
     record_snapshots: bool = False,
+    fault_state: Optional["FaultState"] = None,
+    budgets: Optional["EnduranceBudgets"] = None,
 ) -> RunResult:
     """One-shot convenience wrapper: fresh engine, single run."""
-    engine = WearLevelingEngine(accelerator, policy)
+    engine = WearLevelingEngine(
+        accelerator, policy, fault_state=fault_state, budgets=budgets
+    )
     return engine.run(
         streams, iterations=iterations, record_snapshots=record_snapshots
     )

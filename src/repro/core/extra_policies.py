@@ -49,6 +49,7 @@ class GreedyMinUsagePolicy(WearLevelingPolicy):
     """
 
     needs_feedback = True
+    supports_fault_remap = False
 
     @property
     def name(self) -> str:

@@ -42,6 +42,11 @@ class WearLevelingPolicy(abc.ABC):
     #: the open-loop position protocol (and cannot memoize their runs).
     needs_feedback: bool = False
 
+    #: Open-loop policies emit a nominal position sequence the engine can
+    #: post-transform around dead PEs (``repro.faults``); feedback
+    #: policies place directly and opt out of fault-aware remapping.
+    supports_fault_remap: bool = True
+
     @property
     @abc.abstractmethod
     def name(self) -> str:

@@ -195,6 +195,24 @@ def grouped_positions(
     )
 
 
+def torus_scan(start: Tuple[int, int], w: int, h: int):
+    """All ``w * h`` coordinates in unidirectional torus-link order.
+
+    Starting at ``start``, advance one column per step along the
+    horizontal ring (the unidirectional links of the paper's Fig. 1);
+    each full ring traversal drops to the next row ring. This is the
+    cheap "shift to the next start" order the fault-aware placement
+    walks when a utilization space would overlap a dead PE.
+    """
+    u0, v0 = start
+    if w < 1 or h < 1:
+        raise ConfigurationError(f"array must be at least 1x1, got {w}x{h}")
+    if not (0 <= u0 < w and 0 <= v0 < h):
+        raise ConfigurationError(f"start ({u0}, {v0}) outside the {w}x{h} array")
+    for offset in range(w * h):
+        yield ((u0 + offset) % w, (v0 + (u0 + offset) // w) % h)
+
+
 def position_sequence(
     start: Tuple[int, int],
     x: int,

@@ -76,6 +76,23 @@ class UtilizationSpace:
         """The same-shaped space anchored at a new starting corner."""
         return replace(self, u=u, v=v)
 
+    def overlaps_dead(self, array: PEArray, dead_mask: np.ndarray) -> bool:
+        """Whether this space covers any dead PE of a ``(h, w)`` mask.
+
+        The scalar reference predicate of the fault-aware placement:
+        :func:`repro.faults.placement.clean_start_mask` computes the
+        same answer for every anchor at once (property-tested against
+        this method).
+        """
+        mask = np.asarray(dead_mask, dtype=bool)
+        if mask.shape != array.shape:
+            raise ConfigurationError(
+                f"dead mask shape {mask.shape} does not match array "
+                f"shape {array.shape}"
+            )
+        rows, cols = self.indices(array)
+        return bool(mask[rows, cols].any())
+
     def utilization(self, array: PEArray) -> float:
         """Fraction of the array this space activates."""
         return self.num_pes / array.num_pes

@@ -1,0 +1,436 @@
+"""Fault study: life *after* the first PE failure (``rota faults``).
+
+The paper stops at delaying the first wear-out failure. This study runs
+each scheduling policy past it: per-PE Weibull endurance budgets are
+sampled once (common random numbers, so every policy faces the same
+silicon), the engine runs until ``deaths`` PEs have died (or the
+iteration cap), and the study reports
+
+* **lifetime-to-N-failures** — the iteration at which each successive
+  PE died, per policy;
+* **the degradation curve** — usable throughput while 0, 1, ... PEs
+  were dead (tile slots executed vs nominal);
+* **dead-PE heatmaps** — final usage with failed PEs overlaid;
+* **Eq. 4 lifetime improvement** on the final ledgers, which reduces to
+  the standard no-fault numbers when nothing is injected.
+
+Faults can also be injected explicitly (``dead=[(u, v), ...]``) with
+wear-out disabled, which measures pure degradation throughput on a
+partially-dead array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import StrideTrigger, make_policy
+from repro.dataflow.tiling import TileStream
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    POLICY_NAMES,
+    paper_accelerator,
+    streams_for,
+)
+from repro.faults.injection import sample_endurance_budgets
+from repro.faults.montecarlo import sample_fault_scenarios
+from repro.faults.state import DeathEvent, DegradationStats, FaultState
+from repro.reliability.lifetime import relative_lifetime
+from repro.reliability.weibull import JEDEC_BETA
+from repro.runtime import ParallelRunner
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Throughput observed while exactly ``num_dead`` PEs were dead."""
+
+    num_dead: int
+    start_iteration: int
+    end_iteration: int
+    nominal_tiles: int
+    executed_slots: int
+
+    @property
+    def usable_throughput(self) -> float:
+        """Fraction of fault-free throughput retained in this segment."""
+        if self.executed_slots == 0:
+            return 1.0
+        return self.nominal_tiles / self.executed_slots
+
+
+@dataclass(frozen=True)
+class FaultPolicyRow:
+    """One policy's run-to-failure record."""
+
+    policy: str
+    death_events: Tuple[DeathEvent, ...]
+    iterations_run: int
+    max_iterations: int
+    counts: np.ndarray
+    dead_mask: np.ndarray
+    degradation: DegradationStats
+    curve: Tuple[DegradationPoint, ...]
+
+    @property
+    def num_dead(self) -> int:
+        """PEs dead at the end of the run."""
+        return int(self.dead_mask.sum())
+
+    @property
+    def censored(self) -> bool:
+        """Whether the array outlived the iteration cap."""
+        return self.iterations_run >= self.max_iterations
+
+    def death_iteration(self, k: int) -> Optional[int]:
+        """Iteration of the ``k``-th death (``None`` if never reached)."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if len(self.death_events) < k:
+            return None
+        return self.death_events[k - 1].iteration
+
+    def heatmap(self) -> str:
+        """Final usage heatmap with dead PEs overlaid as ``X``."""
+        return render_heatmap(
+            self.counts,
+            title=f"{self.policy}: usage at end of run ({self.num_dead} dead)",
+            dead=self.dead_mask,
+        )
+
+
+@dataclass(frozen=True)
+class FaultsResult:
+    """The full fault study for one network."""
+
+    network: str
+    max_iterations: int
+    deaths: int
+    mean_budget: float
+    seed: int
+    rows: Tuple[FaultPolicyRow, ...]
+
+    def row_for(self, policy: str) -> FaultPolicyRow:
+        """Look up one policy's row."""
+        for row in self.rows:
+            if row.policy == policy:
+                return row
+        raise KeyError(policy)
+
+    def lifetime_improvement(self, policy: str) -> float:
+        """Eq. 4 on final ledgers: ``policy`` vs the baseline row.
+
+        Fault runs stop at different iteration counts (each dies on its
+        own schedule), so the ledgers are first normalized per unit of
+        work — Eq. 4's ratio is scale-invariant, and this reduces to the
+        plain Eq. 4 comparison whenever both runs did equal work (e.g.
+        the empty-fault-list case).
+        """
+        baseline = self.row_for("baseline")
+        return relative_lifetime(self.row_for(policy).counts) / relative_lifetime(
+            baseline.counts
+        )
+
+    def format(self, heatmaps: bool = True) -> str:
+        """Degradation table (+ dead-PE heatmaps) for the console."""
+
+        def _iteration_cell(row: FaultPolicyRow, k: int) -> str:
+            iteration = row.death_iteration(k)
+            if iteration is None:
+                return f">{row.iterations_run}" if row.censored else "-"
+            return str(iteration)
+
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                (
+                    row.policy,
+                    _iteration_cell(row, 1),
+                    _iteration_cell(row, self.deaths),
+                    row.num_dead,
+                    f"{row.degradation.slowdown:.3f}",
+                    f"{row.degradation.usable_throughput:.1%}",
+                    f"{self.lifetime_improvement(row.policy):.3f}x",
+                )
+            )
+        lines = [
+            format_table(
+                (
+                    "policy",
+                    "1st death",
+                    f"{self.deaths}th death",
+                    "dead PEs",
+                    "slowdown",
+                    "usable tput",
+                    "lifetime vs base",
+                ),
+                table_rows,
+                title=(
+                    f"Fault study — {self.network}, mean endurance budget "
+                    f"{self.mean_budget:.0f} allocations, seed {self.seed}, "
+                    f"cap {self.max_iterations} iterations"
+                ),
+            )
+        ]
+        curve_rows = [
+            (
+                row.policy,
+                point.num_dead,
+                f"{point.start_iteration}-{point.end_iteration}",
+                f"{point.usable_throughput:.1%}",
+            )
+            for row in self.rows
+            for point in row.curve
+        ]
+        lines.append(
+            format_table(
+                ("policy", "dead PEs", "iterations", "usable tput"),
+                curve_rows,
+                title="Degradation curve — usable throughput vs dead PEs",
+            )
+        )
+        if heatmaps:
+            lines.extend(row.heatmap() for row in self.rows)
+        return "\n\n".join(lines)
+
+
+def _calibrated_mean_budget(
+    accelerator: Accelerator,
+    streams: Sequence[TileStream],
+    max_iterations: int,
+    fraction: float = 0.5,
+) -> float:
+    """Pick a budget scale so baseline deaths land mid-run.
+
+    One fault-free baseline pass gives the busiest PE's per-iteration
+    usage growth; the mean budget is set so that PE crosses it a
+    ``fraction`` of the way through the run. Wear-leveled policies
+    spread the same work, so their deaths land later — which is exactly
+    the comparison the study makes.
+    """
+    probe = WearLevelingEngine(accelerator.as_mesh(), make_policy("baseline"))
+    result = probe.run(streams, iterations=1, record_trace=False)
+    peak_per_iteration = max(1, int(result.counts.max()))
+    return max(1.0, peak_per_iteration * max_iterations * fraction)
+
+
+def _policy_fault_task(spec: Tuple) -> FaultPolicyRow:
+    """Run one policy to failure (module-level so pools can pickle it)."""
+    (
+        accelerator,
+        policy_name,
+        trigger,
+        streams,
+        dead,
+        mean_budget,
+        beta,
+        seed,
+        wearout,
+        deaths,
+        max_iterations,
+    ) = spec
+    policy = make_policy(policy_name, trigger)
+    target = (
+        accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
+    )
+    fault_state = FaultState.from_coords(target.array, dead)
+    budgets = None
+    if wearout:
+        budgets = sample_endurance_budgets(
+            target.array, mean_budget, beta=beta, seed=seed
+        )
+    engine = WearLevelingEngine(
+        target, policy, fault_state=fault_state, budgets=budgets
+    )
+
+    curve: List[DegradationPoint] = []
+    segment_start = 1
+    segment_dead = fault_state.num_dead
+    prev = DegradationStats(nominal_tiles=0, executed_slots=0)
+
+    def _close_segment(end_iteration: int) -> None:
+        nonlocal segment_start, segment_dead, prev
+        now = engine.degradation
+        curve.append(
+            DegradationPoint(
+                num_dead=segment_dead,
+                start_iteration=segment_start,
+                end_iteration=end_iteration,
+                nominal_tiles=now.nominal_tiles - prev.nominal_tiles,
+                executed_slots=now.executed_slots - prev.executed_slots,
+            )
+        )
+        prev = now
+        segment_start = end_iteration + 1
+        segment_dead = fault_state.num_dead
+
+    iterations_run = 0
+    for iteration in range(1, max_iterations + 1):
+        engine.run_iteration(streams)
+        iterations_run = iteration
+        if fault_state.num_dead != segment_dead:
+            _close_segment(iteration)
+        if wearout and len(engine.death_events) >= deaths:
+            break
+    if segment_start <= iterations_run or not curve:
+        _close_segment(iterations_run)
+
+    return FaultPolicyRow(
+        policy=policy_name,
+        death_events=engine.death_events,
+        iterations_run=iterations_run,
+        max_iterations=max_iterations,
+        counts=engine.tracker.snapshot(),
+        dead_mask=np.array(fault_state.dead_mask),
+        degradation=engine.degradation,
+        curve=tuple(curve),
+    )
+
+
+def run_faults(
+    network: str = "SqueezeNet",
+    accelerator: Optional[Accelerator] = None,
+    policies: Sequence[str] = POLICY_NAMES,
+    dead: Sequence[Tuple[int, int]] = (),
+    wearout: bool = True,
+    deaths: int = 3,
+    max_iterations: int = 300,
+    mean_budget: Optional[float] = None,
+    beta: float = JEDEC_BETA,
+    seed: int = 2025,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+    jobs: Optional[int] = None,
+) -> FaultsResult:
+    """Run the fault/degradation study for one network.
+
+    Every policy faces the same sampled endurance-budget field (common
+    random numbers) plus the same explicitly injected ``dead`` PEs.
+    ``mean_budget=None`` auto-calibrates so baseline deaths land roughly
+    mid-run. Per-policy runs are independent and fan out over a
+    :class:`~repro.runtime.parallel.ParallelRunner`.
+    """
+    if deaths < 1:
+        raise ConfigurationError(f"deaths must be >= 1, got {deaths}")
+    if max_iterations < 1:
+        raise ConfigurationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    accelerator = accelerator or paper_accelerator()
+    streams = tuple(streams_for(network, accelerator))
+    if mean_budget is None:
+        mean_budget = _calibrated_mean_budget(accelerator, streams, max_iterations)
+    dead = tuple((int(u), int(v)) for u, v in dead)
+
+    runner = ParallelRunner(jobs)
+    rows = runner.map(
+        _policy_fault_task,
+        [
+            (
+                accelerator,
+                name,
+                trigger,
+                streams,
+                dead,
+                mean_budget,
+                beta,
+                seed,
+                wearout,
+                deaths,
+                max_iterations,
+            )
+            for name in policies
+        ],
+        labels=list(policies),
+    )
+    return FaultsResult(
+        network=network,
+        max_iterations=max_iterations,
+        deaths=deaths,
+        mean_budget=float(mean_budget),
+        seed=seed,
+        rows=tuple(rows),
+    )
+
+
+@dataclass(frozen=True)
+class FaultMonteCarloResult:
+    """Sampled lifetime-to-first-failure statistics per policy."""
+
+    network: str
+    num_scenarios: int
+    deaths: int
+    rows: Tuple[Tuple[str, float, float, float], ...]  # policy, mean, p10, p90
+
+    def format(self) -> str:
+        """Per-policy death-time table."""
+        return format_table(
+            ("policy", "mean iters to 1st death", "p10", "p90"),
+            [
+                (policy, f"{mean:.1f}", f"{p10:.0f}", f"{p90:.0f}")
+                for policy, mean, p10, p90 in self.rows
+            ],
+            title=(
+                f"Fault Monte Carlo — {self.network}, "
+                f"{self.num_scenarios} sampled endurance fields"
+            ),
+        )
+
+
+def run_fault_montecarlo(
+    network: str = "SqueezeNet",
+    accelerator: Optional[Accelerator] = None,
+    policies: Sequence[str] = POLICY_NAMES,
+    num_scenarios: int = 16,
+    deaths: int = 1,
+    max_iterations: int = 300,
+    mean_budget: Optional[float] = None,
+    beta: float = JEDEC_BETA,
+    seed: int = 2025,
+    trigger: StrideTrigger = StrideTrigger.ORIGIN,
+    jobs: Optional[int] = None,
+) -> FaultMonteCarloResult:
+    """Monte Carlo lifetime-to-first-failure comparison across policies.
+
+    Each policy sees the identical scenario seeds (common random
+    numbers). Results are bit-identical for any ``jobs`` value — see
+    :func:`repro.faults.montecarlo.sample_fault_scenarios`.
+    """
+    accelerator = accelerator or paper_accelerator()
+    streams = tuple(streams_for(network, accelerator))
+    if mean_budget is None:
+        mean_budget = _calibrated_mean_budget(accelerator, streams, max_iterations)
+    rows = []
+    for policy_name in policies:
+        samples = sample_fault_scenarios(
+            accelerator,
+            streams,
+            policy_name=policy_name,
+            num_scenarios=num_scenarios,
+            mean_budget=mean_budget,
+            beta=beta,
+            deaths=deaths,
+            max_iterations=max_iterations,
+            seed=seed,
+            trigger=trigger,
+            jobs=jobs,
+        )
+        lifetimes = samples.lifetime_to(1)
+        rows.append(
+            (
+                policy_name,
+                float(lifetimes.mean()),
+                float(np.percentile(lifetimes, 10)),
+                float(np.percentile(lifetimes, 90)),
+            )
+        )
+    return FaultMonteCarloResult(
+        network=network,
+        num_scenarios=num_scenarios,
+        deaths=deaths,
+        rows=tuple(rows),
+    )

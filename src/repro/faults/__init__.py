@@ -1,0 +1,47 @@
+"""Permanent faults and graceful degradation of the PE array.
+
+The paper's wear-leveling delays the *first* PE failure; this subpackage
+simulates what happens at and after it:
+
+* :mod:`repro.faults.state` — :class:`FaultState`, the dead-PE set of
+  one array, plus the :class:`DeathEvent` / :class:`DegradationStats`
+  records the engine emits;
+* :mod:`repro.faults.injection` — endurance budgets: deterministic or
+  seeded-Weibull ``A_PE`` thresholds at which PEs die;
+* :mod:`repro.faults.placement` — fault-aware placement: shift a
+  blocked utilization space along the torus to the next clean start,
+  or split it into sub-tiles when no full-size start exists;
+* :mod:`repro.faults.montecarlo` — seeded scenario sampling of death
+  times/locations, parallel-safe under the PR-1 chunking convention.
+
+The engine integration lives in :class:`repro.core.engine.
+WearLevelingEngine` (``fault_state=`` / ``budgets=`` parameters); the
+end-to-end study in :mod:`repro.experiments.faults` (``rota faults``).
+"""
+
+from repro.faults.injection import EnduranceBudgets, sample_endurance_budgets
+from repro.faults.placement import (
+    FaultPlacement,
+    PlacementPiece,
+    best_feasible_shape,
+    clean_start_mask,
+    dead_in_window,
+    next_clean_start,
+    place_with_faults,
+)
+from repro.faults.state import DeathEvent, DegradationStats, FaultState
+
+__all__ = [
+    "DeathEvent",
+    "DegradationStats",
+    "EnduranceBudgets",
+    "FaultPlacement",
+    "FaultState",
+    "PlacementPiece",
+    "best_feasible_shape",
+    "clean_start_mask",
+    "dead_in_window",
+    "next_clean_start",
+    "place_with_faults",
+    "sample_endurance_budgets",
+]

@@ -1,0 +1,215 @@
+"""Fault-aware placement: shift, and when needed split, utilization spaces.
+
+The torus makes routing *around* a dead PE cheap: a utilization space
+that would overlap a dead PE simply shifts along the unidirectional
+torus links to the next starting corner whose wrapped ``x x y`` window
+is clean (:func:`next_clean_start`). When no clean full-size window
+exists anywhere, the tile degrades gracefully: it splits into the
+largest feasible sub-tiles, which execute sequentially and cost extra
+tile slots — the throughput loss the degradation metrics account
+(:func:`place_with_faults`).
+
+On a mesh array (the baseline) the same logic applies, except windows
+that would wrap past the boundary are never legal, exactly mirroring
+the baseline's placement restriction elsewhere in the codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.positions import torus_scan
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.state import FaultState
+
+Coord = Tuple[int, int]
+
+
+def dead_in_window(dead_mask: np.ndarray, x: int, y: int) -> np.ndarray:
+    """Dead-PE count inside each wrapped ``x x y`` window.
+
+    ``result[v, u]`` is the number of dead PEs a space anchored at
+    ``(u, v)`` would cover on a torus. Computed separably: first sum
+    ``x`` cyclic column shifts, then ``y`` cyclic row shifts —
+    ``O((x + y) * w * h)``, small for real arrays.
+    """
+    dead = np.asarray(dead_mask, dtype=np.int64)
+    if dead.ndim != 2:
+        raise ConfigurationError(f"dead mask must be 2-D, got shape {dead.shape}")
+    h, w = dead.shape
+    if not (1 <= x <= w and 1 <= y <= h):
+        raise ConfigurationError(
+            f"utilization space {x}x{y} does not fit the {w}x{h} array"
+        )
+    cols = np.zeros_like(dead)
+    for i in range(x):
+        cols += np.roll(dead, -i, axis=1)
+    window = np.zeros_like(dead)
+    for j in range(y):
+        window += np.roll(cols, -j, axis=0)
+    return window
+
+
+def clean_start_mask(fault_state: FaultState, x: int, y: int) -> np.ndarray:
+    """Boolean mask of legal, dead-free anchors for an ``x x y`` space.
+
+    ``mask[v, u]`` is ``True`` when a space starting at ``(u, v)``
+    covers no dead PE *and* is legal on the array's topology (on a mesh,
+    wrapping windows are excluded; on a torus every anchor is legal).
+    """
+    array = fault_state.array
+    window = dead_in_window(fault_state.dead_mask, x, y)
+    mask = window == 0
+    if not array.is_torus:
+        us = np.arange(array.width)
+        vs = np.arange(array.height)
+        fits = (us[None, :] + x <= array.width) & (vs[:, None] + y <= array.height)
+        mask &= fits
+    return mask
+
+
+def next_clean_start(
+    fault_state: FaultState, start: Coord, x: int, y: int
+) -> Optional[Coord]:
+    """First clean anchor at or after ``start`` in torus-link order.
+
+    Returns ``None`` when no anchor anywhere admits a clean ``x x y``
+    placement. The nominal start itself is checked first, so a clean
+    nominal placement is returned unchanged — faults never perturb
+    placements they do not block.
+    """
+    mask = clean_start_mask(fault_state, x, y)
+    return _scan_mask(mask, start, fault_state.array.width, fault_state.array.height)
+
+
+def _scan_mask(mask: np.ndarray, start: Coord, w: int, h: int) -> Optional[Coord]:
+    for u, v in torus_scan(start, w, h):
+        if mask[v, u]:
+            return (u, v)
+    return None
+
+
+@dataclass(frozen=True)
+class PlacementPiece:
+    """One placed rectangle of a (possibly split) data tile."""
+
+    u: int
+    v: int
+    width: int
+    height: int
+
+    @property
+    def num_pes(self) -> int:
+        """PEs this piece activates."""
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class FaultPlacement:
+    """Where one nominal tile actually landed under faults."""
+
+    nominal_start: Coord
+    nominal_shape: Tuple[int, int]
+    pieces: Tuple[PlacementPiece, ...]
+
+    @property
+    def shifted(self) -> bool:
+        """Whether the tile moved off its nominal anchor."""
+        return (
+            len(self.pieces) != 1
+            or (self.pieces[0].u, self.pieces[0].v) != self.nominal_start
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the tile had to split into sub-tiles."""
+        return len(self.pieces) > 1
+
+    @property
+    def slots(self) -> int:
+        """Sequential tile slots this placement occupies (1 if intact)."""
+        return len(self.pieces)
+
+    @property
+    def num_pes(self) -> int:
+        """Total PE activations (always ``x * y``: pieces tile the space)."""
+        return sum(piece.num_pes for piece in self.pieces)
+
+
+def best_feasible_shape(
+    fault_state: FaultState, x: int, y: int
+) -> Optional[Tuple[int, int]]:
+    """Largest-area sub-shape of ``x x y`` with a clean anchor somewhere.
+
+    Ties on area prefer the wider shape (fewer vertical seams), then the
+    taller one — a fixed deterministic order so every run splits tiles
+    identically. Returns ``None`` only when not even ``1x1`` fits, i.e.
+    every PE is dead (or the mesh has no legal cell).
+    """
+    candidates = sorted(
+        ((cx, cy) for cx in range(1, x + 1) for cy in range(1, y + 1)),
+        key=lambda shape: (shape[0] * shape[1], shape[0], shape[1]),
+        reverse=True,
+    )
+    for cx, cy in candidates:
+        if bool(clean_start_mask(fault_state, cx, cy).any()):
+            return (cx, cy)
+    return None
+
+
+def place_with_faults(
+    fault_state: FaultState, start: Coord, x: int, y: int
+) -> FaultPlacement:
+    """Place one nominal ``x x y`` tile at (or near) ``start`` under faults.
+
+    Resolution order:
+
+    1. no dead PE in the nominal window — placed as-is;
+    2. shift along the torus to the next clean full-size anchor;
+    3. split into the largest feasible sub-tiles (graceful degradation),
+       each placed at the next clean anchor continuing the same walk;
+    4. raise :class:`~repro.errors.SimulationError` when no PE can host
+       even a ``1x1`` piece (the array is fully dead).
+    """
+    array = fault_state.array
+    w, h = array.width, array.height
+    if not (1 <= x <= w and 1 <= y <= h):
+        raise ConfigurationError(
+            f"utilization space {x}x{y} does not fit the {w}x{h} array"
+        )
+
+    anchor = next_clean_start(fault_state, start, x, y)
+    if anchor is not None:
+        return FaultPlacement(
+            nominal_start=start,
+            nominal_shape=(x, y),
+            pieces=(PlacementPiece(anchor[0], anchor[1], x, y),),
+        )
+
+    shape = best_feasible_shape(fault_state, x, y)
+    if shape is None:
+        raise SimulationError(
+            f"no usable PEs left: cannot place even a 1x1 space on the "
+            f"{w}x{h} array with {fault_state.num_dead} dead PEs"
+        )
+    sub_x, sub_y = shape
+    mask = clean_start_mask(fault_state, sub_x, sub_y)
+    pieces = []
+    cursor = start
+    # Split the nominal rectangle into a grid of sub_x x sub_y chunks
+    # (edge chunks smaller); each chunk lands at the next clean anchor,
+    # continuing the torus walk so pieces spread instead of piling up.
+    for off_v in range(0, y, sub_y):
+        for off_u in range(0, x, sub_x):
+            piece_w = min(sub_x, x - off_u)
+            piece_h = min(sub_y, y - off_v)
+            spot = _scan_mask(mask, cursor, w, h)
+            assert spot is not None  # mask known non-empty
+            pieces.append(PlacementPiece(spot[0], spot[1], piece_w, piece_h))
+            cursor = ((spot[0] + 1) % w, spot[1] if spot[0] + 1 < w else (spot[1] + 1) % h)
+    return FaultPlacement(
+        nominal_start=start, nominal_shape=(x, y), pieces=tuple(pieces)
+    )

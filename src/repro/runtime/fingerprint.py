@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 #: Bump whenever the semantics of cached results change (e.g. the engine
 #: produces different counts for the same inputs). Part of every key, so
 #: stale entries from older code miss instead of aliasing.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 def _tokenize(value: Any) -> Any:

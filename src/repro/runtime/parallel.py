@@ -15,7 +15,11 @@ ProcessPoolExecutor`, with three guarantees the callers rely on:
   recorded as a :class:`TaskTiming` for the benchmark trajectory;
 * **no nested pools** — worker processes see ``REPRO_JOBS=1``, so a
   parallel Fig. 8 sweep runs its inner per-policy loop serially instead
-  of oversubscribing (or deadlocking on daemonic-process limits).
+  of oversubscribing (or deadlocking on daemonic-process limits);
+* **crash resilience** — if a worker process dies without raising (OOM
+  kill, segfault), the stranded tasks are retried once serially in the
+  parent with a warning naming the task that crashed, instead of losing
+  the whole sweep to one bad worker.
 
 The default job count comes from the ``REPRO_JOBS`` environment
 variable (``auto``/``0`` means the machine's CPU count); CLI ``--jobs``
@@ -27,6 +31,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -76,7 +81,7 @@ class TaskTiming:
 
     label: str
     seconds: float
-    mode: str  # "serial" or "pool"
+    mode: str  # "serial", "pool", or "serial-retry"
 
 
 def _worker_init() -> None:
@@ -176,12 +181,54 @@ class ParallelRunner:
         ) as pool:
             futures = [pool.submit(_timed_call, (fn, item)) for item in items]
             results = []
-            for name, future in zip(names, futures):
-                result, seconds = future.result()
+            for index, (name, future) in enumerate(zip(names, futures)):
+                try:
+                    result, seconds = future.result()
+                except BrokenProcessPool:
+                    # A worker died without raising (OOM kill, segfault
+                    # in a C extension, os._exit). Every in-flight
+                    # future on this pool fails the same way, so fall
+                    # back to running everything not yet collected
+                    # serially in this process — once; a second crash
+                    # here is a real error and propagates.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    crashed = names[index:]
+                    return results + self._retry_serially(
+                        fn, items[index:], crashed, first=name
+                    )
                 results.append(result)
                 self._timings.append(
                     TaskTiming(label=name, seconds=seconds, mode="pool")
                 )
+        return results
+
+    def _retry_serially(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        names: Sequence[str],
+        first: str,
+    ) -> List[R]:
+        """Serial second chance for tasks stranded by a broken pool."""
+        import warnings
+
+        warnings.warn(
+            f"worker process crashed while running task {first!r}; "
+            f"retrying {len(items)} uncollected task(s) serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        results: List[R] = []
+        for name, item in zip(names, items):
+            start = time.perf_counter()
+            results.append(fn(item))
+            self._timings.append(
+                TaskTiming(
+                    label=name,
+                    seconds=time.perf_counter() - start,
+                    mode="serial-retry",
+                )
+            )
         return results
 
 

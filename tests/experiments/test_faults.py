@@ -1,0 +1,129 @@
+"""End-to-end tests for the fault study (``rota faults``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate_policy
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.experiments.common import paper_accelerator, streams_for
+from repro.experiments.faults import (
+    run_fault_montecarlo,
+    run_faults,
+)
+from repro.reliability.lifetime import improvement_from_counts
+
+
+class TestRunFaults:
+    def test_end_to_end_squeezenet(self):
+        """Acceptance: the study runs end-to-end and reports degradation."""
+        result = run_faults(
+            network="SqueezeNet", max_iterations=40, deaths=2, jobs=1
+        )
+        assert {row.policy for row in result.rows} == {"baseline", "rwl", "rwl+ro"}
+        baseline = result.row_for("baseline")
+        leveled = result.row_for("rwl+ro")
+        # Budgets are auto-calibrated so the baseline dies within the run.
+        assert baseline.death_iteration(1) is not None
+        # Wear-leveling postpones the first death (the paper's claim,
+        # extended past the failure point).
+        if leveled.death_iteration(1) is not None:
+            assert leveled.death_iteration(1) >= baseline.death_iteration(1)
+        assert result.lifetime_improvement("rwl+ro") > 1.0
+
+        formatted = result.format()
+        assert "Fault study" in formatted
+        assert "Degradation curve" in formatted
+        assert "X" in formatted  # dead-PE overlay glyph in the heatmaps
+
+    def test_curve_accounts_every_iteration(self):
+        result = run_faults(
+            network="SqueezeNet", max_iterations=30, deaths=2, jobs=1
+        )
+        for row in result.rows:
+            assert row.curve, row.policy
+            assert row.curve[0].start_iteration == 1
+            assert row.curve[-1].end_iteration == row.iterations_run
+            covered = sum(
+                point.end_iteration - point.start_iteration + 1
+                for point in row.curve
+            )
+            assert covered == row.iterations_run
+            # Dead counts only grow along the curve.
+            dead = [point.num_dead for point in row.curve]
+            assert dead == sorted(dead)
+
+    def test_empty_fault_list_reproduces_no_fault_numbers(self):
+        """Acceptance: no faults injected => the standard lifetime numbers."""
+        iterations = 3
+        result = run_faults(
+            network="SqueezeNet",
+            dead=(),
+            wearout=False,
+            max_iterations=iterations,
+            jobs=1,
+        )
+        accelerator = paper_accelerator()
+        streams = streams_for("SqueezeNet", accelerator)
+        reference = {}
+        for name in ("baseline", "rwl", "rwl+ro"):
+            policy = make_policy(name)
+            target = (
+                accelerator.as_torus()
+                if policy.requires_torus
+                else accelerator.as_mesh()
+            )
+            reference[name] = simulate_policy(
+                target, streams, policy, iterations=iterations
+            ).counts
+        for name, counts in reference.items():
+            row = result.row_for(name)
+            assert np.array_equal(row.counts, counts), name
+            assert row.death_events == ()
+            assert row.degradation.slowdown == 1.0
+        # Work totals match, so the work-normalized comparison reduces to
+        # the plain Eq. 4 on raw ledgers.
+        expected = improvement_from_counts(
+            reference["baseline"], reference["rwl+ro"]
+        )
+        assert result.lifetime_improvement("rwl+ro") == pytest.approx(expected)
+
+    def test_explicit_dead_pes_degrade_throughput(self):
+        result = run_faults(
+            network="SqueezeNet",
+            dead=[(0, 0), (5, 5)],
+            wearout=False,
+            max_iterations=2,
+            jobs=1,
+        )
+        for row in result.rows:
+            assert row.num_dead == 2
+            assert (row.counts[0, 0], row.counts[5, 5]) == (0, 0)
+
+    def test_parallel_matches_serial(self):
+        serial = run_faults(network="SqueezeNet", max_iterations=20, jobs=1)
+        parallel = run_faults(network="SqueezeNet", max_iterations=20, jobs=2)
+        for row_s, row_p in zip(serial.rows, parallel.rows):
+            assert row_s.policy == row_p.policy
+            assert np.array_equal(row_s.counts, row_p.counts)
+            assert row_s.death_events == row_p.death_events
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_faults(deaths=0)
+        with pytest.raises(ConfigurationError):
+            run_faults(max_iterations=0)
+
+
+class TestRunFaultMonteCarlo:
+    def test_small_montecarlo(self):
+        result = run_fault_montecarlo(
+            network="SqueezeNet",
+            num_scenarios=3,
+            max_iterations=30,
+            jobs=1,
+        )
+        assert len(result.rows) == 3
+        for policy, mean, p10, p90 in result.rows:
+            assert 1 <= p10 <= mean <= p90 <= 30
+        assert "Fault Monte Carlo" in result.format()

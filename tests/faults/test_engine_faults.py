@@ -1,0 +1,155 @@
+"""Engine integration: fault-aware scheduling and wear-out deaths."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WearLevelingEngine
+from repro.core.extra_policies import GreedyMinUsagePolicy
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.faults.injection import EnduranceBudgets
+from repro.faults.state import FaultState
+from tests.conftest import make_stream
+
+POLICIES = ("baseline", "rwl", "rwl+ro")
+
+
+def _streams():
+    return [
+        make_stream("conv1", x=3, y=2, z=7),
+        make_stream("conv2", x=2, y=3, z=5),
+    ]
+
+
+def _accelerator_for(policy, small_torus, small_mesh):
+    return small_torus if policy.requires_torus else small_mesh
+
+
+@pytest.mark.parametrize("name", POLICIES)
+class TestDeadPEsNeverUsed:
+    def test_dead_pes_receive_zero_work(self, name, small_torus, small_mesh):
+        """Acceptance criterion: work never lands on a dead PE."""
+        policy = make_policy(name)
+        accelerator = _accelerator_for(policy, small_torus, small_mesh)
+        dead = [(0, 0), (3, 2)]
+        state = FaultState.from_coords(accelerator.array, dead)
+        engine = WearLevelingEngine(accelerator, policy, fault_state=state)
+        result = engine.run(_streams(), iterations=8)
+        for u, v in dead:
+            assert result.counts[v, u] == 0, (name, u, v)
+        # The work itself is not lost: live PEs absorb all allocations.
+        assert result.counts.sum() > 0
+
+    def test_work_conserved_under_faults(self, name, small_torus, small_mesh):
+        """Total PE allocations match the fault-free run exactly."""
+        policy = make_policy(name)
+        accelerator = _accelerator_for(policy, small_torus, small_mesh)
+        clean = WearLevelingEngine(accelerator, make_policy(name))
+        clean_total = clean.run(_streams(), iterations=4).counts.sum()
+
+        state = FaultState.from_coords(accelerator.array, [(1, 1)])
+        engine = WearLevelingEngine(accelerator, policy, fault_state=state)
+        faulted_total = engine.run(_streams(), iterations=4).counts.sum()
+        assert faulted_total == clean_total
+
+
+class TestWearOutDeaths:
+    def test_budget_crossing_kills_pe(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 30.0)
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"), budgets=budgets)
+        result = engine.run(_streams(), iterations=50, stop_after_deaths=1)
+        assert len(result.death_events) >= 1
+        event = result.death_events[0]
+        assert event.usage >= 30
+        assert event.coord in result.dead_pes
+        assert engine.fault_state.is_dead(event.u, event.v)
+
+    def test_deaths_do_not_grow_dead_pe_usage(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 30.0)
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"), budgets=budgets)
+        engine.run(_streams(), iterations=10, stop_after_deaths=1)
+        assert engine.death_events, "expected at least one death"
+        frozen = {
+            event.coord: engine.tracker.counts[event.v, event.u]
+            for event in engine.death_events
+        }
+        engine.run_iteration(_streams())
+        for (u, v), usage in frozen.items():
+            assert engine.tracker.counts[v, u] == usage
+
+    def test_stop_after_deaths_stops_early(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 30.0)
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"), budgets=budgets)
+        result = engine.run(_streams(), iterations=500, stop_after_deaths=2)
+        assert result.iterations < 500
+        assert len(result.death_events) >= 2
+
+    def test_death_events_are_deterministic(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 25.0)
+        runs = []
+        for _ in range(2):
+            engine = WearLevelingEngine(
+                small_torus, make_policy("rwl+ro"), budgets=budgets
+            )
+            result = engine.run(_streams(), iterations=40, stop_after_deaths=3)
+            runs.append(
+                [(e.iteration, e.layer, e.coord, e.usage) for e in result.death_events]
+            )
+        assert runs[0] == runs[1]
+
+    def test_stop_after_deaths_requires_budgets(self, small_torus):
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"))
+        with pytest.raises(ConfigurationError):
+            engine.run(_streams(), iterations=2, stop_after_deaths=1)
+
+
+class TestDegradationAccounting:
+    def test_split_run_reports_slowdown(self, small_torus):
+        # One dead PE per row: a full-width 5x4 tile can never place
+        # intact, so every tile splits and costs extra slots.
+        state = FaultState.from_coords(
+            small_torus.array, [(0, 0), (1, 1), (2, 2), (3, 3)]
+        )
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"), fault_state=state)
+        engine.run([make_stream("full", x=5, y=4, z=3)], iterations=2)
+        assert engine.degradation.slowdown > 1.0
+        assert engine.degradation.usable_throughput < 1.0
+
+    def test_shift_only_run_is_free(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(0, 0)])
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"), fault_state=state)
+        engine.run([make_stream("small", x=2, y=2, z=4)], iterations=3)
+        assert engine.degradation.slowdown == 1.0
+
+
+class TestEngineValidation:
+    def test_mismatched_array_rejected(self, small_torus, torus_accelerator):
+        state = FaultState.none(torus_accelerator.array)
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(small_torus, make_policy("rwl"), fault_state=state)
+
+    def test_ledger_coupled_policy_rejected(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(
+                small_torus, GreedyMinUsagePolicy(), fault_state=state
+            )
+
+    def test_budget_shape_mismatch_rejected(self, small_torus, torus_accelerator):
+        budgets = EnduranceBudgets.uniform(torus_accelerator.array, 100.0)
+        with pytest.raises(ConfigurationError):
+            WearLevelingEngine(small_torus, make_policy("rwl"), budgets=budgets)
+
+    def test_reset_clears_death_bookkeeping(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 30.0)
+        engine = WearLevelingEngine(small_torus, make_policy("rwl"), budgets=budgets)
+        engine.run(_streams(), iterations=20, stop_after_deaths=1)
+        assert engine.death_events
+        engine.reset()
+        assert engine.death_events == ()
+        assert engine.degradation.slowdown == 1.0
+        # The external fault state keeps its dead PEs across reset (the
+        # silicon does not heal); reviving is explicit.
+        assert engine.fault_state.any_dead
+        engine.fault_state.revive_all()
+        assert not engine.fault_state.any_dead

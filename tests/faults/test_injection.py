@@ -1,0 +1,84 @@
+"""Tests for :mod:`repro.faults.injection`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injection import EnduranceBudgets, sample_endurance_budgets
+from repro.reliability.weibull import JEDEC_BETA
+
+
+class TestEnduranceBudgets:
+    def test_uniform(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 50.0)
+        assert budgets.shape == (4, 5)
+        assert np.all(budgets.budgets == 50.0)
+
+    def test_exceeded(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 50.0)
+        counts = np.zeros((4, 5), dtype=np.int64)
+        counts[1, 2] = 50  # crossing is >=
+        counts[0, 0] = 49
+        crossed = budgets.exceeded(counts)
+        assert crossed[1, 2]
+        assert not crossed[0, 0]
+        assert crossed.sum() == 1
+
+    def test_shape_mismatch_rejected(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 50.0)
+        with pytest.raises(ConfigurationError):
+            budgets.exceeded(np.zeros((5, 4)))
+
+    def test_invalid_budgets_rejected(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            EnduranceBudgets.uniform(small_torus.array, 0.0)
+        with pytest.raises(ConfigurationError):
+            EnduranceBudgets(np.zeros((4, 5)))
+        with pytest.raises(ConfigurationError):
+            EnduranceBudgets(np.ones(5))
+
+
+class TestSampling:
+    def test_same_seed_same_budgets(self, small_torus):
+        a = sample_endurance_budgets(small_torus.array, 1000.0, seed=7)
+        b = sample_endurance_budgets(small_torus.array, 1000.0, seed=7)
+        assert np.array_equal(a.budgets, b.budgets)
+
+    def test_different_seed_different_budgets(self, small_torus):
+        a = sample_endurance_budgets(small_torus.array, 1000.0, seed=7)
+        b = sample_endurance_budgets(small_torus.array, 1000.0, seed=8)
+        assert not np.array_equal(a.budgets, b.budgets)
+
+    def test_seed_sequence_accepted(self, small_torus):
+        sequence = np.random.SeedSequence(7)
+        a = sample_endurance_budgets(small_torus.array, 1000.0, seed=sequence)
+        b = sample_endurance_budgets(small_torus.array, 1000.0, seed=7)
+        assert np.array_equal(a.budgets, b.budgets)
+
+    def test_mean_matches_request(self, torus_accelerator):
+        # One large draw: the sample mean should land near the requested
+        # mean (Weibull scaled by mean/Gamma(1+1/beta)).
+        budgets = sample_endurance_budgets(
+            torus_accelerator.array, 10_000.0, seed=3
+        )
+        assert budgets.budgets.mean() == pytest.approx(10_000.0, rel=0.15)
+
+    def test_draws_floored_at_minimum(self, small_torus):
+        budgets = sample_endurance_budgets(
+            small_torus.array, 2.0, beta=0.5, seed=1, minimum=1.5
+        )
+        assert np.all(budgets.budgets >= 1.5)
+
+    def test_invalid_parameters_rejected(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            sample_endurance_budgets(small_torus.array, -1.0)
+        with pytest.raises(ConfigurationError):
+            sample_endurance_budgets(small_torus.array, 10.0, beta=0.0)
+        with pytest.raises(ConfigurationError):
+            sample_endurance_budgets(small_torus.array, 10.0, minimum=0.0)
+
+    def test_default_beta_is_jedec(self):
+        assert JEDEC_BETA == pytest.approx(3.4)
+        assert math.gamma(1.0 + 1.0 / JEDEC_BETA) > 0

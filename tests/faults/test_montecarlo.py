@@ -1,0 +1,118 @@
+"""Satellite (d): fault-scenario sampling is deterministic under parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injection import EnduranceBudgets
+from repro.faults.montecarlo import (
+    FaultScenarioSamples,
+    ScenarioOutcome,
+    run_until_deaths,
+    sample_fault_scenarios,
+)
+from tests.conftest import make_stream
+
+
+def _streams():
+    return [make_stream("conv1", x=3, y=2, z=5)]
+
+
+def _sample(small_torus, **overrides):
+    kwargs = dict(
+        policy_name="rwl",
+        num_scenarios=6,
+        mean_budget=60.0,
+        deaths=2,
+        max_iterations=40,
+        seed=11,
+        jobs=1,
+    )
+    kwargs.update(overrides)
+    return sample_fault_scenarios(small_torus, _streams(), **kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self, small_torus):
+        a = _sample(small_torus)
+        b = _sample(small_torus)
+        assert a.outcomes == b.outcomes
+
+    def test_parallel_matches_serial(self, small_torus):
+        """Same seed => same death times/locations regardless of jobs."""
+        serial = _sample(small_torus, jobs=1)
+        parallel = _sample(small_torus, jobs=2, chunk_size=2)
+        assert serial.outcomes == parallel.outcomes
+
+    def test_chunk_size_does_not_change_results(self, small_torus):
+        a = _sample(small_torus, chunk_size=1)
+        b = _sample(small_torus, chunk_size=4)
+        assert a.outcomes == b.outcomes
+
+    def test_different_seed_different_outcomes(self, small_torus):
+        a = _sample(small_torus, seed=11)
+        b = _sample(small_torus, seed=12)
+        assert a.outcomes != b.outcomes
+
+
+class TestAggregates:
+    def test_lifetime_to_censors_at_cap(self):
+        samples = FaultScenarioSamples(
+            policy_name="rwl",
+            deaths=2,
+            max_iterations=100,
+            outcomes=(
+                ScenarioOutcome((5, 9), ((0, 0), (1, 1)), 9, 1.0),
+                ScenarioOutcome((), (), 100, 1.0),
+            ),
+        )
+        assert list(samples.lifetime_to(1)) == [5, 100]
+        assert list(samples.lifetime_to(2)) == [9, 100]
+        assert samples.mean_lifetime_to_first == pytest.approx(52.5)
+        with pytest.raises(ConfigurationError):
+            samples.lifetime_to(3)
+
+    def test_death_histogram(self):
+        samples = FaultScenarioSamples(
+            policy_name="rwl",
+            deaths=1,
+            max_iterations=10,
+            outcomes=(
+                ScenarioOutcome((1,), ((2, 3),), 1, 1.0),
+                ScenarioOutcome((2,), ((2, 3),), 2, 1.0),
+                ScenarioOutcome((3,), ((0, 0),), 3, 1.0),
+            ),
+        )
+        histogram = samples.death_histogram((4, 5))
+        assert histogram[3, 2] == 2
+        assert histogram[0, 0] == 1
+        assert histogram.sum() == 3
+
+
+class TestRunUntilDeaths:
+    def test_outcome_matches_engine(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 40.0)
+        engine, outcome = run_until_deaths(
+            small_torus, "rwl", _streams(), budgets, deaths=1, max_iterations=60
+        )
+        assert outcome.num_deaths >= 1
+        assert outcome.first_death_iteration == outcome.death_iterations[0]
+        assert outcome.iterations_run <= 60
+        assert engine.death_events[0].coord == outcome.death_coords[0]
+
+    def test_baseline_runs_on_mesh(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 1e9)
+        engine, outcome = run_until_deaths(
+            small_torus, "baseline", _streams(), budgets, max_iterations=2
+        )
+        assert not engine.accelerator.is_torus
+        assert outcome.num_deaths == 0
+        assert outcome.iterations_run == 2
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            _sample(small_torus, num_scenarios=0)
+        with pytest.raises(ConfigurationError):
+            _sample(small_torus, chunk_size=0)

@@ -1,0 +1,179 @@
+"""Tests for :mod:`repro.faults.placement` and its engine-facing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.positions import torus_scan
+from repro.core.space import UtilizationSpace
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.placement import (
+    best_feasible_shape,
+    clean_start_mask,
+    dead_in_window,
+    next_clean_start,
+    place_with_faults,
+)
+from repro.faults.state import FaultState
+
+
+class TestTorusScan:
+    def test_visits_every_pe_once(self):
+        visited = list(torus_scan((2, 1), 5, 4))
+        assert len(visited) == 20
+        assert len(set(visited)) == 20
+        assert visited[0] == (2, 1)
+
+    def test_walk_order_is_unidirectional(self):
+        # Advance along u; wrapping u advances v — the torus link order.
+        assert list(torus_scan((3, 0), 4, 2)) == [
+            (3, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (0, 0),
+            (1, 0),
+            (2, 0),
+        ]
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(torus_scan((5, 0), 5, 4))
+
+
+class TestDeadInWindow:
+    def test_counts_wrapped_windows(self):
+        mask = np.zeros((4, 5), dtype=bool)
+        mask[0, 0] = True
+        window = dead_in_window(mask, 2, 2)
+        # Anchors whose wrapped 2x2 window covers (u=0, v=0):
+        for u, v in [(0, 0), (4, 0), (0, 3), (4, 3)]:
+            assert window[v, u] == 1
+        assert window.sum() == 4
+
+    def test_validates_shape(self):
+        mask = np.zeros((4, 5), dtype=bool)
+        with pytest.raises(ConfigurationError):
+            dead_in_window(mask, 6, 1)
+        with pytest.raises(ConfigurationError):
+            dead_in_window(np.zeros(5, dtype=bool), 1, 1)
+
+
+class TestCleanStartMask:
+    def test_matches_overlaps_dead_on_torus(self, small_torus):
+        """Vectorized mask == the scalar reference predicate, every anchor."""
+        state = FaultState.from_coords(small_torus.array, [(1, 1), (4, 3)])
+        for x in range(1, 6):
+            for y in range(1, 5):
+                mask = clean_start_mask(state, x, y)
+                for v in range(4):
+                    for u in range(5):
+                        space = UtilizationSpace(u=u, v=v, width=x, height=y)
+                        expected = not space.overlaps_dead(
+                            small_torus.array, state.dead_mask
+                        )
+                        assert mask[v, u] == expected, (u, v, x, y)
+
+    def test_mesh_excludes_wrapping_anchors(self, small_mesh):
+        state = FaultState.none(small_mesh.array)
+        mask = clean_start_mask(state, 3, 2)
+        # A 3x2 window fits only at u <= 2, v <= 2 on a 5x4 mesh.
+        assert mask.sum() == 3 * 3
+        assert mask[0, 0] and mask[2, 2]
+        assert not mask[0, 3] and not mask[3, 0]
+
+    def test_all_clean_on_fault_free_torus(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        assert clean_start_mask(state, 3, 2).all()
+
+
+class TestNextCleanStart:
+    def test_clean_nominal_start_unchanged(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(4, 3)])
+        assert next_clean_start(state, (0, 0), 2, 2) == (0, 0)
+
+    def test_shifts_past_dead_pe(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(0, 0)])
+        # A 2x2 at (0, 0) covers the dead PE; the next clean start along
+        # the torus walk is (1, 0).
+        assert next_clean_start(state, (0, 0), 2, 2) == (1, 0)
+
+    def test_returns_none_when_no_clean_window(self, small_torus):
+        # Kill one PE in every row: no 5x4 (full-array) window is clean.
+        state = FaultState.from_coords(
+            small_torus.array, [(0, 0), (1, 1), (2, 2), (3, 3)]
+        )
+        assert next_clean_start(state, (0, 0), 5, 4) is None
+
+
+class TestBestFeasibleShape:
+    def test_full_shape_when_clean(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        assert best_feasible_shape(state, 3, 2) == (3, 2)
+
+    def test_prefers_area_then_width(self, small_torus):
+        # Dead PEs in every row kill full-height windows; a 3x2 is still
+        # feasible somewhere, and area ties prefer the wider shape.
+        state = FaultState.from_coords(small_torus.array, [(0, 0), (0, 2)])
+        assert best_feasible_shape(state, 5, 4) is not None
+
+    def test_none_when_array_fully_dead(self, small_torus):
+        state = FaultState.from_coords(
+            small_torus.array,
+            [(u, v) for u in range(5) for v in range(4)],
+        )
+        assert best_feasible_shape(state, 2, 2) is None
+
+
+class TestPlaceWithFaults:
+    def test_nominal_placement_when_clean(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(4, 3)])
+        placement = place_with_faults(state, (0, 0), 2, 2)
+        assert not placement.shifted
+        assert not placement.degraded
+        assert placement.slots == 1
+        assert placement.num_pes == 4
+        assert placement.pieces[0].u == 0 and placement.pieces[0].v == 0
+
+    def test_shifted_placement(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(0, 0)])
+        placement = place_with_faults(state, (0, 0), 2, 2)
+        assert placement.shifted
+        assert not placement.degraded
+        assert (placement.pieces[0].u, placement.pieces[0].v) == (1, 0)
+
+    def test_split_placement_accounts_extra_slots(self, small_torus):
+        # One dead PE per row means no full-height window is clean, so a
+        # 5x4 (full-array) tile must split.
+        state = FaultState.from_coords(
+            small_torus.array, [(0, 0), (1, 1), (2, 2), (3, 3)]
+        )
+        placement = place_with_faults(state, (0, 0), 5, 4)
+        assert placement.degraded
+        assert placement.slots > 1
+        # Pieces still cover the full nominal area.
+        assert placement.num_pes == 20
+
+    def test_split_pieces_avoid_dead_pes(self, small_torus):
+        state = FaultState.from_coords(
+            small_torus.array, [(0, 0), (1, 1), (2, 2), (3, 3)]
+        )
+        placement = place_with_faults(state, (0, 0), 5, 4)
+        for piece in placement.pieces:
+            space = UtilizationSpace(
+                u=piece.u, v=piece.v, width=piece.width, height=piece.height
+            )
+            assert not space.overlaps_dead(small_torus.array, state.dead_mask)
+
+    def test_raises_when_everything_dead(self, small_torus):
+        state = FaultState.from_coords(
+            small_torus.array,
+            [(u, v) for u in range(5) for v in range(4)],
+        )
+        with pytest.raises(SimulationError):
+            place_with_faults(state, (0, 0), 1, 1)
+
+    def test_oversize_space_rejected(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        with pytest.raises(ConfigurationError):
+            place_with_faults(state, (0, 0), 6, 1)

@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.faults.state`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.state import DeathEvent, DegradationStats, FaultState
+
+
+class TestFaultState:
+    def test_fresh_state_is_fault_free(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        assert not state.any_dead
+        assert state.num_dead == 0
+        assert state.num_alive == 20
+        assert state.alive_fraction == 1.0
+        assert state.dead_coords() == []
+        assert not state.dead_mask.any()
+
+    def test_from_coords(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(0, 0), (3, 2)])
+        assert state.num_dead == 2
+        assert state.is_dead(0, 0)
+        assert state.is_dead(3, 2)
+        assert not state.is_dead(1, 1)
+        # mask is indexed [v, u], like the usage ledger
+        assert state.dead_mask[2, 3]
+        assert not state.dead_mask[3, 2]
+
+    def test_dead_coords_row_major_deterministic(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(4, 3), (0, 0), (2, 1)])
+        assert state.dead_coords() == [(0, 0), (2, 1), (4, 3)]
+
+    def test_kill_is_idempotent_and_versioned(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        assert state.version == 0
+        assert state.kill(1, 1)
+        assert state.version == 1
+        assert not state.kill(1, 1)  # already dead
+        assert state.version == 1
+        assert state.num_dead == 1
+
+    def test_revive_all(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(1, 1)])
+        version = state.version
+        state.revive_all()
+        assert not state.any_dead
+        assert state.version > version
+        state.revive_all()  # no change, no version bump
+        assert state.version == version + 1
+
+    def test_copy_is_independent(self, small_torus):
+        state = FaultState.from_coords(small_torus.array, [(1, 1)])
+        clone = state.copy()
+        clone.kill(2, 2)
+        assert state.num_dead == 1
+        assert clone.num_dead == 2
+
+    def test_dead_mask_is_read_only(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        with pytest.raises(ValueError):
+            state.dead_mask[0, 0] = True
+
+    def test_out_of_range_coordinates_rejected(self, small_torus):
+        state = FaultState.none(small_torus.array)
+        with pytest.raises(ConfigurationError):
+            state.kill(5, 0)
+        with pytest.raises(ConfigurationError):
+            state.is_dead(0, 4)
+        with pytest.raises(ConfigurationError):
+            FaultState.from_coords(small_torus.array, [(-1, 0)])
+
+
+class TestDeathEvent:
+    def test_coord(self):
+        event = DeathEvent(iteration=7, layer="conv1", u=3, v=2, usage=101)
+        assert event.coord == (3, 2)
+
+
+class TestDegradationStats:
+    def test_no_degradation(self):
+        stats = DegradationStats(nominal_tiles=100, executed_slots=100)
+        assert stats.slowdown == 1.0
+        assert stats.usable_throughput == 1.0
+
+    def test_split_tiles_cost_slots(self):
+        stats = DegradationStats(nominal_tiles=100, executed_slots=125)
+        assert stats.slowdown == pytest.approx(1.25)
+        assert stats.usable_throughput == pytest.approx(0.8)
+
+    def test_empty_run(self):
+        stats = DegradationStats(nominal_tiles=0, executed_slots=0)
+        assert stats.slowdown == 1.0
+        assert stats.usable_throughput == 1.0

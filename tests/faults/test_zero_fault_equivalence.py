@@ -1,0 +1,73 @@
+"""Satellite (c): an empty ``FaultState`` is bit-identical to no faults.
+
+The fault-aware engine must take *exactly* the fault-free code path when
+no PE is dead: same usage counts, same trace, same MTTF, for every
+policy. This is the property that lets the fault machinery ship inside
+the production engine without a reproduction-risk asterisk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import make_policy
+from repro.faults.state import FaultState
+from repro.reliability.weibull import WeibullModel
+from tests.conftest import make_stream
+
+POLICIES = ("baseline", "rwl", "rwl+ro")
+
+
+def _streams():
+    return [
+        make_stream("conv1", x=3, y=2, z=7),
+        make_stream("conv2", x=2, y=3, z=5),
+        make_stream("fc", x=4, y=1, z=4),
+    ]
+
+
+def _accelerator_for(policy, small_torus, small_mesh):
+    return small_torus if policy.requires_torus else small_mesh
+
+
+@pytest.mark.parametrize("name", POLICIES)
+class TestZeroFaultEquivalence:
+    def test_counts_trace_and_mttf_identical(
+        self, name, small_torus, small_mesh
+    ):
+        policy_a = make_policy(name)
+        policy_b = make_policy(name)
+        accelerator = _accelerator_for(policy_a, small_torus, small_mesh)
+
+        plain = WearLevelingEngine(accelerator, policy_a)
+        faulted = WearLevelingEngine(
+            accelerator,
+            policy_b,
+            fault_state=FaultState.none(accelerator.array),
+        )
+        result_plain = plain.run(_streams(), iterations=6)
+        result_faulted = faulted.run(_streams(), iterations=6)
+
+        assert np.array_equal(result_plain.counts, result_faulted.counts)
+        assert tuple(result_plain.trace) == tuple(result_faulted.trace)
+        assert result_plain.final_state == result_faulted.final_state
+
+        model = WeibullModel()
+        assert model.array_mttf(result_plain.counts.ravel()) == model.array_mttf(
+            result_faulted.counts.ravel()
+        )
+
+    def test_empty_fault_state_reports_no_degradation(
+        self, name, small_torus, small_mesh
+    ):
+        policy = make_policy(name)
+        accelerator = _accelerator_for(policy, small_torus, small_mesh)
+        engine = WearLevelingEngine(
+            accelerator, policy, fault_state=FaultState.none(accelerator.array)
+        )
+        result = engine.run(_streams(), iterations=3)
+        assert result.death_events == ()
+        assert result.dead_pes == ()
+        assert result.degradation is not None
+        assert result.degradation.slowdown == 1.0
+        assert engine.degradation.usable_throughput == 1.0

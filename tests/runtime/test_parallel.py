@@ -104,3 +104,51 @@ class TestPoolPath:
         assert [square for _, square in results] == [1, 4, 9, 16]
         worker_pids = {pid for pid, _ in results}
         assert os.getpid() not in worker_pids
+
+
+def _crash_in_worker(value):
+    """Die without raising — but only inside a pool worker process.
+
+    The serial retry runs the same function in the parent, where
+    ``parent_process()`` is ``None``, so the second attempt succeeds.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        os._exit(17)
+    return value * value
+
+
+class TestBrokenPoolRecovery:
+    def test_worker_crash_retries_serially(self):
+        runner = ParallelRunner(jobs=2)
+        with pytest.warns(RuntimeWarning, match="worker process crashed"):
+            results = runner.map(_crash_in_worker, [2, 3, 4, 5])
+        assert results == [4, 9, 16, 25]
+        # Every stranded task was retried in the parent, and the retry
+        # mode is visible in the timing records.
+        assert any(t.mode == "serial-retry" for t in runner.timings)
+
+    def test_warning_names_the_crashed_task(self):
+        runner = ParallelRunner(jobs=2)
+        with pytest.warns(RuntimeWarning, match="task-0"):
+            runner.map(_crash_in_worker, [1, 2, 3])
+
+    def test_retry_preserves_order_and_labels(self):
+        runner = ParallelRunner(jobs=2)
+        with pytest.warns(RuntimeWarning):
+            results = runner.map(
+                _crash_in_worker, [6, 7], labels=["first", "second"]
+            )
+        assert results == [36, 49]
+        retried = [t.label for t in runner.timings if t.mode == "serial-retry"]
+        assert retried == ["first", "second"]
+
+    def test_real_exceptions_still_propagate(self):
+        def _raise(value):
+            raise ValueError(f"bad {value}")
+
+        # Exceptions (as opposed to dead workers) are not retried; the
+        # serial path propagates them unchanged.
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1).map(_raise, [1])

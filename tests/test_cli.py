@@ -24,6 +24,7 @@ class TestParser:
             ["sweep"],
             ["overhead"],
             ["ablations"],
+            ["faults"],
             ["all"],
         ):
             args = parser.parse_args(command)
@@ -45,6 +46,17 @@ class TestParser:
         assert callable(args.func)
         assert not args.clear
         assert build_parser().parse_args(["cache", "--clear"]).clear
+
+    def test_faults_subcommand(self):
+        args = build_parser().parse_args(
+            ["faults", "--dead", "0,0", "--dead", "3,2", "--no-wearout", "-j", "1"]
+        )
+        assert callable(args.func)
+        assert args.dead == ["0,0", "3,2"]
+        assert args.no_wearout
+        assert args.deaths == 3
+        assert args.iterations == 300
+        assert args.jobs == 1
 
 
 class TestMain:
@@ -72,6 +84,30 @@ class TestMain:
     def test_usage_diff_small(self, capsys):
         assert main(["usage-diff", "--iterations", "20"]) == 0
         assert "baseline" in capsys.readouterr().out
+
+    def test_faults_command(self, capsys):
+        assert main(["faults", "--iterations", "20", "--deaths", "1", "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault study" in out
+        assert "Degradation curve" in out
+        assert "dead=" in out  # heatmap legend with the dead-PE overlay
+
+    def test_library_errors_exit_nonzero_with_one_line(self, capsys):
+        code = main(["faults", "--network", "NoSuchNet", "-j", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("rota: error:")
+        assert "NoSuchNet" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_dead_coordinate_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["faults", "--dead", "zero,zero", "-j", "1"])
+
+    def test_configuration_errors_exit_nonzero(self, capsys):
+        assert main(["faults", "--deaths", "0", "-j", "1"]) == 2
+        assert "deaths" in capsys.readouterr().err
 
 
 class TestExtensionsCommand:
