@@ -1,8 +1,8 @@
 """Table II: build the full workload roster and print it."""
 
-from conftest import once
+from conftest import once, registry_runner
 
-from repro.experiments.table2 import run_table2
+run_table2 = registry_runner("table2")
 
 
 def test_table2_workload_roster(benchmark):

@@ -24,3 +24,16 @@ if str(_SRC) not in sys.path:
 def once(benchmark, func, *args, **kwargs):
     """Time a heavy experiment driver exactly once."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def registry_runner(spec_id):
+    """Resolve a benchmark's driver through the experiment registry.
+
+    Benches that time a registered experiment should fetch the callable
+    here instead of importing the driver module directly, so a renamed
+    or retired driver fails the bench at collection with a clear
+    registry error.
+    """
+    from repro.experiments.registry import get_spec
+
+    return get_spec(spec_id).resolve()

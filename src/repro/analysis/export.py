@@ -1,18 +1,20 @@
-"""CSV export of experiment results.
+"""CSV and JSON export of experiment results.
 
 Every figure driver produces structured rows; these helpers serialize
-them (and raw engine traces) to CSV so downstream users can re-plot the
-reproduction's data with their own tooling. Only the standard library's
-``csv`` module is used; files are written atomically via a temp file.
+them (and raw engine traces) to CSV — and arbitrary result payloads to
+JSON — so downstream users can re-plot the reproduction's data with
+their own tooling. Only the standard library's ``csv`` and ``json``
+modules are used; files are written atomically via a temp file.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -87,3 +89,29 @@ def counts_to_csv(counts: np.ndarray, path) -> Path:
         for col in range(array.shape[1])
     ]
     return write_csv(path, ("row", "col", "usage"), rows)
+
+
+def write_json(path, payload: Any) -> Path:
+    """Write a JSON-safe payload to ``path`` atomically.
+
+    ``payload`` must already be plain data — run experiment results
+    through :func:`repro.experiments.result.to_jsonable` first. Output
+    is deterministic (sorted keys, two-space indent, trailing newline).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(target.parent), suffix=".json.tmp", text=True
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return target.resolve()

@@ -1,170 +1,85 @@
 """Command-line interface: ``rota <experiment>`` / ``python -m repro``.
 
-Every subcommand maps onto one experiment driver, so the CLI prints the
-same rows the benchmarks check and the paper reports. ``rota all`` runs
-the full evaluation section in order.
+The experiment subcommands are generated from
+:mod:`repro.experiments.registry` — one subcommand per
+:class:`~repro.experiments.registry.ExperimentSpec`, with flags built
+from its parameter schema. Every experiment subcommand accepts
+``--json`` to print the result's ``to_dict()`` payload instead of the
+paper-style table, and ``rota list`` enumerates the registry.
+
+Driver modules import lazily: ``rota --help``, ``rota list``, and
+``rota --version`` never load an experiment module (and therefore none
+of the scheduler stack behind one).
+
+``rota all`` runs the full evaluation section in order; the utility
+subcommands (``export``, ``report``, ``cache``) stay hand-written
+because they orchestrate files rather than run one experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments.ablation import (
-    run_accounting_ablation,
-    run_dataflow_ablation,
-    run_trigger_ablation,
-)
-from repro.experiments.fig2 import run_fig2a, run_fig2b
-from repro.experiments.fig3 import run_fig3
-from repro.experiments.fig4 import run_fig4
-from repro.experiments.fig5 import run_fig5
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7
-from repro.experiments.fig8 import run_fig8
-from repro.experiments.fig9 import run_fig9
-from repro.experiments.fig10 import run_fig10
-from repro.experiments.extensions import (
-    run_beta_sensitivity,
-    run_mixed_workload,
-    run_variation_sensitivity,
-    run_montecarlo_validation,
-    run_objective_ablation,
-    run_policy_comparison,
-)
 from repro.errors import ReproError
-from repro.experiments.faults import run_fault_montecarlo, run_faults
-from repro.experiments.overhead import run_overhead
-from repro.experiments.table2 import run_table2
+from repro.experiments.registry import (
+    CONVERTERS,
+    ExperimentSpec,
+    all_specs,
+    get_spec,
+    package_version,
+    run_experiment,
+)
 
 
-def _cmd_table2(args: argparse.Namespace) -> str:
-    return run_table2().format()
+def _collect_params(spec: ExperimentSpec, args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate parsed CLI flags into the spec's runner kwargs."""
+    params: Dict[str, Any] = {}
+    for param in spec.params:
+        value = getattr(args, param.dest)
+        if param.kind == "flag":
+            value = not value if param.invert else bool(value)
+        elif param.kind == "repeat":
+            value = list(value)
+            if param.convert:
+                value = CONVERTERS[param.convert](value)
+        params[param.runner_kwarg] = value
+    return params
 
 
-def _cmd_utilization(args: argparse.Namespace) -> str:
-    parts = [run_fig2a().format()]
-    if args.network:
-        parts.append(run_fig2b(args.network).format())
-    return "\n\n".join(parts)
+def _run_spec_command(args: argparse.Namespace) -> str:
+    """Dispatch one registry-generated subcommand."""
+    spec = get_spec(args.spec_id)
+    run = run_experiment(spec.id, **_collect_params(spec, args))
+    if getattr(args, "json_output", False):
+        return json.dumps(run.result.to_dict(), indent=2, sort_keys=True)
+    return run.result.format()
 
 
-def _cmd_heatmaps(args: argparse.Namespace) -> str:
-    return run_fig3(iterations=args.iterations).format()
+def _cmd_list(args: argparse.Namespace) -> str:
+    """Enumerate every registered experiment."""
+    specs = all_specs(tag=args.tag) if args.tag else all_specs()
+    if getattr(args, "json_output", False):
+        from repro.experiments.result import to_jsonable
 
-
-def _cmd_unfold(args: argparse.Namespace) -> str:
-    return run_fig4(x=args.x, y=args.y).format()
-
-
-def _cmd_walkthrough(args: argparse.Namespace) -> str:
-    return run_fig5(network=args.network).format()
-
-
-def _cmd_usage_diff(args: argparse.Namespace) -> str:
-    return run_fig6(network=args.network, iterations=args.iterations).format()
-
-
-def _cmd_projection(args: argparse.Namespace) -> str:
-    return run_fig7(network=args.network, iterations=args.iterations).format()
-
-
-def _cmd_lifetime(args: argparse.Namespace) -> str:
-    return run_fig8(iterations=args.iterations, jobs=args.jobs).format()
-
-
-def _cmd_upper_bound(args: argparse.Namespace) -> str:
-    return run_fig9().format()
-
-
-def _cmd_sweep(args: argparse.Namespace) -> str:
-    return run_fig10(
-        network=args.network, iterations=args.iterations, jobs=args.jobs
-    ).format()
-
-
-def _cmd_overhead(args: argparse.Namespace) -> str:
-    return run_overhead().format()
-
-
-def _cmd_ablations(args: argparse.Namespace) -> str:
-    return "\n\n".join(
-        [
-            run_trigger_ablation().format(),
-            run_dataflow_ablation().format(),
-            run_accounting_ablation().format(),
-        ]
-    )
-
-
-def _cmd_extensions(args: argparse.Namespace) -> str:
-    return "\n\n".join(
-        [
-            run_policy_comparison(iterations=args.iterations).format(),
-            run_montecarlo_validation().format(),
-            run_objective_ablation().format(),
-            run_beta_sensitivity().format(),
-            run_variation_sensitivity().format(),
-            run_mixed_workload().format(),
-        ]
-    )
-
-
-def _parse_dead(specs: List[str]) -> List[tuple]:
-    """Parse ``--dead U,V`` coordinate options."""
-    coords = []
-    for spec in specs:
-        try:
-            u, v = (int(part) for part in spec.split(","))
-        except ValueError:
-            raise SystemExit(f"--dead expects 'U,V' integer pairs, got {spec!r}")
-        coords.append((u, v))
-    return coords
-
-
-def _cmd_faults(args: argparse.Namespace) -> str:
-    result = run_faults(
-        network=args.network,
-        dead=_parse_dead(args.dead),
-        wearout=not args.no_wearout,
-        deaths=args.deaths,
-        max_iterations=args.iterations,
-        mean_budget=args.mean_budget,
-        seed=args.seed,
-        jobs=args.jobs,
-    )
-    parts = [result.format(heatmaps=not args.no_heatmaps)]
-    if args.scenarios:
-        parts.append(
-            run_fault_montecarlo(
-                network=args.network,
-                num_scenarios=args.scenarios,
-                max_iterations=args.iterations,
-                mean_budget=args.mean_budget,
-                seed=args.seed,
-                jobs=args.jobs,
-            ).format()
+        return json.dumps(
+            [to_jsonable(spec) for spec in specs], indent=2, sort_keys=True
         )
-    return "\n\n".join(parts)
-
-
-def _cmd_attribution(args: argparse.Namespace) -> str:
-    from repro.analysis.attribution import attribute_wear
-    from repro.experiments.common import paper_accelerator, streams_for
-
-    accelerator = paper_accelerator()
-    streams = streams_for(args.network, accelerator)
-    return attribute_wear(accelerator, streams).format(limit=args.limit)
-
-
-def _cmd_profile(args: argparse.Namespace) -> str:
-    from repro.analysis.network_report import profile_network
-    from repro.experiments.common import execution_for, paper_accelerator
-
-    accelerator = paper_accelerator()
-    execution = execution_for(args.network, accelerator)
-    return profile_network(accelerator, execution).format(limit=args.limit)
+    id_width = max((len(spec.id) for spec in specs), default=0)
+    artifact_width = max((len(spec.artifact) for spec in specs), default=0)
+    lines = [
+        f"{len(specs)} experiments (run with `rota <id>`; add --json for "
+        f"structured output):"
+    ]
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        lines.append(
+            f"  {spec.id:<{id_width}}  {spec.artifact:<{artifact_width}}  "
+            f"[{tags}]  {spec.title}"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_export(args: argparse.Namespace) -> str:
@@ -204,55 +119,21 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return manifest.format()
 
 
-def _cmd_scorecard(args: argparse.Namespace) -> str:
-    from repro.experiments.scorecard import run_scorecard
-
-    return run_scorecard(iterations=args.iterations).format()
-
-
-#: The ``rota all`` sections, in paper order. Independent drivers, so
-#: ``--jobs N`` runs them concurrently; output order never changes.
-_ALL_SECTIONS = (
-    "table2",
-    "fig2a",
-    "fig2b",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "overhead",
-)
-
-
-def _render_section(name: str) -> str:
+def _render_section(spec_id: str) -> str:
     """Run one ``rota all`` section (module-level so pools can pickle it)."""
-    runners = {
-        "table2": run_table2,
-        "fig2a": run_fig2a,
-        "fig2b": run_fig2b,
-        "fig3": run_fig3,
-        "fig4": run_fig4,
-        "fig5": run_fig5,
-        "fig6": run_fig6,
-        "fig7": run_fig7,
-        "fig8": run_fig8,
-        "fig9": run_fig9,
-        "fig10": run_fig10,
-        "overhead": run_overhead,
-    }
-    return runners[name]().format()
+    spec = get_spec(spec_id)
+    params = spec.defaults
+    params.update(dict(spec.all_params))
+    return spec.resolve()(**params).format()
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
     from repro.runtime import ParallelRunner
 
+    sections = [spec.id for spec in all_specs(tag="figure")]
     runner = ParallelRunner(args.jobs)
-    sections = runner.map(_render_section, _ALL_SECTIONS, labels=_ALL_SECTIONS)
-    return "\n\n".join(sections)
+    rendered = runner.map(_render_section, sections, labels=sections)
+    return "\n\n".join(rendered)
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
@@ -288,6 +169,36 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+_ARG_TYPES = {"int": int, "float": float}
+
+
+def _add_spec_parser(
+    sub: argparse._SubParsersAction,
+    spec: ExperimentSpec,
+    json_parent: argparse.ArgumentParser,
+) -> None:
+    """Generate one subcommand from an experiment spec."""
+    parser = sub.add_parser(spec.id, help=spec.title, parents=[json_parent])
+    for param in spec.params:
+        flags = [param.cli_flag]
+        if param.short:
+            flags.append(param.short)
+        kwargs: Dict[str, Any] = {}
+        if param.help:
+            kwargs["help"] = param.help
+        if param.metavar:
+            kwargs["metavar"] = param.metavar
+        if param.kind == "flag":
+            parser.add_argument(*flags, action="store_true", **kwargs)
+        elif param.kind == "repeat":
+            parser.add_argument(*flags, action="append", default=[], **kwargs)
+        else:
+            if param.kind in _ARG_TYPES:
+                kwargs["type"] = _ARG_TYPES[param.kind]
+            parser.add_argument(*flags, default=param.default, **kwargs)
+    parser.set_defaults(func=_run_spec_command, spec_id=spec.id)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -297,114 +208,31 @@ def build_parser() -> argparse.ArgumentParser:
             "(DATE 2025). Each subcommand regenerates one paper artifact."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"rota {package_version()}"
+    )
+    json_parent = argparse.ArgumentParser(add_help=False)
+    json_parent.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="print the result as structured JSON instead of tables",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table2", help="Table II workload roster").set_defaults(
-        func=_cmd_table2
-    )
-
-    p = sub.add_parser("utilization", help="Fig. 2 PE utilization")
-    p.add_argument("--network", default=None, help="also show per-layer (Fig. 2b)")
-    p.set_defaults(func=_cmd_utilization)
-
-    p = sub.add_parser("heatmaps", help="Fig. 3 usage heatmaps")
-    p.add_argument("--iterations", type=int, default=10)
-    p.set_defaults(func=_cmd_heatmaps)
-
-    p = sub.add_parser("unfold", help="Fig. 4 unfolded torus walk")
-    p.add_argument("--x", type=int, default=8)
-    p.add_argument("--y", type=int, default=8)
-    p.set_defaults(func=_cmd_unfold)
-
-    p = sub.add_parser("walkthrough", help="Fig. 5 RWL closed-form walk-through")
-    p.add_argument("--network", default="ResNet-50")
-    p.set_defaults(func=_cmd_walkthrough)
-
-    p = sub.add_parser("usage-diff", help="Fig. 6 max usage difference")
-    p.add_argument("--network", default="SqueezeNet")
-    p.add_argument("--iterations", type=int, default=1000)
-    p.set_defaults(func=_cmd_usage_diff)
-
-    p = sub.add_parser("projection", help="Fig. 7 lifetime vs R_diff")
-    p.add_argument("--network", default="SqueezeNet")
-    p.add_argument("--iterations", type=int, default=200)
-    p.set_defaults(func=_cmd_projection)
-
-    p = sub.add_parser("lifetime", help="Fig. 8 lifetime improvement per workload")
-    p.add_argument("--iterations", type=int, default=200)
-    _add_jobs_flag(p)
-    p.set_defaults(func=_cmd_lifetime)
-
-    sub.add_parser(
-        "upper-bound", help="Fig. 9 layer-wise improvement vs ceiling"
-    ).set_defaults(func=_cmd_upper_bound)
-
-    p = sub.add_parser("sweep", help="Fig. 10 PE-array size sweep")
-    p.add_argument("--network", default="SqueezeNet")
-    p.add_argument("--iterations", type=int, default=200)
-    _add_jobs_flag(p)
-    p.set_defaults(func=_cmd_sweep)
+    for spec in all_specs():
+        _add_spec_parser(sub, spec, json_parent)
 
     p = sub.add_parser(
-        "faults",
-        help="fault study: run past PE wear-out deaths, report degradation",
-    )
-    p.add_argument("--network", default="SqueezeNet")
-    p.add_argument(
-        "--dead",
-        action="append",
-        default=[],
-        metavar="U,V",
-        help="inject an explicit dead PE (repeatable)",
+        "list",
+        help="enumerate every registered experiment",
+        parents=[json_parent],
     )
     p.add_argument(
-        "--no-wearout",
-        action="store_true",
-        help="disable Weibull wear-out deaths (explicit --dead faults only)",
+        "--tag", default=None, help="only experiments carrying this tag"
     )
-    p.add_argument("--deaths", type=int, default=3, help="stop after N wear-out deaths")
-    p.add_argument("--iterations", type=int, default=300, help="iteration cap")
-    p.add_argument(
-        "--mean-budget",
-        type=float,
-        default=None,
-        help="mean per-PE endurance budget (default: auto-calibrated)",
-    )
-    p.add_argument("--seed", type=int, default=2025)
-    p.add_argument(
-        "--scenarios",
-        type=int,
-        default=0,
-        help="also run an N-scenario lifetime Monte Carlo",
-    )
-    p.add_argument("--no-heatmaps", action="store_true", help="skip dead-PE heatmaps")
-    _add_jobs_flag(p)
-    p.set_defaults(func=_cmd_faults)
+    p.set_defaults(func=_cmd_list)
 
-    sub.add_parser("overhead", help="Sec. V-D area/cycle overhead").set_defaults(
-        func=_cmd_overhead
-    )
-    sub.add_parser("ablations", help="design-choice ablations").set_defaults(
-        func=_cmd_ablations
-    )
-    p = sub.add_parser(
-        "attribution", help="which layers stress the hottest PE (baseline)"
-    )
-    p.add_argument("--network", default="SqueezeNet")
-    p.add_argument("--limit", type=int, default=10)
-    p.set_defaults(func=_cmd_attribution)
-
-    p = sub.add_parser("profile", help="per-layer network profile")
-    p.add_argument("--network", default="SqueezeNet")
-    p.add_argument("--limit", type=int, default=None)
-    p.set_defaults(func=_cmd_profile)
-
-    p = sub.add_parser(
-        "extensions",
-        help="extension studies: policy comparison, Monte Carlo, objectives",
-    )
-    p.add_argument("--iterations", type=int, default=500)
-    p.set_defaults(func=_cmd_extensions)
     p = sub.add_parser(
         "export",
         help="SCALE-Sim files, controller firmware JSON, and Verilog for a network",
@@ -418,11 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default="rota-report")
     p.set_defaults(func=_cmd_report)
-    p = sub.add_parser(
-        "scorecard", help="re-check every paper-shape claim (pass/fail table)"
-    )
-    p.add_argument("--iterations", type=int, default=100)
-    p.set_defaults(func=_cmd_scorecard)
+
     p = sub.add_parser(
         "cache", help="show (or --clear) the persistent result cache"
     )

@@ -2,9 +2,13 @@
 
 Each driver exposes a ``run_*`` function returning a result object with
 the figure's data series plus a ``format()`` method that prints the rows
-the paper reports. Benchmarks (``benchmarks/``), examples
-(``examples/``), and the CLI all call these drivers, so the reproduction
-has exactly one implementation of each experiment.
+the paper reports and a ``to_dict()`` method with the JSON-safe data
+(see :mod:`repro.experiments.result`). Benchmarks (``benchmarks/``),
+examples (``examples/``), and the CLI all call these drivers, so the
+reproduction has exactly one implementation of each experiment — and
+every driver is declared once in :mod:`repro.experiments.registry`,
+which the CLI, ``rota all``, the report writer, and the scorecard all
+iterate.
 
 | Paper artifact | Driver |
 |---|---|
@@ -19,22 +23,37 @@ has exactly one implementation of each experiment.
 | Table II (workloads)                   | :mod:`repro.experiments.table2` |
 | Section V-D (overhead)                 | :mod:`repro.experiments.overhead` |
 | Design-choice ablations                | :mod:`repro.experiments.ablation` |
+
+The package exports below resolve lazily (PEP 562): importing
+``repro.experiments`` — which ``rota --help`` and ``rota list`` do —
+loads neither the drivers nor the scheduler stack behind them.
 """
 
-from repro.experiments.common import (
-    PAPER_ITERATIONS,
-    PAPER_ZOOM_ITERATIONS,
-    execution_for,
-    paper_accelerator,
-    run_policies,
-    streams_for,
-)
+from typing import Tuple
 
-__all__ = [
+#: Names re-exported from :mod:`repro.experiments.common`, resolved on
+#: first attribute access so the scheduler stack stays unimported.
+_COMMON_EXPORTS: Tuple[str, ...] = (
     "PAPER_ITERATIONS",
     "PAPER_ZOOM_ITERATIONS",
     "execution_for",
     "paper_accelerator",
     "run_policies",
     "streams_for",
-]
+)
+
+__all__ = list(_COMMON_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _COMMON_EXPORTS:
+        from repro.experiments import common
+
+        return getattr(common, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

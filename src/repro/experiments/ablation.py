@@ -29,6 +29,7 @@ from repro.experiments.common import (
     run_policies,
     streams_for,
 )
+from repro.experiments.result import JsonResultMixin
 from repro.reliability.lifetime import improvement_from_counts
 
 
@@ -47,7 +48,7 @@ class TriggerAblationRow:
 
 
 @dataclass(frozen=True)
-class TriggerAblationResult:
+class TriggerAblationResult(JsonResultMixin):
     """Trigger ablation across workloads."""
 
     iterations: int
@@ -83,6 +84,7 @@ def run_trigger_ablation(
     networks: Tuple[str, ...] = ("SqueezeNet", "MobileNet v3", "ResNet-50"),
     accelerator: Optional[Accelerator] = None,
     iterations: int = 200,
+    jobs: Optional[int] = None,
 ) -> TriggerAblationResult:
     """Compare Algorithm 1's exact trigger with the wrap trigger."""
     rows = []
@@ -97,6 +99,7 @@ def run_trigger_ablation(
                 iterations=iterations,
                 record_trace=False,
                 trigger=trigger,
+                jobs=jobs,
             )
             improvements[trigger] = improvement_from_counts(
                 results["baseline"].counts, results["rwl+ro"].counts
@@ -121,7 +124,7 @@ class DataflowAblationRow:
 
 
 @dataclass(frozen=True)
-class DataflowAblationResult:
+class DataflowAblationResult(JsonResultMixin):
     """Dataflow ablation for one workload."""
 
     network: str
@@ -155,6 +158,7 @@ def run_dataflow_ablation(
         "output_stationary",
         "weight_stationary",
     ),
+    jobs: Optional[int] = None,
 ) -> DataflowAblationResult:
     """Re-run the headline comparison under fixed-dataflow schedulers."""
     accelerator = accelerator or paper_accelerator()
@@ -168,6 +172,7 @@ def run_dataflow_ablation(
             policies=("baseline", "rwl+ro"),
             iterations=iterations,
             record_trace=False,
+            jobs=jobs,
         )
         rows.append(
             DataflowAblationRow(
@@ -184,7 +189,7 @@ def run_dataflow_ablation(
 
 
 @dataclass(frozen=True)
-class AccountingAblationResult:
+class AccountingAblationResult(JsonResultMixin):
     """Allocation-counting vs cycle-weighted stress accounting."""
 
     network: str
@@ -240,4 +245,32 @@ def run_accounting_ablation(
         iterations=iterations,
         allocation_improvement=improvements[False],
         cycle_weighted_improvement=improvements[True],
+    )
+
+
+@dataclass(frozen=True)
+class AblationSuiteResult(JsonResultMixin):
+    """All three design-choice ablations as one artifact."""
+
+    trigger: TriggerAblationResult
+    dataflow: DataflowAblationResult
+    accounting: AccountingAblationResult
+
+    def format(self) -> str:
+        """The three ablation tables, in DESIGN.md order."""
+        return "\n\n".join(
+            (
+                self.trigger.format(),
+                self.dataflow.format(),
+                self.accounting.format(),
+            )
+        )
+
+
+def run_ablations(jobs: Optional[int] = None) -> AblationSuiteResult:
+    """The registry's ablation driver: every study at its default scale."""
+    return AblationSuiteResult(
+        trigger=run_trigger_ablation(jobs=jobs),
+        dataflow=run_dataflow_ablation(jobs=jobs),
+        accounting=run_accounting_ablation(),
     )

@@ -8,6 +8,8 @@ or re-run the same policy — twice.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import Accelerator
@@ -34,7 +36,24 @@ PAPER_ZOOM_ITERATIONS = 200
 #: The three schemes compared throughout Section V.
 POLICY_NAMES = ("baseline", "rwl", "rwl+ro")
 
-_EXECUTION_CACHE: Dict[Tuple, NetworkExecution] = {}
+#: Default entry cap of the per-process schedule cache. Each entry is a
+#: full :class:`NetworkExecution`; long sweeps over many (network,
+#: accelerator, options) combinations would otherwise grow without
+#: bound. Override with ``REPRO_EXECUTION_CACHE_SIZE`` (0 disables).
+EXECUTION_CACHE_SIZE = 64
+
+_EXECUTION_CACHE: "OrderedDict[Tuple, NetworkExecution]" = OrderedDict()
+
+
+def _execution_cache_cap() -> int:
+    """Resolve the execution-cache entry cap from the environment."""
+    raw = os.environ.get("REPRO_EXECUTION_CACHE_SIZE", "").strip()
+    if not raw:
+        return EXECUTION_CACHE_SIZE
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return EXECUTION_CACHE_SIZE
 
 
 def paper_accelerator(torus: bool = True) -> Accelerator:
@@ -45,30 +64,39 @@ def paper_accelerator(torus: bool = True) -> Accelerator:
 def execution_for(
     network_name: str,
     accelerator: Optional[Accelerator] = None,
-    options: SchedulerOptions = SchedulerOptions(),
+    options: Optional[SchedulerOptions] = None,
 ) -> NetworkExecution:
-    """Schedule one Table II network (cached per process).
+    """Schedule one Table II network (cached per process, LRU-bounded).
 
     The cache keys on the *full* accelerator configuration (via its
     content fingerprint), not just the array dimensions — two
     accelerators with identical width/height but different buffer or
     NoC configurations schedule differently and must not share entries.
+    The least recently used entry is evicted once the cache exceeds
+    ``REPRO_EXECUTION_CACHE_SIZE`` entries.
     """
     accelerator = accelerator or paper_accelerator()
+    options = SchedulerOptions() if options is None else options
     network = get_network(network_name)
     key = (network.name, accelerator_fingerprint(accelerator), options)
     cached = _EXECUTION_CACHE.get(key)
-    if cached is None:
-        simulator = DataflowSimulator(accelerator, options)
-        cached = simulator.execute_network(network.layers, name=network.name)
+    if cached is not None:
+        _EXECUTION_CACHE.move_to_end(key)
+        return cached
+    simulator = DataflowSimulator(accelerator, options)
+    cached = simulator.execute_network(network.layers, name=network.name)
+    cap = _execution_cache_cap()
+    if cap > 0:
         _EXECUTION_CACHE[key] = cached
+        while len(_EXECUTION_CACHE) > cap:
+            _EXECUTION_CACHE.popitem(last=False)
     return cached
 
 
 def streams_for(
     network_name: str,
     accelerator: Optional[Accelerator] = None,
-    options: SchedulerOptions = SchedulerOptions(),
+    options: Optional[SchedulerOptions] = None,
 ) -> List[TileStream]:
     """The per-layer tile streams of one network (cached per process)."""
     return execution_for(network_name, accelerator, options).streams()

@@ -1,0 +1,74 @@
+"""Registry drivers for the analysis-layer diagnostics.
+
+``rota attribution`` and ``rota profile`` wrap functions from
+:mod:`repro.analysis` whose ``format()`` takes a row limit. The registry
+contract wants zero-argument ``format()`` and ``to_dict()`` on every
+result, so these thin drivers bind the limit into the result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.attribution import WearAttribution, attribute_wear
+from repro.analysis.network_report import NetworkProfile, profile_network
+from repro.experiments.common import (
+    execution_for,
+    paper_accelerator,
+    streams_for,
+)
+from repro.experiments.result import JsonResultMixin
+
+__all__ = [
+    "AttributionReport",
+    "ProfileReport",
+    "run_attribution",
+    "run_profile",
+]
+
+
+@dataclass(frozen=True)
+class AttributionReport(JsonResultMixin):
+    """Wear attribution of one network, with its display limit bound."""
+
+    attribution: WearAttribution
+    limit: int
+
+    def format(self) -> str:
+        """The top-``limit`` attribution rows."""
+        return self.attribution.format(limit=self.limit)
+
+
+@dataclass(frozen=True)
+class ProfileReport(JsonResultMixin):
+    """Per-layer profile of one network, with its display limit bound."""
+
+    profile: NetworkProfile
+    limit: Optional[int]
+
+    def format(self) -> str:
+        """The profile table, truncated to ``limit`` rows if set."""
+        return self.profile.format(limit=self.limit)
+
+
+def run_attribution(
+    network: str = "SqueezeNet", limit: int = 10
+) -> AttributionReport:
+    """Which layers stress the baseline's hottest PE."""
+    accelerator = paper_accelerator()
+    streams = streams_for(network, accelerator)
+    return AttributionReport(
+        attribution=attribute_wear(accelerator, streams), limit=limit
+    )
+
+
+def run_profile(
+    network: str = "SqueezeNet", limit: Optional[int] = None
+) -> ProfileReport:
+    """The per-layer schedule/utilization profile of one network."""
+    accelerator = paper_accelerator()
+    execution = execution_for(network, accelerator)
+    return ProfileReport(
+        profile=profile_network(accelerator, execution), limit=limit
+    )

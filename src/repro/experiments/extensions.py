@@ -25,6 +25,7 @@ from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.dataflow.scheduler import SchedulerOptions
 from repro.experiments.common import execution_for, paper_accelerator, run_policies
+from repro.experiments.result import JsonResultMixin
 from repro.reliability.lifetime import improvement_from_counts
 from repro.reliability.montecarlo import sample_array_lifetimes
 from repro.reliability.weibull import WeibullModel
@@ -44,7 +45,7 @@ class PolicyComparisonRow:
 
 
 @dataclass(frozen=True)
-class PolicyComparisonResult:
+class PolicyComparisonResult(JsonResultMixin):
     """RWL+RO vs naive alternatives on one workload."""
 
     network: str
@@ -104,6 +105,7 @@ def run_policy_comparison(
     network: str = "SqueezeNet",
     accelerator: Optional[Accelerator] = None,
     iterations: int = 500,
+    jobs: Optional[int] = None,
 ) -> PolicyComparisonResult:
     """Compare RWL+RO against diagonal and random-start policies."""
     execution = execution_for(network, accelerator)
@@ -113,6 +115,7 @@ def run_policy_comparison(
         policies=COMPARISON_POLICIES,
         iterations=iterations,
         record_trace=True,
+        jobs=jobs,
     )
     baseline = results["baseline"].counts
     rows = []
@@ -132,7 +135,7 @@ def run_policy_comparison(
 
 
 @dataclass(frozen=True)
-class MonteCarloValidationResult:
+class MonteCarloValidationResult(JsonResultMixin):
     """Closed-form vs sampled lifetime for baseline and RWL+RO ledgers."""
 
     network: str
@@ -192,6 +195,7 @@ def run_montecarlo_validation(
     iterations: int = 100,
     num_samples: int = 20_000,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> MonteCarloValidationResult:
     """Validate Eqs. 2-4 by sampling failure times from real ledgers."""
     execution = execution_for(network, accelerator)
@@ -201,6 +205,7 @@ def run_montecarlo_validation(
         policies=("baseline", "rwl+ro"),
         iterations=iterations,
         record_trace=False,
+        jobs=jobs,
     )
     model = WeibullModel()
     ledgers = {name: result.counts.astype(float) for name, result in results.items()}
@@ -249,7 +254,7 @@ class BetaSensitivityRow:
 
 
 @dataclass(frozen=True)
-class BetaSensitivityResult:
+class BetaSensitivityResult(JsonResultMixin):
     """Sensitivity of the headline claim to the JEDEC shape parameter.
 
     Eq. 4's improvement is ``(sum a_B^beta / sum a_WL^beta)^(1/beta)``;
@@ -299,6 +304,7 @@ def run_beta_sensitivity(
     accelerator: Optional[Accelerator] = None,
     iterations: int = 100,
     betas: Tuple[float, ...] = (1.5, 2.0, 3.4, 5.0, 8.0),
+    jobs: Optional[int] = None,
 ) -> BetaSensitivityResult:
     """Evaluate Eq. 4 for a sweep of Weibull shape parameters."""
     from repro.reliability.lifetime import lifetime_upper_bound
@@ -310,6 +316,7 @@ def run_beta_sensitivity(
         policies=("baseline", "rwl+ro"),
         iterations=iterations,
         record_trace=False,
+        jobs=jobs,
     )
     baseline = results["baseline"].counts
     leveled = results["rwl+ro"].counts
@@ -336,7 +343,7 @@ class BufferSweepPoint:
 
 
 @dataclass(frozen=True)
-class BufferSweepResult:
+class BufferSweepResult(JsonResultMixin):
     """How local-buffer capacity shapes the wear-leveling problem.
 
     Per-PE buffer capacity changes which mappings are legal, so the
@@ -456,7 +463,7 @@ class AspectRatioPoint:
 
 
 @dataclass(frozen=True)
-class AspectRatioResult:
+class AspectRatioResult(JsonResultMixin):
     """Does the wear-leveling gain depend on array aspect ratio?
 
     Fig. 10 sweeps *size*; a designer also chooses *shape*. This study
@@ -534,7 +541,7 @@ def run_aspect_ratio_study(
 
 
 @dataclass(frozen=True)
-class MixedWorkloadResult:
+class MixedWorkloadResult(JsonResultMixin):
     """RWL+RO across a *mix* of networks (paper Section IV-D).
 
     Residual optimization explicitly relays the coordinate "across
@@ -585,6 +592,7 @@ def run_mixed_workload(
     networks: Tuple[str, ...] = ("SqueezeNet", "MobileNet v3", "EfficientNet"),
     accelerator: Optional[Accelerator] = None,
     iterations: int = 200,
+    jobs: Optional[int] = None,
 ) -> MixedWorkloadResult:
     """Serve several networks back to back under each scheme.
 
@@ -596,7 +604,7 @@ def run_mixed_workload(
     for name in networks:
         streams.extend(execution_for(name, accelerator).streams())
     results = run_policies(
-        streams, accelerator, iterations=iterations, record_trace=False
+        streams, accelerator, iterations=iterations, record_trace=False, jobs=jobs
     )
     baseline = results["baseline"]
     rwl = results["rwl"]
@@ -614,7 +622,7 @@ def run_mixed_workload(
 
 
 @dataclass(frozen=True)
-class OracleComparisonResult:
+class OracleComparisonResult(JsonResultMixin):
     """Open-loop RWL+RO vs the closed-loop greedy placement oracle.
 
     The greedy oracle reads the live per-PE wear ledger before every
@@ -688,7 +696,7 @@ def run_oracle_comparison(
 
 
 @dataclass(frozen=True)
-class VariationSensitivityResult:
+class VariationSensitivityResult(JsonResultMixin):
     """Wear-leveling robustness under per-PE process variation."""
 
     network: str
@@ -732,6 +740,7 @@ def run_variation_sensitivity(
     iterations: int = 100,
     sigmas: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
     num_samples: int = 10_000,
+    jobs: Optional[int] = None,
 ) -> VariationSensitivityResult:
     """Does usage-based wear-leveling survive intrinsic PE variation?"""
     from repro.reliability.variation import run_variation_study
@@ -743,6 +752,7 @@ def run_variation_sensitivity(
         policies=("baseline", "rwl+ro"),
         iterations=iterations,
         record_trace=False,
+        jobs=jobs,
     )
     study = run_variation_study(
         results["baseline"].counts,
@@ -765,7 +775,7 @@ class ObjectiveAblationRow:
 
 
 @dataclass(frozen=True)
-class ObjectiveAblationResult:
+class ObjectiveAblationResult(JsonResultMixin):
     """Scheduler-objective sensitivity of the headline claim."""
 
     network: str
@@ -795,6 +805,7 @@ def run_objective_ablation(
     accelerator: Optional[Accelerator] = None,
     iterations: int = 100,
     objectives: Tuple[str, ...] = ("energy", "latency", "edp"),
+    jobs: Optional[int] = None,
 ) -> ObjectiveAblationResult:
     """Re-run the headline comparison under each scheduling objective."""
     accelerator = accelerator or paper_accelerator()
@@ -808,6 +819,7 @@ def run_objective_ablation(
             policies=("baseline", "rwl+ro"),
             iterations=iterations,
             record_trace=False,
+            jobs=jobs,
         )
         rows.append(
             ObjectiveAblationRow(
@@ -820,4 +832,47 @@ def run_objective_ablation(
         )
     return ObjectiveAblationResult(
         network=network, iterations=iterations, rows=tuple(rows)
+    )
+
+
+@dataclass(frozen=True)
+class ExtensionSuiteResult(JsonResultMixin):
+    """The six `rota extensions` studies as one artifact."""
+
+    policy_comparison: PolicyComparisonResult
+    montecarlo: MonteCarloValidationResult
+    objective: ObjectiveAblationResult
+    beta: BetaSensitivityResult
+    variation: VariationSensitivityResult
+    mixed_workload: MixedWorkloadResult
+
+    def format(self) -> str:
+        """Every study's table, in presentation order."""
+        return "\n\n".join(
+            (
+                self.policy_comparison.format(),
+                self.montecarlo.format(),
+                self.objective.format(),
+                self.beta.format(),
+                self.variation.format(),
+                self.mixed_workload.format(),
+            )
+        )
+
+
+def run_extensions(
+    iterations: int = 500, jobs: Optional[int] = None
+) -> ExtensionSuiteResult:
+    """The registry's extension driver: the `rota extensions` suite.
+
+    Only the policy comparison takes the iteration budget; the other
+    studies keep their own defaults (their shapes converge earlier).
+    """
+    return ExtensionSuiteResult(
+        policy_comparison=run_policy_comparison(iterations=iterations, jobs=jobs),
+        montecarlo=run_montecarlo_validation(jobs=jobs),
+        objective=run_objective_ablation(jobs=jobs),
+        beta=run_beta_sensitivity(jobs=jobs),
+        variation=run_variation_sensitivity(jobs=jobs),
+        mixed_workload=run_mixed_workload(jobs=jobs),
     )

@@ -33,6 +33,7 @@ from repro.core.engine import WearLevelingEngine
 from repro.core.policies import StrideTrigger, make_policy
 from repro.dataflow.tiling import TileStream
 from repro.errors import ConfigurationError
+from repro.experiments.result import JsonResultMixin
 from repro.experiments.common import (
     POLICY_NAMES,
     paper_accelerator,
@@ -105,7 +106,7 @@ class FaultPolicyRow:
 
 
 @dataclass(frozen=True)
-class FaultsResult:
+class FaultsResult(JsonResultMixin):
     """The full fault study for one network."""
 
     network: str
@@ -358,7 +359,7 @@ def run_faults(
 
 
 @dataclass(frozen=True)
-class FaultMonteCarloResult:
+class FaultMonteCarloResult(JsonResultMixin):
     """Sampled lifetime-to-first-failure statistics per policy."""
 
     network: str
@@ -433,4 +434,62 @@ def run_fault_montecarlo(
         num_scenarios=num_scenarios,
         deaths=deaths,
         rows=tuple(rows),
+    )
+
+
+@dataclass(frozen=True)
+class FaultStudyResult(JsonResultMixin):
+    """The CLI-facing fault artifact: degradation study + optional MC."""
+
+    study: FaultsResult
+    montecarlo: Optional[FaultMonteCarloResult]
+    show_heatmaps: bool = True
+
+    def format(self) -> str:
+        """The study (with or without heatmaps), then the Monte Carlo."""
+        parts = [self.study.format(heatmaps=self.show_heatmaps)]
+        if self.montecarlo is not None:
+            parts.append(self.montecarlo.format())
+        return "\n\n".join(parts)
+
+
+def run_fault_study(
+    network: str = "SqueezeNet",
+    dead: Sequence[Tuple[int, int]] = (),
+    wearout: bool = True,
+    deaths: int = 3,
+    max_iterations: int = 300,
+    mean_budget: Optional[float] = None,
+    seed: int = 2025,
+    scenarios: int = 0,
+    show_heatmaps: bool = True,
+    jobs: Optional[int] = None,
+) -> FaultStudyResult:
+    """The registry's fault driver: `rota faults` semantics in one call.
+
+    ``scenarios > 0`` additionally runs the N-scenario lifetime Monte
+    Carlo with the same budget calibration and seed.
+    """
+    study = run_faults(
+        network=network,
+        dead=dead,
+        wearout=wearout,
+        deaths=deaths,
+        max_iterations=max_iterations,
+        mean_budget=mean_budget,
+        seed=seed,
+        jobs=jobs,
+    )
+    montecarlo = None
+    if scenarios:
+        montecarlo = run_fault_montecarlo(
+            network=network,
+            num_scenarios=scenarios,
+            max_iterations=max_iterations,
+            mean_budget=mean_budget,
+            seed=seed,
+            jobs=jobs,
+        )
+    return FaultStudyResult(
+        study=study, montecarlo=montecarlo, show_heatmaps=show_heatmaps
     )

@@ -15,6 +15,7 @@ from repro.analysis.report import format_table
 from repro.arch.presets import scaled_array
 from repro.dataflow.simulator import DataflowSimulator
 from repro.experiments.common import run_policies
+from repro.experiments.result import JsonResultMixin
 from repro.reliability.lifetime import improvement_from_counts
 from repro.runtime import ParallelRunner
 from repro.workloads.registry import get_network
@@ -41,7 +42,7 @@ class ArraySizePoint:
 
 
 @dataclass(frozen=True)
-class Fig10Result:
+class Fig10Result(JsonResultMixin):
     """The Fig. 10 sweep."""
 
     network: str

@@ -15,11 +15,12 @@ from typing import List, Optional, Tuple
 from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.experiments.common import execution_for
+from repro.experiments.result import JsonResultMixin
 from repro.workloads.registry import network_names
 
 
 @dataclass(frozen=True)
-class UtilizationResult:
+class UtilizationResult(JsonResultMixin):
     """Fig. 2a data: mean PE utilization per workload."""
 
     rows: Tuple[Tuple[str, float], ...]
@@ -41,7 +42,7 @@ class UtilizationResult:
 
 
 @dataclass(frozen=True)
-class LayerUtilizationResult:
+class LayerUtilizationResult(JsonResultMixin):
     """Fig. 2b data: per-layer utilization of one network."""
 
     network: str
@@ -82,3 +83,28 @@ def run_fig2b(
         for layer_execution in execution.layers
     )
     return LayerUtilizationResult(network=execution.network_name, rows=rows)
+
+
+@dataclass(frozen=True)
+class UtilizationReport(JsonResultMixin):
+    """Fig. 2 as one artifact: the 2a table plus an optional 2b zoom."""
+
+    overall: UtilizationResult
+    per_layer: Optional[LayerUtilizationResult]
+
+    def format(self) -> str:
+        """Fig. 2a, then Fig. 2b when a network was zoomed into."""
+        parts = [self.overall.format()]
+        if self.per_layer is not None:
+            parts.append(self.per_layer.format())
+        return "\n\n".join(parts)
+
+
+def run_utilization(
+    network: Optional[str] = None, accelerator: Optional[Accelerator] = None
+) -> UtilizationReport:
+    """The registry's Fig. 2 driver: 2a always, 2b when ``network`` given."""
+    return UtilizationReport(
+        overall=run_fig2a(accelerator),
+        per_layer=run_fig2b(network, accelerator) if network else None,
+    )

@@ -17,6 +17,7 @@ from repro.analysis.heatmap import render_heatmap
 from repro.analysis.metrics import usage_r_diff
 from repro.arch.accelerator import Accelerator
 from repro.experiments.common import run_policies, streams_for
+from repro.experiments.result import JsonResultMixin
 
 #: Networks whose heatmaps the figure shows.
 FIG3_NETWORKS = ("ResNet-50", "SqueezeNet")
@@ -62,7 +63,7 @@ class HeatmapPair:
 
 
 @dataclass(frozen=True)
-class Fig3Result:
+class Fig3Result(JsonResultMixin):
     """Heatmap pairs for every Fig. 3 network."""
 
     pairs: Tuple[HeatmapPair, ...]
@@ -83,6 +84,7 @@ def run_fig3(
     accelerator: Optional[Accelerator] = None,
     iterations: int = 10,
     networks: Tuple[str, ...] = FIG3_NETWORKS,
+    jobs: Optional[int] = None,
 ) -> Fig3Result:
     """Produce the Fig. 3 heatmap pairs.
 
@@ -98,6 +100,7 @@ def run_fig3(
             policies=("baseline", "rwl+ro"),
             iterations=iterations,
             record_trace=False,
+            jobs=jobs,
         )
         pairs.append(
             HeatmapPair(

@@ -24,10 +24,11 @@ from repro.core.positions import stride_positions
 from repro.core.rwl_math import horizontal_strides, horizontal_unfoldings
 from repro.errors import SimulationError
 from repro.experiments.common import paper_accelerator
+from repro.experiments.result import JsonResultMixin
 
 
 @dataclass(frozen=True)
-class Fig4Result:
+class Fig4Result(JsonResultMixin):
     """One horizontal band of the unfolded walk."""
 
     w: int

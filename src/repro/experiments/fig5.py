@@ -20,6 +20,7 @@ from repro.core.policies import RwlPolicy
 from repro.core.rwl_math import RwlParameters, rwl_parameters
 from repro.dataflow.tiling import TileStream
 from repro.experiments.common import execution_for, paper_accelerator
+from repro.experiments.result import JsonResultMixin
 
 #: The paper's canonical example: 8x8 space, 32 tiles, 14x12 array.
 PAPER_EXAMPLE = {"w": 14, "h": 12, "x": 8, "y": 8, "z": 32}
@@ -40,7 +41,7 @@ class LayerRwlRow:
 
 
 @dataclass(frozen=True)
-class Fig5Result:
+class Fig5Result(JsonResultMixin):
     """Walk-through table for one network plus the paper example."""
 
     network: str

@@ -18,6 +18,7 @@ from repro.analysis.heatmap import render_heatmap
 from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.core.engine import RunResult
+from repro.experiments.result import JsonResultMixin
 from repro.experiments.common import (
     PAPER_ITERATIONS,
     PAPER_ZOOM_ITERATIONS,
@@ -41,7 +42,7 @@ def _tail_slope(trace: np.ndarray) -> float:
 
 
 @dataclass(frozen=True)
-class Fig6Result:
+class Fig6Result(JsonResultMixin):
     """Traces and final heatmaps of the three schemes."""
 
     network: str
@@ -113,10 +114,11 @@ def run_fig6(
     network: str = "SqueezeNet",
     accelerator: Optional[Accelerator] = None,
     iterations: int = PAPER_ITERATIONS,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
     """Run the three schemes for Fig. 6 and collect traces + heatmaps."""
     streams = streams_for(network, accelerator)
     results = run_policies(
-        streams, accelerator, iterations=iterations, record_trace=True
+        streams, accelerator, iterations=iterations, record_trace=True, jobs=jobs
     )
     return Fig6Result(network=network, iterations=iterations, results=results)

@@ -16,11 +16,12 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.experiments.common import PAPER_ZOOM_ITERATIONS, run_policies, streams_for
+from repro.experiments.result import JsonResultMixin
 from repro.reliability.projection import LifetimeProjection, project_lifetime
 
 
 @dataclass(frozen=True)
-class Fig7Result:
+class Fig7Result(JsonResultMixin):
     """The two Fig. 7 series plus convergence checks."""
 
     network: str
@@ -74,6 +75,7 @@ def run_fig7(
     network: str = "SqueezeNet",
     accelerator: Optional[Accelerator] = None,
     iterations: int = PAPER_ZOOM_ITERATIONS,
+    jobs: Optional[int] = None,
 ) -> Fig7Result:
     """Produce the Fig. 7 transient series."""
     streams = streams_for(network, accelerator)
@@ -84,6 +86,7 @@ def run_fig7(
         iterations=iterations,
         record_trace=True,
         record_snapshots=True,
+        jobs=jobs,
     )
     projection = project_lifetime(results["rwl+ro"])
     return Fig7Result(network=network, projection=projection)

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.experiments.common import execution_for, run_policies
+from repro.experiments.result import JsonResultMixin
 from repro.reliability.lifetime import improvement_from_counts
 from repro.runtime import ParallelRunner
 from repro.workloads.registry import get_network, network_names
@@ -41,7 +42,7 @@ class WorkloadImprovement:
 
 
 @dataclass(frozen=True)
-class Fig8Result:
+class Fig8Result(JsonResultMixin):
     """Per-workload improvements plus the paper's aggregate statements."""
 
     iterations: int

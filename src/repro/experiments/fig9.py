@@ -17,6 +17,7 @@ from repro.arch.accelerator import Accelerator
 from repro.core.engine import WearLevelingEngine
 from repro.core.policies import BaselinePolicy, RwlPolicy
 from repro.experiments.common import execution_for, paper_accelerator
+from repro.experiments.result import JsonResultMixin
 from repro.reliability.lifetime import improvement_from_counts, lifetime_upper_bound
 from repro.workloads.registry import network_names
 
@@ -47,7 +48,7 @@ class LayerPoint:
 
 
 @dataclass(frozen=True)
-class Fig9Result:
+class Fig9Result(JsonResultMixin):
     """All scatter points plus aggregate bound checks."""
 
     points: Tuple[LayerPoint, ...]

@@ -20,11 +20,12 @@ from repro.arch.accelerator import Accelerator
 from repro.arch.area import AreaBreakdown, AreaModel
 from repro.dataflow.cycles import CycleModel
 from repro.experiments.common import execution_for, paper_accelerator
+from repro.experiments.result import JsonResultMixin
 from repro.workloads.registry import network_names
 
 
 @dataclass(frozen=True)
-class OverheadResult:
+class OverheadResult(JsonResultMixin):
     """Area overhead and cycle-penalty findings."""
 
     mesh_breakdown: AreaBreakdown

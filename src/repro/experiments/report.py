@@ -4,28 +4,39 @@
 writes it as files a human (or a paper build) can consume directly:
 text tables for every figure, CSV data series for the transient plots,
 and PPM heatmap images for Figs. 3 and 6c-e.
+
+The report iterates the experiment registry's ``figure``-tagged specs in
+paper order. Each spec has an artifact writer — bespoke ones for the
+figures that emit CSVs/PPMs beside their table, and a default
+``<id>.txt`` writer for everything else — so a newly registered
+experiment is reportable without touching this module.
+
+Alongside the artifacts the run drops ``manifest.json``: the
+:class:`~repro.experiments.registry.RunManifest` with per-section wall
+times, result-cache hit/miss/put counters, parallel-runner task timings,
+the accelerator fingerprint, and the package version. The manifest is
+observability metadata, not an artifact, so it is excluded from the
+returned file listing.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
-from repro.analysis.export import trace_to_csv, write_csv
-from repro.analysis.image import heatmap_to_ppm
 from repro.experiments.common import PAPER_ITERATIONS, PAPER_ZOOM_ITERATIONS
-from repro.experiments.fig2 import run_fig2a, run_fig2b
-from repro.experiments.fig3 import run_fig3
-from repro.experiments.fig4 import run_fig4
-from repro.experiments.fig5 import run_fig5
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7
-from repro.experiments.fig8 import run_fig8
-from repro.experiments.fig9 import run_fig9
-from repro.experiments.fig10 import run_fig10
-from repro.experiments.overhead import run_overhead
-from repro.experiments.table2 import run_table2
+from repro.experiments.registry import (
+    PhaseTiming,
+    RunManifest,
+    all_specs,
+    package_version,
+)
+from repro.experiments.result import to_jsonable
+
+#: File name of the observability manifest dropped next to the artifacts.
+MANIFEST_NAME = "manifest.json"
 
 
 @dataclass(frozen=True)
@@ -47,61 +58,88 @@ class ReportManifest:
         return "\n".join(lines)
 
 
-def write_report(
-    out_dir,
-    fig6_iterations: int = PAPER_ITERATIONS,
-    fig7_iterations: int = PAPER_ZOOM_ITERATIONS,
-    fig8_iterations: int = 200,
-) -> ReportManifest:
-    """Regenerate every evaluation artifact into ``out_dir``."""
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    files: List[Path] = []
+class _Section:
+    """One spec's slice of the report: its result and output sink."""
 
-    def write_text(name: str, content: str) -> None:
-        target = out / name
+    def __init__(self, result: Any, out: Path, files: List[Path]) -> None:
+        self.result = result
+        self.out = out
+        self._files = files
+
+    def write_text(self, name: str, content: str) -> None:
+        """Write one text artifact and record it."""
+        target = self.out / name
         target.write_text(content + "\n")
-        files.append(target.resolve())
+        self._files.append(target.resolve())
 
-    write_text("table2.txt", run_table2().format())
-    write_text("fig2a.txt", run_fig2a().format())
-    write_text("fig2b.txt", run_fig2b().format())
+    def add(self, path: Path) -> None:
+        """Record a file another exporter already wrote."""
+        self._files.append(path)
 
-    fig3 = run_fig3()
-    write_text("fig3.txt", fig3.format())
+
+def _write_table2(section: _Section) -> None:
+    section.write_text("table2.txt", section.result.format())
+
+
+def _write_utilization(section: _Section) -> None:
+    section.write_text("fig2a.txt", section.result.overall.format())
+    section.write_text("fig2b.txt", section.result.per_layer.format())
+
+
+def _write_heatmaps(section: _Section) -> None:
+    from repro.analysis.image import heatmap_to_ppm
+
+    fig3 = section.result
+    section.write_text("fig3.txt", fig3.format())
     for pair in fig3.pairs:
         slug = pair.network.lower().replace(" ", "_").replace("-", "_")
-        files.append(
-            heatmap_to_ppm(pair.baseline_counts, out / f"fig3a_{slug}.ppm")
+        section.add(
+            heatmap_to_ppm(pair.baseline_counts, section.out / f"fig3a_{slug}.ppm")
         )
-        files.append(
-            heatmap_to_ppm(pair.wear_leveled_counts, out / f"fig3b_{slug}.ppm")
+        section.add(
+            heatmap_to_ppm(
+                pair.wear_leveled_counts, section.out / f"fig3b_{slug}.ppm"
+            )
         )
 
-    write_text("fig4.txt", run_fig4().format())
-    write_text("fig5.txt", run_fig5().format())
 
-    fig6 = run_fig6(iterations=fig6_iterations)
-    write_text("fig6.txt", fig6.format())
+def _write_unfold(section: _Section) -> None:
+    section.write_text("fig4.txt", section.result.format())
+
+
+def _write_walkthrough(section: _Section) -> None:
+    section.write_text("fig5.txt", section.result.format())
+
+
+def _write_usage_diff(section: _Section) -> None:
+    from repro.analysis.export import trace_to_csv
+    from repro.analysis.image import heatmap_to_ppm
+
+    fig6 = section.result
+    section.write_text("fig6.txt", fig6.format())
     for label, policy in zip("cde", ("baseline", "rwl", "rwl+ro")):
-        files.append(
+        section.add(
             heatmap_to_ppm(
                 fig6.final_counts(policy),
-                out / f"fig6{label}_{policy.replace('+', '_')}.ppm",
+                section.out / f"fig6{label}_{policy.replace('+', '_')}.ppm",
             )
         )
-        files.append(
+        section.add(
             trace_to_csv(
                 fig6.results[policy],
-                out / f"fig6_trace_{policy.replace('+', '_')}.csv",
+                section.out / f"fig6_trace_{policy.replace('+', '_')}.csv",
             )
         )
 
-    fig7 = run_fig7(iterations=fig7_iterations)
-    write_text("fig7.txt", fig7.format())
-    files.append(
+
+def _write_projection(section: _Section) -> None:
+    from repro.analysis.export import write_csv
+
+    fig7 = section.result
+    section.write_text("fig7.txt", fig7.format())
+    section.add(
         write_csv(
-            out / "fig7_series.csv",
+            section.out / "fig7_series.csv",
             ("iteration", "relative_lifetime", "r_diff"),
             zip(
                 fig7.projection.iterations.tolist(),
@@ -111,11 +149,15 @@ def write_report(
         )
     )
 
-    fig8 = run_fig8(iterations=fig8_iterations)
-    write_text("fig8.txt", fig8.format())
-    files.append(
+
+def _write_lifetime(section: _Section) -> None:
+    from repro.analysis.export import write_csv
+
+    fig8 = section.result
+    section.write_text("fig8.txt", fig8.format())
+    section.add(
         write_csv(
-            out / "fig8_improvements.csv",
+            section.out / "fig8_improvements.csv",
             ("network", "utilization", "rwl", "rwl_ro"),
             [
                 (row.abbreviation, row.utilization, row.rwl, row.rwl_ro)
@@ -124,11 +166,15 @@ def write_report(
         )
     )
 
-    fig9 = run_fig9()
-    write_text("fig9.txt", fig9.format(limit=30))
-    files.append(
+
+def _write_upper_bound(section: _Section) -> None:
+    from repro.analysis.export import write_csv
+
+    fig9 = section.result
+    section.write_text("fig9.txt", fig9.format(limit=30))
+    section.add(
         write_csv(
-            out / "fig9_points.csv",
+            section.out / "fig9_points.csv",
             ("network", "layer", "utilization", "improvement", "upper_bound"),
             [
                 (p.network, p.layer, p.utilization, p.improvement, p.upper_bound)
@@ -137,7 +183,108 @@ def write_report(
         )
     )
 
-    write_text("fig10.txt", run_fig10().format())
-    write_text("sec5d_overhead.txt", run_overhead().format())
+
+def _write_sweep(section: _Section) -> None:
+    section.write_text("fig10.txt", section.result.format())
+
+
+def _write_overhead(section: _Section) -> None:
+    section.write_text("sec5d_overhead.txt", section.result.format())
+
+
+#: Bespoke artifact writers, keyed by spec id.
+_WRITERS: Dict[str, Callable[[_Section], None]] = {
+    "table2": _write_table2,
+    "utilization": _write_utilization,
+    "heatmaps": _write_heatmaps,
+    "unfold": _write_unfold,
+    "walkthrough": _write_walkthrough,
+    "usage-diff": _write_usage_diff,
+    "projection": _write_projection,
+    "lifetime": _write_lifetime,
+    "upper-bound": _write_upper_bound,
+    "sweep": _write_sweep,
+    "overhead": _write_overhead,
+}
+
+
+def _default_writer(spec_id: str) -> Callable[[_Section], None]:
+    """Writer for specs without bespoke artifacts: ``<id>.txt``."""
+
+    def write(section: _Section) -> None:
+        section.write_text(f"{spec_id}.txt", section.result.format())
+
+    return write
+
+
+def writer_for(spec_id: str) -> Callable[[_Section], None]:
+    """The artifact writer of one registered experiment."""
+    return _WRITERS.get(spec_id, _default_writer(spec_id))
+
+
+def write_report(
+    out_dir,
+    fig6_iterations: int = PAPER_ITERATIONS,
+    fig7_iterations: int = PAPER_ZOOM_ITERATIONS,
+    fig8_iterations: int = 200,
+) -> ReportManifest:
+    """Regenerate every evaluation artifact into ``out_dir``.
+
+    Also writes ``manifest.json`` (run observability: per-section
+    timings, cache counters, runner task timings) into the directory;
+    the manifest is not counted among the report's artifact files.
+    """
+    from repro.experiments.registry import _accelerator_fingerprint
+    from repro.runtime import collect_metrics
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    files: List[Path] = []
+
+    overrides: Dict[str, Dict[str, Any]] = {
+        "usage-diff": {"iterations": fig6_iterations},
+        "projection": {"iterations": fig7_iterations},
+        "lifetime": {"iterations": fig8_iterations},
+    }
+
+    started_at = time.time()
+    start = time.perf_counter()
+    phases: List[PhaseTiming] = []
+    with collect_metrics() as metrics:
+        for spec in all_specs(tag="figure"):
+            params = spec.defaults
+            params.update(dict(spec.all_params))
+            params.update(overrides.get(spec.id, {}))
+            section_start = time.perf_counter()
+            result = spec.resolve()(**params)
+            writer_for(spec.id)(_Section(result, out, files))
+            phases.append(
+                PhaseTiming(
+                    name=spec.id,
+                    seconds=time.perf_counter() - section_start,
+                )
+            )
+
+    manifest = RunManifest(
+        spec_id="report",
+        params=(
+            ("fig6_iterations", fig6_iterations),
+            ("fig7_iterations", fig7_iterations),
+            ("fig8_iterations", fig8_iterations),
+        ),
+        version=package_version(),
+        accelerator=_accelerator_fingerprint(),
+        started_at=started_at,
+        wall_seconds=time.perf_counter() - start,
+        phases=tuple(phases),
+        cache=tuple(sorted(metrics.cache_summary().items())),
+        tasks=tuple(
+            (timing.label, timing.seconds, timing.mode)
+            for timing in metrics.task_timings
+        ),
+    )
+    from repro.analysis.export import write_json
+
+    write_json(out / MANIFEST_NAME, to_jsonable(manifest.to_dict()))
 
     return ReportManifest(out_dir=out.resolve(), files=tuple(files))

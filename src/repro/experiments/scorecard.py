@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.analysis.report import format_table
+from repro.experiments.result import JsonResultMixin
 
 
 @dataclass(frozen=True)
@@ -27,7 +28,7 @@ class ScorecardEntry:
 
 
 @dataclass(frozen=True)
-class Scorecard:
+class Scorecard(JsonResultMixin):
     """All claims, with the overall verdict."""
 
     entries: Tuple[ScorecardEntry, ...]
@@ -65,17 +66,16 @@ class Scorecard:
 
 
 def run_scorecard(iterations: int = 100) -> Scorecard:
-    """Evaluate every paper-shape claim at reduced scale."""
-    from repro.experiments.fig2 import run_fig2a, run_fig2b
-    from repro.experiments.fig3 import run_fig3
-    from repro.experiments.fig4 import run_fig4
-    from repro.experiments.fig5 import run_fig5
-    from repro.experiments.fig6 import run_fig6
-    from repro.experiments.fig7 import run_fig7
-    from repro.experiments.fig8 import run_fig8
-    from repro.experiments.fig9 import run_fig9
-    from repro.experiments.fig10 import run_fig10
-    from repro.experiments.overhead import run_overhead
+    """Evaluate every paper-shape claim at reduced scale.
+
+    Drivers come out of the experiment registry (the same specs the CLI
+    and the report writer use), so a renamed or retired driver fails
+    here loudly instead of leaving a stale import.
+    """
+    from repro.experiments.registry import get_spec
+
+    def resolve(spec_id: str):
+        return get_spec(spec_id).resolve()
 
     entries: List[ScorecardEntry] = []
 
@@ -86,14 +86,15 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
             )
         )
 
-    fig2a = run_fig2a()
+    utilization = resolve("utilization")(network="SqueezeNet")
+    fig2a = utilization.overall
     check(
         "Fig. 2a",
         "chronic PE underutilization (paper: 55.8% avg)",
         f"{fig2a.overall_mean:.1%} avg",
         0.3 <= fig2a.overall_mean < 0.9,
     )
-    fig2b = run_fig2b()
+    fig2b = utilization.per_layer
     check(
         "Fig. 2b",
         "drastic per-layer utilization spread",
@@ -101,7 +102,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         fig2b.spread > 0.2,
     )
 
-    fig3 = run_fig3(iterations=5)
+    fig3 = resolve("heatmaps")(iterations=5)
     pair = fig3.pair_for("SqueezeNet")
     check(
         "Fig. 3",
@@ -111,7 +112,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         and pair.wear_leveled_r_diff < 0.2,
     )
 
-    fig4 = run_fig4()
+    fig4 = resolve("unfold")()
     check(
         "Fig. 4",
         "unfolded walk tiles exactly; fold-back uniform",
@@ -119,7 +120,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         fig4.tiling_is_exact and fig4.folded_coverage_uniform,
     )
 
-    fig5 = run_fig5()
+    fig5 = resolve("walkthrough")()
     check(
         "Fig. 5",
         "X=7 W=4 Y=4 H_RWL=2; Eq. 9 holds in simulation",
@@ -130,7 +131,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         and fig5.all_bounds_hold,
     )
 
-    fig6 = run_fig6(iterations=max(iterations, 200))
+    fig6 = resolve("usage-diff")(iterations=max(iterations, 200))
     check(
         "Fig. 6",
         "baseline >> RWL slopes; RWL+RO bounded",
@@ -141,7 +142,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         and fig6.rwl_ro_bounded,
     )
 
-    fig7 = run_fig7(iterations=iterations)
+    fig7 = resolve("projection")(iterations=iterations)
     check(
         "Fig. 7",
         "R_diff falls, lifetime rises, inversely correlated",
@@ -149,7 +150,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         fig7.r_diff_converges and fig7.lifetime_rises and fig7.inversely_correlated,
     )
 
-    fig8 = run_fig8(iterations=iterations)
+    fig8 = resolve("lifetime")(iterations=iterations)
     check(
         "Fig. 8",
         "all workloads improve; gain anti-correlates with utilization",
@@ -164,7 +165,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         fig8.small_network_gap > 1.0,
     )
 
-    fig9 = run_fig9()
+    fig9 = resolve("upper-bound")()
     check(
         "Fig. 9",
         "layer gains approach, never exceed, util^(1/beta-1)",
@@ -172,7 +173,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         fig9.all_within_bound and fig9.mean_gap > 0.8,
     )
 
-    fig10 = run_fig10(iterations=iterations)
+    fig10 = resolve("sweep")(iterations=iterations)
     check(
         "Fig. 10",
         "gain grows with array size",
@@ -180,7 +181,7 @@ def run_scorecard(iterations: int = 100) -> Scorecard:
         fig10.gain_grows_with_size,
     )
 
-    overhead = run_overhead()
+    overhead = resolve("overhead")()
     check(
         "Sec. V-D",
         "sub-1% torus area; zero cycle penalty",

@@ -10,12 +10,13 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.analysis.report import format_table
+from repro.experiments.result import JsonResultMixin
 from repro.workloads.base import Network
 from repro.workloads.registry import all_networks
 
 
 @dataclass(frozen=True)
-class Table2Result:
+class Table2Result(JsonResultMixin):
     """The roster with per-network statistics."""
 
     networks: Tuple[Network, ...]

@@ -9,6 +9,7 @@ result store (:mod:`repro.runtime.cache`). See
 """
 
 from repro.runtime.cache import CacheStats, ResultCache, cache_root, result_cache
+from repro.runtime.observe import RunMetrics, collect_metrics
 from repro.runtime.fingerprint import (
     CACHE_SCHEMA_VERSION,
     accelerator_fingerprint,
@@ -29,7 +30,9 @@ __all__ = [
     "JOBS_ENV",
     "ParallelRunner",
     "ResultCache",
+    "RunMetrics",
     "TaskTiming",
+    "collect_metrics",
     "accelerator_fingerprint",
     "cache_root",
     "content_hash",

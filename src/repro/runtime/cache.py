@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.runtime import observe
+
 
 def cache_root() -> Path:
     """The root cache directory (shared with the schedule cache)."""
@@ -99,19 +101,24 @@ class ResultCache:
         entry must never poison a run).
         """
         if not self._enabled:
+            observe.record_cache_miss()
             return None
         path = self._entry_path(key)
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
+            observe.record_cache_miss()
             return None
+        observe.record_cache_hit()
+        return value
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` atomically (best effort)."""
         if not self._enabled:
             return
+        observe.record_cache_put()
         try:
             self._directory.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(

@@ -1,0 +1,83 @@
+"""Run observability: cache hit/miss counters and task-timing capture.
+
+Any code can open a :func:`collect_metrics` scope; while it is active,
+the :class:`~repro.runtime.cache.ResultCache` reports every hit, miss,
+and write into it, and every :class:`~repro.runtime.parallel.
+ParallelRunner` reports its per-task wall times. The experiment layer
+uses this to assemble a ``RunManifest`` (see
+:mod:`repro.experiments.registry`) without threading a metrics object
+through every driver signature.
+
+Scopes nest: an outer scope collecting a whole ``rota report`` run and
+an inner scope collecting one section both see the section's events.
+Collection is process-local — pool workers do not report back to the
+parent (worker task wall times are already measured in the parent by
+``ParallelRunner``), so cache counts reflect the coordinating process.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["RunMetrics", "collect_metrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Mutable event sink for one observed scope."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_puts: int = 0
+    task_timings: List[Any] = field(default_factory=list)
+
+    def cache_summary(self) -> Dict[str, int]:
+        """The cache counters as a plain dict (manifest-ready)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "puts": self.cache_puts,
+        }
+
+
+#: Active collection scopes, innermost last. Module-level (not
+#: thread-local): the CLI and drivers are single-threaded, and pool
+#: workers are separate processes with their own empty stack.
+_SCOPES: List[RunMetrics] = []
+
+
+@contextmanager
+def collect_metrics() -> Iterator[RunMetrics]:
+    """Collect cache and task events until the scope exits."""
+    metrics = RunMetrics()
+    _SCOPES.append(metrics)
+    try:
+        yield metrics
+    finally:
+        _SCOPES.remove(metrics)
+
+
+def record_cache_hit() -> None:
+    """Count one result-cache hit in every active scope."""
+    for scope in _SCOPES:
+        scope.cache_hits += 1
+
+
+def record_cache_miss() -> None:
+    """Count one result-cache miss in every active scope."""
+    for scope in _SCOPES:
+        scope.cache_misses += 1
+
+
+def record_cache_put() -> None:
+    """Count one result-cache write in every active scope."""
+    for scope in _SCOPES:
+        scope.cache_puts += 1
+
+
+def record_task_timing(timing: Any) -> None:
+    """Record one runner task timing in every active scope."""
+    for scope in _SCOPES:
+        scope.task_timings.append(timing)

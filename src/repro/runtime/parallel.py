@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.runtime import observe
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -131,6 +132,11 @@ class ParallelRunner:
         """The resolved worker count."""
         return self._jobs
 
+    def _record(self, timing: TaskTiming) -> None:
+        """Store one task timing and notify any observation scopes."""
+        self._timings.append(timing)
+        observe.record_task_timing(timing)
+
     @property
     def timings(self) -> Tuple[TaskTiming, ...]:
         """Per-task wall times of every ``map`` call so far, in order."""
@@ -166,7 +172,7 @@ class ParallelRunner:
             for name, item in zip(names, items):
                 start = time.perf_counter()
                 results.append(fn(item))
-                self._timings.append(
+                self._record(
                     TaskTiming(
                         label=name,
                         seconds=time.perf_counter() - start,
@@ -197,7 +203,7 @@ class ParallelRunner:
                         fn, items[index:], crashed, first=name
                     )
                 results.append(result)
-                self._timings.append(
+                self._record(
                     TaskTiming(label=name, seconds=seconds, mode="pool")
                 )
         return results
@@ -222,7 +228,7 @@ class ParallelRunner:
         for name, item in zip(names, items):
             start = time.perf_counter()
             results.append(fn(item))
-            self._timings.append(
+            self._record(
                 TaskTiming(
                     label=name,
                     seconds=time.perf_counter() - start,

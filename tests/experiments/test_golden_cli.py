@@ -1,0 +1,63 @@
+"""Golden-output tests: the CLI refactor must not move a single byte.
+
+The files under ``golden/`` were captured from the hand-wired CLI before
+the registry rebuild (``REPRO_RESULT_CACHE=off``, default environment).
+Every experiment subcommand — and the full ``rota all`` concatenation —
+must keep producing byte-identical stdout. A legitimate change to a
+table's content requires regenerating the affected golden file and
+saying so in the commit.
+"""
+
+import contextlib
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: golden file stem -> exact argv it was captured with.
+CASES = {
+    "table2": ["table2"],
+    "unfold": ["unfold"],
+    "walkthrough": ["walkthrough"],
+    "utilization_sqz": ["utilization", "--network", "Sqz"],
+    "heatmaps_i2": ["heatmaps", "--iterations", "2"],
+    "usage_diff_i20": ["usage-diff", "--iterations", "20"],
+    "projection_i20": ["projection", "--iterations", "20"],
+    "lifetime_i5": ["lifetime", "--iterations", "5"],
+    "sweep_i5": ["sweep", "--iterations", "5"],
+    "upper_bound": ["upper-bound"],
+    "overhead": ["overhead"],
+    "ablations": ["ablations"],
+    "extensions_i30": ["extensions", "--iterations", "30"],
+    "faults_small": ["faults", "--iterations", "20", "--deaths", "1", "-j", "1"],
+    "attribution_sqz": ["attribution", "--network", "Sqz", "--limit", "3"],
+    "profile_sqz": ["profile", "--network", "Sqz", "--limit", "3"],
+    "scorecard_i30": ["scorecard", "--iterations", "30"],
+}
+
+
+def _run(argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    assert code == 0
+    return buffer.getvalue()
+
+
+class TestGoldenOutput:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_subcommand_output_is_byte_identical(self, name):
+        expected = (GOLDEN_DIR / f"{name}.txt").read_text()
+        assert _run(CASES[name]) == expected
+
+    def test_rota_all_is_byte_identical(self):
+        expected = (GOLDEN_DIR / "all.txt").read_text()
+        assert _run(["all", "-j", "1"]) == expected
+
+    def test_every_golden_file_has_a_case(self):
+        stems = {path.stem for path in GOLDEN_DIR.glob("*.txt")}
+        assert stems == set(CASES) | {"all"}

@@ -1,0 +1,172 @@
+"""Registry completeness and the structured-result contract.
+
+These tests are the enforcement arm of the experiment registry: every
+spec must have a CLI subcommand, a report artifact writer, and a JSON
+round-trippable result; every CLI experiment subcommand must resolve to
+a registry entry. A driver added without registering (or registered
+without wiring) fails here, not in production.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    ExperimentSpec,
+    Param,
+    RunManifest,
+    all_specs,
+    get_spec,
+    package_version,
+    run_experiment,
+    spec_ids,
+)
+from repro.experiments.result import ExperimentResult, to_jsonable
+
+#: Cheap parameter overrides so result-contract tests stay fast. Every
+#: registered experiment appears here or runs fast at its defaults.
+FAST_PARAMS = {
+    "heatmaps": {"iterations": 2},
+    "usage-diff": {"iterations": 5},
+    "projection": {"iterations": 5},
+    "lifetime": {"iterations": 2},
+    "sweep": {"iterations": 2},
+    "faults": {"max_iterations": 10, "deaths": 1},
+    "ablations": {},
+    "extensions": {"iterations": 10},
+    "attribution": {"limit": 2},
+    "profile": {"limit": 2},
+    "scorecard": {"iterations": 10},
+}
+
+#: Subcommands that are utilities, not experiments.
+UTILITY_COMMANDS = {"list", "export", "report", "cache", "all"}
+
+
+def _cli_subcommands():
+    parser = build_parser()
+    return set(parser._subparsers._group_actions[0].choices)
+
+
+class TestRegistryShape:
+    def test_ids_are_unique_and_ordered(self):
+        ids = spec_ids()
+        assert len(ids) == len(set(ids))
+        assert ids[0] == "table2"  # paper order starts at Table II
+
+    def test_figure_tag_matches_rota_all_sections(self):
+        figures = spec_ids(tag="figure")
+        assert figures == (
+            "table2",
+            "utilization",
+            "heatmaps",
+            "unfold",
+            "walkthrough",
+            "usage-diff",
+            "projection",
+            "lifetime",
+            "upper-bound",
+            "sweep",
+            "overhead",
+        )
+
+    def test_every_spec_resolves_to_a_callable(self):
+        for spec in all_specs():
+            assert callable(spec.resolve()), spec.id
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_spec("nope")
+
+    def test_param_schema_validates_kind(self):
+        with pytest.raises(ConfigurationError):
+            Param(name="x", kind="banana")
+        with pytest.raises(ConfigurationError):
+            Param(name="x", kind="int", invert=True)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(ConfigurationError):
+            register(
+                ExperimentSpec(
+                    id="table2",
+                    title="dup",
+                    artifact="dup",
+                    runner="repro.experiments.table2:run_table2",
+                )
+            )
+
+
+class TestCliCompleteness:
+    def test_every_spec_has_a_cli_subcommand(self):
+        commands = _cli_subcommands()
+        for spec in all_specs():
+            assert spec.id in commands, f"spec {spec.id} has no subcommand"
+
+    def test_every_experiment_subcommand_has_a_spec(self):
+        ids = set(spec_ids())
+        for command in _cli_subcommands() - UTILITY_COMMANDS:
+            assert command in ids, f"subcommand {command} is not registered"
+
+    def test_every_spec_has_a_report_writer(self):
+        from repro.experiments.report import writer_for
+
+        for spec in all_specs():
+            assert callable(writer_for(spec.id)), spec.id
+
+
+class TestResultContract:
+    @pytest.mark.parametrize("spec_id", [spec.id for spec in all_specs()])
+    def test_result_round_trips_through_json(self, spec_id):
+        spec = get_spec(spec_id)
+        run = run_experiment(spec_id, **FAST_PARAMS.get(spec_id, {}))
+        assert isinstance(run.result, ExperimentResult)
+        text = run.result.format()
+        assert isinstance(text, str) and text
+        payload = run.result.to_dict()
+        assert payload["result"] == type(run.result).__name__
+        encoded = json.dumps(payload)
+        assert json.loads(encoded) == payload
+
+    def test_unknown_parameter_rejected_before_driver_import(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            run_experiment("table2", banana=1)
+
+
+class TestRunManifest:
+    def test_manifest_records_phases_cache_and_version(self):
+        run = run_experiment("heatmaps", iterations=2)
+        manifest = run.manifest
+        assert isinstance(manifest, RunManifest)
+        assert manifest.spec_id == "heatmaps"
+        assert manifest.version == package_version()
+        assert manifest.wall_seconds > 0
+        assert [phase.name for phase in manifest.phases] == ["import", "run"]
+        counts = manifest.cache_counts
+        assert set(counts) == {"hits", "misses", "puts"}
+        # REPRO_RESULT_CACHE=off in tests: every policy lookup misses.
+        assert counts["misses"] > 0
+        # Per-policy fan-out goes through ParallelRunner → task timings.
+        assert manifest.tasks
+        assert manifest.accelerator != ""
+
+    def test_manifest_is_json_safe(self):
+        run = run_experiment("unfold")
+        payload = run.manifest.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["params"] == []
+
+    def test_manifest_format_mentions_cache(self):
+        run = run_experiment("unfold")
+        text = run.manifest.format()
+        assert "cache" in text
+        assert "unfold" in text
+
+
+class TestSpecJsonability:
+    def test_specs_are_plain_data(self):
+        payload = to_jsonable(list(all_specs()))
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,76 @@
+"""Tests for the run-metrics observation scopes."""
+
+from repro.runtime import ParallelRunner, ResultCache, collect_metrics
+from repro.runtime.observe import (
+    record_cache_hit,
+    record_cache_miss,
+    record_cache_put,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestCollectMetrics:
+    def test_counters_start_at_zero(self):
+        with collect_metrics() as metrics:
+            pass
+        assert metrics.cache_summary() == {"hits": 0, "misses": 0, "puts": 0}
+        assert metrics.task_timings == []
+
+    def test_records_manual_events(self):
+        with collect_metrics() as metrics:
+            record_cache_hit()
+            record_cache_miss()
+            record_cache_miss()
+            record_cache_put()
+        assert metrics.cache_summary() == {"hits": 1, "misses": 2, "puts": 1}
+
+    def test_no_recording_outside_scope(self):
+        with collect_metrics() as metrics:
+            pass
+        record_cache_hit()  # no active scope: must be a silent no-op
+        assert metrics.cache_summary()["hits"] == 0
+
+    def test_nested_scopes_both_observe(self):
+        with collect_metrics() as outer:
+            record_cache_miss()
+            with collect_metrics() as inner:
+                record_cache_hit()
+        assert outer.cache_summary() == {"hits": 1, "misses": 1, "puts": 0}
+        assert inner.cache_summary() == {"hits": 1, "misses": 0, "puts": 0}
+
+
+class TestCacheInstrumentation:
+    def test_get_and_put_report_to_scope(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, enabled=True)
+        with collect_metrics() as metrics:
+            assert cache.get("missing") is None
+            cache.put("key", {"x": 1})
+            assert cache.get("key") == {"x": 1}
+        assert metrics.cache_summary() == {"hits": 1, "misses": 1, "puts": 1}
+
+    def test_disabled_cache_counts_misses(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, enabled=False)
+        with collect_metrics() as metrics:
+            assert cache.get("anything") is None
+            cache.put("anything", 1)  # disabled: no put recorded
+        assert metrics.cache_summary() == {"hits": 0, "misses": 1, "puts": 0}
+
+
+class TestRunnerInstrumentation:
+    def test_serial_map_reports_task_timings(self):
+        runner = ParallelRunner(jobs=1)
+        with collect_metrics() as metrics:
+            assert runner.map(_double, [1, 2, 3], labels=["a", "b", "c"]) == [
+                2,
+                4,
+                6,
+            ]
+        assert [timing.label for timing in metrics.task_timings] == [
+            "a",
+            "b",
+            "c",
+        ]
+        assert all(timing.mode == "serial" for timing in metrics.task_timings)

@@ -188,3 +188,74 @@ class TestCacheCommand:
     def test_lifetime_accepts_jobs(self, capsys):
         assert main(["lifetime", "--iterations", "2", "--jobs", "1"]) == 0
         assert "AVG" in capsys.readouterr().out
+
+
+class TestRegistryCli:
+    def test_version_flag(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("rota ")
+
+    def test_list_enumerates_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        from repro.experiments.registry import spec_ids
+
+        for spec_id in spec_ids():
+            assert spec_id in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "fault"]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "table2" not in out
+
+    def test_json_flag_emits_structured_result(self, capsys):
+        import json
+
+        assert main(["table2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == "Table2Result"
+        assert payload["networks"]
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["id"] for entry in payload} >= {"table2", "faults"}
+
+    def test_help_does_not_import_driver_modules(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        probe = (
+            "import sys\n"
+            "import repro.cli\n"
+            "try:\n"
+            "    repro.cli.main(['--help'])\n"
+            "except SystemExit:\n"
+            "    pass\n"
+            "allowed = {'registry', 'result'}\n"
+            "bad = [name for name in sys.modules\n"
+            "       if name.startswith('repro.experiments.')\n"
+            "       and name.split('.')[-1] not in allowed]\n"
+            "assert not bad, f'drivers imported by --help: {bad}'\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
