@@ -12,8 +12,10 @@ Driver modules import lazily: ``rota --help``, ``rota list``, and
 of the scheduler stack behind one).
 
 ``rota all`` runs the full evaluation section in order; the utility
-subcommands (``export``, ``report``, ``cache``) stay hand-written
-because they orchestrate files rather than run one experiment.
+subcommands (``export``, ``report``, ``cache``, ``serve``) stay
+hand-written because they orchestrate files or processes rather than
+run one experiment. ``rota serve`` exposes the same registry over HTTP
+(see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -139,12 +141,25 @@ def _cmd_all(args: argparse.Namespace) -> str:
 def _cmd_cache(args: argparse.Namespace) -> str:
     from repro.dataflow.scheduler import _disk_cache_path
     from repro.runtime import result_cache
+    from repro.runtime.cache import max_bytes_env
 
     cache = result_cache()
     lines = []
     if args.clear:
         removed = cache.clear()
         lines.append(f"cleared {removed} cached results")
+    if args.prune:
+        limit = args.max_bytes if args.max_bytes is not None else max_bytes_env()
+        if limit is None:
+            raise ReproError(
+                "cache --prune needs a bound: pass --max-bytes N or set "
+                "REPRO_CACHE_MAX_BYTES"
+            )
+        pruned = cache.prune(limit)
+        lines.append(
+            f"pruned {pruned} cached result(s) to fit {limit} bytes "
+            f"(oldest first)"
+        )
     lines.append(cache.stats().format())
     schedule_path = _disk_cache_path()
     if schedule_path is not None:
@@ -154,6 +169,20 @@ def _cmd_cache(args: argparse.Namespace) -> str:
             f"delete the file to clear)"
         )
     return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.service import ServiceConfig, serve
+
+    return serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.jobs,
+            queue_depth=args.queue_depth,
+            request_timeout=args.request_timeout,
+        )
+    )
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -248,10 +277,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
-        "cache", help="show (or --clear) the persistent result cache"
+        "cache",
+        help="show (or --clear / --prune) the persistent result cache",
     )
     p.add_argument("--clear", action="store_true", help="delete cached results")
+    p.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict oldest entries until the cache fits --max-bytes",
+    )
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "disk bound for --prune (default: $REPRO_CACHE_MAX_BYTES, "
+            "which is also enforced on every cache write)"
+        ),
+    )
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "long-running HTTP service: registry-driven experiment API "
+            "with a job queue and live /metrics"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8753, help="bind port")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=2,
+        help="worker threads executing queued runs",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        metavar="N",
+        help="max queued (not yet running) jobs before 429 backpressure",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request socket timeout",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("all", help="every table and figure in order")
     _add_jobs_flag(p)

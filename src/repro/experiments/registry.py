@@ -30,13 +30,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.result import ExperimentResult, JsonResultMixin, to_jsonable
 
 __all__ = [
     "ExperimentRun",
     "ExperimentSpec",
     "Param",
+    "ParamValidationError",
     "PhaseTiming",
     "RunManifest",
     "all_specs",
@@ -44,6 +45,7 @@ __all__ = [
     "package_version",
     "run_experiment",
     "spec_ids",
+    "validate_params",
 ]
 
 
@@ -258,6 +260,107 @@ def all_specs(tag: Optional[str] = None) -> Tuple[ExperimentSpec, ...]:
 def spec_ids(tag: Optional[str] = None) -> Tuple[str, ...]:
     """Registered experiment ids, optionally filtered by tag."""
     return tuple(spec.id for spec in all_specs(tag))
+
+
+# ---------------------------------------------------------------------------
+# Parameter validation: the JSON-facing half of the Param schema.
+# ---------------------------------------------------------------------------
+
+
+class ParamValidationError(ConfigurationError):
+    """A params mapping failed schema validation.
+
+    ``errors`` maps each offending field name to a human-readable
+    message; the service layer turns this into a 400 response with
+    per-field errors, mirroring the CLI's argparse rejections.
+    """
+
+    def __init__(self, spec_id: str, errors: Mapping[str, str]) -> None:
+        self.spec_id = spec_id
+        self.errors: Dict[str, str] = dict(errors)
+        detail = "; ".join(
+            f"{name}: {message}" for name, message in sorted(self.errors.items())
+        )
+        super().__init__(f"invalid parameters for experiment {spec_id!r}: {detail}")
+
+
+def _validate_value(param: Param, value: Any) -> Tuple[Any, Optional[str]]:
+    """Check one supplied value against its schema; returns (value, error)."""
+    if value is None:
+        if param.default is None:
+            return None, None
+        return None, f"must not be null (omit the field for the default)"
+    if param.kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            return None, f"expected an integer, got {type(value).__name__}"
+        return value, None
+    if param.kind == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None, f"expected a number, got {type(value).__name__}"
+        return float(value), None
+    if param.kind == "str":
+        if not isinstance(value, str):
+            return None, f"expected a string, got {type(value).__name__}"
+        return value, None
+    if param.kind == "flag":
+        if not isinstance(value, bool):
+            return None, f"expected a boolean, got {type(value).__name__}"
+        return value, None
+    # "repeat": a list of strings, optionally run through a converter
+    # (the same one the CLI applies to repeated flags).
+    if not isinstance(value, (list, tuple)):
+        return None, f"expected a list of strings, got {type(value).__name__}"
+    items = list(value)
+    for item in items:
+        if not isinstance(item, str):
+            return None, (
+                f"expected a list of strings, got item of type "
+                f"{type(item).__name__}"
+            )
+    if param.convert:
+        try:
+            return CONVERTERS[param.convert](items), None
+        # Converters are CLI-facing and may bail with SystemExit; the
+        # API must turn that into a field error, not a dead worker.
+        except (SystemExit, ReproError, ValueError, TypeError) as error:
+            return None, str(error) or "invalid value"
+    return items, None
+
+
+def validate_params(spec: ExperimentSpec, raw: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a JSON-shaped params mapping against ``spec``'s schema.
+
+    Fields are the public parameter names (``spec.params[i].name`` —
+    what the CLI flags are derived from); omitted fields take their
+    defaults. Returns the runner kwargs ready for
+    :func:`run_experiment`. Raises :class:`ParamValidationError`
+    carrying one message per offending field — unknown names, wrong
+    JSON types, or converter rejections.
+    """
+    if not isinstance(raw, Mapping):
+        raise ParamValidationError(
+            spec.id, {"params": f"expected an object, got {type(raw).__name__}"}
+        )
+    errors: Dict[str, str] = {}
+    known = {param.name: param for param in spec.params}
+    for name in raw:
+        if not isinstance(name, str) or name not in known:
+            errors[str(name)] = (
+                f"unknown parameter; schema: {sorted(known) or 'none'}"
+            )
+    params: Dict[str, Any] = {}
+    for name, param in known.items():
+        if name not in raw:
+            params[param.runner_kwarg] = param.default
+            continue
+        value, error = _validate_value(param, raw[name])
+        if error is not None:
+            errors[name] = error
+        else:
+            params[param.runner_kwarg] = value
+    if errors:
+        raise ParamValidationError(spec.id, errors)
+    return params
 
 
 # ---------------------------------------------------------------------------

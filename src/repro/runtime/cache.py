@@ -12,9 +12,13 @@ Environment knobs (matching the scheduler's on-disk cache):
 * ``REPRO_CACHE_DIR`` — relocate the cache root (default
   ``~/.cache/repro``);
 * ``REPRO_RESULT_CACHE=off`` — disable result caching entirely (the
-  schedule cache has its own ``REPRO_SCHEDULE_CACHE`` switch).
+  schedule cache has its own ``REPRO_SCHEDULE_CACHE`` switch);
+* ``REPRO_CACHE_MAX_BYTES`` — bound the cache's disk footprint: every
+  ``put`` that pushes the directory over the limit evicts the
+  oldest-mtime entries until it fits again.
 
-Clear it with ``rota cache --clear`` or by deleting the directory.
+Clear it with ``rota cache --clear``, bound it with ``rota cache
+--prune --max-bytes N``, or delete the directory.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.errors import ConfigurationError
 from repro.runtime import observe
 
 
@@ -40,6 +45,22 @@ def cache_root() -> Path:
 def results_enabled() -> bool:
     """Whether the persistent result cache is switched on."""
     return os.environ.get("REPRO_RESULT_CACHE", "").lower() != "off"
+
+
+def max_bytes_env() -> Optional[int]:
+    """The ``REPRO_CACHE_MAX_BYTES`` disk bound (``None`` = unbounded).
+
+    Unparseable or non-positive values mean unbounded — a typo in an
+    environment variable must not start evicting cached work.
+    """
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass(frozen=True)
@@ -72,13 +93,21 @@ class ResultCache:
         Override the ``REPRO_RESULT_CACHE`` environment switch (mainly
         for tests). A disabled cache is a no-op: ``get`` always misses
         and ``put`` never writes.
+    max_bytes:
+        Disk-footprint bound; defaults to ``REPRO_CACHE_MAX_BYTES``
+        (unbounded when unset). When bounded, every ``put`` that pushes
+        the directory over the limit prunes oldest-mtime entries first.
     """
 
     def __init__(
-        self, directory: Optional[Path] = None, enabled: Optional[bool] = None
+        self,
+        directory: Optional[Path] = None,
+        enabled: Optional[bool] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         self._directory = Path(directory) if directory else cache_root() / "results"
         self._enabled = results_enabled() if enabled is None else enabled
+        self._max_bytes = max_bytes_env() if max_bytes is None else max_bytes
 
     @property
     def directory(self) -> Path:
@@ -136,6 +165,41 @@ class ResultCache:
                 raise
         except (OSError, pickle.PicklingError):
             pass  # a full disk or unpicklable payload must not fail the run
+        if self._max_bytes is not None:
+            self.prune(self._max_bytes)
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest-mtime entries until the cache fits ``max_bytes``.
+
+        Returns how many entries were removed. Entries that vanish or
+        error mid-scan (a concurrent ``clear`` or prune) are skipped —
+        pruning is best-effort housekeeping, never a correctness step.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        if not self._directory.is_dir():
+            return 0
+        for path in self._directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda entry: (entry[0], entry[2].name))
+        removed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self._enabled and self._entry_path(key).exists()

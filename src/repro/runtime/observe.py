@@ -13,10 +13,17 @@ an inner scope collecting one section both see the section's events.
 Collection is process-local — pool workers do not report back to the
 parent (worker task wall times are already measured in the parent by
 ``ParallelRunner``), so cache counts reflect the coordinating process.
+
+Scopes are also **thread-local**: each thread keeps its own scope
+stack, so concurrent workers (the ``rota serve`` job executor runs one
+experiment per thread) never interleave each other's counters. A scope
+opened in one thread observes only events recorded by that thread;
+single-threaded callers see exactly the old behavior.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List
@@ -42,42 +49,52 @@ class RunMetrics:
         }
 
 
-#: Active collection scopes, innermost last. Module-level (not
-#: thread-local): the CLI and drivers are single-threaded, and pool
-#: workers are separate processes with their own empty stack.
-_SCOPES: List[RunMetrics] = []
+#: Per-thread scope stacks, innermost last. Thread-local so concurrent
+#: service workers each observe only their own events; pool workers are
+#: separate processes and start with an empty stack either way.
+_LOCAL = threading.local()
+
+
+def _scopes() -> List[RunMetrics]:
+    """This thread's active scope stack (created on first use)."""
+    stack = getattr(_LOCAL, "scopes", None)
+    if stack is None:
+        stack = []
+        _LOCAL.scopes = stack
+    return stack
 
 
 @contextmanager
 def collect_metrics() -> Iterator[RunMetrics]:
-    """Collect cache and task events until the scope exits."""
+    """Collect this thread's cache and task events until the scope exits."""
     metrics = RunMetrics()
-    _SCOPES.append(metrics)
+    stack = _scopes()
+    stack.append(metrics)
     try:
         yield metrics
     finally:
-        _SCOPES.remove(metrics)
+        stack.remove(metrics)
 
 
 def record_cache_hit() -> None:
-    """Count one result-cache hit in every active scope."""
-    for scope in _SCOPES:
+    """Count one result-cache hit in every scope active on this thread."""
+    for scope in _scopes():
         scope.cache_hits += 1
 
 
 def record_cache_miss() -> None:
-    """Count one result-cache miss in every active scope."""
-    for scope in _SCOPES:
+    """Count one result-cache miss in every scope active on this thread."""
+    for scope in _scopes():
         scope.cache_misses += 1
 
 
 def record_cache_put() -> None:
-    """Count one result-cache write in every active scope."""
-    for scope in _SCOPES:
+    """Count one result-cache write in every scope active on this thread."""
+    for scope in _scopes():
         scope.cache_puts += 1
 
 
 def record_task_timing(timing: Any) -> None:
-    """Record one runner task timing in every active scope."""
-    for scope in _SCOPES:
+    """Record one runner task timing in every scope active on this thread."""
+    for scope in _scopes():
         scope.task_timings.append(timing)

@@ -29,6 +29,7 @@ flags override it per invocation.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -126,6 +127,10 @@ class ParallelRunner:
     def __init__(self, jobs: Optional[int] = None) -> None:
         self._jobs = resolve_jobs(jobs)
         self._timings: List[TaskTiming] = []
+        # Guards the timing list: a runner shared by service worker
+        # threads must not tear its records (observe scopes are
+        # per-thread and need no lock).
+        self._timings_lock = threading.Lock()
 
     @property
     def jobs(self) -> int:
@@ -134,18 +139,20 @@ class ParallelRunner:
 
     def _record(self, timing: TaskTiming) -> None:
         """Store one task timing and notify any observation scopes."""
-        self._timings.append(timing)
+        with self._timings_lock:
+            self._timings.append(timing)
         observe.record_task_timing(timing)
 
     @property
     def timings(self) -> Tuple[TaskTiming, ...]:
         """Per-task wall times of every ``map`` call so far, in order."""
-        return tuple(self._timings)
+        with self._timings_lock:
+            return tuple(self._timings)
 
     @property
     def total_task_seconds(self) -> float:
         """Sum of all recorded task durations (CPU-side work)."""
-        return sum(timing.seconds for timing in self._timings)
+        return sum(timing.seconds for timing in self.timings)
 
     def map(
         self,

@@ -1,0 +1,37 @@
+"""Long-running simulation service: job queue, registry-driven API.
+
+``rota serve`` turns the one-shot CLI into a warm resident daemon: the
+HTTP surface is generated from :mod:`repro.experiments.registry`
+(every registered experiment is listable, validatable, and runnable),
+jobs flow through a bounded queue onto worker threads, repeat queries
+are served from the persistent result cache, and ``/metrics`` exposes
+live cache/queue/job counters. See ``docs/architecture.md``
+("Serving") for the endpoint table and lifecycle semantics.
+"""
+
+from repro.service.api import ApiResponse, ServiceAPI
+from repro.service.jobs import (
+    Job,
+    JobManager,
+    JobState,
+    QueueFullError,
+    ServiceStoppedError,
+    UnknownJobError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import RotaService, ServiceConfig, serve
+
+__all__ = [
+    "ApiResponse",
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFullError",
+    "RotaService",
+    "ServiceAPI",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceStoppedError",
+    "UnknownJobError",
+    "serve",
+]

@@ -1,0 +1,221 @@
+"""Transport-independent request handling for the simulation service.
+
+:class:`ServiceAPI` maps ``(method, path, body)`` triples onto JSON
+responses; the HTTP layer (:mod:`repro.service.server`) is a thin shim
+around :meth:`ServiceAPI.handle`, which keeps the whole surface unit-
+testable without sockets. The experiment surface is generated from
+:mod:`repro.experiments.registry` — experiments appear, validate, and
+run here the moment they are registered, with no service-side edits.
+
+Error contract (mirrors the CLI's ``ReproError`` → exit-2 convention):
+every failure is a structured JSON body ``{"error": {"code", "message",
+...}}``, never a traceback. Validation failures carry a per-field
+``fields`` mapping; backpressure responds 429; unknown experiments,
+jobs, and routes respond 404; anything unexpected responds 500 with
+the exception type and message only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.registry import (
+    ParamValidationError,
+    all_specs,
+    get_spec,
+    package_version,
+)
+from repro.experiments.result import to_jsonable
+from repro.service.jobs import (
+    JobManager,
+    QueueFullError,
+    ServiceStoppedError,
+    UnknownJobError,
+)
+
+__all__ = ["ApiResponse", "ServiceAPI"]
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """One JSON response: status code, payload, and extra headers."""
+
+    status: int
+    payload: Dict[str, Any]
+    headers: Tuple[Tuple[str, str], ...] = field(default=())
+
+
+def _error(
+    status: int,
+    code: str,
+    message: str,
+    headers: Tuple[Tuple[str, str], ...] = (),
+    **extra: Any,
+) -> ApiResponse:
+    """Build the uniform structured error body."""
+    body: Dict[str, Any] = {"code": code, "message": message}
+    body.update(extra)
+    return ApiResponse(status=status, payload={"error": body}, headers=headers)
+
+
+class ServiceAPI:
+    """Routes service requests onto the registry and the job manager."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self._manager = manager
+
+    @property
+    def manager(self) -> JobManager:
+        """The job manager this API submits to."""
+        return self._manager
+
+    def handle(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> ApiResponse:
+        """Dispatch one request; never raises (errors become responses)."""
+        try:
+            return self._route(method.upper(), path.rstrip("/") or "/", body)
+        except ParamValidationError as error:
+            return _error(
+                400,
+                "invalid-params",
+                f"invalid parameters for experiment {error.spec_id!r}",
+                fields=error.errors,
+            )
+        except QueueFullError as error:
+            return _error(
+                429, "queue-full", str(error), headers=(("Retry-After", "1"),)
+            )
+        except ServiceStoppedError as error:
+            return _error(503, "shutting-down", str(error))
+        except UnknownJobError as error:
+            return _error(404, "unknown-job", str(error))
+        except ReproError as error:
+            # The service twin of the CLI's one-line-stderr + exit 2.
+            return _error(400, "repro-error", str(error))
+        except Exception as error:  # noqa: BLE001 - never leak a traceback
+            return _error(
+                500,
+                "internal-error",
+                f"{type(error).__name__}: {error}",
+            )
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> ApiResponse:
+        if path == "/healthz":
+            return self._healthz(method)
+        if path == "/metrics":
+            return self._metrics(method)
+        if path == "/v1/experiments":
+            return self._list_experiments(method)
+        if path == "/v1/runs":
+            return self._list_runs(method)
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "experiments":
+            return self._experiment_detail(method, parts[2])
+        if (
+            len(parts) == 4
+            and parts[0] == "v1"
+            and parts[1] == "experiments"
+            and parts[3] == "runs"
+        ):
+            return self._submit(method, parts[2], body)
+        if len(parts) == 3 and parts[0] == "v1" and parts[1] == "runs":
+            return self._run_detail(method, parts[2])
+        return _error(404, "not-found", f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, allowed: str) -> Optional[ApiResponse]:
+        if method != allowed:
+            return _error(
+                405,
+                "method-not-allowed",
+                f"expected {allowed}, got {method}",
+                headers=(("Allow", allowed),),
+            )
+        return None
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _healthz(self, method: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        return ApiResponse(
+            200,
+            {
+                "status": "ok",
+                "version": package_version(),
+                "uptime_seconds": round(
+                    self._manager.metrics.uptime_seconds(), 3
+                ),
+            },
+        )
+
+    def _metrics(self, method: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        return ApiResponse(
+            200,
+            self._manager.metrics.snapshot(
+                queue_depth=self._manager.queue_depth(),
+                jobs_running=self._manager.running_count(),
+            ),
+        )
+
+    def _list_experiments(self, method: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        return ApiResponse(
+            200,
+            {"experiments": [to_jsonable(spec) for spec in all_specs()]},
+        )
+
+    def _experiment_detail(self, method: str, spec_id: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        try:
+            spec = get_spec(spec_id)
+        except ConfigurationError as error:
+            return _error(404, "unknown-experiment", str(error))
+        return ApiResponse(200, {"experiment": to_jsonable(spec)})
+
+    def _submit(
+        self, method: str, spec_id: str, body: Optional[Dict[str, Any]]
+    ) -> ApiResponse:
+        rejected = self._require(method, "POST")
+        if rejected:
+            return rejected
+        try:
+            get_spec(spec_id)
+        except ConfigurationError as error:
+            return _error(404, "unknown-experiment", str(error))
+        job = self._manager.submit(spec_id, body)
+        return ApiResponse(
+            202,
+            {"job": job.summary(), "status_url": f"/v1/runs/{job.id}"},
+            headers=(("Location", f"/v1/runs/{job.id}"),),
+        )
+
+    def _list_runs(self, method: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        return ApiResponse(
+            200, {"runs": [job.summary() for job in self._manager.jobs()]}
+        )
+
+    def _run_detail(self, method: str, job_id: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        job = self._manager.get(job_id)
+        return ApiResponse(200, job.detail())

@@ -1,0 +1,347 @@
+"""The service's job queue: bounded intake, worker threads, warm hits.
+
+A :class:`JobManager` owns a bounded :class:`queue.Queue` of submitted
+runs and a small pool of worker *threads* (not processes — each job's
+driver already fans out through
+:class:`~repro.runtime.parallel.ParallelRunner` when asked to). Each
+worker executes jobs through the same
+:func:`~repro.experiments.registry.run_experiment` entrypoint the CLI
+uses, inside its own :func:`~repro.runtime.observe.collect_metrics`
+scope (scopes are thread-local, so concurrent jobs never interleave
+counters), and folds the observed cache/task events into the shared
+:class:`~repro.service.metrics.ServiceMetrics`.
+
+Completed payloads are stored in the persistent
+:class:`~repro.runtime.cache.ResultCache` under a content key of
+``(spec id, validated params, schema + package version)`` — a repeated
+submission with identical parameters is served as a warm hit without
+touching the simulation stack, and the hit is visible in ``/metrics``.
+
+Backpressure and shutdown:
+
+* a full queue raises :class:`QueueFullError` (the API maps it to 429);
+* :meth:`JobManager.shutdown` stops intake, lets workers finish the
+  jobs they are running (the SIGTERM drain), and cancels jobs still
+  sitting in the queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import (
+    get_spec,
+    package_version,
+    run_experiment,
+    validate_params,
+)
+from repro.experiments.result import to_jsonable
+from repro.runtime import CACHE_SCHEMA_VERSION, ResultCache, content_hash, result_cache
+from repro.runtime.observe import collect_metrics
+from repro.service.metrics import ServiceMetrics
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFullError",
+    "ServiceStoppedError",
+    "UnknownJobError",
+]
+
+
+class QueueFullError(ReproError):
+    """The job queue is at capacity; the submission was rejected."""
+
+
+class ServiceStoppedError(ReproError):
+    """The service is shutting down and no longer accepts submissions."""
+
+
+class UnknownJobError(ReproError):
+    """No job with the requested id exists."""
+
+
+class JobState:
+    """The job lifecycle: queued → running → done / failed / cancelled."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job can never leave.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted experiment run (mutated only under the manager lock)."""
+
+    id: str
+    spec_id: str
+    params: Dict[str, Any]
+    created_at: float
+    state: str = JobState.QUEUED
+    cached: bool = False
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[Dict[str, str]] = None
+    payload: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in JobState.TERMINAL
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready status view (no result body — list endpoints)."""
+        return {
+            "id": self.id,
+            "spec_id": self.spec_id,
+            "params": to_jsonable(self.params),
+            "state": self.state,
+            "cached": self.cached,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+    def detail(self) -> Dict[str, Any]:
+        """JSON-ready full view, including result and manifest when done."""
+        body = self.summary()
+        body["result"] = None if self.payload is None else self.payload["result"]
+        body["manifest"] = (
+            None if self.payload is None else self.payload["manifest"]
+        )
+        return body
+
+
+class JobManager:
+    """Bounded job intake plus a worker-thread pool executing runs.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads executing jobs (each runs one experiment at a
+        time through :func:`run_experiment`).
+    queue_depth:
+        Maximum number of *queued* (not yet running) jobs; submissions
+        beyond it raise :class:`QueueFullError`.
+    cache:
+        Warm-hit store for completed payloads; defaults to the
+        environment-resolved persistent result cache.
+    metrics:
+        The service-wide counter sink (a fresh one when omitted).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_depth: int = 32,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"service workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ReproError(f"queue depth must be >= 1, got {queue_depth}")
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._cache = cache if cache is not None else result_cache()
+        self._workers = workers
+        self._queue: "queue.Queue[Job]" = queue.Queue(maxsize=queue_depth)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._running = 0
+        self._counter = itertools.count(1)
+
+    # -- intake -------------------------------------------------------------
+
+    def submit(self, spec_id: str, raw_params: Optional[Dict[str, Any]]) -> Job:
+        """Validate and enqueue one run; returns the queued job.
+
+        Raises :class:`~repro.errors.ConfigurationError` for an unknown
+        experiment, :class:`~repro.experiments.registry.
+        ParamValidationError` for a bad body,
+        :class:`ServiceStoppedError` during shutdown, and
+        :class:`QueueFullError` when the queue is at capacity.
+        """
+        spec = get_spec(spec_id)
+        params = validate_params(spec, raw_params if raw_params is not None else {})
+        if self._stop.is_set():
+            raise ServiceStoppedError("service is shutting down")
+        job = Job(
+            id=f"run-{next(self._counter):06d}-{uuid.uuid4().hex[:8]}",
+            spec_id=spec.id,
+            params=params,
+            created_at=time.time(),
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+            self.metrics.record_rejected()
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} queued); retry later"
+            ) from None
+        self.metrics.record_submitted()
+        return job
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """Look up one job by id."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        """Every known job, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    def queue_depth(self) -> int:
+        """Jobs waiting in the queue (approximate, by nature)."""
+        return self._queue.qsize()
+
+    def running_count(self) -> int:
+        """Jobs currently executing on a worker thread."""
+        with self._lock:
+            return self._running
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"rota-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Stop intake, drain running jobs, cancel queued ones.
+
+        Workers finish the job they are currently executing (that is
+        the graceful part of SIGTERM handling); jobs still waiting in
+        the queue flip to ``cancelled``.
+        """
+        self._stop.set()
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._cancel(job)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def _cancel(self, job: Job) -> None:
+        with self._lock:
+            if job.state == JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+        self.metrics.record_cancelled()
+
+    # -- execution ----------------------------------------------------------
+
+    def _cache_key(self, job: Job) -> str:
+        """Content key of one run (schema- and version-qualified)."""
+        return content_hash(
+            "service-run",
+            CACHE_SCHEMA_VERSION,
+            package_version(),
+            job.spec_id,
+            job.params,
+        )
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            if self._stop.is_set():
+                # Shutdown raced our dequeue: the job never started, so
+                # it is cancelled, not drained.
+                self._cancel(job)
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            self._running += 1
+        observed = None
+        failed = False
+        start = time.perf_counter()
+        try:
+            with collect_metrics() as observed:
+                payload = self._run_or_reuse(job)
+            with self._lock:
+                job.payload = payload
+                job.state = JobState.DONE
+                job.finished_at = time.time()
+        except ReproError as error:
+            failed = True
+            self._fail(job, code="repro-error", message=str(error))
+        except Exception as error:  # noqa: BLE001 - a job must never kill its worker
+            failed = True
+            self._fail(
+                job,
+                code="internal-error",
+                message=f"{type(error).__name__}: {error}",
+            )
+        finally:
+            with self._lock:
+                self._running -= 1
+            self.metrics.record_job(
+                observed, time.perf_counter() - start, failed=failed
+            )
+
+    def _run_or_reuse(self, job: Job) -> Dict[str, Any]:
+        """Serve the job from the warm-hit store or run it for real."""
+        key = self._cache_key(job)
+        hit = self._cache.get(key)
+        if isinstance(hit, dict) and "result" in hit and "manifest" in hit:
+            with self._lock:
+                job.cached = True
+            return hit
+        run = run_experiment(job.spec_id, **job.params)
+        payload = {
+            "result": run.result.to_dict(),
+            "manifest": run.manifest.to_dict(),
+        }
+        self._cache.put(key, payload)
+        return payload
+
+    def _fail(self, job: Job, code: str, message: str) -> None:
+        with self._lock:
+            job.state = JobState.FAILED
+            job.error = {"code": code, "message": message}
+            job.finished_at = time.time()

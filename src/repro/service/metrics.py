@@ -1,0 +1,138 @@
+"""Live service metrics: jobs, cache traffic, tasks, and uptime.
+
+One :class:`ServiceMetrics` instance lives for the lifetime of a
+``rota serve`` process. Worker threads fold each finished job's
+:class:`~repro.runtime.observe.RunMetrics` into it under a lock, the
+HTTP layer counts requests and rejections, and ``GET /metrics``
+serializes a :meth:`ServiceMetrics.snapshot`. Everything here is plain
+counters — cheap enough to update on every request and every job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.runtime.observe import RunMetrics
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe counters for one service process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.time()
+        # Job lifecycle counters.
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.jobs_rejected = 0
+        self.job_seconds = 0.0
+        # Result-cache traffic observed by worker threads (includes the
+        # service-level warm-hit store and every driver-level get/put).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_puts = 0
+        # ParallelRunner task timings observed by worker threads.
+        self.tasks_run = 0
+        self.task_seconds = 0.0
+        # HTTP traffic.
+        self.requests_total = 0
+        self.requests_by_status: Dict[int, int] = {}
+
+    @property
+    def started_at(self) -> float:
+        """Wall-clock time the service came up (epoch seconds)."""
+        return self._started_at
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the service came up (monotonic)."""
+        return time.monotonic() - self._started_monotonic
+
+    def record_request(self, status: int) -> None:
+        """Count one HTTP response by status code."""
+        with self._lock:
+            self.requests_total += 1
+            self.requests_by_status[status] = (
+                self.requests_by_status.get(status, 0) + 1
+            )
+
+    def record_submitted(self) -> None:
+        """Count one accepted job submission."""
+        with self._lock:
+            self.jobs_submitted += 1
+
+    def record_rejected(self) -> None:
+        """Count one submission bounced by backpressure (429)."""
+        with self._lock:
+            self.jobs_rejected += 1
+
+    def record_cancelled(self) -> None:
+        """Count one queued job cancelled by shutdown."""
+        with self._lock:
+            self.jobs_cancelled += 1
+
+    def record_job(
+        self,
+        run_metrics: Optional[RunMetrics],
+        seconds: float,
+        failed: bool = False,
+    ) -> None:
+        """Fold one finished job's observed events into the totals."""
+        with self._lock:
+            if failed:
+                self.jobs_failed += 1
+            else:
+                self.jobs_completed += 1
+            self.job_seconds += seconds
+            if run_metrics is not None:
+                self.cache_hits += run_metrics.cache_hits
+                self.cache_misses += run_metrics.cache_misses
+                self.cache_puts += run_metrics.cache_puts
+                self.tasks_run += len(run_metrics.task_timings)
+                self.task_seconds += sum(
+                    timing.seconds for timing in run_metrics.task_timings
+                )
+
+    def snapshot(self, queue_depth: int = 0, jobs_running: int = 0) -> Dict[str, Any]:
+        """One JSON-ready view of every counter (the ``/metrics`` body)."""
+        with self._lock:
+            return {
+                "uptime_seconds": round(self.uptime_seconds(), 3),
+                "started_at": self._started_at,
+                "queue": {
+                    "depth": queue_depth,
+                    "running": jobs_running,
+                },
+                "jobs": {
+                    "submitted": self.jobs_submitted,
+                    "completed": self.jobs_completed,
+                    "failed": self.jobs_failed,
+                    "cancelled": self.jobs_cancelled,
+                    "rejected": self.jobs_rejected,
+                    "seconds": round(self.job_seconds, 6),
+                },
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "puts": self.cache_puts,
+                },
+                "tasks": {
+                    "run": self.tasks_run,
+                    "seconds": round(self.task_seconds, 6),
+                },
+                "requests": {
+                    "total": self.requests_total,
+                    "by_status": {
+                        str(status): count
+                        for status, count in sorted(
+                            self.requests_by_status.items()
+                        )
+                    },
+                },
+            }

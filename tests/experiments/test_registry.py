@@ -42,7 +42,7 @@ FAST_PARAMS = {
 }
 
 #: Subcommands that are utilities, not experiments.
-UTILITY_COMMANDS = {"list", "export", "report", "cache", "all"}
+UTILITY_COMMANDS = {"list", "export", "report", "cache", "all", "serve"}
 
 
 def _cli_subcommands():
@@ -170,3 +170,95 @@ class TestSpecJsonability:
     def test_specs_are_plain_data(self):
         payload = to_jsonable(list(all_specs()))
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestValidateParams:
+    def _spec(self, spec_id):
+        from repro.experiments.registry import get_spec
+
+        return get_spec(spec_id)
+
+    def test_defaults_fill_omitted(self):
+        from repro.experiments.registry import validate_params
+
+        assert validate_params(self._spec("unfold"), {}) == {"x": 8, "y": 8}
+
+    def test_values_pass_through_and_kwarg_mapping(self):
+        from repro.experiments.registry import validate_params
+
+        params = validate_params(
+            self._spec("faults"), {"iterations": 5, "wearout": False}
+        )
+        # The public name "iterations" maps onto the runner's
+        # max_iterations, exactly like the CLI flag does.
+        assert params["max_iterations"] == 5
+        assert params["wearout"] is False
+
+    def test_unknown_field_listed(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        with pytest.raises(ParamValidationError) as excinfo:
+            validate_params(self._spec("unfold"), {"bogus": 1})
+        assert "bogus" in excinfo.value.errors
+
+    def test_type_errors_per_field(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        with pytest.raises(ParamValidationError) as excinfo:
+            validate_params(
+                self._spec("faults"),
+                {"iterations": "ten", "wearout": "yes", "network": 5},
+            )
+        assert set(excinfo.value.errors) == {"iterations", "wearout", "network"}
+
+    def test_bool_is_not_an_int(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        with pytest.raises(ParamValidationError):
+            validate_params(self._spec("unfold"), {"x": True})
+
+    def test_float_accepts_int(self):
+        from repro.experiments.registry import validate_params
+
+        params = validate_params(self._spec("faults"), {"mean_budget": 3})
+        assert params["mean_budget"] == 3.0
+
+    def test_repeat_converter_applies(self):
+        from repro.experiments.registry import validate_params
+
+        params = validate_params(self._spec("faults"), {"dead": ["0,0", "3,2"]})
+        assert params["dead"] == ((0, 0), (3, 2))
+
+    def test_repeat_converter_failure_is_field_error(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        with pytest.raises(ParamValidationError) as excinfo:
+            validate_params(self._spec("faults"), {"dead": ["zero,zero"]})
+        assert "dead" in excinfo.value.errors
+
+    def test_null_only_where_default_is_null(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        # network on "utilization" defaults to None: null is allowed.
+        params = validate_params(self._spec("utilization"), {"network": None})
+        assert params["network"] is None
+        with pytest.raises(ParamValidationError):
+            validate_params(self._spec("unfold"), {"x": None})
+
+    def test_non_mapping_rejected(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        with pytest.raises(ParamValidationError):
+            validate_params(self._spec("unfold"), ["x", 1])

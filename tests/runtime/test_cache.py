@@ -127,3 +127,77 @@ class TestResultCache:
         monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
         cache = ResultCache()
         assert str(cache.directory) == str(tmp_path / "results")
+
+
+class TestCachePrune:
+    def _put_sized(self, cache, key, size, mtime):
+        import os
+
+        cache.put(key, b"x" * size)
+        path = cache.directory / f"{key}.pkl"
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        old = self._put_sized(cache, "old", 4096, 1_000)
+        mid = self._put_sized(cache, "mid", 4096, 2_000)
+        new = self._put_sized(cache, "new", 4096, 3_000)
+        total = cache.stats().total_bytes
+        per_entry = total // 3
+        removed = cache.prune(total - per_entry)
+        assert removed == 1
+        assert not old.exists()
+        assert mid.exists() and new.exists()
+
+    def test_prune_noop_when_under_limit(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.put("k", list(range(10)))
+        assert cache.prune(cache.stats().total_bytes) == 0
+        assert cache.get("k") == list(range(10))
+
+    def test_prune_zero_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        for index in range(3):
+            cache.put(f"k{index}", index)
+        assert cache.prune(0) == 3
+        assert cache.stats().entries == 0
+
+    def test_prune_negative_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        with pytest.raises(ConfigurationError):
+            cache.prune(-1)
+
+    def test_prune_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "nowhere", enabled=True)
+        assert cache.prune(0) == 0
+
+    def test_put_honors_max_bytes(self, tmp_path):
+        # A bound that fits one ~4 KiB entry but not two: the second
+        # put must evict the older entry, keeping the newest.
+        cache = ResultCache(tmp_path, enabled=True, max_bytes=5000)
+        self._put_sized(cache, "old", 4096, 1_000)
+        cache.put("new", b"y" * 4096)
+        assert cache.stats().entries == 1
+        assert not (tmp_path / "old.pkl").exists()
+        assert (tmp_path / "new.pkl").exists()
+
+    def test_max_bytes_env_parsing(self, monkeypatch):
+        from repro.runtime.cache import max_bytes_env
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert max_bytes_env() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1048576")
+        assert max_bytes_env() == 1048576
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "garbage")
+        assert max_bytes_env() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert max_bytes_env() is None
+
+    def test_env_bound_applies_to_default_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "3000")
+        cache = ResultCache(tmp_path, enabled=True)
+        self._put_sized(cache, "a", 2048, 1_000)
+        cache.put("b", b"z" * 2048)
+        assert cache.stats().entries == 1
+        assert (tmp_path / "b.pkl").exists()

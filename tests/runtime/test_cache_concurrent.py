@@ -1,0 +1,125 @@
+"""Concurrent access to one ResultCache directory.
+
+Validates the "atomic tempfile + rename" claim in
+``repro.runtime.cache``: many threads (and processes) hammering the
+same directory must never observe a torn entry — every ``get`` returns
+either ``None`` or a complete, self-consistent payload — and the
+per-thread hit/miss accounting must add up exactly.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runtime import ResultCache, collect_metrics
+
+#: Shared keys all workers fight over, far fewer than total operations
+#: so get/put collisions on the same entry are guaranteed.
+KEYS = tuple(f"key-{index}" for index in range(4))
+
+OPS_PER_WORKER = 60
+
+
+def _payload(key: str, worker: int) -> dict:
+    """A self-consistent payload: checksum ties the fields together."""
+    body = list(range(200))
+    return {"key": key, "worker": worker, "body": body, "checksum": sum(body)}
+
+
+def _is_intact(value: dict) -> bool:
+    return (
+        isinstance(value, dict)
+        and value["checksum"] == sum(value["body"])
+        and value["key"] in KEYS
+    )
+
+
+def _hammer(args):
+    """One worker: alternate puts and gets over the shared keys.
+
+    Returns (gets, hits, misses, puts, torn) as observed from inside
+    this worker's own metrics scope.
+    """
+    directory, worker = args
+    cache = ResultCache(directory=directory, enabled=True)
+    torn = 0
+    gets = 0
+    with collect_metrics() as metrics:
+        for step in range(OPS_PER_WORKER):
+            key = KEYS[(worker + step) % len(KEYS)]
+            if step % 3 == 0:
+                cache.put(key, _payload(key, worker))
+            else:
+                gets += 1
+                value = cache.get(key)
+                if value is not None and not _is_intact(value):
+                    torn += 1
+        return (
+            gets,
+            metrics.cache_hits,
+            metrics.cache_misses,
+            metrics.cache_puts,
+            torn,
+        )
+
+
+class TestConcurrentThreads:
+    def test_no_torn_reads_and_exact_accounting(self, tmp_path):
+        results = []
+        lock = threading.Lock()
+
+        def run(worker):
+            outcome = _hammer((tmp_path, worker))
+            with lock:
+                results.append(outcome)
+
+        threads = [
+            threading.Thread(target=run, args=(worker,)) for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(results) == 8
+        for gets, hits, misses, puts, torn in results:
+            assert torn == 0
+            # Thread-local scopes: each worker's counters cover exactly
+            # its own operations, no interleaving from siblings.
+            assert hits + misses == gets
+            assert puts == (OPS_PER_WORKER + 2) // 3
+
+    def test_concurrent_put_same_key_keeps_entry_valid(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, enabled=True)
+        barrier = threading.Barrier(6)
+
+        def slam(worker):
+            barrier.wait()
+            for _ in range(40):
+                cache.put("contested", _payload(KEYS[0], worker))
+
+        threads = [
+            threading.Thread(target=slam, args=(worker,)) for worker in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        value = cache.get("contested")
+        assert value is not None and _is_intact(value)
+
+
+class TestConcurrentProcesses:
+    def test_processes_share_one_directory(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(_hammer, [(tmp_path, worker) for worker in range(4)])
+            )
+        for gets, hits, misses, puts, torn in results:
+            assert torn == 0
+            assert hits + misses == gets
+            assert puts == (OPS_PER_WORKER + 2) // 3
+        # After the dust settles every surviving entry must be whole.
+        cache = ResultCache(directory=tmp_path, enabled=True)
+        for key in KEYS:
+            value = cache.get(key)
+            assert value is None or _is_intact(value)

@@ -74,3 +74,39 @@ class TestRunnerInstrumentation:
             "c",
         ]
         assert all(timing.mode == "serial" for timing in metrics.task_timings)
+
+
+class TestThreadIsolation:
+    def test_scopes_are_thread_local(self):
+        """A scope in one thread never sees another thread's events."""
+        import threading
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name, hits):
+            with collect_metrics() as metrics:
+                barrier.wait()  # both scopes open before any event fires
+                for _ in range(hits):
+                    record_cache_hit()
+                barrier.wait()  # both threads done recording
+            results[name] = metrics.cache_summary()["hits"]
+
+        threads = [
+            threading.Thread(target=worker, args=("a", 3)),
+            threading.Thread(target=worker, args=("b", 7)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == {"a": 3, "b": 7}
+
+    def test_main_thread_scope_ignores_worker_events(self):
+        import threading
+
+        with collect_metrics() as metrics:
+            thread = threading.Thread(target=record_cache_put)
+            thread.start()
+            thread.join()
+        assert metrics.cache_summary()["puts"] == 0

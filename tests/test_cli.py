@@ -259,3 +259,47 @@ class TestRegistryCli:
             text=True,
         )
         assert result.returncode == 0, result.stderr
+
+
+class TestServeAndPruneParsing:
+    def test_serve_subcommand_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert callable(args.func)
+        assert args.host == "127.0.0.1"
+        assert args.port == 8753
+        assert args.jobs == 2
+        assert args.queue_depth == 32
+        assert args.request_timeout == 30.0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0", "-j", "4",
+             "--queue-depth", "5", "--request-timeout", "2.5"]
+        )
+        assert (args.host, args.port, args.jobs) == ("0.0.0.0", 0, 4)
+        assert args.queue_depth == 5
+        assert args.request_timeout == 2.5
+
+    def test_cache_prune_flags(self):
+        args = build_parser().parse_args(["cache", "--prune", "--max-bytes", "1024"])
+        assert args.prune and args.max_bytes == 1024
+        assert not build_parser().parse_args(["cache"]).prune
+
+    def test_cache_prune_without_bound_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert main(["cache", "--prune"]) == 2
+        assert "max-bytes" in capsys.readouterr().err
+
+    def test_cache_prune_reports_summary(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "on")
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        from repro.runtime import ResultCache
+
+        cache = ResultCache()
+        for index in range(3):
+            cache.put(f"k{index}", list(range(100)))
+        assert main(["cache", "--prune", "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 3 cached result(s)" in out
+        assert "0 entries" in out
