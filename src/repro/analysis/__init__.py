@@ -2,7 +2,7 @@
 
 from repro.analysis.attribution import WearAttribution, attribute_wear
 from repro.analysis.export import counts_to_csv, trace_to_csv, write_csv
-from repro.analysis.heatmap import heatmap_grid, render_heatmap
+from repro.analysis.heatmap import heatmap_grid, render_heatmap, render_heatmap_grid
 from repro.analysis.network_report import NetworkProfile, profile_network
 from repro.analysis.metrics import (
     balance_summary,
@@ -23,6 +23,7 @@ __all__ = [
     "max_usage_difference",
     "profile_network",
     "render_heatmap",
+    "render_heatmap_grid",
     "trace_to_csv",
     "usage_gini",
     "usage_r_diff",

@@ -8,7 +8,7 @@ lower-left-corner orientation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,29 +18,45 @@ from repro.errors import SimulationError
 _RAMP = " .:-=+*#%@"
 
 
-def heatmap_grid(counts) -> np.ndarray:
-    """Normalize a usage array to [0, 1] for rendering or export."""
+def heatmap_grid(counts, peak: Optional[float] = None) -> np.ndarray:
+    """Normalize a usage array to [0, 1] for rendering or export.
+
+    ``peak`` overrides the normalization ceiling (default: the array's
+    own maximum) — pass a shared peak to render several arrays on one
+    comparable scale.
+    """
     array = np.asarray(counts, dtype=float)
     if array.ndim != 2:
         raise SimulationError(f"heatmap needs a 2-D array, got shape {array.shape}")
-    peak = array.max()
+    if peak is None:
+        peak = array.max()
+    elif peak < 0:
+        raise SimulationError(f"peak must be non-negative, got {peak}")
     if peak <= 0:
         return np.zeros_like(array)
-    return array / peak
+    return np.minimum(array / peak, 1.0)
 
 
 #: Glyph marking a permanently dead PE in fault-study heatmaps.
 _DEAD_GLYPH = "X"
 
 
-def render_heatmap(counts, title: str = "", legend: bool = True, dead=None) -> str:
+def render_heatmap(
+    counts,
+    title: str = "",
+    legend: bool = True,
+    dead=None,
+    peak: Optional[float] = None,
+) -> str:
     """Render a usage array as an ASCII heatmap string.
 
     ``dead`` (optional) is a boolean ``(h, w)`` mask of permanently
     failed PEs; those cells render as ``X`` on top of the density ramp —
-    the dead-PE overlay of the fault and degradation studies.
+    the dead-PE overlay of the fault and degradation studies. ``peak``
+    (optional) pins the ramp's ceiling so several heatmaps share one
+    scale.
     """
-    grid = heatmap_grid(counts)
+    grid = heatmap_grid(counts, peak=peak)
     levels = np.minimum((grid * (len(_RAMP) - 1)).round().astype(int), len(_RAMP) - 1)
     dead_mask = None
     if dead is not None:
@@ -71,5 +87,65 @@ def render_heatmap(counts, title: str = "", legend: bool = True, dead=None) -> s
         lines.append(
             f"[min={array.min():g} max={array.max():g} "
             f"ramp='{_RAMP.strip() or ' '}'{extra}]"
+        )
+    return "\n".join(lines)
+
+
+def render_heatmap_grid(
+    panels: Sequence[Tuple],
+    title: str = "",
+    legend: bool = True,
+    gap: int = 3,
+) -> str:
+    """Render several arrays side by side on one shared color scale.
+
+    ``panels`` is a sequence of ``(label, counts)`` or
+    ``(label, counts, dead_mask)`` tuples — one per-device α-heatmap
+    each, say. Every panel is normalized against the *global* peak, so
+    density glyphs are directly comparable across panels: the whole
+    point of a small-multiples view of fleet wear.
+    """
+    if not panels:
+        raise SimulationError("a heatmap grid needs at least one panel")
+    unpacked = []
+    for panel in panels:
+        label, counts = panel[0], np.asarray(panel[1], dtype=float)
+        dead = panel[2] if len(panel) > 2 else None
+        unpacked.append((str(label), counts, dead))
+    shared_peak = max(counts.max() for _, counts, _ in unpacked)
+    rendered = [
+        render_heatmap(counts, legend=False, dead=dead, peak=shared_peak).split("\n")
+        for _, counts, _ in unpacked
+    ]
+    height = max(len(block) for block in rendered)
+    widths = [
+        max(len(label), max(len(line) for line in block))
+        for (label, _, _), block in zip(unpacked, rendered)
+    ]
+    spacer = " " * gap
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        spacer.join(
+            label.ljust(width) for (label, _, _), width in zip(unpacked, widths)
+        )
+    )
+    for row in range(height):
+        lines.append(
+            spacer.join(
+                (block[row] if row < len(block) else "").ljust(width)
+                for block, width in zip(rendered, widths)
+            ).rstrip()
+        )
+    if legend:
+        total_dead = sum(
+            int(np.asarray(dead, dtype=bool).sum())
+            for _, _, dead in unpacked
+            if dead is not None
+        )
+        extra = f" dead={total_dead}({_DEAD_GLYPH})" if total_dead else ""
+        lines.append(
+            f"[shared max={shared_peak:g} ramp='{_RAMP.strip() or ' '}'{extra}]"
         )
     return "\n".join(lines)

@@ -13,7 +13,7 @@ read: cold (unused) cells stand out against the wear gradient.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,19 +44,24 @@ def _ramp_lookup(values: np.ndarray) -> np.ndarray:
     return rgb
 
 
-def heatmap_rgb(counts, scale: int = 24) -> np.ndarray:
+def heatmap_rgb(counts, scale: int = 24, peak: Optional[float] = None) -> np.ndarray:
     """Render a usage array as an RGB pixel array.
 
     Each PE becomes a ``scale x scale`` block; row 0 (the scheduling
     origin) is drawn at the *bottom*, matching the paper's orientation.
+    ``peak`` overrides the color ceiling (default: the array's own
+    maximum) so several heatmaps can share one color scale.
     """
     array = np.asarray(counts, dtype=float)
     if array.ndim != 2:
         raise SimulationError(f"heatmap needs a 2-D array, got {array.shape}")
     if scale < 1:
         raise SimulationError(f"scale must be >= 1, got {scale}")
-    peak = array.max()
-    normalized = array / peak if peak > 0 else np.zeros_like(array)
+    if peak is None:
+        peak = array.max()
+    elif peak < 0:
+        raise SimulationError(f"peak must be non-negative, got {peak}")
+    normalized = np.minimum(array / peak, 1.0) if peak > 0 else np.zeros_like(array)
     rgb = _ramp_lookup(normalized)
     idle = array == 0
     rgb[idle] = _IDLE_COLOR
@@ -92,6 +97,6 @@ def write_pgm(gray: np.ndarray, path) -> Path:
     return target.resolve()
 
 
-def heatmap_to_ppm(counts, path, scale: int = 24) -> Path:
+def heatmap_to_ppm(counts, path, scale: int = 24, peak: Optional[float] = None) -> Path:
     """One-call export: usage array to a PPM heatmap file."""
-    return write_ppm(heatmap_rgb(counts, scale=scale), path)
+    return write_ppm(heatmap_rgb(counts, scale=scale, peak=peak), path)

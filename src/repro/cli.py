@@ -62,7 +62,17 @@ def _run_spec_command(args: argparse.Namespace) -> str:
 
 def _cmd_list(args: argparse.Namespace) -> str:
     """Enumerate every registered experiment."""
-    specs = all_specs(tag=args.tag) if args.tag else all_specs()
+    tags = [tag.strip() for tag in (args.tags or "").split(",") if tag.strip()]
+    if args.tag:
+        tags.append(args.tag)
+    if tags:
+        specs = tuple(
+            spec
+            for spec in all_specs()
+            if any(tag in spec.tags for tag in tags)
+        )
+    else:
+        specs = all_specs()
     if getattr(args, "json_output", False):
         from repro.experiments.result import to_jsonable
 
@@ -259,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--tag", default=None, help="only experiments carrying this tag"
+    )
+    p.add_argument(
+        "--tags",
+        default=None,
+        metavar="TAG[,TAG...]",
+        help="only experiments carrying any of these comma-separated tags",
     )
     p.set_defaults(func=_cmd_list)
 

@@ -1,0 +1,617 @@
+"""Fleet studies: wear-aware dispatch across many accelerators.
+
+Three registered experiments drive :mod:`repro.fleet`:
+
+* ``fleet-lifetime`` (:func:`run_fleet_lifetime`) — one dispatch policy
+  in detail: per-device wear table, shared-scale α-heatmap small
+  multiples, availability timeline, and (optionally) a seeded Monte
+  Carlo over traffic/budget scenarios;
+* ``fleet-policies`` (:func:`run_fleet_policies`) — the core result:
+  every dispatch policy on the *same* seeded traffic, compared on fleet
+  MTTF, latency, throughput, and device-level wear balance. On the
+  default skewed bursty scenario ``rotational`` meets or beats
+  ``round_robin`` on fleet MTTF at equal throughput;
+* ``fleet-degradation`` (:func:`run_fleet_degradation`) — budgets
+  calibrated so PEs die mid-run, contrasting retiring devices early
+  against serving degraded ones (arXiv:2412.16208's sustainable-reuse
+  question at fleet scale).
+
+All three are pure functions of their parameters: traffic and budget
+seeds are spawned up front, so ``--jobs`` fan-out never changes a bit
+of the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.heatmap import render_heatmap_grid
+from repro.analysis.report import format_table
+from repro.arch.accelerator import Accelerator
+from repro.errors import ConfigurationError
+from repro.experiments.common import paper_accelerator
+from repro.experiments.result import JsonResultMixin
+from repro.fleet.device import WorkloadProfile, build_profiles
+from repro.fleet.dispatch import DISPATCH_POLICY_NAMES
+from repro.fleet.montecarlo import (
+    FleetScenarioSamples,
+    calibrated_rate,
+    sample_fleet_scenarios,
+)
+from repro.fleet.simulate import FleetConfig, FleetResult, simulate_fleet
+from repro.fleet.traffic import TRAFFIC_KINDS, WorkloadMix, make_traffic
+from repro.runtime import ParallelRunner
+
+#: Default traffic seed of the fleet studies (the repo-wide 2025).
+DEFAULT_SEED = 2025
+
+
+def _resolve_mix(mix: Sequence[Tuple[str, float]] = ()) -> WorkloadMix:
+    """Build the workload mix (CLI pairs, or the default skewed mix)."""
+    if mix:
+        return WorkloadMix(tuple((name, float(weight)) for name, weight in mix))
+    return WorkloadMix.default_skewed()
+
+
+def _check_traffic_kind(traffic: str) -> None:
+    if traffic not in TRAFFIC_KINDS:
+        raise ConfigurationError(
+            f"unknown traffic kind {traffic!r}; known: {TRAFFIC_KINDS}"
+        )
+
+
+@dataclass(frozen=True)
+class DeviceRow:
+    """Per-device summary row of one fleet run."""
+
+    device_id: int
+    served: int
+    total_usage: int
+    peak_usage: int
+    dead_pes: int
+    alive_fraction: float
+    death_time_s: Optional[float]
+    counts: np.ndarray
+
+
+def _device_rows(result: FleetResult) -> Tuple[DeviceRow, ...]:
+    return tuple(
+        DeviceRow(
+            device_id=stats.device_id,
+            served=stats.served,
+            total_usage=stats.total_usage,
+            peak_usage=stats.peak_usage,
+            dead_pes=stats.dead_pes,
+            alive_fraction=stats.alive_fraction,
+            death_time_s=stats.death_time_s,
+            counts=stats.counts,
+        )
+        for stats in result.device_stats
+    )
+
+
+def _device_table(rows: Sequence[DeviceRow], title: str) -> str:
+    return format_table(
+        ("device", "served", "total usage", "peak PE", "dead PEs", "alive", "retired at"),
+        [
+            (
+                f"dev{row.device_id}",
+                row.served,
+                row.total_usage,
+                row.peak_usage,
+                row.dead_pes,
+                f"{row.alive_fraction:.0%}",
+                "-" if row.death_time_s is None else f"{row.death_time_s:.2f}s",
+            )
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+def _device_heatmaps(rows: Sequence[DeviceRow], title: str) -> str:
+    """Shared-scale per-device α-heatmap small multiples."""
+    return render_heatmap_grid(
+        [
+            (
+                f"dev{row.device_id}" + ("" if row.death_time_s is None else " (retired)"),
+                row.counts,
+            )
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+@dataclass(frozen=True)
+class FleetLifetimeResult(JsonResultMixin):
+    """One dispatch policy's fleet run in detail (``rota fleet-lifetime``)."""
+
+    policy: str
+    num_devices: int
+    traffic: str
+    num_requests: int
+    rate_rps: float
+    seed: int
+    mttf_series_s: float
+    mttf_parallel_s: float
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p99_s: float
+    completed: int
+    rejected: int
+    dropped: int
+    availability_fraction: float
+    wear_imbalance: float
+    devices: Tuple[DeviceRow, ...]
+    availability: Tuple[Tuple[float, int], ...]
+    montecarlo: Optional[Tuple[Tuple[str, float], ...]]
+    show_heatmaps: bool = True
+
+    def format(self) -> str:
+        """Fleet summary + per-device table (+ shared-scale heatmaps)."""
+        summary = format_table(
+            ("metric", "value"),
+            [
+                ("fleet MTTF (series, first device)", f"{self.mttf_series_s:.4g} s"),
+                ("fleet MTTF (parallel, last device)", f"{self.mttf_parallel_s:.4g} s"),
+                ("throughput", f"{self.throughput_rps:.2f} req/s"),
+                ("latency p50 / p99", f"{self.latency_p50_s * 1e3:.1f} / "
+                                      f"{self.latency_p99_s * 1e3:.1f} ms"),
+                ("completed / rejected / dropped",
+                 f"{self.completed} / {self.rejected} / {self.dropped}"),
+                ("availability (time-averaged)", f"{self.availability_fraction:.1%}"),
+                ("device wear imbalance (max/mean)", f"{self.wear_imbalance:.4f}"),
+            ],
+            title=(
+                f"Fleet lifetime — {self.num_devices} devices, "
+                f"policy {self.policy}, {self.traffic} traffic "
+                f"({self.num_requests} requests @ {self.rate_rps:.1f} req/s, "
+                f"seed {self.seed})"
+            ),
+        )
+        parts = [summary, _device_table(self.devices, "Per-device wear and service")]
+        if self.show_heatmaps:
+            parts.append(
+                _device_heatmaps(
+                    self.devices, "Per-device usage (shared color scale)"
+                )
+            )
+        if self.montecarlo:
+            parts.append(
+                format_table(
+                    ("statistic", "value"),
+                    [(name, f"{value:.4g}") for name, value in self.montecarlo],
+                    title="Scenario Monte Carlo (traffic + budgets resampled)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_fleet_lifetime(
+    devices: int = 4,
+    policy: str = "rotational",
+    traffic: str = "bursty",
+    num_requests: int = 400,
+    rate_rps: Optional[float] = None,
+    mix: Sequence[Tuple[str, float]] = (),
+    mean_budget: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    scenarios: int = 0,
+    show_heatmaps: bool = True,
+    jobs: Optional[int] = None,
+    accelerator: Optional[Accelerator] = None,
+    profiles: Optional[Dict[str, WorkloadProfile]] = None,
+) -> FleetLifetimeResult:
+    """Run one fleet scenario in detail under a single dispatch policy.
+
+    ``rate_rps=None`` auto-calibrates to ~70% fleet utilization from the
+    workload profiles. ``scenarios > 0`` adds a Monte Carlo that
+    resamples traffic and budgets per scenario (fanned out over
+    ``jobs`` workers, chunk-invariant).
+    """
+    _check_traffic_kind(traffic)
+    workload_mix = _resolve_mix(mix)
+    accelerator = accelerator or paper_accelerator()
+    if profiles is None:
+        profiles = build_profiles(workload_mix.names, accelerator)
+    config = FleetConfig(
+        num_devices=devices, policy=policy, mean_budget=mean_budget
+    )
+    if rate_rps is None:
+        rate_rps = calibrated_rate(profiles, workload_mix, config)
+    sequence = np.random.SeedSequence(seed)
+    traffic_seed, budget_seed, montecarlo_seed = sequence.spawn(3)
+    requests = make_traffic(
+        traffic, num_requests, rate_rps, mix=workload_mix, seed=traffic_seed
+    )
+    result = simulate_fleet(
+        profiles, requests, accelerator=accelerator, config=config, seed=budget_seed
+    )
+    montecarlo: Optional[Tuple[Tuple[str, float], ...]] = None
+    if scenarios:
+        samples = sample_fleet_scenarios(
+            accelerator,
+            config=config,
+            traffic_kind=traffic,
+            num_requests=num_requests,
+            rate_rps=rate_rps,
+            mix=workload_mix,
+            profiles=profiles,
+            num_scenarios=scenarios,
+            seed=montecarlo_seed,
+            jobs=jobs,
+        )
+        montecarlo = (
+            ("scenarios", float(samples.num_scenarios)),
+            ("mean fleet MTTF (series, s)", samples.mean_mttf_series_s),
+            ("mean wear imbalance", samples.mean_wear_imbalance),
+            ("mean rejected requests", samples.mean_rejected),
+        )
+    return FleetLifetimeResult(
+        policy=policy,
+        num_devices=devices,
+        traffic=traffic,
+        num_requests=num_requests,
+        rate_rps=float(rate_rps),
+        seed=seed,
+        mttf_series_s=result.mttf_series_s,
+        mttf_parallel_s=result.mttf_parallel_s,
+        throughput_rps=result.throughput_rps,
+        latency_p50_s=result.latency_p50_s,
+        latency_p99_s=result.latency_p99_s,
+        completed=result.completed,
+        rejected=result.rejected,
+        dropped=result.dropped,
+        availability_fraction=result.availability_fraction,
+        wear_imbalance=result.wear_imbalance,
+        devices=_device_rows(result),
+        availability=result.availability,
+        montecarlo=montecarlo,
+        show_heatmaps=show_heatmaps,
+    )
+
+
+@dataclass(frozen=True)
+class FleetPolicyRow:
+    """One dispatch policy's record on the shared traffic."""
+
+    policy: str
+    mttf_series_s: float
+    mttf_parallel_s: float
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p99_s: float
+    rejected: int
+    wear_imbalance: float
+    device_totals: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FleetPoliciesResult(JsonResultMixin):
+    """The dispatch-policy comparison table (``rota fleet-policies``)."""
+
+    num_devices: int
+    traffic: str
+    num_requests: int
+    rate_rps: float
+    seed: int
+    rows: Tuple[FleetPolicyRow, ...]
+
+    def row_for(self, policy: str) -> FleetPolicyRow:
+        """Look up one policy's row."""
+        for row in self.rows:
+            if row.policy == policy:
+                return row
+        raise KeyError(policy)
+
+    def mttf_vs(self, policy: str, baseline: str = "round_robin") -> float:
+        """Series-MTTF ratio of ``policy`` against ``baseline``."""
+        return self.row_for(policy).mttf_series_s / self.row_for(baseline).mttf_series_s
+
+    def format(self) -> str:
+        """The policy-comparison table."""
+        return format_table(
+            (
+                "policy",
+                "fleet MTTF (s)",
+                "MTTF vs rr",
+                "tput (req/s)",
+                "p50 (ms)",
+                "p99 (ms)",
+                "rejected",
+                "wear imbalance",
+            ),
+            [
+                (
+                    row.policy,
+                    f"{row.mttf_series_s:.4g}",
+                    f"{self.mttf_vs(row.policy):.4f}x",
+                    f"{row.throughput_rps:.2f}",
+                    f"{row.latency_p50_s * 1e3:.1f}",
+                    f"{row.latency_p99_s * 1e3:.1f}",
+                    row.rejected,
+                    f"{row.wear_imbalance:.4f}",
+                )
+                for row in self.rows
+            ],
+            title=(
+                f"Dispatch policies — {self.num_devices} devices, "
+                f"{self.traffic} traffic ({self.num_requests} requests "
+                f"@ {self.rate_rps:.1f} req/s, seed {self.seed})"
+            ),
+        )
+
+
+def _policy_task(spec: Tuple) -> FleetPolicyRow:
+    """Simulate one policy (module-level so pools can pickle it)."""
+    profiles, requests, accelerator, config, budget_seed = spec
+    result = simulate_fleet(
+        profiles, requests, accelerator=accelerator, config=config, seed=budget_seed
+    )
+    return FleetPolicyRow(
+        policy=config.policy,
+        mttf_series_s=result.mttf_series_s,
+        mttf_parallel_s=result.mttf_parallel_s,
+        throughput_rps=result.throughput_rps,
+        latency_p50_s=result.latency_p50_s,
+        latency_p99_s=result.latency_p99_s,
+        rejected=result.rejected + result.dropped,
+        wear_imbalance=result.wear_imbalance,
+        device_totals=result.device_totals,
+    )
+
+
+def run_fleet_policies(
+    devices: int = 4,
+    traffic: str = "bursty",
+    num_requests: int = 300,
+    rate_rps: Optional[float] = None,
+    mix: Sequence[Tuple[str, float]] = (),
+    policies: Sequence[str] = DISPATCH_POLICY_NAMES,
+    mean_budget: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+    accelerator: Optional[Accelerator] = None,
+) -> FleetPoliciesResult:
+    """Compare dispatch policies on identical seeded traffic and budgets.
+
+    Every policy faces the same request sequence and the same sampled
+    per-device endurance fields (common random numbers), so differences
+    in fleet MTTF and latency are attributable to dispatch alone.
+    Profiles are built once here and shipped to workers; per-policy
+    simulations are pure, so ``jobs=1`` and ``jobs=4`` are
+    bit-identical.
+    """
+    _check_traffic_kind(traffic)
+    workload_mix = _resolve_mix(mix)
+    accelerator = accelerator or paper_accelerator()
+    profiles = build_profiles(workload_mix.names, accelerator)
+    base_config = FleetConfig(
+        num_devices=devices, policy=policies[0], mean_budget=mean_budget
+    )
+    if rate_rps is None:
+        rate_rps = calibrated_rate(profiles, workload_mix, base_config)
+    sequence = np.random.SeedSequence(seed)
+    traffic_seed, budget_seed = sequence.spawn(2)
+    requests = make_traffic(
+        traffic, num_requests, rate_rps, mix=workload_mix, seed=traffic_seed
+    )
+    runner = ParallelRunner(jobs)
+    rows = runner.map(
+        _policy_task,
+        [
+            (
+                profiles,
+                requests,
+                accelerator,
+                FleetConfig(
+                    num_devices=devices, policy=name, mean_budget=mean_budget
+                ),
+                budget_seed,
+            )
+            for name in policies
+        ],
+        labels=list(policies),
+    )
+    return FleetPoliciesResult(
+        num_devices=devices,
+        traffic=traffic,
+        num_requests=num_requests,
+        rate_rps=float(rate_rps),
+        seed=seed,
+        rows=tuple(rows),
+    )
+
+
+@dataclass(frozen=True)
+class FleetDegradationRow:
+    """One retirement strategy's record under mid-run wear-out."""
+
+    strategy: str
+    min_alive_fraction: float
+    completed: int
+    rejected: int
+    dropped: int
+    pe_deaths: int
+    devices_retired: int
+    availability_fraction: float
+    throughput_rps: float
+    latency_p99_s: float
+
+
+@dataclass(frozen=True)
+class FleetDegradationResult(JsonResultMixin):
+    """Retire-early vs serve-degraded (``rota fleet-degradation``)."""
+
+    policy: str
+    num_devices: int
+    traffic: str
+    num_requests: int
+    rate_rps: float
+    mean_budget: float
+    seed: int
+    rows: Tuple[FleetDegradationRow, ...]
+
+    def format(self) -> str:
+        """The strategy comparison table."""
+        return format_table(
+            (
+                "strategy",
+                "retire below",
+                "completed",
+                "rejected",
+                "dropped",
+                "PE deaths",
+                "retired",
+                "availability",
+                "tput (req/s)",
+                "p99 (ms)",
+            ),
+            [
+                (
+                    row.strategy,
+                    f"{row.min_alive_fraction:.0%}",
+                    row.completed,
+                    row.rejected,
+                    row.dropped,
+                    row.pe_deaths,
+                    row.devices_retired,
+                    f"{row.availability_fraction:.1%}",
+                    f"{row.throughput_rps:.2f}",
+                    f"{row.latency_p99_s * 1e3:.1f}",
+                )
+                for row in self.rows
+            ],
+            title=(
+                f"Graceful degradation — {self.num_devices} devices, "
+                f"policy {self.policy}, mean budget "
+                f"{self.mean_budget:.0f} allocations, "
+                f"{self.num_requests} requests, seed {self.seed}"
+            ),
+        )
+
+
+#: The retirement strategies the degradation study contrasts.
+DEGRADATION_STRATEGIES = (
+    ("retire-early", 0.95),
+    ("retire-half", 0.5),
+    ("serve-degraded", 0.1),
+)
+
+
+def _calibrated_fleet_budget(
+    profiles: Dict[str, WorkloadProfile],
+    mix: WorkloadMix,
+    devices: int,
+    num_requests: int,
+    fraction: float = 0.35,
+) -> float:
+    """Budget scale putting PE deaths mid-run on an evenly-shared fleet.
+
+    The mix-weighted mean per-request peak-PE increment, times the
+    requests one device would serve under perfect sharing, gives the
+    busiest PE's expected end-of-run wear; the mean budget is a
+    ``fraction`` of that, so deaths start well before the traffic ends.
+    """
+    probabilities = mix.probabilities
+    mean_peak = sum(
+        probability * float(profiles[name].counts.max())
+        for name, probability in zip(mix.names, probabilities)
+    )
+    per_device = max(1.0, num_requests / devices)
+    return max(1.0, mean_peak * per_device * fraction)
+
+
+def _degradation_task(spec: Tuple) -> FleetDegradationRow:
+    """Run one retirement strategy (module-level so pools can pickle it)."""
+    profiles, requests, accelerator, config, budget_seed, strategy = spec
+    result = simulate_fleet(
+        profiles, requests, accelerator=accelerator, config=config, seed=budget_seed
+    )
+    return FleetDegradationRow(
+        strategy=strategy,
+        min_alive_fraction=config.min_alive_fraction,
+        completed=result.completed,
+        rejected=result.rejected,
+        dropped=result.dropped,
+        pe_deaths=len(result.pe_deaths),
+        devices_retired=config.num_devices - result.devices_alive_at_end,
+        availability_fraction=result.availability_fraction,
+        throughput_rps=result.throughput_rps,
+        latency_p99_s=result.latency_p99_s,
+    )
+
+
+def run_fleet_degradation(
+    devices: int = 4,
+    policy: str = "rotational",
+    traffic: str = "bursty",
+    num_requests: int = 400,
+    rate_rps: Optional[float] = None,
+    mix: Sequence[Tuple[str, float]] = (),
+    mean_budget: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+    accelerator: Optional[Accelerator] = None,
+) -> FleetDegradationResult:
+    """Contrast retirement strategies under mid-run PE wear-out.
+
+    ``mean_budget=None`` auto-calibrates so deaths land mid-run. All
+    strategies face identical traffic and identical per-device budget
+    fields; only the retirement threshold differs — retiring a device
+    at the first sign of damage versus serving it, slowed, to the end
+    (the sustainable-reuse trade of arXiv:2412.16208).
+    """
+    _check_traffic_kind(traffic)
+    workload_mix = _resolve_mix(mix)
+    accelerator = accelerator or paper_accelerator()
+    profiles = build_profiles(workload_mix.names, accelerator)
+    if mean_budget is None:
+        mean_budget = _calibrated_fleet_budget(
+            profiles, workload_mix, devices, num_requests
+        )
+    reference = FleetConfig(
+        num_devices=devices, policy=policy, mean_budget=mean_budget
+    )
+    if rate_rps is None:
+        rate_rps = calibrated_rate(profiles, workload_mix, reference)
+    sequence = np.random.SeedSequence(seed)
+    traffic_seed, budget_seed = sequence.spawn(2)
+    requests = make_traffic(
+        traffic, num_requests, rate_rps, mix=workload_mix, seed=traffic_seed
+    )
+    runner = ParallelRunner(jobs)
+    rows = runner.map(
+        _degradation_task,
+        [
+            (
+                profiles,
+                requests,
+                accelerator,
+                FleetConfig(
+                    num_devices=devices,
+                    policy=policy,
+                    mean_budget=mean_budget,
+                    min_alive_fraction=threshold,
+                ),
+                budget_seed,
+                strategy,
+            )
+            for strategy, threshold in DEGRADATION_STRATEGIES
+        ],
+        labels=[strategy for strategy, _ in DEGRADATION_STRATEGIES],
+    )
+    return FleetDegradationResult(
+        policy=policy,
+        num_devices=devices,
+        traffic=traffic,
+        num_requests=num_requests,
+        rate_rps=float(rate_rps),
+        mean_budget=float(mean_budget),
+        seed=seed,
+        rows=tuple(rows),
+    )

@@ -80,10 +80,32 @@ def _parse_dead_coords(specs: List[str]) -> Tuple[Tuple[int, int], ...]:
     return tuple(coords)
 
 
+def _parse_workload_mix(specs: List[str]) -> Tuple[Tuple[str, float], ...]:
+    """Parse ``--mix NAME=WEIGHT`` options into plain (name, weight) pairs.
+
+    Stays plain data (the fleet drivers build the actual
+    ``WorkloadMix``), so the registry keeps its no-numpy import rule.
+    """
+    entries = []
+    for spec in specs:
+        name, separator, weight = spec.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"--mix expects 'NAME=WEIGHT' pairs, got {spec!r}")
+        try:
+            value = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"--mix weight must be a number, got {weight!r} in {spec!r}"
+            )
+        entries.append((name, value))
+    return tuple(entries)
+
+
 #: Named CLI-value converters a :class:`Param` may reference. Kept as a
 #: registry (not lambdas on the spec) so specs stay picklable plain data.
 CONVERTERS: Dict[str, Callable[[Any], Any]] = {
     "dead_coords": _parse_dead_coords,
+    "workload_mix": _parse_workload_mix,
 }
 
 #: Types a parameter schema may declare, mapped to argparse behavior.
@@ -678,6 +700,110 @@ register(
             _jobs_param(),
         ),
         tags=("fault",),
+    )
+)
+
+def _fleet_shared_params(num_requests_default: int) -> Tuple[Param, ...]:
+    """Parameters every fleet experiment shares."""
+    return (
+        Param(
+            name="devices", kind="int", default=4,
+            help="accelerators in the fleet",
+        ),
+        Param(
+            name="traffic", kind="str", default="bursty",
+            help="arrival process: poisson or bursty",
+        ),
+        Param(
+            name="requests", kind="int", default=num_requests_default,
+            kwarg="num_requests", help="requests to offer",
+        ),
+        Param(
+            name="rate", kind="float", default=None, kwarg="rate_rps",
+            help="arrival rate in req/s (default: auto-calibrated to ~70% "
+                 "fleet utilization)",
+        ),
+        Param(
+            name="mix",
+            kind="repeat",
+            default=(),
+            metavar="NAME=WEIGHT",
+            convert="workload_mix",
+            help="workload mix entry (repeatable; default: "
+                 "SqueezeNet=0.7 ResNet-50=0.3)",
+        ),
+        Param(
+            name="mean_budget",
+            kind="float",
+            default=None,
+            help="mean per-PE endurance budget (default: no wear-out deaths; "
+                 "lifetime is projected from final wear rates)",
+        ),
+        Param(name="seed", kind="int", default=2025),
+    )
+
+
+register(
+    ExperimentSpec(
+        id="fleet-lifetime",
+        title="fleet study: one dispatch policy in detail",
+        artifact="fleet lifetime (extension)",
+        runner="repro.experiments.fleet:run_fleet_lifetime",
+        params=(
+            Param(
+                name="policy", kind="str", default="rotational",
+                help="dispatch policy: round_robin, least_outstanding, "
+                     "least_wear, or rotational",
+            ),
+            *_fleet_shared_params(400),
+            Param(
+                name="scenarios", kind="int", default=0,
+                help="also run an N-scenario traffic/budget Monte Carlo",
+            ),
+            Param(
+                name="heatmaps",
+                kind="flag",
+                flag="--no-heatmaps",
+                invert=True,
+                default=True,
+                kwarg="show_heatmaps",
+                help="skip per-device heatmaps",
+            ),
+            _jobs_param(),
+        ),
+        tags=("fleet",),
+    )
+)
+
+register(
+    ExperimentSpec(
+        id="fleet-policies",
+        title="fleet study: dispatch-policy comparison on shared traffic",
+        artifact="fleet policy table (extension)",
+        runner="repro.experiments.fleet:run_fleet_policies",
+        params=(
+            *_fleet_shared_params(300),
+            _jobs_param(),
+        ),
+        tags=("fleet",),
+    )
+)
+
+register(
+    ExperimentSpec(
+        id="fleet-degradation",
+        title="fleet study: retire-early vs serve-degraded under wear-out",
+        artifact="fleet degradation (extension)",
+        runner="repro.experiments.fleet:run_fleet_degradation",
+        params=(
+            Param(
+                name="policy", kind="str", default="rotational",
+                help="dispatch policy the strategies share",
+            ),
+            *_fleet_shared_params(400),
+            _jobs_param(),
+        ),
+        tags=("fleet",),
     )
 )
 

@@ -192,6 +192,25 @@ def _write_overhead(section: _Section) -> None:
     section.write_text("sec5d_overhead.txt", section.result.format())
 
 
+def _write_fleet_lifetime(section: _Section) -> None:
+    """Fleet table plus per-device heatmaps on one shared color scale."""
+    from repro.analysis.image import heatmap_to_ppm
+
+    result = section.result
+    section.write_text("fleet_lifetime.txt", result.format())
+    shared_peak = max(
+        (float(row.counts.max()) for row in result.devices), default=0.0
+    )
+    for row in result.devices:
+        section.add(
+            heatmap_to_ppm(
+                row.counts,
+                section.out / f"fleet_device_{row.device_id}.ppm",
+                peak=shared_peak,
+            )
+        )
+
+
 #: Bespoke artifact writers, keyed by spec id.
 _WRITERS: Dict[str, Callable[[_Section], None]] = {
     "table2": _write_table2,
@@ -205,6 +224,7 @@ _WRITERS: Dict[str, Callable[[_Section], None]] = {
     "upper-bound": _write_upper_bound,
     "sweep": _write_sweep,
     "overhead": _write_overhead,
+    "fleet-lifetime": _write_fleet_lifetime,
 }
 
 
@@ -227,12 +247,15 @@ def write_report(
     fig6_iterations: int = PAPER_ITERATIONS,
     fig7_iterations: int = PAPER_ZOOM_ITERATIONS,
     fig8_iterations: int = 200,
+    fleet_requests: int = 300,
 ) -> ReportManifest:
     """Regenerate every evaluation artifact into ``out_dir``.
 
-    Also writes ``manifest.json`` (run observability: per-section
-    timings, cache counters, runner task timings) into the directory;
-    the manifest is not counted among the report's artifact files.
+    Covers the ``figure``-tagged specs in paper order, then the
+    ``fleet``-tagged extension studies. Also writes ``manifest.json``
+    (run observability: per-section timings, cache counters, runner
+    task timings) into the directory; the manifest is not counted among
+    the report's artifact files.
     """
     from repro.experiments.registry import _accelerator_fingerprint
     from repro.runtime import collect_metrics
@@ -245,13 +268,16 @@ def write_report(
         "usage-diff": {"iterations": fig6_iterations},
         "projection": {"iterations": fig7_iterations},
         "lifetime": {"iterations": fig8_iterations},
+        "fleet-lifetime": {"num_requests": fleet_requests},
+        "fleet-policies": {"num_requests": fleet_requests},
+        "fleet-degradation": {"num_requests": fleet_requests},
     }
 
     started_at = time.time()
     start = time.perf_counter()
     phases: List[PhaseTiming] = []
     with collect_metrics() as metrics:
-        for spec in all_specs(tag="figure"):
+        for spec in all_specs(tag="figure") + all_specs(tag="fleet"):
             params = spec.defaults
             params.update(dict(spec.all_params))
             params.update(overrides.get(spec.id, {}))
@@ -271,6 +297,7 @@ def write_report(
             ("fig6_iterations", fig6_iterations),
             ("fig7_iterations", fig7_iterations),
             ("fig8_iterations", fig8_iterations),
+            ("fleet_requests", fleet_requests),
         ),
         version=package_version(),
         accelerator=_accelerator_fingerprint(),

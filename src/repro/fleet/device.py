@@ -1,0 +1,326 @@
+"""Per-device state of the fleet simulator.
+
+A :class:`FleetDevice` wraps exactly the state the single-array stack
+already models, at request granularity:
+
+* the engine's per-PE usage ledger — each served request adds its
+  workload's :class:`WorkloadProfile` counts (one engine iteration's
+  worth of wear) to the same ``(h, w)`` array the
+  :class:`~repro.core.tracker.UsageTracker` keeps;
+* :class:`~repro.faults.state.FaultState` — PEs die when the ledger
+  crosses per-PE Weibull endurance budgets
+  (:func:`repro.faults.injection.sample_endurance_budgets`), and the
+  device retires once too few PEs survive;
+* a bounded FIFO queue with service times from the cycle model
+  (:meth:`NetworkExecution.total_cycles <repro.dataflow.simulator.
+  NetworkExecution.total_cycles>`), slowed down as PEs die.
+
+Profiles are computed once per workload by actually scheduling the
+network and running the wear-leveling engine for one iteration, so fleet
+wear is grounded in the same per-PE counts every paper figure uses —
+not a synthetic abstraction of them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.accelerator import Accelerator
+from repro.core.engine import WearLevelingEngine
+from repro.core.policies import StrideTrigger, make_policy
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injection import EnduranceBudgets
+from repro.faults.state import FaultState
+from repro.fleet.traffic import Request
+
+#: Intra-device wear-leveling policy assumed when profiling workloads:
+#: fleet devices are RoTA accelerators, so each runs RWL+RO internally.
+PROFILE_POLICY = "rwl+ro"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One workload's per-request footprint on one accelerator.
+
+    ``counts`` is the per-PE usage increment of a single inference (one
+    engine iteration under the device's intra-array wear-leveling
+    policy); ``cycles`` its service latency from the cycle model.
+    """
+
+    workload: str
+    counts: np.ndarray
+    cycles: int
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.counts, dtype=np.int64)
+        if array.ndim != 2:
+            raise ConfigurationError(
+                f"profile counts must be 2-D, got shape {array.shape}"
+            )
+        if self.cycles < 1:
+            raise ConfigurationError(
+                f"profile cycles must be positive, got {self.cycles}"
+            )
+        object.__setattr__(self, "counts", array)
+
+    @property
+    def wear_units(self) -> float:
+        """Total usage increment of one request (its wear footprint)."""
+        return float(self.counts.sum())
+
+
+def build_profile(
+    workload: str,
+    accelerator: Optional[Accelerator] = None,
+    policy_name: str = PROFILE_POLICY,
+) -> WorkloadProfile:
+    """Profile one workload: schedule it, run one engine iteration.
+
+    Uses the shared per-process execution cache
+    (:func:`repro.experiments.common.execution_for`), so profiling the
+    same network twice costs one dict lookup.
+    """
+    from repro.experiments.common import execution_for, paper_accelerator
+
+    accelerator = accelerator or paper_accelerator()
+    execution = execution_for(workload, accelerator)
+    policy = make_policy(policy_name, StrideTrigger.ORIGIN)
+    target = (
+        accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
+    )
+    engine = WearLevelingEngine(target, policy)
+    result = engine.run(execution.streams(), iterations=1, record_trace=False)
+    return WorkloadProfile(
+        workload=execution.network_name,
+        counts=result.counts.astype(np.int64),
+        cycles=int(execution.total_cycles),
+    )
+
+
+def build_profiles(
+    workloads: Sequence[str],
+    accelerator: Optional[Accelerator] = None,
+    policy_name: str = PROFILE_POLICY,
+) -> Dict[str, WorkloadProfile]:
+    """Profiles for several workloads.
+
+    Keyed by both the name as requested and the canonical network name,
+    so requests tagged with either form (``"Sqz"`` or ``"SqueezeNet"``)
+    resolve to the same profile.
+    """
+    profiles: Dict[str, WorkloadProfile] = {}
+    for workload in workloads:
+        profile = build_profile(workload, accelerator, policy_name)
+        profiles[workload] = profile
+        profiles[profile.workload] = profile
+    return profiles
+
+
+@dataclass(frozen=True)
+class PEDeath:
+    """One PE wearing out on one device, at simulated time ``time_s``."""
+
+    device_id: int
+    time_s: float
+    u: int
+    v: int
+
+
+class FleetDevice:
+    """One accelerator in the fleet: queue, wear ledger, fault state."""
+
+    def __init__(
+        self,
+        device_id: int,
+        accelerator: Accelerator,
+        budgets: Optional[EnduranceBudgets] = None,
+        queue_limit: int = 64,
+        clock_mhz: float = 200.0,
+        min_alive_fraction: float = 0.5,
+    ) -> None:
+        if queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be positive, got {queue_limit}"
+            )
+        if clock_mhz <= 0:
+            raise ConfigurationError(
+                f"clock_mhz must be positive, got {clock_mhz}"
+            )
+        if not 0.0 < min_alive_fraction <= 1.0:
+            raise ConfigurationError(
+                f"min_alive_fraction must be in (0, 1], got {min_alive_fraction}"
+            )
+        array = accelerator.array
+        if budgets is not None and budgets.shape != array.shape:
+            raise ConfigurationError(
+                f"budget shape {budgets.shape} does not match the "
+                f"{array.width}x{array.height} array"
+            )
+        self.device_id = device_id
+        self._array = array
+        self._budgets = budgets
+        self._queue_limit = queue_limit
+        self._clock_hz = clock_mhz * 1e6
+        self._min_alive_fraction = min_alive_fraction
+        self._ledger = np.zeros(array.shape, dtype=np.int64)
+        self._faults = FaultState.none(array)
+        self._queue: Deque[Tuple[Request, WorkloadProfile]] = deque()
+        self._in_service: Optional[Tuple[Request, WorkloadProfile]] = None
+        self.served = 0
+        self.dispatched_wear = 0.0
+        self.death_time_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Dispatch-facing views
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the device is still in service (not retired)."""
+        return self.death_time_s is None
+
+    @property
+    def can_accept(self) -> bool:
+        """Alive with queue headroom."""
+        return self.alive and len(self._queue) < self._queue_limit
+
+    @property
+    def outstanding(self) -> int:
+        """Requests queued plus in service."""
+        return len(self._queue) + (1 if self._in_service else 0)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def peak_wear(self) -> float:
+        """The hottest PE's wear; budget-normalized when budgets exist."""
+        peak = float(self._ledger.max())
+        if self._budgets is None:
+            return peak
+        return float((self._ledger / self._budgets.budgets).max())
+
+    # ------------------------------------------------------------------
+    # Wear state
+    # ------------------------------------------------------------------
+    @property
+    def ledger(self) -> np.ndarray:
+        """Read-only per-PE usage counts accumulated so far."""
+        view = self._ledger.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def faults(self) -> FaultState:
+        """The device's permanent-fault state."""
+        return self._faults
+
+    @property
+    def total_usage(self) -> int:
+        """Sum of the usage ledger."""
+        return int(self._ledger.sum())
+
+    @property
+    def peak_usage(self) -> int:
+        """The hottest PE's raw usage count."""
+        return int(self._ledger.max())
+
+    @property
+    def alive_fraction(self) -> float:
+        """Fraction of this device's PEs still working."""
+        return self._faults.alive_fraction
+
+    @property
+    def slowdown(self) -> float:
+        """Service-time multiplier from dead PEs (1.0 = healthy).
+
+        First-order degradation model: compute throughput scales with
+        surviving PEs, so a device that lost a quarter of its array
+        serves a third slower — consistent with the tile-slot accounting
+        of :class:`~repro.faults.state.DegradationStats` without paying
+        a placement search per request.
+        """
+        alive = self._faults.num_alive
+        if alive <= 0:
+            return float("inf")
+        return self._array.num_pes / alive
+
+    def service_seconds(self, profile: WorkloadProfile) -> float:
+        """Wall-clock service time of one request on this device, now."""
+        return profile.cycles / self._clock_hz * self.slowdown
+
+    # ------------------------------------------------------------------
+    # Queue mechanics (driven by the event loop)
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request, profile: WorkloadProfile) -> bool:
+        """Admit one request; returns whether service starts immediately."""
+        if not self.can_accept:
+            raise SimulationError(
+                f"device {self.device_id} cannot accept request {request.index}"
+            )
+        self.dispatched_wear += profile.wear_units
+        if self._in_service is None:
+            self._in_service = (request, profile)
+            return True
+        self._queue.append((request, profile))
+        return False
+
+    def complete(self, time_s: float) -> Tuple[Request, List[PEDeath], List[Request]]:
+        """Finish the in-service request at ``time_s``.
+
+        Applies the request's wear, detects budget crossings, retires
+        the device when too few PEs survive. Returns the finished
+        request, any PE deaths it caused, and the queued requests
+        dropped if the device retired.
+        """
+        if self._in_service is None:
+            raise SimulationError(f"device {self.device_id} is idle")
+        request, profile = self._in_service
+        self._in_service = None
+        self.served += 1
+        self._ledger += profile.counts
+        deaths: List[PEDeath] = []
+        if self._budgets is not None:
+            crossed = self._budgets.exceeded(self._ledger) & ~self._faults.dead_mask
+            if crossed.any():
+                rows, cols = np.nonzero(crossed)
+                for v, u in zip(rows.tolist(), cols.tolist()):
+                    self._faults.kill(u, v)
+                    deaths.append(
+                        PEDeath(device_id=self.device_id, time_s=time_s, u=u, v=v)
+                    )
+        dropped: List[Request] = []
+        if (
+            self.alive
+            and self._faults.alive_fraction < self._min_alive_fraction
+        ):
+            self.death_time_s = time_s
+            dropped = [queued for queued, _ in self._queue]
+            self._queue.clear()
+        return request, deaths, dropped
+
+    def start_next(self) -> Optional[WorkloadProfile]:
+        """Begin serving the head-of-queue request, if any."""
+        if self._in_service is not None:
+            raise SimulationError(f"device {self.device_id} is busy")
+        if not self._queue:
+            return None
+        self._in_service = self._queue.popleft()
+        return self._in_service[1]
+
+    @property
+    def in_service(self) -> Optional[Request]:
+        """The request currently being served, if any."""
+        return self._in_service[0] if self._in_service else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else f"dead@{self.death_time_s:.3f}s"
+        return (
+            f"FleetDevice({self.device_id}, {state}, served={self.served}, "
+            f"outstanding={self.outstanding})"
+        )

@@ -71,6 +71,9 @@ class CacheStats:
     enabled: bool
     entries: int
     total_bytes: int
+    #: Entries evicted by size-bound pruning over the cache's lifetime
+    #: (persisted beside the entries; reset by ``clear()``).
+    evictions: int = 0
 
     def format(self) -> str:
         """Human-readable one-paragraph summary."""
@@ -78,7 +81,8 @@ class CacheStats:
         size_kib = self.total_bytes / 1024
         return (
             f"result cache at {self.path} [{state}]\n"
-            f"  {self.entries} entries, {size_kib:.1f} KiB"
+            f"  {self.entries} entries, {size_kib:.1f} KiB, "
+            f"{self.evictions} evictions"
         )
 
 
@@ -121,6 +125,34 @@ class ResultCache:
 
     def _entry_path(self, key: str) -> Path:
         return self._directory / f"{key}.pkl"
+
+    @property
+    def _eviction_counter(self) -> Path:
+        """Sidecar file persisting the lifetime eviction count."""
+        return self._directory / "evictions.count"
+
+    def eviction_count(self) -> int:
+        """Entries evicted by pruning since the cache was last cleared."""
+        try:
+            return int(self._eviction_counter.read_text().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def _record_evictions(self, removed: int) -> None:
+        """Bump the persistent counter and every active metrics scope.
+
+        Best-effort like the rest of the cache: two concurrent pruners
+        may race the read-modify-write and undercount, which is
+        acceptable for a housekeeping statistic — what matters is that
+        evictions stop being silent.
+        """
+        observe.record_cache_eviction(removed)
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            total = self.eviction_count() + removed
+            self._eviction_counter.write_text(f"{total}\n")
+        except OSError:
+            pass
 
     def get(self, key: str) -> Optional[Any]:
         """Load the entry for ``key``, or ``None`` on a miss.
@@ -199,13 +231,15 @@ class ResultCache:
                 continue
             total -= size
             removed += 1
+        if removed:
+            self._record_evictions(removed)
         return removed
 
     def __contains__(self, key: str) -> bool:
         return self._enabled and self._entry_path(key).exists()
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and the eviction counter); returns the count."""
         removed = 0
         if not self._directory.is_dir():
             return removed
@@ -215,6 +249,10 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            self._eviction_counter.unlink()
+        except OSError:
+            pass
         return removed
 
     def stats(self) -> CacheStats:
@@ -233,6 +271,7 @@ class ResultCache:
             enabled=self._enabled,
             entries=entries,
             total_bytes=total,
+            evictions=self.eviction_count(),
         )
 
 

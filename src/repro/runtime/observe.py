@@ -38,6 +38,7 @@ class RunMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_puts: int = 0
+    cache_evictions: int = 0
     task_timings: List[Any] = field(default_factory=list)
 
     def cache_summary(self) -> Dict[str, int]:
@@ -46,6 +47,7 @@ class RunMetrics:
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "puts": self.cache_puts,
+            "evictions": self.cache_evictions,
         }
 
 
@@ -92,6 +94,12 @@ def record_cache_put() -> None:
     """Count one result-cache write in every scope active on this thread."""
     for scope in _scopes():
         scope.cache_puts += 1
+
+
+def record_cache_eviction(count: int = 1) -> None:
+    """Count ``count`` pruned cache entries in every active scope."""
+    for scope in _scopes():
+        scope.cache_evictions += count
 
 
 def record_task_timing(timing: Any) -> None:

@@ -38,6 +38,7 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_puts = 0
+        self.cache_evictions = 0
         # ParallelRunner task timings observed by worker threads.
         self.tasks_run = 0
         self.task_seconds = 0.0
@@ -94,6 +95,7 @@ class ServiceMetrics:
                 self.cache_hits += run_metrics.cache_hits
                 self.cache_misses += run_metrics.cache_misses
                 self.cache_puts += run_metrics.cache_puts
+                self.cache_evictions += run_metrics.cache_evictions
                 self.tasks_run += len(run_metrics.task_timings)
                 self.task_seconds += sum(
                     timing.seconds for timing in run_metrics.task_timings
@@ -121,6 +123,7 @@ class ServiceMetrics:
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,
                     "puts": self.cache_puts,
+                    "evictions": self.cache_evictions,
                 },
                 "tasks": {
                     "run": self.tasks_run,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.heatmap import heatmap_grid, render_heatmap
+from repro.analysis.heatmap import heatmap_grid, render_heatmap, render_heatmap_grid
 from repro.errors import SimulationError
 
 
@@ -40,3 +40,34 @@ class TestRenderHeatmap:
     def test_idle_array_renders_spaces(self):
         text = render_heatmap(np.zeros((2, 2)), legend=False)
         assert set(text) <= {" ", "\n"}
+
+    def test_shared_peak_scales_down(self):
+        # At half the shared peak, the cell renders mid-ramp, not '@'.
+        solo = render_heatmap(np.full((1, 1), 5.0), legend=False)
+        shared = render_heatmap(np.full((1, 1), 5.0), legend=False, peak=10.0)
+        assert solo == "@"
+        assert shared == "="
+
+
+class TestRenderHeatmapGrid:
+    def test_panels_share_one_scale(self):
+        hot = np.full((2, 2), 10.0)
+        cold = np.full((2, 2), 5.0)
+        text = render_heatmap_grid([("hot", hot), ("cold", cold)], legend=False)
+        lines = text.splitlines()
+        assert lines[0].split() == ["hot", "cold"]
+        # The cold panel renders mid-ramp against the hot panel's peak.
+        assert "@@" in lines[1] and "==" in lines[1]
+
+    def test_legend_reports_shared_peak_and_deaths(self):
+        dead = np.zeros((2, 2), dtype=bool)
+        dead[0, 0] = True
+        text = render_heatmap_grid(
+            [("a", np.ones((2, 2))), ("b", np.ones((2, 2)), dead)]
+        )
+        assert "shared max=1" in text
+        assert "dead=1(X)" in text
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SimulationError):
+            render_heatmap_grid([])

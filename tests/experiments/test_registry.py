@@ -34,6 +34,9 @@ FAST_PARAMS = {
     "lifetime": {"iterations": 2},
     "sweep": {"iterations": 2},
     "faults": {"max_iterations": 10, "deaths": 1},
+    "fleet-lifetime": {"num_requests": 60, "scenarios": 2},
+    "fleet-policies": {"num_requests": 60},
+    "fleet-degradation": {"num_requests": 60},
     "ablations": {},
     "extensions": {"iterations": 10},
     "attribution": {"limit": 2},
@@ -146,7 +149,7 @@ class TestRunManifest:
         assert manifest.wall_seconds > 0
         assert [phase.name for phase in manifest.phases] == ["import", "run"]
         counts = manifest.cache_counts
-        assert set(counts) == {"hits", "misses", "puts"}
+        assert set(counts) == {"hits", "misses", "puts", "evictions"}
         # REPRO_RESULT_CACHE=off in tests: every policy lookup misses.
         assert counts["misses"] > 0
         # Per-policy fan-out goes through ParallelRunner → task timings.

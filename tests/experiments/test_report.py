@@ -9,7 +9,11 @@ from repro.experiments.report import write_report
 def manifest(tmp_path_factory):
     out = tmp_path_factory.mktemp("report")
     return write_report(
-        out, fig6_iterations=50, fig7_iterations=30, fig8_iterations=10
+        out,
+        fig6_iterations=50,
+        fig7_iterations=30,
+        fig8_iterations=10,
+        fleet_requests=80,
     )
 
 
@@ -33,13 +37,18 @@ class TestReport:
             "fig9.txt",
             "fig10.txt",
             "sec5d_overhead.txt",
+            "fleet_lifetime.txt",
+            "fleet-policies.txt",
+            "fleet-degradation.txt",
         ):
             assert expected in names
 
     def test_heatmap_images_written(self, manifest):
         ppms = [name for name in manifest.file_names if name.endswith(".ppm")]
-        # 2 networks x 2 schemes (Fig. 3) + 3 schemes (Fig. 6c-e).
-        assert len(ppms) == 7
+        # 2 networks x 2 schemes (Fig. 3) + 3 schemes (Fig. 6c-e)
+        # + 4 fleet devices (shared-scale small multiples).
+        assert len(ppms) == 11
+        assert len([p for p in ppms if p.startswith("fleet_device_")]) == 4
 
     def test_csv_series_written(self, manifest):
         csvs = [name for name in manifest.file_names if name.endswith(".csv")]

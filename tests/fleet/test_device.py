@@ -1,0 +1,162 @@
+"""Tests for per-device fleet state: queue, wear ledger, fault state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injection import EnduranceBudgets
+from repro.fleet.device import FleetDevice, WorkloadProfile
+from repro.fleet.traffic import Request
+
+
+def profile_for(accelerator, wear=1, cycles=1000, name="toy"):
+    counts = np.full(accelerator.array.shape, wear, dtype=np.int64)
+    return WorkloadProfile(workload=name, counts=counts, cycles=cycles)
+
+
+def request(index=0, arrival=0.0, workload="toy"):
+    return Request(index=index, arrival_s=arrival, workload=workload)
+
+
+class TestWorkloadProfile:
+    def test_wear_units_is_total_increment(self, small_torus):
+        profile = profile_for(small_torus, wear=2)
+        assert profile.wear_units == 2 * small_torus.array.num_pes
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", np.zeros(4), cycles=10)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", np.zeros((2, 2)), cycles=0)
+
+
+class TestConstruction:
+    def test_validates_parameters(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            FleetDevice(0, small_torus, queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            FleetDevice(0, small_torus, clock_mhz=0.0)
+        with pytest.raises(ConfigurationError):
+            FleetDevice(0, small_torus, min_alive_fraction=0.0)
+
+    def test_rejects_budget_shape_mismatch(self, small_torus):
+        bad = EnduranceBudgets(np.ones((2, 2)))
+        with pytest.raises(ConfigurationError):
+            FleetDevice(0, small_torus, budgets=bad)
+
+
+class TestQueueMechanics:
+    def test_enqueue_starts_service_when_idle(self, small_torus):
+        device = FleetDevice(0, small_torus)
+        profile = profile_for(small_torus)
+        assert device.enqueue(request(0), profile) is True
+        assert device.enqueue(request(1), profile) is False
+        assert device.outstanding == 2
+        assert device.queue_length == 1
+        assert device.in_service.index == 0
+
+    def test_dispatched_wear_counts_at_enqueue(self, small_torus):
+        device = FleetDevice(0, small_torus)
+        profile = profile_for(small_torus, wear=3)
+        device.enqueue(request(0), profile)
+        assert device.dispatched_wear == profile.wear_units
+        assert device.total_usage == 0  # wear lands at completion
+
+    def test_queue_limit_bounds_acceptance(self, small_torus):
+        device = FleetDevice(0, small_torus, queue_limit=2)
+        profile = profile_for(small_torus)
+        for index in range(3):  # one in service + two queued
+            device.enqueue(request(index), profile)
+        assert not device.can_accept
+        with pytest.raises(SimulationError):
+            device.enqueue(request(3), profile)
+
+    def test_complete_applies_wear_and_serves_next(self, small_torus):
+        device = FleetDevice(0, small_torus)
+        profile = profile_for(small_torus, wear=2)
+        device.enqueue(request(0), profile)
+        device.enqueue(request(1), profile)
+        finished, deaths, dropped = device.complete(time_s=1.0)
+        assert finished.index == 0
+        assert deaths == [] and dropped == []
+        assert device.served == 1
+        assert (device.ledger == 2).all()
+        assert device.start_next() is profile
+        assert device.in_service.index == 1
+
+    def test_complete_when_idle_rejected(self, small_torus):
+        with pytest.raises(SimulationError):
+            FleetDevice(0, small_torus).complete(time_s=0.0)
+
+    def test_start_next_while_busy_rejected(self, small_torus):
+        device = FleetDevice(0, small_torus)
+        device.enqueue(request(0), profile_for(small_torus))
+        with pytest.raises(SimulationError):
+            device.start_next()
+
+    def test_ledger_view_is_read_only(self, small_torus):
+        device = FleetDevice(0, small_torus)
+        with pytest.raises(ValueError):
+            device.ledger[0, 0] = 1
+
+
+class TestWearOutAndRetirement:
+    def test_budget_crossings_kill_pes(self, small_torus):
+        budgets = np.full(small_torus.array.shape, 100.0)
+        budgets[0, 0] = 1.0  # (v=0, u=0) dies on the first request
+        device = FleetDevice(
+            0, small_torus, budgets=EnduranceBudgets(budgets),
+            min_alive_fraction=0.1,
+        )
+        device.enqueue(request(0), profile_for(small_torus))
+        _, deaths, dropped = device.complete(time_s=2.5)
+        assert [(d.u, d.v, d.time_s) for d in deaths] == [(0, 0, 2.5)]
+        assert device.alive and dropped == []
+        assert device.alive_fraction < 1.0
+
+    def test_retirement_drops_queue(self, small_torus):
+        # Every PE's budget crosses at once -> the device retires and
+        # hands back its queued (never-served) requests.
+        budgets = EnduranceBudgets.uniform(small_torus.array, 1.0)
+        device = FleetDevice(0, small_torus, budgets=budgets)
+        profile = profile_for(small_torus)
+        device.enqueue(request(0), profile)
+        device.enqueue(request(1), profile)
+        _, deaths, dropped = device.complete(time_s=3.0)
+        assert len(deaths) == small_torus.array.num_pes
+        assert [r.index for r in dropped] == [1]
+        assert not device.alive
+        assert device.death_time_s == 3.0
+        assert not device.can_accept
+
+    def test_peak_wear_normalizes_against_budgets(self, small_torus):
+        budgets = EnduranceBudgets.uniform(small_torus.array, 10.0)
+        device = FleetDevice(0, small_torus, budgets=budgets,
+                             min_alive_fraction=0.1)
+        device.enqueue(request(0), profile_for(small_torus, wear=2))
+        device.complete(time_s=1.0)
+        assert device.peak_wear == pytest.approx(0.2)
+        bare = FleetDevice(1, small_torus)
+        bare.enqueue(request(0), profile_for(small_torus, wear=2))
+        bare.complete(time_s=1.0)
+        assert bare.peak_wear == 2.0
+
+
+class TestServiceModel:
+    def test_service_seconds_from_cycle_model(self, small_torus):
+        device = FleetDevice(0, small_torus, clock_mhz=100.0)
+        profile = profile_for(small_torus, cycles=1_000_000)
+        assert device.service_seconds(profile) == pytest.approx(0.01)
+
+    def test_dead_pes_slow_the_device(self, small_torus):
+        budgets = np.full(small_torus.array.shape, 1e9)
+        budgets[0, 0] = 1.0
+        device = FleetDevice(
+            0, small_torus, budgets=EnduranceBudgets(budgets),
+            min_alive_fraction=0.1,
+        )
+        assert device.slowdown == 1.0
+        device.enqueue(request(0), profile_for(small_torus))
+        device.complete(time_s=1.0)
+        num_pes = small_torus.array.num_pes
+        assert device.slowdown == pytest.approx(num_pes / (num_pes - 1))

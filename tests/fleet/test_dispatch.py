@@ -1,0 +1,122 @@
+"""Tests for the pluggable dispatch policies."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.dispatch import (
+    DISPATCH_POLICY_NAMES,
+    RotationalDispatch,
+    make_dispatch_policy,
+)
+
+
+@dataclass
+class FakeDevice:
+    """Minimal DeviceView stand-in for policy unit tests."""
+
+    device_id: int
+    can_accept: bool = True
+    outstanding: int = 0
+    peak_wear: float = 0.0
+
+
+def roster(n=4, overrides=None):
+    devices = [FakeDevice(device_id=i) for i in range(n)]
+    for device_id, fields in (overrides or {}).items():
+        for key, value in fields.items():
+            setattr(devices[device_id], key, value)
+    return devices
+
+
+class TestFactory:
+    def test_builds_every_named_policy(self):
+        for name in DISPATCH_POLICY_NAMES:
+            assert make_dispatch_policy(name, 4).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_dispatch_policy("random", 4)
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            make_dispatch_policy("round_robin", 0)
+
+
+class TestRoundRobin:
+    def test_cycles_devices(self):
+        policy = make_dispatch_policy("round_robin", 3)
+        devices = roster(3)
+        picks = [policy.select(devices, 1.0) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_unavailable(self):
+        policy = make_dispatch_policy("round_robin", 3)
+        devices = roster(3, {1: {"can_accept": False}})
+        picks = [policy.select(devices, 1.0) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_none_when_all_full(self):
+        policy = make_dispatch_policy("round_robin", 2)
+        devices = roster(2, {0: {"can_accept": False}, 1: {"can_accept": False}})
+        assert policy.select(devices, 1.0) is None
+
+
+class TestLeastOutstanding:
+    def test_prefers_shortest_queue(self):
+        policy = make_dispatch_policy("least_outstanding", 3)
+        devices = roster(3, {0: {"outstanding": 5}, 1: {"outstanding": 2}})
+        assert policy.select(devices, 1.0) == 2
+
+    def test_ties_break_on_device_id(self):
+        policy = make_dispatch_policy("least_outstanding", 3)
+        assert policy.select(roster(3), 1.0) == 0
+
+
+class TestLeastWear:
+    def test_prefers_coldest_device(self):
+        policy = make_dispatch_policy("least_wear", 3)
+        devices = roster(3, {0: {"peak_wear": 9.0}, 2: {"peak_wear": 0.5}})
+        devices[1].peak_wear = 3.0
+        assert policy.select(devices, 1.0) == 2
+
+    def test_ignores_dead_devices(self):
+        policy = make_dispatch_policy("least_wear", 2)
+        devices = roster(2, {0: {"peak_wear": 0.0, "can_accept": False}})
+        devices[1].peak_wear = 7.0
+        assert policy.select(devices, 1.0) == 1
+
+
+class TestRotational:
+    def test_uniform_cost_degenerates_to_round_robin(self):
+        policy = RotationalDispatch(4)
+        devices = roster(4)
+        picks = [policy.select(devices, 1.0) for _ in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_residue_steers_work_away_from_stressed_device(self):
+        """After one heavy request, the ledger keeps device 0 out of the
+        rotation until the others catch up — the carried residue."""
+        policy = RotationalDispatch(3)
+        devices = roster(3)
+        assert policy.select(devices, 10.0) == 0
+        picks = [policy.select(devices, 1.0) for _ in range(6)]
+        assert 0 not in picks[:6]
+        assert policy.dispatched_wear == (10.0, 3.0, 3.0)
+
+    def test_levels_dispatched_wear_under_skewed_costs(self):
+        policy = RotationalDispatch(4)
+        devices = roster(4)
+        costs = [7.0, 1.0, 1.0, 1.0] * 25  # bursty: heavy then light
+        for cost in costs:
+            policy.select(devices, cost)
+        ledger = policy.dispatched_wear
+        assert max(ledger) / min(ledger) < 1.15
+
+    def test_skips_unavailable_and_returns_none_when_full(self):
+        policy = RotationalDispatch(2)
+        devices = roster(2, {0: {"can_accept": False}})
+        assert policy.select(devices, 1.0) == 1
+        devices[1].can_accept = False
+        assert policy.select(devices, 1.0) is None

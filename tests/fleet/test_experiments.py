@@ -1,0 +1,114 @@
+"""Registered fleet experiments: drivers, specs, and acceptance checks.
+
+These tests run the real paper accelerator (profiles come from actually
+scheduling SqueezeNet and ResNet-50), so they double as the PR's
+acceptance criteria: ``rotational`` meets or beats ``round_robin`` on
+fleet MTTF on the default skewed bursty scenario, and ``--jobs`` fan-out
+never changes a bit of any result.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fleet import (
+    run_fleet_degradation,
+    run_fleet_lifetime,
+    run_fleet_policies,
+)
+from repro.experiments.registry import all_specs, get_spec
+from repro.experiments.result import to_jsonable
+from repro.fleet.device import build_profiles
+from repro.fleet.dispatch import DISPATCH_POLICY_NAMES
+
+FLEET_SPEC_IDS = ("fleet-lifetime", "fleet-policies", "fleet-degradation")
+
+
+class TestSpecs:
+    def test_all_fleet_specs_registered_with_tag(self):
+        tagged = {spec.id for spec in all_specs(tag="fleet")}
+        assert tagged == set(FLEET_SPEC_IDS)
+
+    def test_specs_resolve_to_drivers(self):
+        drivers = {
+            "fleet-lifetime": run_fleet_lifetime,
+            "fleet-policies": run_fleet_policies,
+            "fleet-degradation": run_fleet_degradation,
+        }
+        for spec_id, driver in drivers.items():
+            assert get_spec(spec_id).resolve() is driver
+
+    def test_every_fleet_result_round_trips_through_json(self):
+        """Registry completeness: each fleet spec's result serializes."""
+        fast = {
+            "fleet-lifetime": dict(num_requests=40, scenarios=2, jobs=1),
+            "fleet-policies": dict(num_requests=40, jobs=1),
+            "fleet-degradation": dict(num_requests=40, jobs=1),
+        }
+        for spec_id, overrides in fast.items():
+            result = get_spec(spec_id).resolve()(**overrides)
+            payload = to_jsonable(result.to_dict())
+            assert json.loads(json.dumps(payload)) == payload
+
+
+class TestDrivers:
+    def test_lifetime_reports_devices_and_heatmaps(self):
+        result = run_fleet_lifetime(num_requests=60, scenarios=0)
+        assert len(result.devices) == 4
+        assert result.completed + result.rejected + result.dropped == 60
+        text = result.format()
+        assert "Fleet lifetime" in text
+        assert "dev0" in text and "shared" in text
+
+    def test_lifetime_montecarlo_section(self):
+        result = run_fleet_lifetime(num_requests=40, scenarios=2, jobs=1)
+        assert result.montecarlo is not None
+        assert dict(result.montecarlo)["scenarios"] == 2.0
+        assert "Scenario Monte Carlo" in result.format()
+
+    def test_degradation_contrasts_strategies(self):
+        result = run_fleet_degradation(num_requests=120, jobs=1)
+        strategies = [row.strategy for row in result.rows]
+        assert strategies == ["retire-early", "retire-half", "serve-degraded"]
+        early = result.rows[0]
+        degraded = result.rows[-1]
+        # Serving degraded devices keeps the fleet more available than
+        # retiring at the first sign of damage.
+        assert degraded.availability_fraction >= early.availability_fraction
+        assert result.mean_budget > 0
+        assert "Graceful degradation" in result.format()
+
+    def test_rejects_unknown_traffic(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet_policies(traffic="fractal", num_requests=10)
+
+
+class TestProfiles:
+    def test_profiles_key_requested_and_canonical_names(self):
+        profiles = build_profiles(["Sqz"])
+        assert "Sqz" in profiles and "SqueezeNet" in profiles
+        assert profiles["Sqz"] is profiles["SqueezeNet"]
+
+
+class TestAcceptance:
+    """The PR's headline claims, at the experiment's default parameters."""
+
+    @pytest.fixture(scope="class")
+    def default_policies(self):
+        return run_fleet_policies()
+
+    def test_reports_every_dispatch_policy(self, default_policies):
+        assert len(default_policies.rows) >= 4
+        assert tuple(row.policy for row in default_policies.rows) == (
+            DISPATCH_POLICY_NAMES
+        )
+        for row in default_policies.rows:
+            assert row.mttf_series_s > 0
+
+    def test_rotational_meets_or_beats_round_robin(self, default_policies):
+        assert default_policies.mttf_vs("rotational") >= 1.0
+
+    def test_jobs_fanout_is_bit_identical(self, default_policies):
+        fanned = run_fleet_policies(jobs=4)
+        assert fanned.to_dict() == default_policies.to_dict()

@@ -1,0 +1,101 @@
+"""Chunk- and jobs-invariance of the fleet Monte Carlo sweep.
+
+The jobs-invariance property test is the fleet mirror of
+``tests/faults/test_montecarlo.py``: the sampled scenario set must be a
+pure function of ``(seed, num_scenarios)``, bit-identical for any
+``jobs`` count or ``chunk_size``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.device import WorkloadProfile
+from repro.fleet.montecarlo import calibrated_rate, sample_fleet_scenarios
+from repro.fleet.simulate import FleetConfig
+from repro.fleet.traffic import WorkloadMix
+
+MIX = WorkloadMix((("light", 0.7), ("heavy", 0.3)))
+
+
+def toy_profiles(accelerator):
+    shape = accelerator.array.shape
+    return {
+        "light": WorkloadProfile(
+            "light", np.full(shape, 1, dtype=np.int64), cycles=10_000
+        ),
+        "heavy": WorkloadProfile(
+            "heavy", np.full(shape, 8, dtype=np.int64), cycles=80_000
+        ),
+    }
+
+
+def _sample(small_torus, **overrides):
+    kwargs = dict(
+        config=FleetConfig(num_devices=2, mean_budget=300.0),
+        traffic_kind="bursty",
+        num_requests=40,
+        mix=MIX,
+        profiles=toy_profiles(small_torus),
+        num_scenarios=6,
+        seed=99,
+        jobs=1,
+        chunk_size=2,
+    )
+    kwargs.update(overrides)
+    return sample_fleet_scenarios(small_torus, **kwargs)
+
+
+class TestJobsInvariance:
+    def test_serial_and_parallel_are_bit_identical(self, small_torus):
+        serial = _sample(small_torus, jobs=1)
+        fanned = _sample(small_torus, jobs=4)
+        assert serial.outcomes == fanned.outcomes
+
+    def test_chunk_size_does_not_change_outcomes(self, small_torus):
+        one = _sample(small_torus, chunk_size=1)
+        four = _sample(small_torus, chunk_size=4)
+        assert one.outcomes == four.outcomes
+
+    def test_different_seeds_differ(self, small_torus):
+        assert _sample(small_torus, seed=99).outcomes != _sample(
+            small_torus, seed=100
+        ).outcomes
+
+
+class TestAggregates:
+    def test_shape_and_summary_statistics(self, small_torus):
+        samples = _sample(small_torus)
+        assert samples.num_scenarios == 6
+        assert samples.policy == "rotational"
+        assert samples.num_devices == 2
+        assert samples.traffic_kind == "bursty"
+        assert samples.mean_mttf_series_s > 0
+        assert samples.mean_wear_imbalance >= 1.0
+        assert samples.mean_rejected >= 0.0
+        for outcome in samples.outcomes:
+            assert (
+                outcome.completed + outcome.rejected + outcome.dropped == 40
+            )
+
+    def test_validation(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            _sample(small_torus, num_scenarios=0)
+        with pytest.raises(ConfigurationError):
+            _sample(small_torus, chunk_size=0)
+
+
+class TestCalibratedRate:
+    def test_targets_fleet_utilization(self, small_torus):
+        profiles = toy_profiles(small_torus)
+        config = FleetConfig(num_devices=4, clock_mhz=200.0)
+        rate = calibrated_rate(profiles, MIX, config, utilization=0.7)
+        # Mix-weighted mean service: (0.7*10k + 0.3*80k) cycles at 200 MHz.
+        mean_service = (0.7 * 10_000 + 0.3 * 80_000) / 200e6
+        assert rate == pytest.approx(0.7 * 4 / mean_service)
+
+    def test_rejects_bad_utilization(self, small_torus):
+        with pytest.raises(ConfigurationError):
+            calibrated_rate(
+                toy_profiles(small_torus), MIX, FleetConfig(), utilization=0.0
+            )

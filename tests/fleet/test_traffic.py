@@ -1,0 +1,131 @@
+"""Tests for the seeded arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.traffic import (
+    WorkloadMix,
+    bursty_requests,
+    make_traffic,
+    poisson_requests,
+    replay_requests,
+)
+
+MIX = WorkloadMix((("light", 3.0), ("heavy", 1.0)))
+
+
+class TestWorkloadMix:
+    def test_probabilities_normalize(self):
+        assert MIX.probabilities.tolist() == [0.75, 0.25]
+        assert MIX.names == ("light", "heavy")
+
+    def test_uniform(self):
+        mix = WorkloadMix.uniform(["a", "b"])
+        assert mix.probabilities.tolist() == [0.5, 0.5]
+
+    def test_default_skewed_mix_is_light_heavy(self):
+        mix = WorkloadMix.default_skewed()
+        assert mix.names == ("SqueezeNet", "ResNet-50")
+        assert mix.probabilities[0] > mix.probabilities[1]
+
+    def test_rejects_empty_and_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix(())
+        with pytest.raises(ConfigurationError):
+            WorkloadMix((("a", 0.0),))
+        with pytest.raises(ConfigurationError):
+            WorkloadMix((("a", 1.0), ("a", 2.0)))
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_requests(50, 10.0, MIX, seed=3)
+        b = poisson_requests(50, 10.0, MIX, seed=3)
+        c = poisson_requests(50, 10.0, MIX, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_arrivals_increase_and_index(self):
+        requests = poisson_requests(30, 5.0, MIX, seed=1)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.index for r in requests] == list(range(30))
+
+    def test_long_run_rate_roughly_matches(self):
+        requests = poisson_requests(2000, 10.0, MIX, seed=7)
+        realized = len(requests) / requests[-1].arrival_s
+        assert realized == pytest.approx(10.0, rel=0.15)
+
+    def test_mix_frequencies_follow_probabilities(self):
+        requests = poisson_requests(2000, 10.0, MIX, seed=7)
+        light = sum(1 for r in requests if r.workload == "light")
+        assert light / len(requests) == pytest.approx(0.75, abs=0.05)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            poisson_requests(0, 10.0, MIX)
+        with pytest.raises(ConfigurationError):
+            poisson_requests(10, 0.0, MIX)
+
+
+class TestBursty:
+    def test_deterministic_per_seed(self):
+        a = bursty_requests(60, 10.0, MIX, seed=3)
+        assert a == bursty_requests(60, 10.0, MIX, seed=3)
+        assert a != bursty_requests(60, 10.0, MIX, seed=4)
+
+    def test_bursts_carry_a_single_workload(self):
+        """Consecutive same-burst requests share one workload, so the
+        number of workload *switches* is far below the i.i.d. count."""
+        requests = bursty_requests(400, 10.0, MIX, seed=5, burst_mean=10.0)
+        switches = sum(
+            1
+            for earlier, later in zip(requests, requests[1:])
+            if earlier.workload != later.workload
+        )
+        # i.i.d. draws would switch ~2*p*(1-p)=37.5% of the time.
+        assert switches / len(requests) < 0.25
+
+    def test_long_run_rate_roughly_matches(self):
+        requests = bursty_requests(3000, 10.0, MIX, seed=9)
+        realized = len(requests) / requests[-1].arrival_s
+        assert realized == pytest.approx(10.0, rel=0.3)
+
+    def test_rejects_bad_burst_parameters(self):
+        with pytest.raises(ConfigurationError):
+            bursty_requests(10, 1.0, MIX, burst_mean=0.5)
+        with pytest.raises(ConfigurationError):
+            bursty_requests(10, 1.0, MIX, burstiness=0.0)
+
+
+class TestReplay:
+    def test_wraps_trace(self):
+        requests = replay_requests([(0.0, "a"), (1.5, "b"), (1.5, "a")])
+        assert [r.workload for r in requests] == ["a", "b", "a"]
+        assert [r.index for r in requests] == [0, 1, 2]
+
+    def test_rejects_decreasing_or_empty(self):
+        with pytest.raises(ConfigurationError):
+            replay_requests([])
+        with pytest.raises(ConfigurationError):
+            replay_requests([(1.0, "a"), (0.5, "b")])
+        with pytest.raises(ConfigurationError):
+            replay_requests([(0.0, "")])
+
+
+class TestMakeTraffic:
+    def test_dispatches_by_kind(self):
+        seed = np.random.SeedSequence(3)
+        poisson = make_traffic("poisson", 20, 5.0, mix=MIX, seed=seed)
+        bursty = make_traffic("bursty", 20, 5.0, mix=MIX, seed=seed)
+        assert len(poisson) == len(bursty) == 20
+        assert poisson != bursty
+
+    def test_defaults_to_skewed_mix(self):
+        requests = make_traffic("poisson", 20, 5.0)
+        assert {r.workload for r in requests} <= {"SqueezeNet", "ResNet-50"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_traffic("fractal", 10, 1.0)

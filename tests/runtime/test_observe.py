@@ -2,6 +2,7 @@
 
 from repro.runtime import ParallelRunner, ResultCache, collect_metrics
 from repro.runtime.observe import (
+    record_cache_eviction,
     record_cache_hit,
     record_cache_miss,
     record_cache_put,
@@ -16,7 +17,7 @@ class TestCollectMetrics:
     def test_counters_start_at_zero(self):
         with collect_metrics() as metrics:
             pass
-        assert metrics.cache_summary() == {"hits": 0, "misses": 0, "puts": 0}
+        assert metrics.cache_summary() == {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
         assert metrics.task_timings == []
 
     def test_records_manual_events(self):
@@ -25,7 +26,10 @@ class TestCollectMetrics:
             record_cache_miss()
             record_cache_miss()
             record_cache_put()
-        assert metrics.cache_summary() == {"hits": 1, "misses": 2, "puts": 1}
+            record_cache_eviction(3)
+        assert metrics.cache_summary() == {
+            "hits": 1, "misses": 2, "puts": 1, "evictions": 3
+        }
 
     def test_no_recording_outside_scope(self):
         with collect_metrics() as metrics:
@@ -38,8 +42,8 @@ class TestCollectMetrics:
             record_cache_miss()
             with collect_metrics() as inner:
                 record_cache_hit()
-        assert outer.cache_summary() == {"hits": 1, "misses": 1, "puts": 0}
-        assert inner.cache_summary() == {"hits": 1, "misses": 0, "puts": 0}
+        assert outer.cache_summary() == {"hits": 1, "misses": 1, "puts": 0, "evictions": 0}
+        assert inner.cache_summary() == {"hits": 1, "misses": 0, "puts": 0, "evictions": 0}
 
 
 class TestCacheInstrumentation:
@@ -49,14 +53,14 @@ class TestCacheInstrumentation:
             assert cache.get("missing") is None
             cache.put("key", {"x": 1})
             assert cache.get("key") == {"x": 1}
-        assert metrics.cache_summary() == {"hits": 1, "misses": 1, "puts": 1}
+        assert metrics.cache_summary() == {"hits": 1, "misses": 1, "puts": 1, "evictions": 0}
 
     def test_disabled_cache_counts_misses(self, tmp_path):
         cache = ResultCache(directory=tmp_path, enabled=False)
         with collect_metrics() as metrics:
             assert cache.get("anything") is None
             cache.put("anything", 1)  # disabled: no put recorded
-        assert metrics.cache_summary() == {"hits": 0, "misses": 1, "puts": 0}
+        assert metrics.cache_summary() == {"hits": 0, "misses": 1, "puts": 0, "evictions": 0}
 
 
 class TestRunnerInstrumentation:
