@@ -22,8 +22,15 @@ if str(_SRC) not in sys.path:
 
 
 def once(benchmark, func, *args, **kwargs):
-    """Time a heavy experiment driver exactly once."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Time a heavy experiment driver once, after one untimed warmup.
+
+    The warmup round populates the schedule and result caches so the
+    measured round reports steady-state cost instead of a cold start —
+    figure benches were previously dominated by first-call cache fills.
+    """
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=1
+    )
 
 
 def registry_runner(spec_id):

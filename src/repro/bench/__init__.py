@@ -1,0 +1,39 @@
+"""Durable performance snapshots: ``rota bench`` and ``BENCH_<n>.json``.
+
+:mod:`repro.bench.snapshot` runs a pinned benchmark configuration —
+engine throughput (iterative vs analytic), fleet and faults Monte Carlo
+wall-clock, service submit-to-result latency, cache hit rates — and
+serializes the result as a numbered ``BENCH_<n>.json`` at the repo
+root. :mod:`repro.bench.compare` diffs two snapshots metric-by-metric
+so CI can fail on regressions against the latest committed baseline.
+"""
+
+from repro.bench.compare import CompareReport, MetricDelta, compare_snapshots
+from repro.bench.snapshot import (
+    BenchConfig,
+    BenchSnapshot,
+    FULL,
+    Metric,
+    SMOKE,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    run_bench,
+    snapshot_paths,
+)
+
+__all__ = [
+    "BenchConfig",
+    "BenchSnapshot",
+    "CompareReport",
+    "FULL",
+    "Metric",
+    "MetricDelta",
+    "SMOKE",
+    "compare_snapshots",
+    "latest_snapshot_path",
+    "load_snapshot",
+    "next_snapshot_path",
+    "run_bench",
+    "snapshot_paths",
+]

@@ -1,0 +1,120 @@
+"""Snapshot comparator: fail CI when a metric regresses past threshold.
+
+A metric regresses when it moves in its *bad* direction by more than
+the relative threshold: a ``direction="higher"`` metric (throughput,
+speedup, hit rate) regresses when the candidate drops below
+``baseline * (1 - threshold)``; a ``direction="lower"`` metric
+(wall-clock, latency) regresses when it rises above
+``baseline * (1 + threshold)``. Metrics present in only one snapshot
+are reported but never fail the comparison — adding a new metric must
+not break the first run that records it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bench.snapshot import BenchSnapshot
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between baseline and candidate."""
+
+    name: str
+    unit: str
+    direction: str
+    baseline: float
+    candidate: float
+    #: Relative change, signed so positive is always an improvement.
+    improvement: float
+    regressed: bool
+
+    def format(self) -> str:
+        sign = "+" if self.improvement >= 0 else ""
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name}: {self.baseline:,.2f} -> {self.candidate:,.2f} "
+            f"{self.unit} ({sign}{self.improvement * 100:.1f}%) [{verdict}]"
+        )
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Outcome of diffing a candidate snapshot against a baseline."""
+
+    threshold: float
+    deltas: Tuple[MetricDelta, ...]
+    only_baseline: Tuple[str, ...]
+    only_candidate: Tuple[str, ...]
+
+    @property
+    def regressions(self) -> Tuple[MetricDelta, ...]:
+        """The deltas that breach the threshold."""
+        return tuple(delta for delta in self.deltas if delta.regressed)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the candidate passes (no metric regressed)."""
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"bench comparison (threshold {self.threshold * 100:.0f}%):"
+        ]
+        lines.extend(f"  {delta.format()}" for delta in self.deltas)
+        for name in self.only_baseline:
+            lines.append(f"  {name}: only in baseline (skipped)")
+        for name in self.only_candidate:
+            lines.append(f"  {name}: new metric (no baseline)")
+        lines.append(
+            "PASS: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} metric(s) regressed"
+        )
+        return "\n".join(lines)
+
+
+def compare_snapshots(
+    baseline: BenchSnapshot,
+    candidate: BenchSnapshot,
+    threshold: float = 0.30,
+) -> CompareReport:
+    """Diff two snapshots metric-by-metric."""
+    baseline_names = {metric.name for metric in baseline.metrics}
+    candidate_names = {metric.name for metric in candidate.metrics}
+    deltas: List[MetricDelta] = []
+    for name in sorted(baseline_names & candidate_names):
+        before = baseline.metric(name)
+        after = candidate.metric(name)
+        if before.value == 0:
+            improvement = 0.0
+        elif before.direction == "higher":
+            improvement = (after.value - before.value) / before.value
+        else:
+            improvement = (before.value - after.value) / before.value
+        # The baseline's atol rides with the committed file, so the
+        # tolerance is pinned alongside the number it protects.
+        atol = max(before.atol, after.atol)
+        regressed = (
+            improvement < -threshold
+            and abs(after.value - before.value) > atol
+        )
+        deltas.append(
+            MetricDelta(
+                name=name,
+                unit=before.unit,
+                direction=before.direction,
+                baseline=before.value,
+                candidate=after.value,
+                improvement=improvement,
+                regressed=regressed,
+            )
+        )
+    return CompareReport(
+        threshold=threshold,
+        deltas=tuple(deltas),
+        only_baseline=tuple(sorted(baseline_names - candidate_names)),
+        only_candidate=tuple(sorted(candidate_names - baseline_names)),
+    )

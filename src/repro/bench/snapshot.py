@@ -1,0 +1,408 @@
+"""The ``rota bench`` snapshot runner.
+
+Each run executes a pinned benchmark configuration and produces a
+:class:`BenchSnapshot`: a named set of :class:`Metric` values with an
+improvement direction, plus enough environment context to interpret a
+number recorded on another machine. Snapshots serialize to
+``BENCH_<n>.json`` files at the repo root; the sequence of committed
+files is the project's durable performance trajectory.
+
+Sections
+--------
+``engine``
+    1,000 network iterations of ResNet-50 on the paper's Eyeriss-scale
+    array, timed through the iterative walk and through the analytic
+    orbit fold (``mode="analytic"``), reported as tiles/second plus the
+    fold's speedup factor. Both runs produce bit-identical ledgers (the
+    equivalence property suite enforces this); the bench re-asserts it.
+``fleet``
+    Wall-clock of a :func:`repro.fleet.montecarlo.
+    sample_fleet_scenarios` batch (traffic-driven multi-device Monte
+    Carlo, wear applied through memoized workload profiles).
+``faults``
+    Wall-clock of a :func:`repro.faults.montecarlo.
+    sample_fault_scenarios` batch (run-until-death engine scenarios on
+    sampled endurance-budget fields).
+``service``
+    Submit-to-result latency through the in-process
+    :class:`~repro.service.api.ServiceAPI` — the HTTP surface minus the
+    socket — reported as p50/p99 milliseconds.
+
+Cache hit rate is collected over the fleet section (the profile
+memoization path) via :func:`repro.runtime.observe.collect_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+SCHEMA_VERSION = 1
+
+#: ``BENCH_<n>.json`` — the only filename shape the trajectory scans.
+_SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One recorded benchmark number."""
+
+    name: str
+    value: float
+    unit: str
+    #: ``"higher"`` or ``"lower"`` — which way is better. The comparator
+    #: uses this to decide what counts as a regression.
+    direction: str
+    #: Absolute movement below this never counts as a regression, no
+    #: matter the relative change — sub-millisecond latency jitter and
+    #: sub-second wall-clock noise would otherwise trip the relative
+    #: threshold on metrics whose absolute scale is tiny.
+    atol: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "atol": self.atol,
+        }
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """A pinned benchmark configuration (so snapshots stay comparable)."""
+
+    label: str
+    engine_iterations: int
+    fleet_scenarios: int
+    fleet_requests: int
+    faults_scenarios: int
+    faults_max_iterations: int
+    service_submissions: int
+
+
+#: CI configuration: small Monte Carlo batches, full-scale engine run
+#: (the ≥5x analytic speedup claim is only meaningful at paper scale).
+SMOKE = BenchConfig(
+    label="smoke",
+    engine_iterations=1000,
+    fleet_scenarios=8,
+    fleet_requests=2048,
+    faults_scenarios=4,
+    faults_max_iterations=300,
+    service_submissions=16,
+)
+
+FULL = BenchConfig(
+    label="full",
+    engine_iterations=1000,
+    fleet_scenarios=8,
+    fleet_requests=256,
+    faults_scenarios=16,
+    faults_max_iterations=1000,
+    service_submissions=64,
+)
+
+
+@dataclass(frozen=True)
+class BenchSnapshot:
+    """One complete bench run, ready to serialize."""
+
+    schema: int
+    config: str
+    created: str
+    environment: Dict[str, str]
+    metrics: Tuple[Metric, ...]
+
+    def metric(self, name: str) -> Metric:
+        """Look up one metric by name."""
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise ConfigurationError(f"snapshot has no metric {name!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "config": self.config,
+            "created": self.created,
+            "environment": dict(self.environment),
+            "metrics": {metric.name: metric.to_dict() for metric in self.metrics},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BenchSnapshot":
+        metrics = tuple(
+            Metric(
+                name=name,
+                value=float(entry["value"]),
+                unit=str(entry["unit"]),
+                direction=str(entry["direction"]),
+                atol=float(entry.get("atol", 0.0)),
+            )
+            for name, entry in sorted(payload["metrics"].items())
+        )
+        return cls(
+            schema=int(payload["schema"]),
+            config=str(payload["config"]),
+            created=str(payload["created"]),
+            environment=dict(payload.get("environment", {})),
+            metrics=metrics,
+        )
+
+    def save(self, path: Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path.resolve()
+
+    def format(self) -> str:
+        """Human-readable table of the recorded metrics."""
+        width = max(len(metric.name) for metric in self.metrics)
+        lines = [f"bench snapshot ({self.config}, {self.created}):"]
+        for metric in self.metrics:
+            arrow = "↑" if metric.direction == "higher" else "↓"
+            lines.append(
+                f"  {metric.name:<{width}}  {metric.value:>14,.2f} "
+                f"{metric.unit} ({arrow} better)"
+            )
+        return "\n".join(lines)
+
+
+# -- snapshot file numbering ---------------------------------------------
+
+
+def snapshot_paths(root: Path) -> List[Path]:
+    """All ``BENCH_<n>.json`` files under ``root``, ordered by number."""
+    root = Path(root)
+    numbered = []
+    for path in root.glob("BENCH_*.json"):
+        match = _SNAPSHOT_PATTERN.match(path.name)
+        if match:
+            numbered.append((int(match.group(1)), path))
+    return [path for _, path in sorted(numbered)]
+
+
+def latest_snapshot_path(root: Path) -> Optional[Path]:
+    """The highest-numbered committed snapshot, or ``None``."""
+    paths = snapshot_paths(root)
+    return paths[-1] if paths else None
+
+
+def next_snapshot_path(root: Path, number: Optional[int] = None) -> Path:
+    """Where the next snapshot should be written under ``root``."""
+    if number is None:
+        paths = snapshot_paths(root)
+        number = (
+            int(_SNAPSHOT_PATTERN.match(paths[-1].name).group(1)) + 1
+            if paths
+            else 1
+        )
+    return Path(root) / f"BENCH_{number}.json"
+
+
+def load_snapshot(path: Path) -> BenchSnapshot:
+    """Read one snapshot file back."""
+    return BenchSnapshot.from_dict(json.loads(Path(path).read_text()))
+
+
+# -- bench sections -------------------------------------------------------
+
+
+def _bench_engine(config: BenchConfig) -> List[Metric]:
+    """Iterative vs analytic engine throughput at paper scale."""
+    from repro.core.engine import WearLevelingEngine
+    from repro.core.policies import make_policy
+    from repro.experiments.common import paper_accelerator, streams_for
+
+    accelerator = paper_accelerator()
+    streams = streams_for("ResNet-50", accelerator)
+    tiles_total = sum(stream.num_tiles for stream in streams)
+    tiles_total *= config.engine_iterations
+
+    def timed(mode: str):
+        # Best of two passes: each engine starts with cold per-instance
+        # memos, so repetition only filters out interpreter/OS noise.
+        best_s, result = float("inf"), None
+        for _ in range(2):
+            engine = WearLevelingEngine(accelerator, make_policy("rwl+ro"))
+            start = time.perf_counter()
+            result = engine.run(
+                streams,
+                iterations=config.engine_iterations,
+                record_trace=False,
+                mode=mode,
+            )
+            best_s = min(best_s, time.perf_counter() - start)
+        return best_s, result
+
+    iterative_s, iterative = timed("iterative")
+    analytic_s, analytic = timed("analytic")
+    if not np.array_equal(iterative.counts, analytic.counts):
+        raise ConfigurationError(
+            "analytic and iterative engine runs diverged during the bench"
+        )
+    return [
+        Metric(
+            "engine_iterative_tiles_per_s",
+            tiles_total / iterative_s,
+            "tiles/s",
+            "higher",
+        ),
+        Metric(
+            "engine_analytic_tiles_per_s",
+            tiles_total / analytic_s,
+            "tiles/s",
+            "higher",
+        ),
+        Metric(
+            "engine_analytic_speedup", iterative_s / analytic_s, "x", "higher"
+        ),
+    ]
+
+
+def _bench_fleet(config: BenchConfig) -> List[Metric]:
+    """Fleet Monte Carlo wall-clock plus the profile-cache hit rate."""
+    from repro.experiments.common import paper_accelerator
+    from repro.fleet.montecarlo import sample_fleet_scenarios
+    from repro.runtime.observe import collect_metrics
+
+    accelerator = paper_accelerator()
+
+    def sample():
+        sample_fleet_scenarios(
+            accelerator,
+            num_requests=config.fleet_requests,
+            num_scenarios=config.fleet_scenarios,
+            seed=2025,
+        )
+
+    # Untimed warmup fills the workload-profile cache so the timed pass
+    # measures steady-state dispatch + wear cost, not first-call cache
+    # fills — matching the bench suite's ``once`` convention and keeping
+    # the number comparable between a developer machine and cold CI.
+    sample()
+    with collect_metrics() as observed:
+        start = time.perf_counter()
+        sample()
+        wall_s = time.perf_counter() - start
+    lookups = observed.cache_hits + observed.cache_misses
+    hit_rate = observed.cache_hits / lookups if lookups else 0.0
+    return [
+        Metric("fleet_mc_wall_s", wall_s, "s", "lower", atol=0.25),
+        Metric("fleet_cache_hit_rate", hit_rate, "ratio", "higher"),
+    ]
+
+
+def _bench_faults(config: BenchConfig) -> List[Metric]:
+    """Run-until-death fault Monte Carlo wall-clock."""
+    from repro.experiments.common import paper_accelerator, streams_for
+    from repro.faults.montecarlo import sample_fault_scenarios
+
+    accelerator = paper_accelerator()
+    streams = streams_for("SqueezeNet", accelerator)
+    start = time.perf_counter()
+    sample_fault_scenarios(
+        accelerator,
+        streams,
+        num_scenarios=config.faults_scenarios,
+        max_iterations=config.faults_max_iterations,
+        seed=2025,
+    )
+    return [
+        Metric(
+            "faults_mc_wall_s",
+            time.perf_counter() - start,
+            "s",
+            "lower",
+            atol=1.0,
+        )
+    ]
+
+
+def _bench_service(config: BenchConfig) -> List[Metric]:
+    """Submit-to-result latency through the in-process service API."""
+    from repro.service.api import ServiceAPI
+    from repro.service.jobs import JobManager
+
+    def submit_and_wait(api):
+        start = time.perf_counter()
+        submitted = api.handle("POST", "/v1/experiments/unfold/runs", {})
+        if submitted.status != 202:
+            raise ConfigurationError(
+                f"bench job submission failed: {submitted.payload}"
+            )
+        job_id = submitted.payload["job"]["id"]
+        while True:
+            detail = api.handle("GET", f"/v1/runs/{job_id}", None)
+            if detail.payload["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.002)
+        if detail.payload["state"] != "done":
+            raise ConfigurationError(
+                f"bench job failed: {detail.payload.get('error')}"
+            )
+        return (time.perf_counter() - start) * 1000.0
+
+    manager = JobManager(workers=2)
+    manager.start()
+    api = ServiceAPI(manager)
+    latencies_ms = []
+    try:
+        # One untimed warmup run pays the experiment's cold cost; the
+        # timed submissions then measure the service round-trip itself
+        # (queue, dispatch, warm-cache execution, status polling).
+        submit_and_wait(api)
+        for _ in range(config.service_submissions):
+            latencies_ms.append(submit_and_wait(api))
+    finally:
+        manager.shutdown(timeout=10.0)
+    return [
+        Metric(
+            "service_submit_p50_ms",
+            float(np.percentile(latencies_ms, 50)),
+            "ms",
+            "lower",
+            atol=5.0,
+        ),
+        Metric(
+            "service_submit_p99_ms",
+            float(np.percentile(latencies_ms, 99)),
+            "ms",
+            "lower",
+            atol=10.0,
+        ),
+    ]
+
+
+_SECTIONS = (_bench_engine, _bench_fleet, _bench_faults, _bench_service)
+
+
+def run_bench(smoke: bool = False) -> BenchSnapshot:
+    """Execute every bench section and assemble the snapshot."""
+    config = SMOKE if smoke else FULL
+    metrics: List[Metric] = []
+    for section in _SECTIONS:
+        metrics.extend(section(config))
+    created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    environment = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+    return BenchSnapshot(
+        schema=SCHEMA_VERSION,
+        config=config.label,
+        created=created,
+        environment=environment,
+        metrics=tuple(metrics),
+    )

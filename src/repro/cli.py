@@ -181,6 +181,49 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.bench import (
+        compare_snapshots,
+        latest_snapshot_path,
+        load_snapshot,
+        next_snapshot_path,
+        run_bench,
+    )
+
+    root = Path(args.dir)
+    baseline_path = latest_snapshot_path(root)
+    if args.check and baseline_path is None:
+        raise ReproError(
+            f"bench --check needs a committed BENCH_<n>.json baseline "
+            f"under {root.resolve()}"
+        )
+    snapshot = run_bench(smoke=args.smoke)
+    lines = [snapshot.format()]
+    if not args.no_write:
+        destination = (
+            Path(args.out)
+            if args.out
+            else next_snapshot_path(root, number=args.number)
+        )
+        written = snapshot.save(destination)
+        lines.append(f"wrote {written}")
+    if args.check:
+        report = compare_snapshots(
+            load_snapshot(baseline_path), snapshot, threshold=args.threshold
+        )
+        lines.append(f"baseline: {baseline_path}")
+        lines.append(report.format())
+        if not report.ok:
+            print("\n".join(lines))
+            raise ReproError(
+                f"performance regression vs {baseline_path.name}: "
+                + "; ".join(delta.name for delta in report.regressions)
+            )
+    return "\n".join(lines)
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     from repro.service import ServiceConfig, serve
 
@@ -313,6 +356,58 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "bench",
+        help=(
+            "run the perf snapshot suite, record BENCH_<n>.json, and "
+            "optionally gate on the committed baseline"
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="pinned CI configuration (small MC batches, full-scale engine)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "compare against the latest committed BENCH_<n>.json and exit "
+            "nonzero on any regression past --threshold"
+        ),
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="relative regression tolerance for --check (default 0.30)",
+    )
+    p.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding the BENCH_<n>.json trajectory (repo root)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="explicit output path (default: next numbered BENCH_<n>.json)",
+    )
+    p.add_argument(
+        "--number",
+        type=int,
+        default=None,
+        metavar="N",
+        help="force the snapshot number instead of latest+1",
+    )
+    p.add_argument(
+        "--no-write",
+        action="store_true",
+        help="run and print (and --check) without writing a snapshot file",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "serve",

@@ -19,7 +19,7 @@ the usage ledger.
 from __future__ import annotations
 
 import abc
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -80,6 +80,20 @@ class WearLevelingPolicy(abc.ABC):
         occupied = np.nonzero(per_key)[0]
         return occupied // h, occupied % h, per_key[occupied], final
 
+    def canonical_entry(self, state: State) -> Optional[Tuple[State, int]]:
+        """Translation symmetry of a layer entered at ``state``, if any.
+
+        Returns ``(canonical_state, v_shift)`` meaning: the layer's count
+        delta at ``state`` equals the canonical entry's delta circularly
+        shifted ``v_shift`` rows down the torus, with the carry-out ``v``
+        shifted likewise (and identical tile accounting). ``None`` means
+        no symmetry is claimed and every entry state computes its own
+        positions. The engine uses this to collapse fault-free memo
+        misses: one real position walk per canonical state, ``np.roll``
+        for the rest.
+        """
+        return None
+
 
 class BaselinePolicy(WearLevelingPolicy):
     """No wear-leveling: every space anchored at the origin corner."""
@@ -108,6 +122,10 @@ class BaselinePolicy(WearLevelingPolicy):
         zero = np.zeros(1, dtype=np.int64)
         count = np.array([num_tiles], dtype=np.int64)
         return zero, zero.copy(), count, ORIGIN
+
+    def canonical_entry(self, state: State) -> Optional[Tuple[State, int]]:
+        # Placement ignores the carried state entirely.
+        return (ORIGIN, 0)
 
 
 class _StridingPolicy(WearLevelingPolicy):
@@ -144,6 +162,11 @@ class RwlPolicy(_StridingPolicy):
     def layer_start_state(self, carried: State) -> State:
         return ORIGIN
 
+    def canonical_entry(self, state: State) -> Optional[Tuple[State, int]]:
+        # Every layer restarts its walk at the origin, so the carried
+        # state never influences placement: all entries are equivalent.
+        return (ORIGIN, 0)
+
 
 class RwlRoPolicy(_StridingPolicy):
     """Rotational wear-leveling with residual optimization (RWL+RO)."""
@@ -154,6 +177,13 @@ class RwlRoPolicy(_StridingPolicy):
 
     def layer_start_state(self, carried: State) -> State:
         return carried
+
+    def canonical_entry(self, state: State) -> Optional[Tuple[State, int]]:
+        # The vertical stride trigger depends only on the horizontal
+        # coordinate (Algorithm 1 lines 5-8), so a walk entered at
+        # (u, v) is the walk entered at (u, 0) with every row shifted
+        # v steps around the torus.
+        return ((state[0], 0), state[1])
 
 
 #: Registry of policy constructors keyed by their report names.

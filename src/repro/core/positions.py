@@ -180,19 +180,49 @@ def grouped_positions(
     """Grouped tile starts: ``(us, vs, multiplicity, final_state)``.
 
     Equivalent to :func:`stride_positions` followed by grouping equal
-    positions, but computed in ``O(w * h)`` independent of ``num_tiles``
-    via :func:`grouped_walk` — this is what lets the engine process
-    layers with millions of tiles (Llama-scale GEMMs) in constant time.
+    positions, but ``O(min(Z, w * h))`` independent of the tile count —
+    this is what lets the engine process layers with millions of tiles
+    (Llama-scale GEMMs) in constant time. The stride walk is a bijection
+    on the ``(u, v)`` space (both trigger variants invert uniquely), so
+    its orbit is purely periodic with period at most ``w * h``: one
+    period of closed-form positions (:func:`stride_positions`, no Python
+    loop) folds into integer multiplicities exactly as
+    :func:`grouped_walk` would, just vectorized.
     """
     u0, v0 = start
     _validate(u0, v0, x, y, w, h)
-    return grouped_walk(
-        (u0, v0),
-        lambda state: next_position(state, x, y, w, h, trigger),
-        w,
-        h,
-        num_tiles,
-    )
+    if num_tiles < 0:
+        raise ConfigurationError(f"tile count must be non-negative: {num_tiles}")
+    if num_tiles == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), (u0, v0)
+
+    horizon = min(num_tiles, w * h)
+    us, vs, carry = stride_positions(start, x, y, w, h, horizon, trigger)
+    keys = us * h + vs
+    # First return to the start state (the walk is purely periodic, so
+    # the first repeated state is the start itself).
+    returns = np.nonzero(keys[1:] == keys[0])[0]
+    if returns.size:
+        period = int(returns[0]) + 1
+    elif carry == (u0, v0):
+        period = horizon
+    else:
+        period = None
+
+    if period is None or period >= num_tiles:
+        # Walk does not close within num_tiles: every position used once.
+        per_key = np.bincount(keys, minlength=w * h)
+        final = carry if period is None else (int(us[0]), int(vs[0]))
+    else:
+        full_cycles, remainder = divmod(num_tiles, period)
+        per_key = np.bincount(keys[:period], minlength=w * h) * full_cycles
+        if remainder:
+            per_key += np.bincount(keys[:remainder], minlength=w * h)
+        wrapped = num_tiles % period
+        final = (int(us[wrapped]), int(vs[wrapped]))
+    occupied = np.nonzero(per_key)[0]
+    return occupied // h, occupied % h, per_key[occupied], final
 
 
 def torus_scan(start: Tuple[int, int], w: int, h: int):

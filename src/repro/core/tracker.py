@@ -13,12 +13,70 @@ rectangles, each added once with an integer multiplicity.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.arch.array import PEArray
 from repro.errors import SimulationError
+
+
+def grouped_delta(
+    array: PEArray,
+    uu: np.ndarray,
+    vv: np.ndarray,
+    multiplicity: np.ndarray,
+    x: int,
+    y: int,
+) -> np.ndarray:
+    """Count delta of pre-grouped tile starts, as a fresh ``(h, w)`` array.
+
+    The trusted kernel behind :meth:`UsageTracker.add_grouped` and the
+    engine's layer-delta computation: starts must already be distinct,
+    in-range ``int64`` arrays (a policy's grouped positions are, by
+    construction). Each (possibly wrapped) rectangle splits into at most
+    four axis-aligned pieces whose corners receive +/- multiplicity in a
+    2-D difference array, and one double prefix sum materializes the
+    batch. Mesh arrays still reject wrapped rectangles — that check is
+    semantic (the hardware cannot place them), not defensive.
+    """
+    width = array.width
+    height = array.height
+    if uu.size == 0:
+        return np.zeros(array.shape, dtype=np.int64)
+    if not array.is_torus and bool(
+        np.any((uu + x > width) | (vv + y > height))
+    ):
+        raise SimulationError(
+            "utilization space crosses the mesh boundary; wrap-around "
+            "placement needs a torus array"
+        )
+
+    # Row/column segments of the wrapped rectangle: the main piece and
+    # (when the space crosses the boundary) the wrapped remainder.
+    zeros = np.zeros_like(uu)
+    row_segments = (
+        (vv, np.minimum(vv + y, height)),
+        (zeros, np.maximum(vv + y - height, 0)),
+    )
+    col_segments = (
+        (uu, np.minimum(uu + x, width)),
+        (zeros, np.maximum(uu + x - width, 0)),
+    )
+    diff = np.zeros((height + 1, width + 1), dtype=np.int64)
+    for r0, r1 in row_segments:
+        for c0, c1 in col_segments:
+            valid = (r1 > r0) & (c1 > c0)
+            if not np.any(valid):
+                continue
+            counts = multiplicity[valid]
+            rv0, rv1 = r0[valid], r1[valid]
+            cv0, cv1 = c0[valid], c1[valid]
+            np.add.at(diff, (rv0, cv0), counts)
+            np.add.at(diff, (rv0, cv1), -counts)
+            np.add.at(diff, (rv1, cv0), -counts)
+            np.add.at(diff, (rv1, cv1), counts)
+    return diff.cumsum(axis=0).cumsum(axis=1)[:height, :width]
 
 
 class UsageTracker:
@@ -28,6 +86,12 @@ class UsageTracker:
         self._array = array
         self._counts = np.zeros(array.shape, dtype=np.int64)
         self._tiles_seen = 0
+        # Cached (max, min) of the counts. A fresh tracker is all-zero,
+        # so the cache starts valid; mutators invalidate it (or shift it
+        # in place when the applied delta is uniform), and the metric
+        # properties recompute it with one max + one min reduction
+        # instead of the handful of full scans a TracePoint used to pay.
+        self._extrema: Optional[Tuple[int, int]] = (0, 0)
 
     @property
     def array(self) -> PEArray:
@@ -66,6 +130,7 @@ class UsageTracker:
         rows, cols = self._array.footprint_indices(start, x, y)
         self._counts[rows, cols] += count
         self._tiles_seen += count
+        self._extrema = None
 
     def add_positions(self, us: np.ndarray, vs: np.ndarray, x: int, y: int) -> None:
         """Record one tile at every ``(us[i], vs[i])`` start, vectorized.
@@ -133,48 +198,25 @@ class UsageTracker:
         if np.any(multiplicity < 1):
             raise SimulationError("multiplicities must be positive")
 
-        wraps = (uu + x > width) | (vv + y > height)
-        if not self._array.is_torus and bool(np.any(wraps)):
-            raise SimulationError(
-                "utilization space crosses the mesh boundary; wrap-around "
-                "placement needs a torus array"
-            )
-
-        # Row/column segments of the wrapped rectangle: the main piece and
-        # (when the space crosses the boundary) the wrapped remainder.
-        zeros = np.zeros_like(uu)
-        row_segments = (
-            (vv, np.minimum(vv + y, height)),
-            (zeros, np.maximum(vv + y - height, 0)),
-        )
-        col_segments = (
-            (uu, np.minimum(uu + x, width)),
-            (zeros, np.maximum(uu + x - width, 0)),
-        )
-
-        diff = np.zeros((height + 1, width + 1), dtype=np.int64)
-        for r0, r1 in row_segments:
-            for c0, c1 in col_segments:
-                valid = (r1 > r0) & (c1 > c0)
-                if not np.any(valid):
-                    continue
-                counts = multiplicity[valid]
-                rv0, rv1 = r0[valid], r1[valid]
-                cv0, cv1 = c0[valid], c1[valid]
-                np.add.at(diff, (rv0, cv0), counts)
-                np.add.at(diff, (rv0, cv1), -counts)
-                np.add.at(diff, (rv1, cv0), -counts)
-                np.add.at(diff, (rv1, cv1), counts)
-
-        self._counts += diff.cumsum(axis=0).cumsum(axis=1)[:height, :width]
+        self._counts += grouped_delta(self._array, uu, vv, multiplicity, x, y)
         self._tiles_seen += int(multiplicity.sum())
+        self._extrema = None
 
-    def add_delta(self, delta: np.ndarray, tiles: int) -> None:
+    def add_delta(
+        self,
+        delta: np.ndarray,
+        tiles: int,
+        delta_range: Optional[Tuple[int, int]] = None,
+    ) -> None:
         """Add a precomputed usage-count delta (the engine's memo path).
 
         ``delta`` must be a full ``(h, w)`` non-negative count array —
         typically the snapshot of a scratch tracker that accumulated one
-        layer's position batch via :meth:`add_positions`.
+        layer's position batch via :meth:`add_positions`. ``delta_range``
+        optionally carries the delta's ``(min, max)`` element values
+        (memoized alongside the delta by the engine): when the delta is
+        uniform (``min == max``) the cached extrema shift in place and
+        the next trace point costs no array scan at all.
         """
         if delta.shape != self._counts.shape:
             raise SimulationError(
@@ -185,19 +227,39 @@ class UsageTracker:
             raise SimulationError(f"tile count must be non-negative: {tiles}")
         self._counts += delta
         self._tiles_seen += tiles
+        if (
+            self._extrema is not None
+            and delta_range is not None
+            and delta_range[0] == delta_range[1]
+        ):
+            shift = int(delta_range[0])
+            self._extrema = (self._extrema[0] + shift, self._extrema[1] + shift)
+        else:
+            self._extrema = None
 
     # ------------------------------------------------------------------
     # Imbalance metrics
     # ------------------------------------------------------------------
+    def extrema(self) -> Tuple[int, int]:
+        """Current ``(max, min)`` usage counts, cached between mutations.
+
+        All four imbalance metrics derive from this pair, so recording a
+        :class:`~repro.core.engine.TracePoint` costs at most one max and
+        one min reduction — and zero when the last delta was uniform.
+        """
+        if self._extrema is None:
+            self._extrema = (int(self._counts.max()), int(self._counts.min()))
+        return self._extrema
+
     @property
     def max_usage(self) -> int:
         """Largest per-PE usage count."""
-        return int(self._counts.max())
+        return self.extrema()[0]
 
     @property
     def min_usage(self) -> int:
         """Smallest per-PE usage count (the paper's ``min(A_PE)``)."""
-        return int(self._counts.min())
+        return self.extrema()[1]
 
     @property
     def max_difference(self) -> int:
@@ -239,6 +301,7 @@ class UsageTracker:
         """Zero all counters."""
         self._counts.fill(0)
         self._tiles_seen = 0
+        self._extrema = (0, 0)
 
     def merged_with(self, other: "UsageTracker") -> "UsageTracker":
         """A new tracker whose counts are the element-wise sum."""
@@ -250,4 +313,5 @@ class UsageTracker:
         merged = UsageTracker(self._array)
         merged._counts = self._counts + other._counts
         merged._tiles_seen = self._tiles_seen + other._tiles_seen
+        merged._extrema = None
         return merged

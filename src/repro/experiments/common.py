@@ -145,11 +145,15 @@ def _policy_task(spec: Tuple) -> RunResult:
     policy = make_policy(policy_name, trigger)
     target = accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
     engine = WearLevelingEngine(target, policy)
+    # The analytic orbit fold is bit-identical to the iterative walk and
+    # falls back automatically for requests it cannot serve exactly
+    # (e.g. snapshot recording for Fig. 7).
     return engine.run(
         streams,
         iterations=iterations,
         record_trace=record_trace,
         record_snapshots=record_snapshots,
+        mode="analytic",
     )
 
 

@@ -215,7 +215,7 @@ def _calibrated_mean_budget(
     the comparison the study makes.
     """
     probe = WearLevelingEngine(accelerator.as_mesh(), make_policy("baseline"))
-    result = probe.run(streams, iterations=1, record_trace=False)
+    result = probe.run(streams, iterations=1, record_trace=False, mode="analytic")
     peak_per_iteration = max(1, int(result.counts.max()))
     return max(1.0, peak_per_iteration * max_iterations * fraction)
 

@@ -128,11 +128,15 @@ def run_until_deaths(
         accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
     )
     engine = WearLevelingEngine(target, policy, budgets=budgets)
+    # Untraced budget runs take the analytic fast path: whole orbit
+    # periods are folded between deaths while death timing stays
+    # bit-identical to the iterative walk (budget-guarded cycle jumps).
     result = engine.run(
         streams,
         iterations=max_iterations,
         record_trace=False,
         stop_after_deaths=deaths,
+        mode="analytic",
     )
     outcome = ScenarioOutcome(
         death_iterations=tuple(event.iteration for event in result.death_events),

@@ -70,7 +70,53 @@ class WorkloadProfile:
     @property
     def wear_units(self) -> float:
         """Total usage increment of one request (its wear footprint)."""
-        return float(self.counts.sum())
+        cached = self.__dict__.get("_wear_units")
+        if cached is None:
+            cached = float(self.counts.sum())
+            object.__setattr__(self, "_wear_units", cached)
+        return cached
+
+    @property
+    def peak_count(self) -> int:
+        """Largest single-PE increment of one request.
+
+        Upper-bounds how far any one cell can move per request — the
+        quantity the device's lazy wear application budgets against.
+        """
+        cached = self.__dict__.get("_peak_count")
+        if cached is None:
+            cached = int(self.counts.max())
+            object.__setattr__(self, "_peak_count", cached)
+        return cached
+
+
+def _profile_key(
+    workload: str, accelerator: Accelerator, policy_name: str
+) -> str:
+    """Content key of one workload profile for the persistent cache.
+
+    Deliberately computable *without* scheduling the network: a hit must
+    skip the dataflow scheduler entirely (that is the expensive part
+    every fleet Monte Carlo worker process used to repeat). The
+    scheduler is deterministic in (network, accelerator, options), so
+    the canonical network name plus the full accelerator fingerprint
+    pins the streams exactly; the schema version is bumped whenever
+    engine or scheduler semantics change.
+    """
+    from repro.runtime import (
+        CACHE_SCHEMA_VERSION,
+        accelerator_fingerprint,
+        content_hash,
+    )
+    from repro.workloads.registry import get_network
+
+    return content_hash(
+        "workload_profile",
+        CACHE_SCHEMA_VERSION,
+        get_network(workload).name,
+        accelerator_fingerprint(accelerator),
+        policy_name,
+    )
 
 
 def build_profile(
@@ -80,25 +126,39 @@ def build_profile(
 ) -> WorkloadProfile:
     """Profile one workload: schedule it, run one engine iteration.
 
-    Uses the shared per-process execution cache
-    (:func:`repro.experiments.common.execution_for`), so profiling the
-    same network twice costs one dict lookup.
+    Memoized twice over: the persistent
+    :class:`~repro.runtime.cache.ResultCache` (content-keyed on
+    workload + accelerator + policy) lets separate processes — fleet
+    Monte Carlo workers in particular — skip both the scheduler and the
+    engine, and the shared per-process execution cache
+    (:func:`repro.experiments.common.execution_for`) de-duplicates
+    scheduling within a process on a cache miss.
     """
     from repro.experiments.common import execution_for, paper_accelerator
+    from repro.runtime import result_cache
 
     accelerator = accelerator or paper_accelerator()
+    store = result_cache()
+    key = _profile_key(workload, accelerator, policy_name)
+    hit = store.get(key)
+    if isinstance(hit, WorkloadProfile):
+        return hit
     execution = execution_for(workload, accelerator)
     policy = make_policy(policy_name, StrideTrigger.ORIGIN)
     target = (
         accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
     )
     engine = WearLevelingEngine(target, policy)
-    result = engine.run(execution.streams(), iterations=1, record_trace=False)
-    return WorkloadProfile(
+    result = engine.run(
+        execution.streams(), iterations=1, record_trace=False, mode="analytic"
+    )
+    profile = WorkloadProfile(
         workload=execution.network_name,
         counts=result.counts.astype(np.int64),
         cycles=int(execution.total_cycles),
     )
+    store.put(key, profile)
+    return profile
 
 
 def build_profiles(
@@ -167,6 +227,18 @@ class FleetDevice:
         self._clock_hz = clock_mhz * 1e6
         self._min_alive_fraction = min_alive_fraction
         self._ledger = np.zeros(array.shape, dtype=np.int64)
+        # Lazy wear application: completed requests park their profile
+        # here (keyed by profile identity, with a repeat count) until a
+        # ledger read or a possible budget crossing forces the batch to
+        # materialize. ``_pending_peak`` upper-bounds any single cell's
+        # deferred increment; ``_headroom`` is the smallest live-cell
+        # margin to a budget as of the last materialization (``None``
+        # when stale). While ``_pending_peak`` stays strictly below
+        # ``_headroom`` no PE can cross its budget, so death timing is
+        # exactly the per-request check's.
+        self._pending: Dict[int, List] = {}
+        self._pending_peak = 0
+        self._headroom: Optional[float] = None
         self._faults = FaultState.none(array)
         self._queue: Deque[Tuple[Request, WorkloadProfile]] = deque()
         self._in_service: Optional[Tuple[Request, WorkloadProfile]] = None
@@ -200,6 +272,7 @@ class FleetDevice:
     @property
     def peak_wear(self) -> float:
         """The hottest PE's wear; budget-normalized when budgets exist."""
+        self._flush_pending()
         peak = float(self._ledger.max())
         if self._budgets is None:
             return peak
@@ -211,6 +284,7 @@ class FleetDevice:
     @property
     def ledger(self) -> np.ndarray:
         """Read-only per-PE usage counts accumulated so far."""
+        self._flush_pending()
         view = self._ledger.view()
         view.setflags(write=False)
         return view
@@ -223,11 +297,13 @@ class FleetDevice:
     @property
     def total_usage(self) -> int:
         """Sum of the usage ledger."""
+        self._flush_pending()
         return int(self._ledger.sum())
 
     @property
     def peak_usage(self) -> int:
         """The hottest PE's raw usage count."""
+        self._flush_pending()
         return int(self._ledger.max())
 
     @property
@@ -270,6 +346,35 @@ class FleetDevice:
         self._queue.append((request, profile))
         return False
 
+    def _flush_pending(self) -> None:
+        """Materialize deferred request wear into the ledger."""
+        if not self._pending:
+            return
+        for profile, count in self._pending.values():
+            if count == 1:
+                self._ledger += profile.counts
+            else:
+                self._ledger += profile.counts * count
+        self._pending.clear()
+        self._pending_peak = 0
+        self._headroom = None
+
+    def _live_headroom(self) -> float:
+        """Smallest live-cell margin to its endurance budget."""
+        alive = ~self._faults.dead_mask
+        if not alive.any():
+            return float("inf")
+        return float((self._budgets.budgets - self._ledger)[alive].min())
+
+    def _defer(self, profile: WorkloadProfile) -> None:
+        """Park one completed request's wear for batched application."""
+        entry = self._pending.get(id(profile))
+        if entry is None:
+            self._pending[id(profile)] = [profile, 1]
+        else:
+            entry[1] += 1
+        self._pending_peak += profile.peak_count
+
     def complete(self, time_s: float) -> Tuple[Request, List[PEDeath], List[Request]]:
         """Finish the in-service request at ``time_s``.
 
@@ -277,23 +382,44 @@ class FleetDevice:
         the device when too few PEs survive. Returns the finished
         request, any PE deaths it caused, and the queued requests
         dropped if the device retired.
+
+        Wear application is lazily batched: while the worst-case
+        deferred increment provably cannot reach any live PE's budget,
+        the per-request array update and budget scan are skipped
+        entirely (they re-run, exactly, once a crossing becomes
+        possible — so deaths happen at the same request, time, and
+        coordinates as with eager application).
         """
         if self._in_service is None:
             raise SimulationError(f"device {self.device_id} is idle")
         request, profile = self._in_service
         self._in_service = None
         self.served += 1
-        self._ledger += profile.counts
         deaths: List[PEDeath] = []
-        if self._budgets is not None:
-            crossed = self._budgets.exceeded(self._ledger) & ~self._faults.dead_mask
-            if crossed.any():
-                rows, cols = np.nonzero(crossed)
-                for v, u in zip(rows.tolist(), cols.tolist()):
-                    self._faults.kill(u, v)
-                    deaths.append(
-                        PEDeath(device_id=self.device_id, time_s=time_s, u=u, v=v)
-                    )
+        if self._budgets is None:
+            self._defer(profile)
+        else:
+            if self._headroom is None:
+                self._headroom = self._live_headroom()
+            if self._pending_peak + profile.peak_count < self._headroom:
+                self._defer(profile)
+            else:
+                self._flush_pending()
+                self._ledger += profile.counts
+                self._headroom = None
+                crossed = (
+                    self._budgets.exceeded(self._ledger)
+                    & ~self._faults.dead_mask
+                )
+                if crossed.any():
+                    rows, cols = np.nonzero(crossed)
+                    for v, u in zip(rows.tolist(), cols.tolist()):
+                        self._faults.kill(u, v)
+                        deaths.append(
+                            PEDeath(
+                                device_id=self.device_id, time_s=time_s, u=u, v=v
+                            )
+                        )
         dropped: List[Request] = []
         if (
             self.alive

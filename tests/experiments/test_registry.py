@@ -45,7 +45,7 @@ FAST_PARAMS = {
 }
 
 #: Subcommands that are utilities, not experiments.
-UTILITY_COMMANDS = {"list", "export", "report", "cache", "all", "serve"}
+UTILITY_COMMANDS = {"list", "export", "report", "cache", "all", "serve", "bench"}
 
 
 def _cli_subcommands():

@@ -1,0 +1,191 @@
+"""Tests for the ``rota bench`` snapshot machinery.
+
+The heavy bench sections run real Monte Carlo batches and are exercised
+by the CI ``perf-snapshot`` job, not here — these tests cover the
+durable parts: snapshot serialization, trajectory numbering, the
+regression comparator's direction/threshold/atol semantics, and the CLI
+wiring.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchSnapshot,
+    Metric,
+    compare_snapshots,
+    latest_snapshot_path,
+    load_snapshot,
+    next_snapshot_path,
+    snapshot_paths,
+)
+from repro.cli import build_parser
+from repro.errors import ConfigurationError
+
+
+def snapshot(metrics, config="smoke"):
+    return BenchSnapshot(
+        schema=1,
+        config=config,
+        created="2026-01-01T00:00:00Z",
+        environment={"python": "3.x"},
+        metrics=tuple(metrics),
+    )
+
+
+class TestSnapshotFiles:
+    def test_roundtrip(self, tmp_path):
+        original = snapshot(
+            [
+                Metric("tiles_per_s", 1234.5, "tiles/s", "higher"),
+                Metric("wall_s", 2.5, "s", "lower", atol=0.5),
+            ]
+        )
+        path = original.save(tmp_path / "BENCH_3.json")
+        assert load_snapshot(path) == original
+
+    def test_saved_payload_is_sorted_json(self, tmp_path):
+        path = snapshot([Metric("m", 1.0, "x", "higher")]).save(
+            tmp_path / "BENCH_1.json"
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["metrics"]["m"]["direction"] == "higher"
+
+    def test_metric_lookup_raises_on_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            snapshot([Metric("m", 1.0, "x", "higher")]).metric("absent")
+
+    def test_trajectory_numbering(self, tmp_path):
+        assert snapshot_paths(tmp_path) == []
+        assert latest_snapshot_path(tmp_path) is None
+        assert next_snapshot_path(tmp_path).name == "BENCH_1.json"
+        for n in (2, 6, 10):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}")
+        (tmp_path / "BENCH_bogus.json").write_text("{}")
+        assert [p.name for p in snapshot_paths(tmp_path)] == [
+            "BENCH_2.json",
+            "BENCH_6.json",
+            "BENCH_10.json",
+        ]
+        assert latest_snapshot_path(tmp_path).name == "BENCH_10.json"
+        assert next_snapshot_path(tmp_path).name == "BENCH_11.json"
+        assert next_snapshot_path(tmp_path, number=4).name == "BENCH_4.json"
+
+    def test_format_lists_every_metric(self):
+        text = snapshot(
+            [
+                Metric("throughput", 10.0, "tiles/s", "higher"),
+                Metric("latency", 1.0, "ms", "lower"),
+            ]
+        ).format()
+        assert "throughput" in text and "latency" in text
+
+
+class TestComparator:
+    def test_higher_metric_regresses_on_drop(self):
+        report = compare_snapshots(
+            snapshot([Metric("speed", 100.0, "x", "higher")]),
+            snapshot([Metric("speed", 60.0, "x", "higher")]),
+        )
+        assert not report.ok
+        assert report.regressions[0].name == "speed"
+
+    def test_lower_metric_regresses_on_rise(self):
+        report = compare_snapshots(
+            snapshot([Metric("wall", 10.0, "s", "lower")]),
+            snapshot([Metric("wall", 14.0, "s", "lower")]),
+        )
+        assert not report.ok
+
+    def test_within_threshold_passes_both_directions(self):
+        report = compare_snapshots(
+            snapshot(
+                [
+                    Metric("speed", 100.0, "x", "higher"),
+                    Metric("wall", 10.0, "s", "lower"),
+                ]
+            ),
+            snapshot(
+                [
+                    Metric("speed", 75.0, "x", "higher"),
+                    Metric("wall", 12.5, "s", "lower"),
+                ]
+            ),
+        )
+        assert report.ok
+
+    def test_improvements_never_regress(self):
+        report = compare_snapshots(
+            snapshot([Metric("wall", 10.0, "s", "lower")]),
+            snapshot([Metric("wall", 1.0, "s", "lower")]),
+        )
+        assert report.ok
+        assert report.deltas[0].improvement == pytest.approx(0.9)
+
+    def test_atol_suppresses_tiny_absolute_swings(self):
+        # 80% relative rise, but only 2ms absolute — inside the noise
+        # tolerance recorded with the metric.
+        report = compare_snapshots(
+            snapshot([Metric("p99", 2.5, "ms", "lower", atol=10.0)]),
+            snapshot([Metric("p99", 4.5, "ms", "lower", atol=10.0)]),
+        )
+        assert report.ok
+        # The same relative move past the tolerance does regress.
+        report = compare_snapshots(
+            snapshot([Metric("p99", 25.0, "ms", "lower", atol=10.0)]),
+            snapshot([Metric("p99", 45.0, "ms", "lower", atol=10.0)]),
+        )
+        assert not report.ok
+
+    def test_threshold_is_configurable(self):
+        baseline = snapshot([Metric("speed", 100.0, "x", "higher")])
+        candidate = snapshot([Metric("speed", 90.0, "x", "higher")])
+        assert compare_snapshots(baseline, candidate, threshold=0.30).ok
+        assert not compare_snapshots(baseline, candidate, threshold=0.05).ok
+
+    def test_unmatched_metrics_reported_not_failed(self):
+        report = compare_snapshots(
+            snapshot([Metric("old", 1.0, "x", "higher")]),
+            snapshot([Metric("new", 1.0, "x", "higher")]),
+        )
+        assert report.ok
+        assert report.only_baseline == ("old",)
+        assert report.only_candidate == ("new",)
+        assert "new metric" in report.format()
+
+    def test_format_shows_verdict(self):
+        report = compare_snapshots(
+            snapshot([Metric("wall", 10.0, "s", "lower")]),
+            snapshot([Metric("wall", 20.0, "s", "lower")]),
+        )
+        text = report.format()
+        assert "REGRESSED" in text and "FAIL" in text
+
+
+class TestCliWiring:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.smoke
+        assert not args.check
+        assert args.threshold == 0.30
+        assert args.dir == "."
+        assert args.number is None
+
+    def test_bench_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--smoke",
+                "--check",
+                "--threshold",
+                "0.5",
+                "--number",
+                "7",
+                "--no-write",
+            ]
+        )
+        assert args.smoke and args.check and args.no_write
+        assert args.threshold == 0.5
+        assert args.number == 7
