@@ -160,8 +160,12 @@ class BenchSnapshot:
         )
 
     def save(self, path: Path) -> Path:
+        from repro.resilience import atomic_write_text
+
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
         return path.resolve()
 
     def format(self) -> str:

@@ -1,0 +1,35 @@
+"""Deterministic chaos injection: prove the resilience layer works.
+
+``REPRO_CHAOS`` (a spec string like ``"seed=11,crash=0.5"``) arms a
+seeded fault injector that the runtime consults at two choke points:
+:class:`~repro.runtime.parallel.ParallelRunner` task execution (worker
+crashes, hangs, transient exceptions) and
+:class:`~repro.runtime.cache.ResultCache` writes (corrupted entry
+bytes). Decisions are pure functions of ``(seed, kind, label)`` — no
+randomness at injection time — so a fault schedule replays exactly,
+which is what lets the resilience tests assert that a killed-and-
+resumed run is *bit-identical* to an uninterrupted one.
+
+Unset (the default), the injector is entirely inert: one cached
+environment lookup per process.
+"""
+
+from repro.chaos.injector import (
+    CHAOS_ENV,
+    CHAOS_EXIT_CODE,
+    ChaosConfig,
+    ChaosTransientError,
+    active_config,
+    maybe_corrupt,
+    maybe_inject,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_EXIT_CODE",
+    "ChaosConfig",
+    "ChaosTransientError",
+    "active_config",
+    "maybe_corrupt",
+    "maybe_inject",
+]

@@ -1,0 +1,173 @@
+"""The seeded fault injector behind ``REPRO_CHAOS``.
+
+Four fault kinds, each with an independent selection probability:
+
+* ``crash`` — the process dies via ``os._exit`` (no cleanup, no
+  exception: exactly what an OOM kill or segfault looks like to the
+  parent);
+* ``hang`` — the task sleeps ``hang_seconds`` before proceeding
+  (drives the per-task timeout path);
+* ``transient`` — raises :class:`ChaosTransientError` (drives the
+  retry-with-backoff path);
+* ``corrupt`` — cache entry bytes are mangled on write while the
+  checksum still covers the true payload (drives the cache-integrity
+  path).
+
+**Selection is deterministic**: a task (by label) is selected for a
+fault kind iff ``stable_unit(seed, kind, label) < probability``. The
+same seed therefore condemns the same tasks in every process and every
+rerun. Whether a *selected* fault actually fires is gated by the
+attempt number: ``crash_attempts=1`` (the default) means the task
+crashes on its first attempt and succeeds on retry; ``crash_attempts``
+of 99 means it crashes every time — the configuration the chaos-smoke
+CI job uses to kill a run mid-flight and prove ``--resume`` recovers.
+
+Spec grammar (comma-separated ``key=value``):
+
+    REPRO_CHAOS="seed=11,crash=0.5,crash_attempts=99,transient=0.3,
+                 hang=0.2,hang_seconds=5,corrupt=0.4"
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.resilience.retry import stable_unit
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_EXIT_CODE",
+    "ChaosConfig",
+    "ChaosTransientError",
+    "active_config",
+    "maybe_corrupt",
+    "maybe_inject",
+]
+
+#: Environment variable holding the chaos spec ("" / unset = inert).
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit code of a chaos-injected crash (distinctive in CI logs).
+CHAOS_EXIT_CODE = 66
+
+
+class ChaosTransientError(RuntimeError):
+    """A chaos-injected transient failure (retryable by design)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed chaos spec: per-kind probabilities and attempt gates."""
+
+    seed: int = 0
+    crash: float = 0.0
+    crash_attempts: int = 1
+    hang: float = 0.0
+    hang_attempts: int = 1
+    hang_seconds: float = 30.0
+    transient: float = 0.0
+    transient_attempts: int = 1
+    corrupt: float = 0.0
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Build a config from a ``key=value,key=value`` spec string."""
+        config = cls()
+        known = {field.name: field.type for field in fields(cls)}
+        updates = {}
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            name, separator, raw = chunk.partition("=")
+            name = name.strip()
+            if not separator or name not in known:
+                raise ConfigurationError(
+                    f"{CHAOS_ENV}: expected key=value with key in "
+                    f"{sorted(known)}, got {chunk!r}"
+                )
+            try:
+                current = getattr(config, name)
+                updates[name] = type(current)(raw.strip())
+            except ValueError:
+                raise ConfigurationError(
+                    f"{CHAOS_ENV}: bad value {raw!r} for {name!r}"
+                ) from None
+        return replace(config, **updates)
+
+    def to_spec(self) -> str:
+        """Serialize back to a spec string (for tests and CI scripts)."""
+        default = ChaosConfig()
+        parts = []
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value != getattr(default, field.name):
+                parts.append(f"{field.name}={value}")
+        return ",".join(parts)
+
+    def selected(self, kind: str, label: str) -> bool:
+        """Whether ``label`` is condemned to faults of ``kind`` at all."""
+        probability = float(getattr(self, kind))
+        if probability <= 0.0:
+            return False
+        return stable_unit(self.seed, kind, label) < probability
+
+    def decision(self, kind: str, label: str, attempt: int = 1) -> bool:
+        """Whether a ``kind`` fault fires for ``label`` on ``attempt``."""
+        if not self.selected(kind, label):
+            return False
+        gate = getattr(self, f"{kind}_attempts", None)
+        return gate is None or attempt <= gate
+
+
+#: Cached (spec string, parsed config) so the hot path is one env read.
+_CACHED: Tuple[str, Optional[ChaosConfig]] = ("", None)
+
+
+def active_config() -> Optional[ChaosConfig]:
+    """The parsed ``REPRO_CHAOS`` config, or ``None`` when inert."""
+    global _CACHED
+    spec = os.environ.get(CHAOS_ENV, "").strip()
+    if not spec:
+        return None
+    if _CACHED[0] != spec:
+        _CACHED = (spec, ChaosConfig.parse(spec))
+    return _CACHED[1]
+
+
+def maybe_inject(label: str, attempt: int = 1) -> None:
+    """Fire any armed task fault for ``(label, attempt)``.
+
+    Called by the runner immediately before executing a task, in
+    whichever process the task runs (pool worker or parent).
+    """
+    config = active_config()
+    if config is None:
+        return
+    if config.decision("crash", label, attempt):
+        os._exit(CHAOS_EXIT_CODE)
+    if config.decision("hang", label, attempt):
+        time.sleep(config.hang_seconds)
+    if config.decision("transient", label, attempt):
+        raise ChaosTransientError(
+            f"chaos: transient failure injected into {label!r} "
+            f"(attempt {attempt})"
+        )
+
+
+def maybe_corrupt(label: str, data: bytes) -> bytes:
+    """Return ``data``, or a mangled version when corruption is armed.
+
+    The mangling truncates and garbles — the shapes a torn write or a
+    dying disk actually produce — so checksum verification, not luck,
+    must catch it.
+    """
+    config = active_config()
+    if config is None or not config.decision("corrupt", label):
+        return data
+    keep = max(1, len(data) // 2)
+    return data[:keep] + b"\x00chaos"

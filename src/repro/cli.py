@@ -155,9 +155,13 @@ def _cmd_cache(args: argparse.Namespace) -> str:
 
     cache = result_cache()
     lines = []
+    verify_report = None
     if args.clear:
         removed = cache.clear()
         lines.append(f"cleared {removed} cached results")
+    if args.verify:
+        verify_report = cache.verify()
+        lines.append(verify_report.format())
     if args.prune:
         limit = args.max_bytes if args.max_bytes is not None else max_bytes_env()
         if limit is None:
@@ -177,6 +181,13 @@ def _cmd_cache(args: argparse.Namespace) -> str:
             f"schedule cache at {schedule_path} "
             f"({'present' if schedule_path.exists() else 'empty'}; "
             f"delete the file to clear)"
+        )
+    if verify_report is not None and verify_report.corrupt:
+        print("\n".join(lines))
+        raise ReproError(
+            f"cache --verify found {verify_report.corrupt} corrupt "
+            f"entr{'y' if verify_report.corrupt == 1 else 'ies'} "
+            f"(quarantined under corrupt/)"
         )
     return "\n".join(lines)
 
@@ -234,6 +245,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             workers=args.jobs,
             queue_depth=args.queue_depth,
             request_timeout=args.request_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
         )
     )
 
@@ -337,9 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "cache",
-        help="show (or --clear / --prune) the persistent result cache",
+        help=(
+            "show (or --clear / --prune / --verify) the persistent "
+            "result cache"
+        ),
     )
     p.add_argument("--clear", action="store_true", help="delete cached results")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "checksum-verify every entry, quarantine corrupt ones under "
+            "corrupt/, and exit nonzero if any were found"
+        ),
+    )
     p.add_argument(
         "--prune",
         action="store_true",
@@ -435,9 +459,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--request-timeout",
         type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help=(
+            "per-request socket timeout and per-job wall-clock budget; "
+            "an overrunning job flips to state 'timeout' (HTTP 504)"
+        ),
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "consecutive job failures that open the circuit breaker "
+            "(submissions then shed with 503 + Retry-After)"
+        ),
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
         default=30.0,
         metavar="SECONDS",
-        help="per-request socket timeout",
+        help="seconds the breaker stays open before a half-open probe",
     )
     p.set_defaults(func=_cmd_serve)
 

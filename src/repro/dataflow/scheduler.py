@@ -234,7 +234,12 @@ def save_schedule_cache() -> None:
                 merged = {}
         merged.update(_DISK_CACHE)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(merged))
+        # Atomic write: a worker killed mid-flush (chaos crash, OOM)
+        # must never leave a torn JSON file that silently drops every
+        # schedule cached so far.
+        from repro.resilience import atomic_write_text
+
+        atomic_write_text(path, json.dumps(merged))
         _DISK_CACHE_DIRTY = False
     except OSError:
         pass

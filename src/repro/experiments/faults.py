@@ -393,6 +393,7 @@ def run_fault_montecarlo(
     beta: float = JEDEC_BETA,
     seed: int = 2025,
     trigger: StrideTrigger = StrideTrigger.ORIGIN,
+    checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
 ) -> FaultMonteCarloResult:
     """Monte Carlo lifetime-to-first-failure comparison across policies.
@@ -400,6 +401,8 @@ def run_fault_montecarlo(
     Each policy sees the identical scenario seeds (common random
     numbers). Results are bit-identical for any ``jobs`` value — see
     :func:`repro.faults.montecarlo.sample_fault_scenarios`.
+    ``checkpoint`` names a journal directory (one subdirectory per
+    policy) so a killed sweep resumes where it stopped.
     """
     accelerator = accelerator or paper_accelerator()
     streams = tuple(streams_for(network, accelerator))
@@ -407,6 +410,13 @@ def run_fault_montecarlo(
         mean_budget = _calibrated_mean_budget(accelerator, streams, max_iterations)
     rows = []
     for policy_name in policies:
+        policy_checkpoint = None
+        if checkpoint is not None:
+            import re
+            from pathlib import Path
+
+            slug = re.sub(r"[^\w.-]", "_", policy_name)
+            policy_checkpoint = str(Path(checkpoint) / slug)
         samples = sample_fault_scenarios(
             accelerator,
             streams,
@@ -419,6 +429,7 @@ def run_fault_montecarlo(
             seed=seed,
             trigger=trigger,
             jobs=jobs,
+            checkpoint=policy_checkpoint,
         )
         lifetimes = samples.lifetime_to(1)
         rows.append(
@@ -463,12 +474,14 @@ def run_fault_study(
     seed: int = 2025,
     scenarios: int = 0,
     show_heatmaps: bool = True,
+    checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
 ) -> FaultStudyResult:
     """The registry's fault driver: `rota faults` semantics in one call.
 
     ``scenarios > 0`` additionally runs the N-scenario lifetime Monte
-    Carlo with the same budget calibration and seed.
+    Carlo with the same budget calibration and seed; ``checkpoint``
+    journals its chunks so a killed run can resume bit-identically.
     """
     study = run_faults(
         network=network,
@@ -488,6 +501,7 @@ def run_fault_study(
             max_iterations=max_iterations,
             mean_budget=mean_budget,
             seed=seed,
+            checkpoint=checkpoint,
             jobs=jobs,
         )
     return FaultStudyResult(

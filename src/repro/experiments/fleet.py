@@ -43,7 +43,8 @@ from repro.fleet.montecarlo import (
 )
 from repro.fleet.simulate import FleetConfig, FleetResult, simulate_fleet
 from repro.fleet.traffic import TRAFFIC_KINDS, WorkloadMix, make_traffic
-from repro.runtime import ParallelRunner
+from repro.resilience import CheckpointJournal
+from repro.runtime import ParallelRunner, accelerator_fingerprint, content_hash
 
 #: Default traffic seed of the fleet studies (the repo-wide 2025).
 DEFAULT_SEED = 2025
@@ -202,6 +203,7 @@ def run_fleet_lifetime(
     seed: int = DEFAULT_SEED,
     scenarios: int = 0,
     show_heatmaps: bool = True,
+    checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
     accelerator: Optional[Accelerator] = None,
     profiles: Optional[Dict[str, WorkloadProfile]] = None,
@@ -211,7 +213,9 @@ def run_fleet_lifetime(
     ``rate_rps=None`` auto-calibrates to ~70% fleet utilization from the
     workload profiles. ``scenarios > 0`` adds a Monte Carlo that
     resamples traffic and budgets per scenario (fanned out over
-    ``jobs`` workers, chunk-invariant).
+    ``jobs`` workers, chunk-invariant); ``checkpoint`` names a journal
+    directory so a killed Monte Carlo resumes where it stopped,
+    bit-identically.
     """
     _check_traffic_kind(traffic)
     workload_mix = _resolve_mix(mix)
@@ -244,6 +248,7 @@ def run_fleet_lifetime(
             num_scenarios=scenarios,
             seed=montecarlo_seed,
             jobs=jobs,
+            checkpoint=checkpoint,
         )
         montecarlo = (
             ("scenarios", float(samples.num_scenarios)),
@@ -374,6 +379,7 @@ def run_fleet_policies(
     policies: Sequence[str] = DISPATCH_POLICY_NAMES,
     mean_budget: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
     accelerator: Optional[Accelerator] = None,
 ) -> FleetPoliciesResult:
@@ -400,6 +406,23 @@ def run_fleet_policies(
     requests = make_traffic(
         traffic, num_requests, rate_rps, mix=workload_mix, seed=traffic_seed
     )
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            checkpoint,
+            run_key=content_hash(
+                "fleet-policies",
+                accelerator_fingerprint(accelerator),
+                devices,
+                traffic,
+                num_requests,
+                float(rate_rps),
+                workload_mix,
+                list(policies),
+                mean_budget,
+                seed,
+            ),
+        )
     runner = ParallelRunner(jobs)
     rows = runner.map(
         _policy_task,
@@ -416,6 +439,7 @@ def run_fleet_policies(
             for name in policies
         ],
         labels=list(policies),
+        checkpoint=journal,
     )
     return FleetPoliciesResult(
         num_devices=devices,
@@ -555,6 +579,7 @@ def run_fleet_degradation(
     mix: Sequence[Tuple[str, float]] = (),
     mean_budget: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
     accelerator: Optional[Accelerator] = None,
 ) -> FleetDegradationResult:
@@ -584,6 +609,23 @@ def run_fleet_degradation(
     requests = make_traffic(
         traffic, num_requests, rate_rps, mix=workload_mix, seed=traffic_seed
     )
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            checkpoint,
+            run_key=content_hash(
+                "fleet-degradation",
+                accelerator_fingerprint(accelerator),
+                devices,
+                policy,
+                traffic,
+                num_requests,
+                float(rate_rps),
+                workload_mix,
+                float(mean_budget),
+                seed,
+            ),
+        )
     runner = ParallelRunner(jobs)
     rows = runner.map(
         _degradation_task,
@@ -604,6 +646,7 @@ def run_fleet_degradation(
             for strategy, threshold in DEGRADATION_STRATEGIES
         ],
         labels=[strategy for strategy, _ in DEGRADATION_STRATEGIES],
+        checkpoint=journal,
     )
     return FleetDegradationResult(
         policy=policy,

@@ -203,6 +203,22 @@ def _iterations_param(default: int, help: str = "") -> Param:
     return Param(name="iterations", kind="int", default=default, help=help)
 
 
+def _resume_param() -> Param:
+    """The uniform ``--resume`` flag (every Monte Carlo driver gets it)."""
+    return Param(
+        name="resume",
+        kind="str",
+        default=None,
+        metavar="DIR",
+        kwarg="checkpoint",
+        help=(
+            "checkpoint journal directory: completed Monte Carlo chunks "
+            "are recorded there and a rerun of the same configuration "
+            "skips them (bit-identical output to an uninterrupted run)"
+        ),
+    )
+
+
 def _network_param(default: Optional[str], help: str = "") -> Param:
     return Param(name="network", kind="str", default=default, help=help)
 
@@ -409,13 +425,19 @@ class RunManifest(JsonResultMixin):
     started_at: float
     wall_seconds: float
     phases: Tuple[PhaseTiming, ...]
-    cache: Tuple[Tuple[str, int], ...]  # hits / misses / puts
-    tasks: Tuple[Tuple[str, float, str], ...]  # label, seconds, mode
+    cache: Tuple[Tuple[str, int], ...]  # hits / misses / puts / ...
+    tasks: Tuple[Tuple[str, float, str, bool], ...]  # label, secs, mode, retried
+    resilience: Tuple[Tuple[str, int], ...] = ()  # retries / timeouts / ...
 
     @property
     def cache_counts(self) -> Dict[str, int]:
         """Cache counters as a dict."""
         return dict(self.cache)
+
+    @property
+    def resilience_counts(self) -> Dict[str, int]:
+        """Resilience counters as a dict."""
+        return dict(self.resilience)
 
     def format(self) -> str:
         """One-paragraph human summary."""
@@ -429,10 +451,18 @@ class RunManifest(JsonResultMixin):
         for phase in self.phases:
             lines.append(f"  phase {phase.name}: {phase.seconds:.2f}s")
         if self.tasks:
-            total = sum(seconds for _, seconds, _ in self.tasks)
+            total = sum(task[1] for task in self.tasks)
             lines.append(
                 f"  {len(self.tasks)} runner task(s), {total:.2f}s task time"
             )
+        resilience = self.resilience_counts
+        if any(resilience.values()):
+            detail = ", ".join(
+                f"{count} {name.replace('_', ' ')}"
+                for name, count in sorted(resilience.items())
+                if count
+            )
+            lines.append(f"  resilience: {detail}")
         return "\n".join(lines)
 
 
@@ -498,9 +528,15 @@ def run_experiment(spec_id: str, **params: Any) -> ExperimentRun:
         ),
         cache=tuple(sorted(metrics.cache_summary().items())),
         tasks=tuple(
-            (timing.label, timing.seconds, timing.mode)
+            (
+                timing.label,
+                timing.seconds,
+                timing.mode,
+                bool(getattr(timing, "retried", False)),
+            )
             for timing in metrics.task_timings
         ),
+        resilience=tuple(sorted(metrics.resilience_summary().items())),
     )
     return ExperimentRun(spec=spec, result=result, manifest=manifest)
 
@@ -697,6 +733,7 @@ register(
                 kwarg="show_heatmaps",
                 help="skip dead-PE heatmaps",
             ),
+            _resume_param(),
             _jobs_param(),
         ),
         tags=("fault",),
@@ -769,6 +806,7 @@ register(
                 kwarg="show_heatmaps",
                 help="skip per-device heatmaps",
             ),
+            _resume_param(),
             _jobs_param(),
         ),
         tags=("fleet",),
@@ -783,6 +821,7 @@ register(
         runner="repro.experiments.fleet:run_fleet_policies",
         params=(
             *_fleet_shared_params(300),
+            _resume_param(),
             _jobs_param(),
         ),
         tags=("fleet",),
@@ -801,6 +840,7 @@ register(
                 help="dispatch policy the strategies share",
             ),
             *_fleet_shared_params(400),
+            _resume_param(),
             _jobs_param(),
         ),
         tags=("fleet",),

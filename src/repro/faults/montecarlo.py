@@ -25,7 +25,8 @@ from repro.dataflow.tiling import TileStream
 from repro.errors import ConfigurationError
 from repro.faults.injection import sample_endurance_budgets
 from repro.reliability.weibull import JEDEC_BETA
-from repro.runtime import ParallelRunner
+from repro.resilience import CheckpointJournal
+from repro.runtime import ParallelRunner, accelerator_fingerprint, content_hash
 
 Seed = Union[int, np.random.SeedSequence]
 
@@ -191,6 +192,7 @@ def sample_fault_scenarios(
     trigger: StrideTrigger = StrideTrigger.ORIGIN,
     jobs: Optional[int] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint: Optional[str] = None,
 ) -> FaultScenarioSamples:
     """Monte Carlo death statistics of one policy under sampled wear-out.
 
@@ -199,7 +201,9 @@ def sample_fault_scenarios(
     ``REPRO_JOBS``; serial by default). Death times and locations are
     bit-identical for any ``jobs`` and ``chunk_size`` value: every
     scenario's budget field derives from its own pre-spawned
-    ``SeedSequence`` child.
+    ``SeedSequence`` child. ``checkpoint`` names a journal directory:
+    completed chunks are recorded there and a rerun of the same
+    configuration (enforced by a content-hash run key) skips them.
     """
     if num_scenarios < 1:
         raise ConfigurationError(
@@ -216,6 +220,25 @@ def sample_fault_scenarios(
         scenario_seeds[start : start + chunk_size]
         for start in range(0, num_scenarios, chunk_size)
     ]
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            checkpoint,
+            run_key=content_hash(
+                "fault-scenarios",
+                accelerator_fingerprint(accelerator),
+                policy_name,
+                trigger,
+                streams,
+                num_scenarios,
+                float(mean_budget),
+                float(beta),
+                deaths,
+                max_iterations,
+                chunk_size,
+                sequence,
+            ),
+        )
     runner = ParallelRunner(jobs)
     chunk_outcomes = runner.map(
         _scenario_chunk,
@@ -234,6 +257,7 @@ def sample_fault_scenarios(
             for chunk in chunks
         ],
         labels=[f"chunk-{index}" for index in range(len(chunks))],
+        checkpoint=journal,
     )
     outcomes = tuple(
         outcome for chunk in chunk_outcomes for outcome in chunk

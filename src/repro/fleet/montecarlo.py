@@ -27,7 +27,8 @@ from repro.errors import ConfigurationError
 from repro.fleet.device import WorkloadProfile, build_profiles
 from repro.fleet.simulate import FleetConfig, FleetResult, simulate_fleet
 from repro.fleet.traffic import WorkloadMix, make_traffic
-from repro.runtime import ParallelRunner
+from repro.resilience import CheckpointJournal
+from repro.runtime import ParallelRunner, accelerator_fingerprint, content_hash
 
 Seed = Union[int, np.random.SeedSequence]
 
@@ -140,6 +141,7 @@ def sample_fleet_scenarios(
     seed: Seed = 2025,
     jobs: Optional[int] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint: Optional[str] = None,
 ) -> FleetScenarioSamples:
     """Monte Carlo fleet statistics for one dispatch policy.
 
@@ -148,7 +150,10 @@ def sample_fleet_scenarios(
     the (mix-weighted) workload profiles. ``jobs`` fans scenario chunks
     over a :class:`~repro.runtime.parallel.ParallelRunner` (``None``
     reads ``REPRO_JOBS``; serial by default); results are bit-identical
-    for any ``jobs`` and ``chunk_size``.
+    for any ``jobs`` and ``chunk_size``. ``checkpoint`` names a journal
+    directory: completed chunks are recorded there and a rerun of the
+    same configuration (enforced by a content-hash run key) skips them,
+    still bit-identical because scenario seeds are spawned up front.
     """
     if num_scenarios < 1:
         raise ConfigurationError(
@@ -169,6 +174,23 @@ def sample_fleet_scenarios(
         scenario_seeds[start : start + chunk_size]
         for start in range(0, num_scenarios, chunk_size)
     ]
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            checkpoint,
+            run_key=content_hash(
+                "fleet-scenarios",
+                accelerator_fingerprint(accelerator),
+                config,
+                traffic_kind,
+                num_requests,
+                float(rate_rps),
+                mix,
+                num_scenarios,
+                chunk_size,
+                sequence,
+            ),
+        )
     runner = ParallelRunner(jobs)
     chunk_outcomes = runner.map(
         _scenario_chunk,
@@ -186,6 +208,7 @@ def sample_fleet_scenarios(
             for chunk in chunks
         ],
         labels=[f"chunk-{index}" for index in range(len(chunks))],
+        checkpoint=journal,
     )
     outcomes = tuple(outcome for chunk in chunk_outcomes for outcome in chunk)
     return FleetScenarioSamples(

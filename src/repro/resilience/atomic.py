@@ -1,0 +1,58 @@
+"""Crash-safe file writes: one shared write-temp-fsync-rename helper.
+
+Every persistent artifact in the repo — ``BENCH_<n>.json`` snapshots,
+result-cache entries, the schedule disk cache, checkpoint journals —
+goes through :func:`atomic_write_bytes`. A reader therefore sees either
+the previous complete file or the new complete file, never a truncated
+half-write, regardless of when the writing process dies.
+
+The temp file is created in the destination's directory so the final
+``os.replace`` is a same-filesystem rename (atomic on POSIX). ``fsync``
+is on by default: without it a rename can be durable while the data is
+not, which is exactly the torn state this module exists to prevent.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], data: bytes, fsync: bool = True
+) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
+
+    Creates parent directories as needed. On any failure the temp file
+    is removed and the destination is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, fsync: bool = True
+) -> Path:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

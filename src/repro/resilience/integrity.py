@@ -1,0 +1,76 @@
+"""Checksum sidecars: detect torn, truncated, or bit-rotted payloads.
+
+A payload file ``foo.pkl`` gets a sibling ``foo.pkl.sha256`` holding the
+hex SHA-256 of its intended contents. Readers recompute the digest and
+compare; a mismatch means the entry is corrupt (torn write, truncated
+disk, chaos injection) and must be quarantined rather than unpickled.
+
+Write ordering matters: the sidecar is written *first*, then the
+payload. Both writes are atomic, so the only crash states are
+(no sidecar, no payload), (sidecar, no payload) — a miss either way —
+or both complete. A payload can never exist whose checksum was lost.
+Payloads without a sidecar (written by older versions) verify as
+``"unverified"`` and fall back to the reader's legacy behavior.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.resilience.atomic import atomic_write_bytes, atomic_write_text
+
+__all__ = [
+    "CHECKSUM_SUFFIX",
+    "checksum_path",
+    "digest",
+    "read_checksum",
+    "verify_bytes",
+    "write_with_checksum",
+]
+
+#: Sidecar filename suffix (appended to the payload's full name).
+CHECKSUM_SUFFIX = ".sha256"
+
+
+def checksum_path(path: Union[str, Path]) -> Path:
+    """The sidecar path for a payload file."""
+    path = Path(path)
+    return path.with_name(path.name + CHECKSUM_SUFFIX)
+
+
+def digest(data: bytes) -> str:
+    """Hex SHA-256 of a payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def read_checksum(path: Union[str, Path]) -> Optional[str]:
+    """The recorded digest for a payload, or ``None`` if no sidecar."""
+    try:
+        return checksum_path(path).read_text().strip() or None
+    except OSError:
+        return None
+
+
+def write_with_checksum(
+    path: Union[str, Path], data: bytes, payload: Optional[bytes] = None
+) -> Path:
+    """Atomically write ``data`` to ``path`` with a checksum sidecar.
+
+    ``payload`` overrides the bytes physically written while the
+    checksum still covers ``data`` — the hook :mod:`repro.chaos` uses to
+    simulate a torn write that the checksum then catches.
+    """
+    path = Path(path)
+    atomic_write_text(checksum_path(path), digest(data) + "\n")
+    atomic_write_bytes(path, data if payload is None else payload)
+    return path
+
+
+def verify_bytes(path: Union[str, Path], data: bytes) -> str:
+    """Check ``data`` against the sidecar: ``ok``/``corrupt``/``unverified``."""
+    expected = read_checksum(path)
+    if expected is None:
+        return "unverified"
+    return "ok" if digest(data) == expected else "corrupt"

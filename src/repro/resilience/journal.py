@@ -1,0 +1,224 @@
+"""Checkpoint journal: crash-safe record of completed parallel tasks.
+
+A :class:`CheckpointJournal` is a directory holding one pickled entry
+per completed task of a :meth:`ParallelRunner.map <repro.runtime.
+parallel.ParallelRunner.map>` call, plus a ``journal.json`` manifest
+binding the journal to one specific run (task labels + an optional
+caller-supplied ``run_key`` content hash). Entries are written through
+:func:`~repro.resilience.integrity.write_with_checksum`, so a crash can
+never leave a torn entry that poisons the resume — a corrupt or
+truncated entry simply fails verification and is recomputed.
+
+Because the experiment layer's Monte Carlo seeding is chunk-invariant
+(every chunk's ``SeedSequence`` children are spawned up front), a run
+resumed from a journal produces output **bit-identical** to an
+uninterrupted run: skipped chunks return their journaled results, fresh
+chunks recompute exactly what they would have the first time.
+
+The manifest guards against resuming the wrong run: if an existing
+journal's ``run_key`` or label list does not match, binding raises
+:class:`JournalMismatchError` instead of silently splicing results from
+a different configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import re
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.integrity import (
+    checksum_path,
+    verify_bytes,
+    write_with_checksum,
+)
+
+__all__ = ["CheckpointJournal", "JournalMismatchError"]
+
+#: Bump when the journal layout changes; mismatched journals refuse to
+#: resume instead of misreading old entries.
+JOURNAL_SCHEMA = 1
+
+_ENTRY_PATTERN = re.compile(r"^entry-(\d{5})\.pkl$")
+
+
+class JournalMismatchError(ConfigurationError):
+    """An existing journal belongs to a different run configuration."""
+
+
+class CheckpointJournal:
+    """Directory-backed store of completed task results for one run.
+
+    Parameters
+    ----------
+    path:
+        Journal directory (created on first write).
+    run_key:
+        Optional content hash of everything that determines the run's
+        results. Recorded in the manifest; a resume with a different
+        key is refused. Callers that cannot compute one still get the
+        label-list check.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], run_key: Optional[str] = None
+    ) -> None:
+        self._directory = Path(path)
+        self._run_key = run_key or ""
+        self._bound = False
+
+    @property
+    def directory(self) -> Path:
+        """The journal directory."""
+        return self._directory
+
+    @property
+    def run_key(self) -> str:
+        """The run content key this journal is bound to ("" if none)."""
+        return self._run_key
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self._directory / "journal.json"
+
+    def _entry_path(self, index: int) -> Path:
+        return self._directory / f"entry-{index:05d}.pkl"
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, labels: Sequence[str]) -> None:
+        """Bind the journal to one task list (validating any existing one).
+
+        Idempotent. Raises :class:`JournalMismatchError` when the
+        directory already journals a run with different labels or a
+        different ``run_key``.
+        """
+        labels = [str(label) for label in labels]
+        manifest = self._load_manifest()
+        if manifest is None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self._manifest_path,
+                json.dumps(
+                    {
+                        "schema": JOURNAL_SCHEMA,
+                        "run_key": self._run_key,
+                        "labels": labels,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+        else:
+            if manifest.get("schema") != JOURNAL_SCHEMA:
+                raise JournalMismatchError(
+                    f"journal at {self._directory} uses schema "
+                    f"{manifest.get('schema')!r}; this version writes "
+                    f"{JOURNAL_SCHEMA} — delete the directory to start over"
+                )
+            recorded_key = manifest.get("run_key", "")
+            if recorded_key != self._run_key:
+                raise JournalMismatchError(
+                    f"journal at {self._directory} belongs to a different "
+                    f"run configuration (recorded key {recorded_key!r}, "
+                    f"this run {self._run_key!r}); delete the directory or "
+                    f"pass the original parameters"
+                )
+            if manifest.get("labels") != labels:
+                raise JournalMismatchError(
+                    f"journal at {self._directory} records "
+                    f"{len(manifest.get('labels') or [])} task(s) that do "
+                    f"not match this run's {len(labels)} task label(s)"
+                )
+        self._bound = True
+
+    def _load_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self._manifest_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A torn manifest means the journal never completed its
+            # first write; treat as absent and start over.
+            return None
+
+    def _require_bound(self) -> None:
+        if not self._bound:
+            raise ConfigurationError(
+                "journal must be bound to a task list before use "
+                "(ParallelRunner.map does this automatically)"
+            )
+
+    # -- entries ------------------------------------------------------------
+
+    def record(self, index: int, value: Any) -> None:
+        """Persist one completed task result (atomic, checksummed).
+
+        Best-effort: a full disk must degrade checkpointing, not kill
+        the run that is producing results.
+        """
+        self._require_bound()
+        try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            write_with_checksum(self._entry_path(index), data)
+        except (OSError, pickle.PicklingError):
+            pass
+
+    def completed(self) -> Dict[int, Any]:
+        """Every verifiable journaled result, keyed by task index.
+
+        Entries whose checksum mismatches (torn write, chaos
+        corruption) or that fail to unpickle are skipped — the resume
+        recomputes them. Never raises for a damaged entry.
+        """
+        self._require_bound()
+        results: Dict[int, Any] = {}
+        if not self._directory.is_dir():
+            return results
+        for path in sorted(self._directory.glob("entry-*.pkl")):
+            match = _ENTRY_PATTERN.match(path.name)
+            if not match:
+                continue
+            index = int(match.group(1))
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            if verify_bytes(path, data) != "ok":
+                continue
+            try:
+                results[index] = pickle.loads(data)
+            except Exception:  # noqa: BLE001 - any damage means recompute
+                continue
+        return results
+
+    def entry_count(self) -> int:
+        """How many entry files the journal currently holds."""
+        if not self._directory.is_dir():
+            return 0
+        return sum(
+            1
+            for path in self._directory.glob("entry-*.pkl")
+            if _ENTRY_PATTERN.match(path.name)
+        )
+
+    def clear(self) -> None:
+        """Delete every entry and the manifest (the journal stays usable)."""
+        if not self._directory.is_dir():
+            return
+        for path in self._directory.glob("entry-*.pkl"):
+            for victim in (path, checksum_path(path)):
+                try:
+                    victim.unlink()
+                except OSError:
+                    pass
+        try:
+            self._manifest_path.unlink()
+        except OSError:
+            pass
+        self._bound = False

@@ -1,0 +1,118 @@
+"""Seeded retry policy: exponential backoff with deterministic jitter.
+
+:class:`RetryPolicy` tells :class:`~repro.runtime.parallel.
+ParallelRunner` how many attempts a task gets and how long to wait
+between them. The jitter is *derived*, not drawn: a stable hash of
+``(seed, label, attempt)`` maps to ``[0, 1)``, so two runs with the
+same seed produce the exact same backoff schedule — which is what lets
+the chaos suite assert that a faulty run retried deterministically.
+
+Also home to the error types the runner raises when retrying is no
+longer an option: :class:`TaskTimeoutError` (a task overran its
+wall-clock budget) and :class:`PoisonedTaskError` (a task kept killing
+workers or timing out until its attempts were exhausted and it was
+quarantined).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "PoisonedTaskError",
+    "RetryPolicy",
+    "TaskTimeoutError",
+    "stable_unit",
+]
+
+
+def stable_unit(*parts: object) -> float:
+    """Map arbitrary parts to a deterministic float in ``[0, 1)``.
+
+    Process- and platform-stable (unlike ``hash()``): the parts are
+    ``repr``-joined and SHA-256 hashed, so every worker process agrees
+    on the value — the basis of both backoff jitter and chaos-injection
+    decisions.
+    """
+    token = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    value = int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+    return value / float(1 << 64)
+
+
+class TaskTimeoutError(ReproError):
+    """A runner task exceeded its per-task wall-clock timeout."""
+
+
+class PoisonedTaskError(ReproError):
+    """A task exhausted every retry attempt and was quarantined.
+
+    Carries the task ``label``, the number of ``attempts`` made, and
+    the ``kind`` of failure (``"crash"``, ``"timeout"``, ``"error"``)
+    that finally condemned it.
+    """
+
+    def __init__(self, label: str, attempts: int, kind: str) -> None:
+        self.label = label
+        self.attempts = attempts
+        self.kind = kind
+        super().__init__(
+            f"task {label!r} quarantined after {attempts} attempt(s); "
+            f"last failure: {kind}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a task gets, and how long to wait between them.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per task (1 = no retries).
+    base_delay:
+        Backoff before the second attempt, in seconds; doubles per
+        further attempt.
+    max_delay:
+        Cap on any single backoff delay.
+    jitter:
+        Fraction of each delay randomized *downward* (0 = none, 1 =
+        full). Deterministic: derived from ``(seed, label, attempt)``.
+    seed:
+        Jitter seed; fixed seed ⇒ identical backoff schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError(
+                f"delays must be >= 0, got base={self.base_delay} "
+                f"max={self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, label: str, attempt: int) -> float:
+        """Seconds to wait after failed ``attempt`` of task ``label``.
+
+        Exponential in the attempt number, capped at ``max_delay``,
+        jittered by the stable hash of ``(seed, label, attempt)``.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        fraction = stable_unit(self.seed, "backoff", label, attempt)
+        return raw * (1.0 - self.jitter * fraction)

@@ -8,7 +8,13 @@ result store (:mod:`repro.runtime.cache`). See
 ``docs/architecture.md`` ("Runtime & caching") for the full contract.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache, cache_root, result_cache
+from repro.runtime.cache import (
+    CacheStats,
+    CacheVerifyReport,
+    ResultCache,
+    cache_root,
+    result_cache,
+)
 from repro.runtime.observe import RunMetrics, collect_metrics
 from repro.runtime.fingerprint import (
     CACHE_SCHEMA_VERSION,
@@ -27,6 +33,7 @@ from repro.runtime.parallel import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
+    "CacheVerifyReport",
     "JOBS_ENV",
     "ParallelRunner",
     "ResultCache",

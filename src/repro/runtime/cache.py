@@ -7,6 +7,14 @@ functions of the inputs, the cache needs no invalidation protocol:
 changed inputs simply miss. Writes are atomic (tempfile + rename), so
 concurrent worker processes can share one directory safely.
 
+Every entry is paired with a ``.sha256`` checksum sidecar (written
+*before* the payload, so a payload can never exist without its
+checksum). On read, the payload is verified against the sidecar: a
+corrupt, truncated, or unloadable entry is **quarantined** — moved into
+a ``corrupt/`` subdirectory, counted, and treated as a miss — instead
+of poisoning the run. ``rota cache --verify`` (:meth:`ResultCache.
+verify`) walks the whole cache and quarantines damage proactively.
+
 Environment knobs (matching the scheduler's on-disk cache):
 
 * ``REPRO_CACHE_DIR`` — relocate the cache root (default
@@ -18,20 +26,47 @@ Environment knobs (matching the scheduler's on-disk cache):
   oldest-mtime entries until it fits again.
 
 Clear it with ``rota cache --clear``, bound it with ``rota cache
---prune --max-bytes N``, or delete the directory.
+--prune --max-bytes N``, check it with ``rota cache --verify``, or
+delete the directory.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import tempfile
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
+from repro import chaos
 from repro.errors import ConfigurationError
+from repro.resilience.integrity import (
+    checksum_path,
+    verify_bytes,
+    write_with_checksum,
+)
 from repro.runtime import observe
+
+#: Serializes sidecar+payload rename pairs within this process. Each
+#: rename is atomic on its own, but two threads putting the same key
+#: could interleave their renames and leave a mismatched (checksum,
+#: payload) pair that a later get would quarantine as corrupt. Across
+#: processes the same race degrades to a quarantined miss — the cache's
+#: documented contract (a get returns None or an intact value) holds
+#: either way.
+_WRITE_LOCK = threading.Lock()
+
+#: Unpickling failure modes treated as entry damage, not bugs.
+_LOAD_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+)
 
 
 def cache_root() -> Path:
@@ -74,6 +109,9 @@ class CacheStats:
     #: Entries evicted by size-bound pruning over the cache's lifetime
     #: (persisted beside the entries; reset by ``clear()``).
     evictions: int = 0
+    #: Entries quarantined after failing checksum or load verification
+    #: (persisted beside the entries; reset by ``clear()``).
+    corruptions: int = 0
 
     def format(self) -> str:
         """Human-readable one-paragraph summary."""
@@ -82,8 +120,32 @@ class CacheStats:
         return (
             f"result cache at {self.path} [{state}]\n"
             f"  {self.entries} entries, {size_kib:.1f} KiB, "
-            f"{self.evictions} evictions"
+            f"{self.evictions} evictions, {self.corruptions} corruptions"
         )
+
+
+@dataclass(frozen=True)
+class CacheVerifyReport:
+    """Outcome of one full-cache integrity walk (``rota cache --verify``)."""
+
+    path: str
+    checked: int
+    ok: int
+    corrupt: int
+    unverified: int
+    quarantined: Tuple[str, ...] = field(default_factory=tuple)
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"verified {self.checked} cache entr"
+            f"{'y' if self.checked == 1 else 'ies'} at {self.path}",
+            f"  ok: {self.ok}  corrupt: {self.corrupt}  "
+            f"unverified (no checksum): {self.unverified}",
+        ]
+        for name in self.quarantined:
+            lines.append(f"  quarantined {name} -> corrupt/")
+        return "\n".join(lines)
 
 
 class ResultCache:
@@ -127,16 +189,34 @@ class ResultCache:
         return self._directory / f"{key}.pkl"
 
     @property
+    def _quarantine_dir(self) -> Path:
+        """Where damaged entries are moved for post-mortem inspection."""
+        return self._directory / "corrupt"
+
+    @property
     def _eviction_counter(self) -> Path:
         """Sidecar file persisting the lifetime eviction count."""
         return self._directory / "evictions.count"
 
-    def eviction_count(self) -> int:
-        """Entries evicted by pruning since the cache was last cleared."""
+    @property
+    def _corruption_counter(self) -> Path:
+        """Sidecar file persisting the lifetime corruption count."""
+        return self._directory / "corruptions.count"
+
+    @staticmethod
+    def _read_counter(path: Path) -> int:
         try:
-            return int(self._eviction_counter.read_text().strip() or 0)
+            return int(path.read_text().strip() or 0)
         except (OSError, ValueError):
             return 0
+
+    def eviction_count(self) -> int:
+        """Entries evicted by pruning since the cache was last cleared."""
+        return self._read_counter(self._eviction_counter)
+
+    def corruption_count(self) -> int:
+        """Entries quarantined as corrupt since the cache was last cleared."""
+        return self._read_counter(self._corruption_counter)
 
     def _record_evictions(self, removed: int) -> None:
         """Bump the persistent counter and every active metrics scope.
@@ -154,58 +234,103 @@ class ResultCache:
         except OSError:
             pass
 
+    def _quarantine(self, path: Path) -> bool:
+        """Move a damaged entry (and its sidecar) into ``corrupt/``.
+
+        Returns ``True`` when the entry was moved. Counts the
+        corruption both persistently and in active metrics scopes.
+        """
+        moved = False
+        try:
+            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self._quarantine_dir / path.name)
+            moved = True
+        except OSError:
+            try:
+                path.unlink()
+                moved = True
+            except OSError:
+                pass
+        sidecar = checksum_path(path)
+        try:
+            os.replace(sidecar, self._quarantine_dir / sidecar.name)
+        except OSError:
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+        if moved:
+            observe.record_cache_corruption()
+            try:
+                total = self.corruption_count() + 1
+                self._corruption_counter.write_text(f"{total}\n")
+            except OSError:
+                pass
+        return moved
+
     def get(self, key: str) -> Optional[Any]:
         """Load the entry for ``key``, or ``None`` on a miss.
 
-        Corrupt or unreadable entries count as misses (a concurrent
-        writer may be mid-rename on a non-POSIX filesystem; a partial
-        entry must never poison a run).
+        Entries failing checksum verification — or that verify but no
+        longer unpickle (schema drift) — are quarantined into
+        ``corrupt/`` and count as misses; a damaged entry must never
+        poison a run, and never silently serves a second request.
         """
         if not self._enabled:
             observe.record_cache_miss()
             return None
         path = self._entry_path(key)
         try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+            data = path.read_bytes()
+        except OSError:
+            observe.record_cache_miss()
+            return None
+        if verify_bytes(path, data) == "corrupt":
+            self._quarantine(path)
+            observe.record_cache_miss()
+            return None
+        try:
+            value = pickle.loads(data)
+        except _LOAD_ERRORS:
+            self._quarantine(path)
             observe.record_cache_miss()
             return None
         observe.record_cache_hit()
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically (best effort)."""
+        """Store ``value`` under ``key`` atomically, with a checksum.
+
+        The sidecar is written first and always covers the true
+        payload bytes, so any divergence between the two — a torn
+        write, bit rot, or chaos-injected corruption — is caught by
+        the next ``get``. Best effort: a full disk or unpicklable
+        payload must not fail the run.
+        """
         if not self._enabled:
             return
         observe.record_cache_put()
         try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = chaos.maybe_corrupt(f"cache:{key}", data)
             self._directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(self._directory), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, self._entry_path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            with _WRITE_LOCK:
+                write_with_checksum(
+                    self._entry_path(key), data, payload=payload
+                )
         except (OSError, pickle.PicklingError):
-            pass  # a full disk or unpicklable payload must not fail the run
+            pass
         if self._max_bytes is not None:
             self.prune(self._max_bytes)
 
     def prune(self, max_bytes: int) -> int:
         """Evict oldest-mtime entries until the cache fits ``max_bytes``.
 
-        Returns how many entries were removed. Entries that vanish or
-        error mid-scan (a concurrent ``clear`` or prune) are skipped —
-        pruning is best-effort housekeeping, never a correctness step.
+        Returns how many entries were removed (checksum sidecars go
+        with them; only ``.pkl`` bytes count toward the bound).
+        Entries that vanish or error mid-scan (a concurrent ``clear``
+        or prune) are skipped — pruning is best-effort housekeeping,
+        never a correctness step.
         """
         if max_bytes < 0:
             raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -229,17 +354,64 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 continue
+            try:
+                checksum_path(path).unlink()
+            except OSError:
+                pass
             total -= size
             removed += 1
         if removed:
             self._record_evictions(removed)
         return removed
 
+    def verify(self) -> CacheVerifyReport:
+        """Walk every entry, quarantining any that fail verification.
+
+        An entry is damaged when its bytes mismatch the checksum
+        sidecar or no longer unpickle; damaged entries move to
+        ``corrupt/``. Entries with no sidecar (written before checksums
+        existed) are reported as ``unverified`` but left in place.
+        """
+        checked = ok = corrupt = unverified = 0
+        quarantined: List[str] = []
+        if self._directory.is_dir():
+            for path in sorted(self._directory.glob("*.pkl")):
+                checked += 1
+                try:
+                    data = path.read_bytes()
+                except OSError:
+                    continue
+                status = verify_bytes(path, data)
+                if status == "ok":
+                    try:
+                        pickle.loads(data)
+                    except _LOAD_ERRORS:
+                        status = "corrupt"
+                if status == "corrupt":
+                    corrupt += 1
+                    if self._quarantine(path):
+                        quarantined.append(path.name)
+                elif status == "unverified":
+                    unverified += 1
+                else:
+                    ok += 1
+        return CacheVerifyReport(
+            path=str(self._directory),
+            checked=checked,
+            ok=ok,
+            corrupt=corrupt,
+            unverified=unverified,
+            quarantined=tuple(quarantined),
+        )
+
     def __contains__(self, key: str) -> bool:
         return self._enabled and self._entry_path(key).exists()
 
     def clear(self) -> int:
-        """Delete every entry (and the eviction counter); returns the count."""
+        """Delete every entry, sidecar, counter, and quarantined file.
+
+        Returns how many entries were removed.
+        """
         removed = 0
         if not self._directory.is_dir():
             return removed
@@ -249,10 +421,25 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        try:
-            self._eviction_counter.unlink()
-        except OSError:
-            pass
+            try:
+                checksum_path(path).unlink()
+            except OSError:
+                pass
+        for counter in (self._eviction_counter, self._corruption_counter):
+            try:
+                counter.unlink()
+            except OSError:
+                pass
+        if self._quarantine_dir.is_dir():
+            for path in self._quarantine_dir.iterdir():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            try:
+                self._quarantine_dir.rmdir()
+            except OSError:
+                pass
         return removed
 
     def stats(self) -> CacheStats:
@@ -272,6 +459,7 @@ class ResultCache:
             entries=entries,
             total_bytes=total,
             evictions=self.eviction_count(),
+            corruptions=self.corruption_count(),
         )
 
 

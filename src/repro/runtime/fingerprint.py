@@ -30,7 +30,8 @@ from repro.errors import ConfigurationError
 #: Bump whenever the semantics of cached results change (e.g. the engine
 #: produces different counts for the same inputs). Part of every key, so
 #: stale entries from older code miss instead of aliasing.
-CACHE_SCHEMA_VERSION = 2
+#: 3: RunManifest grew resilience counters and per-task retry flags.
+CACHE_SCHEMA_VERSION = 3
 
 
 def _tokenize(value: Any) -> Any:
@@ -52,6 +53,15 @@ def _tokenize(value: Any) -> Any:
         return ["float", repr(float(value))]
     if isinstance(value, bytes):
         return ["bytes", hashlib.sha256(value).hexdigest()]
+    if isinstance(value, np.random.SeedSequence):
+        # Checkpoint journals key Monte Carlo runs by their seed
+        # sequence; entropy + spawn_key fully determine the stream.
+        return [
+            "seedseq",
+            _tokenize(value.entropy),
+            [_tokenize(part) for part in value.spawn_key],
+            int(value.pool_size),
+        ]
     if is_dataclass(value) and not isinstance(value, type):
         return [
             "dataclass",

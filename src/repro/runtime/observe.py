@@ -39,6 +39,11 @@ class RunMetrics:
     cache_misses: int = 0
     cache_puts: int = 0
     cache_evictions: int = 0
+    cache_corruptions: int = 0
+    task_retries: int = 0
+    task_timeouts: int = 0
+    task_quarantines: int = 0
+    checkpoint_skips: int = 0
     task_timings: List[Any] = field(default_factory=list)
 
     def cache_summary(self) -> Dict[str, int]:
@@ -48,6 +53,17 @@ class RunMetrics:
             "misses": self.cache_misses,
             "puts": self.cache_puts,
             "evictions": self.cache_evictions,
+            "corruptions": self.cache_corruptions,
+        }
+
+    def resilience_summary(self) -> Dict[str, int]:
+        """The resilience counters as a plain dict (manifest-ready)."""
+        return {
+            "retries": self.task_retries,
+            "timeouts": self.task_timeouts,
+            "quarantined": self.task_quarantines,
+            "checkpoint_skips": self.checkpoint_skips,
+            "cache_corruptions": self.cache_corruptions,
         }
 
 
@@ -100,6 +116,36 @@ def record_cache_eviction(count: int = 1) -> None:
     """Count ``count`` pruned cache entries in every active scope."""
     for scope in _scopes():
         scope.cache_evictions += count
+
+
+def record_cache_corruption(count: int = 1) -> None:
+    """Count ``count`` corrupt cache entries in every active scope."""
+    for scope in _scopes():
+        scope.cache_corruptions += count
+
+
+def record_task_retry() -> None:
+    """Count one retried runner task in every active scope."""
+    for scope in _scopes():
+        scope.task_retries += 1
+
+
+def record_task_timeout() -> None:
+    """Count one timed-out runner task in every active scope."""
+    for scope in _scopes():
+        scope.task_timeouts += 1
+
+
+def record_task_quarantine() -> None:
+    """Count one quarantined (retries-exhausted) task in every scope."""
+    for scope in _scopes():
+        scope.task_quarantines += 1
+
+
+def record_checkpoint_skip(count: int = 1) -> None:
+    """Count ``count`` tasks skipped via a checkpoint journal."""
+    for scope in _scopes():
+        scope.checkpoint_skips += count
 
 
 def record_task_timing(timing: Any) -> None:

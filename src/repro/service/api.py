@@ -10,9 +10,10 @@ run here the moment they are registered, with no service-side edits.
 Error contract (mirrors the CLI's ``ReproError`` → exit-2 convention):
 every failure is a structured JSON body ``{"error": {"code", "message",
 ...}}``, never a traceback. Validation failures carry a per-field
-``fields`` mapping; backpressure responds 429; unknown experiments,
-jobs, and routes respond 404; anything unexpected responds 500 with
-the exception type and message only.
+``fields`` mapping; backpressure responds 429; an open circuit breaker
+responds 503 with ``Retry-After``; a timed-out run's detail responds
+504; unknown experiments, jobs, and routes respond 404; anything
+unexpected responds 500 with the exception type and message only.
 """
 
 from __future__ import annotations
@@ -20,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+import math
+
 from repro.errors import ConfigurationError, ReproError
+from repro.resilience import CircuitOpenError
 from repro.experiments.registry import (
     ParamValidationError,
     all_specs,
@@ -30,6 +34,7 @@ from repro.experiments.registry import (
 from repro.experiments.result import to_jsonable
 from repro.service.jobs import (
     JobManager,
+    JobState,
     QueueFullError,
     ServiceStoppedError,
     UnknownJobError,
@@ -87,6 +92,14 @@ class ServiceAPI:
         except QueueFullError as error:
             return _error(
                 429, "queue-full", str(error), headers=(("Retry-After", "1"),)
+            )
+        except CircuitOpenError as error:
+            retry_after = max(1, math.ceil(error.retry_after))
+            return _error(
+                503,
+                "circuit-open",
+                str(error),
+                headers=(("Retry-After", str(retry_after)),),
             )
         except ServiceStoppedError as error:
             return _error(503, "shutting-down", str(error))
@@ -161,11 +174,13 @@ class ServiceAPI:
         rejected = self._require(method, "GET")
         if rejected:
             return rejected
+        breaker = self._manager.breaker
         return ApiResponse(
             200,
             self._manager.metrics.snapshot(
                 queue_depth=self._manager.queue_depth(),
                 jobs_running=self._manager.running_count(),
+                breaker=None if breaker is None else breaker.snapshot(),
             ),
         )
 
@@ -218,4 +233,7 @@ class ServiceAPI:
         if rejected:
             return rejected
         job = self._manager.get(job_id)
-        return ApiResponse(200, job.detail())
+        # A timed-out job still returns its full detail body, but under
+        # 504 so pollers can distinguish it without parsing the state.
+        status = 504 if job.state == JobState.TIMEOUT else 200
+        return ApiResponse(status, job.detail())

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.resilience import CircuitBreaker
 from repro.experiments.registry import (
     get_spec,
     package_version,
@@ -70,16 +71,17 @@ class UnknownJobError(ReproError):
 
 
 class JobState:
-    """The job lifecycle: queued → running → done / failed / cancelled."""
+    """The job lifecycle: queued → running → done / failed / cancelled / timeout."""
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
 
     #: States a job can never leave.
-    TERMINAL = (DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED, TIMEOUT)
 
 
 @dataclass
@@ -142,6 +144,15 @@ class JobManager:
         environment-resolved persistent result cache.
     metrics:
         The service-wide counter sink (a fresh one when omitted).
+    job_timeout:
+        Wall-clock budget per executing job, in seconds. An overrunning
+        job flips to :attr:`JobState.TIMEOUT` (the API maps it to 504)
+        and its worker moves on; ``None`` disables the deadline.
+    breaker:
+        Optional :class:`~repro.resilience.CircuitBreaker`. Job
+        failures/timeouts feed it; while it is open, :meth:`submit`
+        raises :class:`~repro.resilience.CircuitOpenError` (the API
+        maps it to 503 + ``Retry-After``).
     """
 
     def __init__(
@@ -150,14 +161,20 @@ class JobManager:
         queue_depth: int = 32,
         cache: Optional[ResultCache] = None,
         metrics: Optional[ServiceMetrics] = None,
+        job_timeout: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if workers < 1:
             raise ReproError(f"service workers must be >= 1, got {workers}")
         if queue_depth < 1:
             raise ReproError(f"queue depth must be >= 1, got {queue_depth}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ReproError(f"job timeout must be > 0, got {job_timeout}")
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.breaker = breaker
         self._cache = cache if cache is not None else result_cache()
         self._workers = workers
+        self._job_timeout = job_timeout
         self._queue: "queue.Queue[Job]" = queue.Queue(maxsize=queue_depth)
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -174,13 +191,18 @@ class JobManager:
         Raises :class:`~repro.errors.ConfigurationError` for an unknown
         experiment, :class:`~repro.experiments.registry.
         ParamValidationError` for a bad body,
-        :class:`ServiceStoppedError` during shutdown, and
-        :class:`QueueFullError` when the queue is at capacity.
+        :class:`ServiceStoppedError` during shutdown,
+        :class:`QueueFullError` when the queue is at capacity, and
+        :class:`~repro.resilience.CircuitOpenError` while the breaker
+        is shedding load.
         """
         spec = get_spec(spec_id)
         params = validate_params(spec, raw_params if raw_params is not None else {})
         if self._stop.is_set():
             raise ServiceStoppedError("service is shutting down")
+        if self.breaker is not None:
+            self.breaker.check()
+        self._ensure_workers()
         job = Job(
             id=f"run-{next(self._counter):06d}-{uuid.uuid4().hex[:8]}",
             spec_id=spec.id,
@@ -232,13 +254,27 @@ class JobManager:
         if self._threads:
             return
         for index in range(self._workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"rota-worker-{index}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+            self._threads.append(self._spawn_worker(index))
+
+    def _spawn_worker(self, index: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"rota-worker-{index}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def _ensure_workers(self) -> None:
+        """Replace worker threads that died; a dead thread must not
+        silently shrink the pool to zero and strand queued jobs."""
+        if not self._threads or self._stop.is_set():
+            return
+        with self._lock:
+            for index, thread in enumerate(self._threads):
+                if not thread.is_alive():
+                    self._threads[index] = self._spawn_worker(index)
+                    self.metrics.record_worker_restart()
 
     def shutdown(self, timeout: Optional[float] = None) -> None:
         """Stop intake, drain running jobs, cancel queued ones.
@@ -290,7 +326,17 @@ class JobManager:
                 # it is cancelled, not drained.
                 self._cancel(job)
                 continue
-            self._execute(job)
+            try:
+                self._execute(job)
+            except BaseException:  # noqa: BLE001 - the loop itself must survive
+                # _execute already routes ordinary exceptions into the
+                # job record; anything that still escapes (KeyboardInterrupt
+                # raised on a worker, MemoryError in the bookkeeping) must
+                # not take the loop down with it.
+                if not job.done:
+                    self._fail(
+                        job, code="worker-crash", message="worker thread crashed"
+                    )
 
     def _execute(self, job: Job) -> None:
         with self._lock:
@@ -299,14 +345,28 @@ class JobManager:
             self._running += 1
         observed = None
         failed = False
+        timed_out = False
         start = time.perf_counter()
         try:
-            with collect_metrics() as observed:
-                payload = self._run_or_reuse(job)
-            with self._lock:
-                job.payload = payload
-                job.state = JobState.DONE
-                job.finished_at = time.time()
+            payload = self._run_with_deadline(job)
+            if payload is None:
+                timed_out = True
+                with self._lock:
+                    job.state = JobState.TIMEOUT
+                    job.error = {
+                        "code": "timeout",
+                        "message": (
+                            f"job exceeded the {self._job_timeout:g}s "
+                            f"request timeout"
+                        ),
+                    }
+                    job.finished_at = time.time()
+            else:
+                observed = payload.get("observed")
+                with self._lock:
+                    job.payload = payload["body"]
+                    job.state = JobState.DONE
+                    job.finished_at = time.time()
         except ReproError as error:
             failed = True
             self._fail(job, code="repro-error", message=str(error))
@@ -321,8 +381,56 @@ class JobManager:
             with self._lock:
                 self._running -= 1
             self.metrics.record_job(
-                observed, time.perf_counter() - start, failed=failed
+                observed,
+                time.perf_counter() - start,
+                failed=failed,
+                timed_out=timed_out,
             )
+            if self.breaker is not None:
+                if failed or timed_out:
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
+
+    def _run_with_deadline(self, job: Job) -> Optional[Dict[str, Any]]:
+        """Run one job, bounded by the configured wall-clock budget.
+
+        Returns ``{"body": payload, "observed": RunMetrics}`` on
+        completion or ``None`` on deadline overrun. The run happens on
+        a helper daemon thread so the worker can abandon it; Python
+        threads cannot be killed, so an overrunning run keeps burning
+        its CPU until it finishes, but the job's slot and its caller
+        are released immediately. Exceptions raised by the run are
+        re-raised here, on the worker thread.
+
+        The :func:`collect_metrics` scope lives *inside* the helper
+        thread — observe scopes are thread-local, so wrapping the
+        ``join`` would observe nothing.
+        """
+        if self._job_timeout is None:
+            with collect_metrics() as observed:
+                body = self._run_or_reuse(job)
+            return {"body": body, "observed": observed}
+        box: Dict[str, Any] = {}
+
+        def _target() -> None:
+            try:
+                with collect_metrics() as observed:
+                    box["body"] = self._run_or_reuse(job)
+                box["observed"] = observed
+            except BaseException as error:  # noqa: BLE001 - relayed below
+                box["error"] = error
+
+        helper = threading.Thread(
+            target=_target, name=f"rota-job-{job.id}", daemon=True
+        )
+        helper.start()
+        helper.join(self._job_timeout)
+        if helper.is_alive():
+            return None
+        if "error" in box:
+            raise box["error"]
+        return {"body": box["body"], "observed": box.get("observed")}
 
     def _run_or_reuse(self, job: Job) -> Dict[str, Any]:
         """Serve the job from the warm-hit store or run it for real."""

@@ -32,7 +32,15 @@ class ServiceMetrics:
         self.jobs_failed = 0
         self.jobs_cancelled = 0
         self.jobs_rejected = 0
+        self.jobs_timeout = 0
         self.job_seconds = 0.0
+        # Resilience events folded out of each job's RunMetrics, plus
+        # service-level recovery events (worker respawns).
+        self.task_retries = 0
+        self.task_timeouts = 0
+        self.task_quarantines = 0
+        self.cache_corruptions = 0
+        self.workers_restarted = 0
         # Result-cache traffic observed by worker threads (includes the
         # service-level warm-hit store and every driver-level get/put).
         self.cache_hits = 0
@@ -78,15 +86,23 @@ class ServiceMetrics:
         with self._lock:
             self.jobs_cancelled += 1
 
+    def record_worker_restart(self) -> None:
+        """Count one dead worker thread replaced by a fresh one."""
+        with self._lock:
+            self.workers_restarted += 1
+
     def record_job(
         self,
         run_metrics: Optional[RunMetrics],
         seconds: float,
         failed: bool = False,
+        timed_out: bool = False,
     ) -> None:
         """Fold one finished job's observed events into the totals."""
         with self._lock:
-            if failed:
+            if timed_out:
+                self.jobs_timeout += 1
+            elif failed:
                 self.jobs_failed += 1
             else:
                 self.jobs_completed += 1
@@ -100,8 +116,17 @@ class ServiceMetrics:
                 self.task_seconds += sum(
                     timing.seconds for timing in run_metrics.task_timings
                 )
+                self.task_retries += run_metrics.task_retries
+                self.task_timeouts += run_metrics.task_timeouts
+                self.task_quarantines += run_metrics.task_quarantines
+                self.cache_corruptions += run_metrics.cache_corruptions
 
-    def snapshot(self, queue_depth: int = 0, jobs_running: int = 0) -> Dict[str, Any]:
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        jobs_running: int = 0,
+        breaker: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
         """One JSON-ready view of every counter (the ``/metrics`` body)."""
         with self._lock:
             return {
@@ -117,7 +142,16 @@ class ServiceMetrics:
                     "failed": self.jobs_failed,
                     "cancelled": self.jobs_cancelled,
                     "rejected": self.jobs_rejected,
+                    "timeout": self.jobs_timeout,
                     "seconds": round(self.job_seconds, 6),
+                },
+                "resilience": {
+                    "task_retries": self.task_retries,
+                    "task_timeouts": self.task_timeouts,
+                    "task_quarantines": self.task_quarantines,
+                    "cache_corruptions": self.cache_corruptions,
+                    "workers_restarted": self.workers_restarted,
+                    "breaker": breaker,
                 },
                 "cache": {
                     "hits": self.cache_hits,

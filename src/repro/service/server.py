@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import ConfigurationError
+from repro.resilience import CircuitBreaker
 from repro.runtime import ResultCache
 from repro.service.api import ApiResponse, ServiceAPI
 from repro.service.jobs import JobManager
@@ -35,13 +36,24 @@ __all__ = ["ServiceConfig", "RotaService", "serve"]
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables of one ``rota serve`` process."""
+    """Tunables of one ``rota serve`` process.
+
+    ``request_timeout`` is enforced end-to-end: it is both the
+    per-request socket timeout and the wall-clock budget of each
+    executing job (an overrunning job flips to ``timeout`` and its
+    detail endpoint responds 504). ``breaker_threshold`` consecutive
+    job failures open the circuit breaker, which sheds submissions
+    with 503 + ``Retry-After`` until a probe succeeds after
+    ``breaker_cooldown`` seconds.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8753
     workers: int = 2
     queue_depth: int = 32
-    request_timeout: float = 30.0
+    request_timeout: float = 300.0
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -55,6 +67,16 @@ class ServiceConfig:
         if self.request_timeout <= 0:
             raise ConfigurationError(
                 f"serve request timeout must be > 0, got {self.request_timeout}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"serve breaker threshold must be >= 1, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ConfigurationError(
+                f"serve breaker cooldown must be > 0, "
+                f"got {self.breaker_cooldown}"
             )
 
 
@@ -156,6 +178,11 @@ class RotaService:
             queue_depth=self.config.queue_depth,
             cache=cache,
             metrics=self.metrics,
+            job_timeout=self.config.request_timeout,
+            breaker=CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                cooldown_seconds=self.config.breaker_cooldown,
+            ),
         )
         self.api = ServiceAPI(self.manager)
         self._httpd = _ServiceHTTPServer(

@@ -149,11 +149,23 @@ class TestRunManifest:
         assert manifest.wall_seconds > 0
         assert [phase.name for phase in manifest.phases] == ["import", "run"]
         counts = manifest.cache_counts
-        assert set(counts) == {"hits", "misses", "puts", "evictions"}
+        assert set(counts) == {
+            "hits", "misses", "puts", "evictions", "corruptions"
+        }
         # REPRO_RESULT_CACHE=off in tests: every policy lookup misses.
         assert counts["misses"] > 0
         # Per-policy fan-out goes through ParallelRunner → task timings.
         assert manifest.tasks
+        assert all(len(task) == 4 for task in manifest.tasks)
+        # A clean run reports every resilience counter at zero.
+        assert set(manifest.resilience_counts) == {
+            "retries",
+            "timeouts",
+            "quarantined",
+            "checkpoint_skips",
+            "cache_corruptions",
+        }
+        assert not any(manifest.resilience_counts.values())
         assert manifest.accelerator != ""
 
     def test_manifest_is_json_safe(self):

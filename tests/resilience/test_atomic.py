@@ -1,0 +1,46 @@
+"""The atomic write helper every crash-safe writer goes through."""
+
+import pytest
+
+from repro.resilience import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_round_trip_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_round_trip_text(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.bin"
+        for round_number in range(3):
+            atomic_write_bytes(target, f"round-{round_number}".encode())
+        assert [path.name for path in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_missing_parent_directories_created(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_unwritable_destination_raises_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "dir-in-the-way"
+        target.mkdir()
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"payload")  # can't replace a dir
+        assert [p.name for p in tmp_path.iterdir()] == ["dir-in-the-way"]
+
+    def test_fsync_optional(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"payload", fsync=False)
+        assert target.read_bytes() == b"payload"

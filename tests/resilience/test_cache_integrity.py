@@ -1,0 +1,126 @@
+"""Cache integrity: checksums, quarantine-not-crash, and ``--verify``."""
+
+import pytest
+
+from repro.chaos import CHAOS_ENV
+from repro.resilience import checksum_path
+from repro.runtime.cache import ResultCache
+from repro.runtime.observe import collect_metrics
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_CACHE", "on")
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    return ResultCache(directory=tmp_path / "cache")
+
+
+def _entry(cache, key):
+    return cache.directory / f"{key}.pkl"
+
+
+class TestChecksumSidecar:
+    def test_put_writes_sidecar_and_get_verifies(self, cache):
+        cache.put("k1", {"value": 42})
+        assert checksum_path(_entry(cache, "k1")).exists()
+        assert cache.get("k1") == {"value": 42}
+
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, cache):
+        cache.put("k1", {"value": 42})
+        _entry(cache, "k1").write_bytes(b"\x00garbage")
+        with collect_metrics() as metrics:
+            assert cache.get("k1") is None
+        assert metrics.cache_corruptions == 1
+        assert metrics.cache_misses == 1
+        assert not _entry(cache, "k1").exists()
+        assert (cache.directory / "corrupt" / "k1.pkl").exists()
+        assert cache.corruption_count() == 1
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        cache.put("k1", list(range(1000)))
+        path = _entry(cache, "k1")
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.get("k1") is None
+        assert cache.corruption_count() == 1
+
+    def test_quarantined_entry_never_serves_again(self, cache):
+        cache.put("k1", "good")
+        _entry(cache, "k1").write_bytes(b"bad")
+        assert cache.get("k1") is None
+        assert cache.get("k1") is None  # stays a miss, no crash
+        cache.put("k1", "fresh")
+        assert cache.get("k1") == "fresh"
+
+    def test_chaos_corruption_is_caught_by_checksum(self, cache, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=2,corrupt=1.0")
+        cache.put("k1", {"value": 42})
+        monkeypatch.delenv(CHAOS_ENV)
+        # The write was mangled on the way to disk; the checksum (which
+        # covers the true payload) must catch it and miss, not crash.
+        assert cache.get("k1") is None
+        assert cache.corruption_count() == 1
+
+    def test_stats_report_corruptions(self, cache):
+        cache.put("k1", "x")
+        _entry(cache, "k1").write_bytes(b"bad")
+        cache.get("k1")
+        assert cache.stats().corruptions == 1
+        assert "1 corruptions" in cache.stats().format()
+
+
+class TestVerify:
+    def test_verify_walks_and_quarantines(self, cache):
+        cache.put("good", 1)
+        cache.put("bad", 2)
+        cache.put("legacy", 3)
+        _entry(cache, "bad").write_bytes(b"\x00mangled")
+        checksum_path(_entry(cache, "legacy")).unlink()  # pre-checksum era
+        report = cache.verify()
+        assert (report.checked, report.ok) == (3, 1)
+        assert (report.corrupt, report.unverified) == (1, 1)
+        assert report.quarantined == ("bad.pkl",)
+        assert "quarantined bad.pkl" in report.format()
+        # The damaged entry is gone; the legacy one is left in place.
+        assert not _entry(cache, "bad").exists()
+        assert _entry(cache, "legacy").exists()
+
+    def test_verify_clean_cache(self, cache):
+        cache.put("k1", 1)
+        report = cache.verify()
+        assert (report.checked, report.ok, report.corrupt) == (1, 1, 0)
+
+    def test_clear_removes_quarantine_too(self, cache):
+        cache.put("k1", 1)
+        _entry(cache, "k1").write_bytes(b"bad")
+        cache.get("k1")
+        cache.clear()
+        assert cache.corruption_count() == 0
+        assert not (cache.directory / "corrupt").exists()
+
+
+class TestCacheVerifyCli:
+    def _seed_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "root"))
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "on")
+        from repro.runtime import result_cache
+
+        cache = result_cache()
+        cache.put("k1", 1)
+        return cache
+
+    def test_clean_cache_exits_zero(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        self._seed_cache(tmp_path, monkeypatch)
+        assert main(["cache", "--verify"]) == 0
+        assert "corrupt: 0" in capsys.readouterr().out
+
+    def test_corrupt_cache_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        cache = self._seed_cache(tmp_path, monkeypatch)
+        (cache.directory / "k1.pkl").write_bytes(b"bad")
+        assert main(["cache", "--verify"]) == 2
+        output = capsys.readouterr()
+        assert "quarantined k1.pkl" in output.out
+        assert "corrupt" in output.err

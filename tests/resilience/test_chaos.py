@@ -1,0 +1,98 @@
+"""The seeded fault injector: deterministic selection, correct firing."""
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_ENV,
+    ChaosConfig,
+    ChaosTransientError,
+    active_config,
+    maybe_corrupt,
+    maybe_inject,
+)
+from repro.errors import ConfigurationError
+
+
+class TestChaosConfigParse:
+    def test_parse_round_trips_through_spec(self):
+        config = ChaosConfig.parse(
+            "seed=11,crash=0.5,crash_attempts=99,transient=0.25"
+        )
+        assert config.seed == 11
+        assert config.crash == 0.5
+        assert config.crash_attempts == 99
+        assert config.transient == 0.25
+        assert ChaosConfig.parse(config.to_spec()) == config
+
+    def test_empty_chunks_ignored(self):
+        assert ChaosConfig.parse("") == ChaosConfig()
+        assert ChaosConfig.parse(" , seed=3 , ") == ChaosConfig(seed=3)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig.parse("banana=1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig.parse("crash=lots")
+
+
+class TestChaosDecisions:
+    def test_selection_is_deterministic_and_seed_dependent(self):
+        config = ChaosConfig(seed=5, transient=0.5)
+        picks = [config.selected("transient", f"chunk-{i}") for i in range(64)]
+        assert picks == [
+            ChaosConfig(seed=5, transient=0.5).selected(
+                "transient", f"chunk-{i}"
+            )
+            for i in range(64)
+        ]
+        # Some condemned, some spared — and a different seed condemns a
+        # different subset.
+        assert any(picks) and not all(picks)
+        other = ChaosConfig(seed=6, transient=0.5)
+        assert picks != [
+            other.selected("transient", f"chunk-{i}") for i in range(64)
+        ]
+
+    def test_attempt_gate_lets_retries_succeed(self):
+        config = ChaosConfig(seed=1, transient=1.0, transient_attempts=1)
+        assert config.decision("transient", "chunk-0", attempt=1)
+        assert not config.decision("transient", "chunk-0", attempt=2)
+
+    def test_high_attempt_gate_means_always(self):
+        config = ChaosConfig(seed=1, crash=1.0, crash_attempts=99)
+        assert config.decision("crash", "chunk-0", attempt=50)
+
+    def test_corrupt_has_no_attempt_gate(self):
+        config = ChaosConfig(seed=1, corrupt=1.0)
+        assert config.decision("corrupt", "cache:abc", attempt=7)
+
+
+class TestActiveConfig:
+    def test_inert_when_unset(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert active_config() is None
+        maybe_inject("any-label")  # must be a no-op
+
+    def test_parses_and_tracks_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=9,transient=1.0")
+        assert active_config() == ChaosConfig(seed=9, transient=1.0)
+        monkeypatch.setenv(CHAOS_ENV, "seed=10,transient=1.0")
+        assert active_config().seed == 10
+
+
+class TestInjection:
+    def test_transient_fires_on_first_attempt_only(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=2,transient=1.0")
+        with pytest.raises(ChaosTransientError):
+            maybe_inject("chunk-0", attempt=1)
+        maybe_inject("chunk-0", attempt=2)  # retry succeeds
+
+    def test_corrupt_mangles_bytes_when_armed(self, monkeypatch):
+        data = b"x" * 64
+        monkeypatch.setenv(CHAOS_ENV, "seed=2,corrupt=1.0")
+        mangled = maybe_corrupt("cache:key", data)
+        assert mangled != data
+        monkeypatch.delenv(CHAOS_ENV)
+        assert maybe_corrupt("cache:key", data) == data

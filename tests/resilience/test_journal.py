@@ -1,0 +1,99 @@
+"""Checkpoint journal: crash-safe record/resume of completed tasks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    CheckpointJournal,
+    JournalMismatchError,
+    checksum_path,
+)
+
+LABELS = ["chunk-0", "chunk-1", "chunk-2"]
+
+
+def _bound(tmp_path, run_key="key-1"):
+    journal = CheckpointJournal(tmp_path / "journal", run_key=run_key)
+    journal.bind(LABELS)
+    return journal
+
+
+class TestJournalRoundTrip:
+    def test_record_and_completed(self, tmp_path):
+        journal = _bound(tmp_path)
+        journal.record(0, {"mttf": 1.5})
+        journal.record(2, (4, 5))
+        assert journal.completed() == {0: {"mttf": 1.5}, 2: (4, 5)}
+        assert journal.entry_count() == 2
+
+    def test_reopen_sees_previous_entries(self, tmp_path):
+        _bound(tmp_path).record(1, "value")
+        reopened = _bound(tmp_path)
+        assert reopened.completed() == {1: "value"}
+
+    def test_clear_removes_everything(self, tmp_path):
+        journal = _bound(tmp_path)
+        journal.record(0, 1)
+        journal.clear()
+        assert journal.entry_count() == 0
+        # Cleared journals rebind from scratch (fresh manifest).
+        journal.bind(["other"])
+        assert journal.completed() == {}
+
+
+class TestJournalDamage:
+    def test_corrupt_entry_is_skipped_not_raised(self, tmp_path):
+        journal = _bound(tmp_path)
+        journal.record(0, "good")
+        journal.record(1, "doomed")
+        entry = journal.directory / "entry-00001.pkl"
+        entry.write_bytes(b"\x00garbage")
+        assert journal.completed() == {0: "good"}
+
+    def test_truncated_entry_is_skipped(self, tmp_path):
+        journal = _bound(tmp_path)
+        journal.record(0, list(range(100)))
+        entry = journal.directory / "entry-00000.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert journal.completed() == {}
+
+    def test_missing_sidecar_is_skipped(self, tmp_path):
+        journal = _bound(tmp_path)
+        journal.record(0, "value")
+        checksum_path(journal.directory / "entry-00000.pkl").unlink()
+        # No checksum means no proof of integrity: recompute.
+        assert journal.completed() == {}
+
+    def test_torn_manifest_treated_as_absent(self, tmp_path):
+        journal = _bound(tmp_path)
+        (journal.directory / "journal.json").write_text("{not json")
+        rebound = CheckpointJournal(tmp_path / "journal", run_key="key-1")
+        rebound.bind(LABELS)  # must not raise
+        assert rebound.completed() == {}
+
+
+class TestJournalBinding:
+    def test_run_key_mismatch_refused(self, tmp_path):
+        _bound(tmp_path, run_key="key-1")
+        other = CheckpointJournal(tmp_path / "journal", run_key="key-2")
+        with pytest.raises(JournalMismatchError):
+            other.bind(LABELS)
+
+    def test_label_mismatch_refused(self, tmp_path):
+        _bound(tmp_path)
+        other = CheckpointJournal(tmp_path / "journal", run_key="key-1")
+        with pytest.raises(JournalMismatchError):
+            other.bind(["chunk-0"])
+
+    def test_unbound_journal_refuses_io(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal")
+        with pytest.raises(ConfigurationError):
+            journal.record(0, 1)
+        with pytest.raises(ConfigurationError):
+            journal.completed()
+
+    def test_bind_is_idempotent(self, tmp_path):
+        journal = _bound(tmp_path)
+        journal.bind(LABELS)
+        journal.record(0, "v")
+        assert journal.completed() == {0: "v"}

@@ -1,0 +1,215 @@
+"""ParallelRunner resilience: retries, timeouts, quarantine, checkpoints.
+
+Pool-mode fault paths are driven by the seeded ``REPRO_CHAOS`` injector
+(workers inherit the environment), so every failure here is
+deterministic and reproducible from the spec string in the test.
+"""
+
+import time
+
+import pytest
+
+from repro.chaos import CHAOS_ENV, ChaosConfig
+from repro.resilience import (
+    CheckpointJournal,
+    PoisonedTaskError,
+    RetryPolicy,
+    TaskTimeoutError,
+)
+from repro.runtime.observe import collect_metrics
+from repro.runtime.parallel import ParallelRunner
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _sleep_then_id(x):
+    time.sleep(x)
+    return x
+
+
+def _boom(x):
+    raise AssertionError("journaled task must not be recomputed")
+
+
+class _FlakyOnce:
+    """Fails the first call per item, then succeeds (serial mode only)."""
+
+    def __init__(self):
+        self.calls = {}
+
+    def __call__(self, x):
+        self.calls[x] = self.calls.get(x, 0) + 1
+        if self.calls[x] == 1:
+            raise ValueError(f"flaky {x}")
+        return 2 * x
+
+
+class TestSerialRetry:
+    def test_flaky_task_retried_to_success(self):
+        runner = ParallelRunner(jobs=1)
+        with collect_metrics() as metrics:
+            results = runner.map(
+                _FlakyOnce(), [1, 2, 3], labels=["a", "b", "c"],
+                retry=FAST_RETRY,
+            )
+        assert results == [2, 4, 6]
+        assert metrics.task_retries == 3
+        assert all(timing.retried for timing in runner.timings)
+
+    def test_exhausted_attempts_raise_the_original_error(self):
+        def always_fails(x):
+            raise ValueError("permanent")
+
+        runner = ParallelRunner(jobs=1)
+        with pytest.raises(ValueError, match="permanent"):
+            runner.map(
+                always_fails, [1], labels=["a"],
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            )
+
+    def test_no_policy_propagates_immediately(self):
+        flaky = _FlakyOnce()
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1).map(flaky, [1], labels=["a"])
+        assert flaky.calls == {1: 1}
+
+
+class TestPoolChaosRetry:
+    SPEC = "seed=3,transient=0.5"
+
+    def test_transient_faults_retry_to_identical_results(self, monkeypatch):
+        tasks = list(range(6))
+        labels = [f"chunk-{index}" for index in range(6)]
+        config = ChaosConfig.parse(self.SPEC)
+        condemned = [
+            label for label in labels if config.selected("transient", label)
+        ]
+        assert condemned and len(condemned) < len(labels)
+
+        monkeypatch.setenv(CHAOS_ENV, self.SPEC)
+        runner = ParallelRunner(jobs=2)
+        with collect_metrics() as metrics:
+            results = runner.map(
+                _double, tasks, labels=labels, retry=FAST_RETRY
+            )
+        assert results == [_double(x) for x in tasks]
+        assert metrics.task_retries == len(condemned)
+        retried = {t.label for t in runner.timings if t.retried}
+        assert retried == set(condemned)
+
+    def test_worker_crashes_retry_to_success(self, monkeypatch):
+        # Every task's first attempt kills its worker; retries succeed.
+        monkeypatch.setenv(CHAOS_ENV, "seed=1,crash=1.0,crash_attempts=1")
+        runner = ParallelRunner(jobs=2)
+        with collect_metrics() as metrics:
+            results = runner.map(
+                _double, [1, 2, 3], labels=["a", "b", "c"], retry=FAST_RETRY
+            )
+        assert results == [2, 4, 6]
+        assert metrics.task_retries >= 1
+        assert metrics.task_quarantines == 0
+
+    def test_persistent_crasher_is_quarantined(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=1,crash=1.0,crash_attempts=99")
+        runner = ParallelRunner(jobs=2)
+        with collect_metrics() as metrics:
+            with pytest.raises(PoisonedTaskError) as excinfo:
+                runner.map(
+                    _double, [1, 2], labels=["a", "b"],
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                )
+        assert excinfo.value.kind == "crash"
+        assert excinfo.value.attempts == 2
+        assert metrics.task_quarantines == 1
+
+    def test_legacy_crash_fallback_still_works_without_policy(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(CHAOS_ENV, "seed=1,crash=1.0,crash_attempts=1")
+        runner = ParallelRunner(jobs=2)
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            results = runner.map(_double, [1, 2, 3], labels=["a", "b", "c"])
+        assert results == [2, 4, 6]
+        assert any(t.mode == "serial-retry" for t in runner.timings)
+
+
+class TestPoolTimeout:
+    def test_timeout_without_policy_raises(self):
+        runner = ParallelRunner(jobs=2)
+        with collect_metrics() as metrics:
+            with pytest.raises(TaskTimeoutError, match="slow"):
+                runner.map(
+                    _sleep_then_id, [0.01, 30.0], labels=["fast", "slow"],
+                    timeout=0.75,
+                )
+        assert metrics.task_timeouts == 1
+
+    def test_hang_with_policy_retries_to_success(self, monkeypatch):
+        monkeypatch.setenv(
+            CHAOS_ENV, "seed=4,hang=1.0,hang_attempts=1,hang_seconds=30"
+        )
+        runner = ParallelRunner(jobs=2)
+        with collect_metrics() as metrics:
+            results = runner.map(
+                _double, [1, 2], labels=["a", "b"],
+                retry=FAST_RETRY, timeout=0.75,
+            )
+        assert results == [2, 4]
+        assert metrics.task_timeouts >= 1
+        assert all(t.retried for t in runner.timings)
+
+    def test_invalid_timeout_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(jobs=1).map(_double, [1], timeout=0.0)
+
+
+class TestCheckpoint:
+    def test_completed_tasks_are_skipped_on_resume(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        labels = ["a", "b", "c"]
+        first = ParallelRunner(jobs=1)
+        baseline = first.map(
+            _double, [1, 2, 3], labels=labels, checkpoint=journal_dir
+        )
+        resumed = ParallelRunner(jobs=1)
+        with collect_metrics() as metrics:
+            results = resumed.map(
+                _boom, [1, 2, 3], labels=labels, checkpoint=journal_dir
+            )
+        assert results == baseline
+        assert metrics.checkpoint_skips == 3
+        assert resumed.timings == ()  # nothing was (re)computed
+
+    def test_damaged_entry_is_recomputed(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        labels = ["a", "b", "c"]
+        ParallelRunner(jobs=1).map(
+            _double, [1, 2, 3], labels=labels, checkpoint=journal_dir
+        )
+        (journal_dir / "entry-00001.pkl").write_bytes(b"torn")
+        resumed = ParallelRunner(jobs=1)
+        with collect_metrics() as metrics:
+            results = resumed.map(
+                _double, [1, 2, 3], labels=labels, checkpoint=journal_dir
+            )
+        assert results == [2, 4, 6]
+        assert metrics.checkpoint_skips == 2
+        assert [t.label for t in resumed.timings] == ["b"]
+
+    def test_string_path_accepted_and_pool_mode_journals(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        runner = ParallelRunner(jobs=2)
+        results = runner.map(
+            _double, [1, 2, 3, 4], labels=["a", "b", "c", "d"],
+            checkpoint=str(journal_dir),
+        )
+        assert results == [2, 4, 6, 8]
+        journal = CheckpointJournal(journal_dir)
+        journal.bind(["a", "b", "c", "d"])
+        assert journal.completed() == {0: 2, 1: 4, 2: 6, 3: 8}

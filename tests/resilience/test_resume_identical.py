@@ -1,0 +1,175 @@
+"""The tentpole property: a killed-and-resumed run is bit-identical.
+
+Two layers of proof:
+
+* in-process — the Monte Carlo samplers produce identical outcomes from
+  a partial journal (entries deleted to force recomputation);
+* end-to-end — a ``rota fleet-lifetime`` subprocess is killed mid-run by
+  a seeded chaos worker crash (exit 66), then ``--resume`` completes the
+  run and its ``--json`` stdout is byte-identical to a clean run's.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import CHAOS_EXIT_CODE, ChaosConfig
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestFaultsResumeInProcess:
+    def _sample(self, small_torus, stream_factory, checkpoint=None):
+        from repro.faults.montecarlo import sample_fault_scenarios
+
+        return sample_fault_scenarios(
+            small_torus,
+            [stream_factory()],
+            num_scenarios=5,
+            max_iterations=20,
+            chunk_size=2,
+            seed=7,
+            checkpoint=checkpoint,
+        )
+
+    def test_partial_journal_resume_is_bit_identical(
+        self, small_torus, stream_factory, tmp_path
+    ):
+        baseline = self._sample(small_torus, stream_factory)
+        journal_dir = tmp_path / "journal"
+        first = self._sample(
+            small_torus, stream_factory, checkpoint=str(journal_dir)
+        )
+        assert first == baseline
+        # Drop one journaled chunk: the resume must recompute exactly it.
+        (journal_dir / "entry-00001.pkl").unlink()
+        resumed = self._sample(
+            small_torus, stream_factory, checkpoint=str(journal_dir)
+        )
+        assert resumed == baseline
+
+    def test_wrong_configuration_refuses_the_journal(
+        self, small_torus, stream_factory, tmp_path
+    ):
+        from repro.faults.montecarlo import sample_fault_scenarios
+        from repro.resilience import JournalMismatchError
+
+        journal_dir = tmp_path / "journal"
+        self._sample(small_torus, stream_factory, checkpoint=str(journal_dir))
+        with pytest.raises(JournalMismatchError):
+            sample_fault_scenarios(
+                small_torus,
+                [stream_factory()],
+                num_scenarios=5,
+                max_iterations=20,
+                chunk_size=2,
+                seed=8,  # different seed = different run
+                checkpoint=str(journal_dir),
+            )
+
+
+class TestFleetResumeInProcess:
+    def _sample(self, small_torus, checkpoint=None):
+        from repro.fleet.montecarlo import sample_fleet_scenarios
+        from repro.fleet.simulate import FleetConfig
+        from repro.fleet.traffic import WorkloadMix
+
+        return sample_fleet_scenarios(
+            small_torus,
+            config=FleetConfig(num_devices=2),
+            num_requests=20,
+            mix=WorkloadMix(entries=(("SqueezeNet", 1.0),)),
+            num_scenarios=5,
+            chunk_size=2,
+            seed=7,
+            checkpoint=checkpoint,
+        )
+
+    def test_partial_journal_resume_is_bit_identical(
+        self, small_torus, tmp_path
+    ):
+        baseline = self._sample(small_torus)
+        journal_dir = tmp_path / "journal"
+        first = self._sample(small_torus, checkpoint=str(journal_dir))
+        assert first == baseline
+        (journal_dir / "entry-00000.pkl").unlink()
+        (journal_dir / "entry-00002.pkl").unlink()
+        resumed = self._sample(small_torus, checkpoint=str(journal_dir))
+        assert resumed == baseline
+
+
+@pytest.mark.slow
+class TestKillAndResumeEndToEnd:
+    """Chaos-kill a CLI run mid-flight, resume it, diff the JSON."""
+
+    ARGS = [
+        "fleet-lifetime",
+        "--devices", "2",
+        "--requests", "30",
+        "--scenarios", "6",
+        "--mix", "SqueezeNet=1",
+        "--no-heatmaps",
+        "--jobs", "2",
+        "--json",
+    ]
+
+    def _env(self, tmp_path, chaos=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        env["REPRO_RESULT_CACHE"] = "off"
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache-root")
+        env.pop("REPRO_CHAOS", None)
+        if chaos:
+            env["REPRO_CHAOS"] = chaos
+        return env
+
+    def _run(self, tmp_path, extra=(), chaos=None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *self.ARGS, *extra],
+            env=self._env(tmp_path, chaos=chaos),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    @staticmethod
+    def _condemning_seed():
+        """A seed whose crash fault hits chunk-1 but spares chunk-0.
+
+        6 scenarios at the default chunk size of 4 make exactly two
+        chunks; sparing chunk-0 guarantees the killed run journals at
+        least one chunk before dying.
+        """
+        for seed in range(1000):
+            config = ChaosConfig(seed=seed, crash=0.5)
+            if config.selected("crash", "chunk-1") and not config.selected(
+                "crash", "chunk-0"
+            ):
+                return seed
+        raise AssertionError("no condemning seed in range")
+
+    def test_killed_run_resumes_bit_identical(self, tmp_path):
+        clean = self._run(tmp_path)
+        assert clean.returncode == 0, clean.stderr
+        assert clean.stdout
+
+        journal = tmp_path / "journal"
+        seed = self._condemning_seed()
+        killed = self._run(
+            tmp_path,
+            extra=["--resume", str(journal)],
+            chaos=f"seed={seed},crash=0.5,crash_attempts=99",
+        )
+        # The worker crash breaks the pool; the serial fallback re-runs
+        # the condemned chunk in the parent, which then dies too.
+        assert killed.returncode == CHAOS_EXIT_CODE, (
+            killed.returncode, killed.stderr)
+        journaled = list(journal.glob("entry-*.pkl"))
+        assert journaled, "killed run journaled nothing"
+
+        resumed = self._run(tmp_path, extra=["--resume", str(journal)])
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == clean.stdout

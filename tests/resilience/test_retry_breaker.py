@@ -1,0 +1,144 @@
+"""Seeded backoff determinism and circuit-breaker state transitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    stable_unit,
+)
+
+
+class TestStableUnit:
+    def test_in_unit_interval_and_deterministic(self):
+        value = stable_unit(7, "backoff", "chunk-3", 2)
+        assert 0.0 <= value < 1.0
+        assert value == stable_unit(7, "backoff", "chunk-3", 2)
+
+    def test_distinct_parts_give_distinct_values(self):
+        values = {stable_unit("kind", label) for label in range(50)}
+        assert len(values) == 50
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay("x", 0)
+
+    def test_delay_deterministic_for_fixed_seed(self):
+        policy = RetryPolicy(seed=11)
+        schedule = [policy.delay("chunk-2", attempt) for attempt in (1, 2, 3)]
+        assert schedule == [
+            RetryPolicy(seed=11).delay("chunk-2", attempt)
+            for attempt in (1, 2, 3)
+        ]
+
+    def test_delay_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.1, max_delay=0.4, jitter=0.0
+        )
+        assert policy.delay("t", 1) == pytest.approx(0.1)
+        assert policy.delay("t", 2) == pytest.approx(0.2)
+        assert policy.delay("t", 3) == pytest.approx(0.4)
+        assert policy.delay("t", 6) == pytest.approx(0.4)  # capped
+
+    def test_jitter_only_shrinks(self):
+        jittered = RetryPolicy(jitter=1.0, seed=3)
+        flat = RetryPolicy(jitter=0.0)
+        for attempt in (1, 2, 3):
+            assert 0.0 <= jittered.delay("t", attempt) <= flat.delay("t", attempt)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, cooldown=30.0):
+        clock = FakeClock()
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            cooldown_seconds=cooldown,
+            clock=clock,
+        ), clock
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_seconds=0)
+
+    def test_opens_at_threshold_only(self):
+        breaker, _ = self._breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_check_raises_with_retry_after(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.now += 10.0
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.retry_after == pytest.approx(20.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.now += 30.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else still shed
+
+    def test_probe_success_closes(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.now += 30.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.now += 30.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert breaker.retry_after() == pytest.approx(30.0)
+
+    def test_snapshot_shape(self):
+        breaker, _ = self._breaker()
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "state": "closed",
+            "consecutive_failures": 0,
+            "opens": 0,
+            "failure_threshold": 3,
+            "cooldown_seconds": 30.0,
+        }

@@ -1,0 +1,179 @@
+"""Service hardening: job timeouts (504), circuit breaker, worker recovery."""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import CircuitBreaker, CircuitOpenError
+from repro.runtime.cache import ResultCache
+from repro.service.api import ServiceAPI
+from repro.service.jobs import JobManager, JobState
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _disabled_cache(tmp_path):
+    return ResultCache(directory=tmp_path / "cache", enabled=False)
+
+
+def _wait_done(job, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not job.done:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job stuck in state {job.state!r}")
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def manager_factory(tmp_path):
+    managers = []
+
+    def build(**kwargs):
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("cache", _disabled_cache(tmp_path))
+        manager = JobManager(**kwargs)
+        manager.start()
+        managers.append(manager)
+        return manager
+
+    yield build
+    for manager in managers:
+        manager.shutdown(timeout=5.0)
+
+
+class TestJobTimeout:
+    def test_overrunning_job_flips_to_timeout(
+        self, manager_factory, monkeypatch
+    ):
+        import repro.service.jobs as jobs_module
+
+        def slow_run(spec_id, **params):
+            time.sleep(5.0)
+
+        monkeypatch.setattr(jobs_module, "run_experiment", slow_run)
+        manager = manager_factory(job_timeout=0.2)
+        job = manager.submit("unfold", {})
+        _wait_done(job)
+        assert job.state == JobState.TIMEOUT
+        assert job.error["code"] == "timeout"
+        assert manager.metrics.jobs_timeout == 1
+        assert manager.metrics.jobs_failed == 0
+
+    def test_timeout_job_detail_is_504(self, manager_factory, monkeypatch):
+        import repro.service.jobs as jobs_module
+
+        monkeypatch.setattr(
+            jobs_module, "run_experiment", lambda *a, **k: time.sleep(5.0)
+        )
+        manager = manager_factory(job_timeout=0.2)
+        job = manager.submit("unfold", {})
+        _wait_done(job)
+        response = ServiceAPI(manager).handle("GET", f"/v1/runs/{job.id}", None)
+        assert response.status == 504
+        assert response.payload["state"] == "timeout"
+
+    def test_fast_job_unaffected_by_deadline(self, manager_factory):
+        manager = manager_factory(job_timeout=60.0)
+        job = manager.submit("unfold", {})
+        _wait_done(job)
+        assert job.state == JobState.DONE
+
+    def test_invalid_timeout_rejected(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            JobManager(job_timeout=0.0, cache=_disabled_cache(tmp_path))
+
+
+class TestCircuitBreakerIntegration:
+    def _failing(self, monkeypatch):
+        import repro.service.jobs as jobs_module
+
+        def fail(spec_id, **params):
+            raise RuntimeError("worker blew up")
+
+        monkeypatch.setattr(jobs_module, "run_experiment", fail)
+
+    def test_consecutive_failures_open_and_shed(
+        self, manager_factory, monkeypatch
+    ):
+        self._failing(monkeypatch)
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_seconds=30.0, clock=clock
+        )
+        manager = manager_factory(breaker=breaker)
+        for _ in range(2):
+            _wait_done(manager.submit("unfold", {}))
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            manager.submit("unfold", {})
+
+    def test_api_maps_open_circuit_to_503_with_retry_after(
+        self, manager_factory, monkeypatch
+    ):
+        self._failing(monkeypatch)
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=30.0, clock=clock
+        )
+        manager = manager_factory(breaker=breaker)
+        _wait_done(manager.submit("unfold", {}))
+        response = ServiceAPI(manager).handle(
+            "POST", "/v1/experiments/unfold/runs", {}
+        )
+        assert response.status == 503
+        assert response.payload["error"]["code"] == "circuit-open"
+        headers = dict(response.headers)
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_successful_probe_closes_the_circuit(
+        self, manager_factory, monkeypatch
+    ):
+        import repro.service.jobs as jobs_module
+
+        self._failing(monkeypatch)
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=30.0, clock=clock
+        )
+        manager = manager_factory(breaker=breaker)
+        _wait_done(manager.submit("unfold", {}))
+        assert breaker.state == "open"
+        clock.now += 30.0
+        monkeypatch.undo()  # restore the real run_experiment
+        probe = manager.submit("unfold", {})  # the half-open probe
+        _wait_done(probe)
+        assert probe.state == JobState.DONE
+        assert breaker.state == "closed"
+
+    def test_metrics_expose_breaker_state(self, manager_factory):
+        breaker = CircuitBreaker(failure_threshold=5, cooldown_seconds=30.0)
+        manager = manager_factory(breaker=breaker)
+        response = ServiceAPI(manager).handle("GET", "/metrics", None)
+        resilience = response.payload["resilience"]
+        assert resilience["breaker"]["state"] == "closed"
+        assert resilience["workers_restarted"] == 0
+        assert response.payload["jobs"]["timeout"] == 0
+
+
+class TestWorkerRecovery:
+    def test_dead_worker_is_respawned_on_submit(self, manager_factory):
+        manager = manager_factory(workers=1)
+        # Simulate a worker thread that died (the loop guards against
+        # this, but belt-and-braces recovery must still work).
+        corpse = threading.Thread(target=lambda: None)
+        corpse.start()
+        corpse.join()
+        manager._threads[0] = corpse
+        job = manager.submit("unfold", {})
+        _wait_done(job)
+        assert job.state == JobState.DONE
+        assert manager.metrics.workers_restarted == 1

@@ -17,7 +17,16 @@ class TestCollectMetrics:
     def test_counters_start_at_zero(self):
         with collect_metrics() as metrics:
             pass
-        assert metrics.cache_summary() == {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
+        assert metrics.cache_summary() == {
+            "hits": 0, "misses": 0, "puts": 0, "evictions": 0, "corruptions": 0
+        }
+        assert metrics.resilience_summary() == {
+            "retries": 0,
+            "timeouts": 0,
+            "quarantined": 0,
+            "checkpoint_skips": 0,
+            "cache_corruptions": 0,
+        }
         assert metrics.task_timings == []
 
     def test_records_manual_events(self):
@@ -28,7 +37,7 @@ class TestCollectMetrics:
             record_cache_put()
             record_cache_eviction(3)
         assert metrics.cache_summary() == {
-            "hits": 1, "misses": 2, "puts": 1, "evictions": 3
+            "hits": 1, "misses": 2, "puts": 1, "evictions": 3, "corruptions": 0
         }
 
     def test_no_recording_outside_scope(self):
@@ -42,8 +51,12 @@ class TestCollectMetrics:
             record_cache_miss()
             with collect_metrics() as inner:
                 record_cache_hit()
-        assert outer.cache_summary() == {"hits": 1, "misses": 1, "puts": 0, "evictions": 0}
-        assert inner.cache_summary() == {"hits": 1, "misses": 0, "puts": 0, "evictions": 0}
+        assert outer.cache_summary() == {
+            "hits": 1, "misses": 1, "puts": 0, "evictions": 0, "corruptions": 0
+        }
+        assert inner.cache_summary() == {
+            "hits": 1, "misses": 0, "puts": 0, "evictions": 0, "corruptions": 0
+        }
 
 
 class TestCacheInstrumentation:
@@ -53,14 +66,18 @@ class TestCacheInstrumentation:
             assert cache.get("missing") is None
             cache.put("key", {"x": 1})
             assert cache.get("key") == {"x": 1}
-        assert metrics.cache_summary() == {"hits": 1, "misses": 1, "puts": 1, "evictions": 0}
+        assert metrics.cache_summary() == {
+            "hits": 1, "misses": 1, "puts": 1, "evictions": 0, "corruptions": 0
+        }
 
     def test_disabled_cache_counts_misses(self, tmp_path):
         cache = ResultCache(directory=tmp_path, enabled=False)
         with collect_metrics() as metrics:
             assert cache.get("anything") is None
             cache.put("anything", 1)  # disabled: no put recorded
-        assert metrics.cache_summary() == {"hits": 0, "misses": 1, "puts": 0, "evictions": 0}
+        assert metrics.cache_summary() == {
+            "hits": 0, "misses": 1, "puts": 0, "evictions": 0, "corruptions": 0
+        }
 
 
 class TestRunnerInstrumentation:

@@ -269,16 +269,21 @@ class TestServeAndPruneParsing:
         assert args.port == 8753
         assert args.jobs == 2
         assert args.queue_depth == 32
-        assert args.request_timeout == 30.0
+        assert args.request_timeout == 300.0
+        assert args.breaker_threshold == 5
+        assert args.breaker_cooldown == 30.0
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
             ["serve", "--host", "0.0.0.0", "--port", "0", "-j", "4",
-             "--queue-depth", "5", "--request-timeout", "2.5"]
+             "--queue-depth", "5", "--request-timeout", "2.5",
+             "--breaker-threshold", "2", "--breaker-cooldown", "0.5"]
         )
         assert (args.host, args.port, args.jobs) == ("0.0.0.0", 0, 4)
         assert args.queue_depth == 5
         assert args.request_timeout == 2.5
+        assert args.breaker_threshold == 2
+        assert args.breaker_cooldown == 0.5
 
     def test_cache_prune_flags(self):
         args = build_parser().parse_args(["cache", "--prune", "--max-bytes", "1024"])
