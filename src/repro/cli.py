@@ -290,6 +290,8 @@ def _add_spec_parser(
         else:
             if param.kind in _ARG_TYPES:
                 kwargs["type"] = _ARG_TYPES[param.kind]
+            if param.choices is not None:
+                kwargs["choices"] = list(param.choices)
             parser.add_argument(*flags, default=param.default, **kwargs)
     parser.set_defaults(func=_run_spec_command, spec_id=spec.id)
 

@@ -12,8 +12,17 @@ tiles through the PE array. This subpackage reproduces that pipeline:
   produces for a layer;
 * :mod:`repro.dataflow.energy` — hierarchical access-count energy model
   (DRAM / GLB / local buffers / MAC);
-* :mod:`repro.dataflow.scheduler` — mapping-space search for the
-  energy-optimal schedule of a layer on an accelerator;
+* :mod:`repro.dataflow.space` — the declarative mapping space (spatial
+  skeletons x divisor-lattice temporal factorizations, lazily
+  enumerated with legality pruning);
+* :mod:`repro.dataflow.evaluate` — multi-objective candidate pricing
+  (energy, latency, EDP, wear);
+* :mod:`repro.dataflow.wear` — closed-form per-mapping wear profiles
+  (peak-to-mean usage, MTTF proxy);
+* :mod:`repro.dataflow.search` — greedy / exhaustive / beam search
+  engines returning best points and energy/wear Pareto frontiers;
+* :mod:`repro.dataflow.scheduler` — orchestration: search the mapping
+  space of a layer on an accelerator, cache and package the result;
 * :mod:`repro.dataflow.cycles` — cycle model (supports the paper's
   no-performance-degradation claim);
 * :mod:`repro.dataflow.simulator` — end-to-end: network in, per-layer
@@ -23,6 +32,7 @@ tiles through the PE array. This subpackage reproduces that pipeline:
 from repro.dataflow.cycles import CycleModel, TileCycles
 from repro.dataflow.dma import DmaDescriptor, DmaGenerator, TileDma
 from repro.dataflow.energy import EnergyBreakdown, EnergyModel
+from repro.dataflow.evaluate import MappingEvaluation, MappingEvaluator
 from repro.dataflow.layer import LayerKind, LayerShape
 from repro.dataflow.mapping import Mapping, SpatialAssignment
 from repro.dataflow.pipeline import (
@@ -33,9 +43,24 @@ from repro.dataflow.pipeline import (
 )
 from repro.dataflow.roofline import Bound, RooflineAnalysis, analyze_roofline
 from repro.dataflow.scalesim import ScaleSimExport, export_scalesim
-from repro.dataflow.scheduler import Schedule, Scheduler, SchedulerOptions
+from repro.dataflow.scheduler import (
+    OBJECTIVES,
+    SEARCH_MODES,
+    Schedule,
+    Scheduler,
+    SchedulerOptions,
+)
+from repro.dataflow.search import (
+    LayerSearchResult,
+    SearchStats,
+    pareto_front,
+    search_layer,
+    search_network,
+)
 from repro.dataflow.simulator import DataflowSimulator, LayerExecution, NetworkExecution
+from repro.dataflow.space import MappingPoint, MappingSpace, SpaceStats, layer_signature
 from repro.dataflow.tiling import TileStream, tile_stream_for
+from repro.dataflow.wear import WearProfile, wear_counts, wear_profile
 
 __all__ = [
     "Bound",
@@ -47,9 +72,19 @@ __all__ = [
     "EnergyModel",
     "LayerExecution",
     "LayerKind",
+    "LayerSearchResult",
     "LayerShape",
     "Mapping",
+    "MappingEvaluation",
+    "MappingEvaluator",
+    "MappingPoint",
+    "MappingSpace",
     "NetworkExecution",
+    "OBJECTIVES",
+    "SEARCH_MODES",
+    "SearchStats",
+    "SpaceStats",
+    "WearProfile",
     "PipelineResult",
     "PipelineSimulator",
     "RooflineAnalysis",
@@ -63,7 +98,13 @@ __all__ = [
     "TileStream",
     "analyze_roofline",
     "export_scalesim",
+    "layer_signature",
+    "pareto_front",
+    "search_layer",
+    "search_network",
     "simulate_layer",
     "validate_cycle_model",
     "tile_stream_for",
+    "wear_counts",
+    "wear_profile",
 ]

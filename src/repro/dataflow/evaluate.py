@@ -1,0 +1,153 @@
+"""Multi-objective pricing of mapping candidates.
+
+One :class:`MappingEvaluator` prices every candidate a search engine
+visits with the three cost models the repo already has — energy
+(:class:`repro.dataflow.energy.EnergyModel`), latency
+(:class:`repro.dataflow.cycles.CycleModel`) — plus the wear profile of
+:mod:`repro.dataflow.wear`, which is what lets the search co-optimize
+the mapping with the wear-leveling hardware instead of evaluating wear
+on a fixed energy-optimal point.
+
+Objectives are lexicographic score tuples (compare with ``<``; lower is
+better), so ties on the primary axis fall through to stable secondary
+axes instead of depending on enumeration order:
+
+==============  ====================================================
+objective       primary axis (then tie-breakers)
+==============  ====================================================
+``energy``      total energy in pJ (cycles, -active PEs)
+``latency``     layer cycles (energy, -active PEs)
+``edp``         energy x cycles (cycles, -active PEs)
+``wear``        peak-to-mean usage ratio (energy, cycles, -active)
+``energy-wear`` energy x peak-to-mean ratio — the balanced composite
+                (energy, cycles, -active)
+==============  ====================================================
+
+Wear metrics depend only on the utilization-space geometry
+``(x, y, Z)``, so the evaluator memoizes profiles per geometry: all
+temporal splits of one spatial skeleton share a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dataflow.cycles import CycleModel
+from repro.dataflow.energy import EnergyBreakdown, EnergyModel
+from repro.dataflow.mapping import Mapping
+from repro.dataflow.wear import WearProfile, profile_key, wear_profile
+from repro.errors import MappingError
+
+#: Selectable scheduling objectives, in documentation order.
+OBJECTIVES = ("energy", "latency", "edp", "wear", "energy-wear")
+
+#: Objectives that need a wear profile to score a candidate.
+WEAR_OBJECTIVES = ("wear", "energy-wear")
+
+
+def objective_score(
+    objective: str,
+    energy_pj: float,
+    cycles: int,
+    active_pes: int,
+    peak_ppm: Optional[float] = None,
+) -> Tuple:
+    """Lexicographic score tuple of one candidate (lower is better)."""
+    if objective == "energy":
+        return (energy_pj, cycles, -active_pes)
+    if objective == "latency":
+        return (cycles, energy_pj, -active_pes)
+    if objective == "edp":
+        return (energy_pj * cycles, cycles, -active_pes)
+    if objective in WEAR_OBJECTIVES:
+        if peak_ppm is None:
+            raise MappingError(
+                f"objective {objective!r} needs a wear profile (peak_ppm)"
+            )
+        if objective == "wear":
+            return (peak_ppm, energy_pj, cycles, -active_pes)
+        return (energy_pj * peak_ppm, energy_pj, cycles, -active_pes)
+    raise MappingError(
+        f"unknown objective {objective!r}; choose from {OBJECTIVES}"
+    )
+
+
+@dataclass(frozen=True)
+class MappingEvaluation:
+    """All objective axes of one candidate mapping, priced once."""
+
+    mapping: Mapping
+    energy: EnergyBreakdown
+    cycles: int
+    peak_ppm: float
+    mttf_proxy: float
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    @property
+    def active_pes(self) -> int:
+        return self.mapping.active_pes
+
+    @property
+    def space_shape(self) -> Tuple[int, int]:
+        return self.mapping.space_shape
+
+    @property
+    def num_tiles(self) -> int:
+        return self.mapping.num_tiles
+
+    def score(self, objective: str) -> Tuple:
+        """Score tuple under ``objective`` (lower is better)."""
+        return objective_score(
+            objective,
+            self.energy_pj,
+            self.cycles,
+            self.active_pes,
+            peak_ppm=self.peak_ppm,
+        )
+
+
+class MappingEvaluator:
+    """Prices mapping candidates on one accelerator.
+
+    Holds the energy and cycle models plus a per-geometry wear-profile
+    memo; safe to reuse across every candidate of a layer (and across
+    layers of the same accelerator).
+    """
+
+    def __init__(self, accelerator) -> None:
+        self._accelerator = accelerator
+        self._energy = EnergyModel(accelerator)
+        self._cycles = CycleModel(accelerator)
+        # Wear profiles describe the rotational walk, which wraps; they
+        # are computed on the torus variant of the array (RoTA's mode).
+        self._wear_array = accelerator.as_torus().array
+        self._profiles: Dict[Tuple[int, int, int], WearProfile] = {}
+
+    @property
+    def accelerator(self):
+        return self._accelerator
+
+    def wear_of(self, mapping: Mapping) -> WearProfile:
+        """The (memoized) wear profile of a mapping's geometry."""
+        x, y = mapping.space_shape
+        key = profile_key(x, y, mapping.num_tiles)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = wear_profile(self._wear_array, x, y, mapping.num_tiles)
+            self._profiles[key] = profile
+        return profile
+
+    def evaluate(self, mapping: Mapping) -> MappingEvaluation:
+        """Price one candidate on every objective axis."""
+        wear = self.wear_of(mapping)
+        return MappingEvaluation(
+            mapping=mapping,
+            energy=self._energy.evaluate(mapping),
+            cycles=self._cycles.layer_cycles(mapping),
+            peak_ppm=wear.peak_ppm,
+            mttf_proxy=wear.mttf_proxy,
+        )

@@ -1,11 +1,24 @@
-"""Mapping-space search: the NeuroSpector-style scheduling optimizer.
+"""Layer scheduling: search the mapping space, return a :class:`Schedule`.
 
 The paper feeds its wear-leveling study with per-layer utilization spaces
 "obtained from NeuroSpector [15] for energy-optimal execution". This
-module reproduces that role: for each layer it enumerates legal mappings
-(spatial dimension pair x spatial factors, with greedily grown per-PE
-temporal factors), prices each with :class:`~repro.dataflow.energy.
-EnergyModel`, and returns the cheapest as a :class:`Schedule`.
+module reproduces that role as the orchestration layer of a three-part
+subsystem:
+
+* :mod:`repro.dataflow.space` — the declarative mapping space (spatial
+  skeletons x divisor-lattice temporal factorizations, with legality
+  predicates);
+* :mod:`repro.dataflow.evaluate` — multi-objective pricing (energy,
+  latency, EDP, and the wear profile of the mapping's utilization-space
+  walk);
+* :mod:`repro.dataflow.search` — greedy / exhaustive / beam engines
+  over that space, returning best points and Pareto frontiers.
+
+The :class:`Scheduler` here picks the search mode from
+:class:`SchedulerOptions`, caches results (in-process and on disk), and
+packages the winning mapping as the :class:`Schedule` artifact the
+wear-leveling engine consumes. ``search="greedy"`` reproduces the
+pre-refactor scheduler byte-identically (golden-tested).
 
 Spatial factors are restricted to exact divisors of the loop extents by
 default — the factorization discipline of NeuroSpector/Timeloop-class
@@ -16,51 +29,43 @@ between utilization spaces and the 14x12 array that motivates the paper
 
 from __future__ import annotations
 
-import itertools
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.accelerator import Accelerator
 from repro.dataflow.cycles import CycleModel
 from repro.dataflow.energy import EnergyBreakdown, EnergyModel
+from repro.dataflow.evaluate import (
+    OBJECTIVES,
+    WEAR_OBJECTIVES,
+    MappingEvaluator,
+    objective_score,
+)
 from repro.dataflow.layer import LOOP_DIMS, LayerShape
 from repro.dataflow.mapping import Mapping, SpatialAssignment
+from repro.dataflow.space import (
+    DATAFLOW_PRESETS,
+    divisors,
+    grow_temporal_greedy,
+    iter_spatial_skeletons,
+    layer_signature,
+)
 from repro.errors import MappingError
 
-#: Named spatial-dimension-pair presets. ``(x_dim, y_dim)`` tuples: the
-#: first unrolls along the array's horizontal axis, the second vertically.
-DATAFLOW_PRESETS: Dict[str, Tuple[Tuple[str, str], ...]] = {
-    # Search every ordered pair of distinct dimensions (NeuroSpector-like).
-    "flexible": tuple(
-        (dx, dy) for dx, dy in itertools.permutations(LOOP_DIMS, 2)
-    ),
-    # Output pixels stationary in the array (SCALE-Sim "os").
-    "output_stationary": (("Q", "P"), ("P", "Q")),
-    # Filters x channels in the array (SCALE-Sim "ws").
-    "weight_stationary": (("K", "C"), ("C", "K")),
-    # Eyeriss row-stationary flavor: ofmap rows x filter rows.
-    "row_stationary": (("P", "R"), ("Q", "R")),
-}
+#: Selectable search modes (see :mod:`repro.dataflow.search`).
+SEARCH_MODES = ("greedy", "exhaustive", "beam")
 
-
-def divisors(n: int) -> List[int]:
-    """All positive divisors of ``n`` in ascending order."""
-    if n < 1:
-        raise MappingError(f"divisors() needs a positive integer, got {n}")
-    small, large = [], []
-    for candidate in range(1, int(math.isqrt(n)) + 1):
-        if n % candidate == 0:
-            small.append(candidate)
-            if candidate != n // candidate:
-                large.append(n // candidate)
-    return small + large[::-1]
-
-
-#: Search objectives: what "optimal" means. The paper's setup is
-#: energy-optimal (NeuroSpector's default); least-cycle and
-#: energy-delay-product objectives are also cited by its Section II.
-OBJECTIVES = ("energy", "latency", "edp")
+__all__ = [
+    "DATAFLOW_PRESETS",
+    "OBJECTIVES",
+    "SEARCH_MODES",
+    "Schedule",
+    "Scheduler",
+    "SchedulerOptions",
+    "clear_schedule_cache",
+    "divisors",
+    "save_schedule_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -73,8 +78,11 @@ class SchedulerOptions:
         Name of a preset in :data:`DATAFLOW_PRESETS` selecting which
         dimension pairs may be unrolled spatially.
     objective:
-        ``"energy"`` (the paper's setup), ``"latency"`` (least-cycle), or
-        ``"edp"`` (energy-delay product).
+        One of :data:`~repro.dataflow.evaluate.OBJECTIVES`:
+        ``"energy"`` (the paper's setup), ``"latency"`` (least-cycle),
+        ``"edp"`` (energy-delay product), ``"wear"`` (flattest per-PE
+        usage profile), or ``"energy-wear"`` (energy x peak-to-mean
+        composite).
     allow_partial_spaces:
         When true, also consider spatial factors that cap at the array
         dimension without dividing the loop extent (edge tiles then run
@@ -88,6 +96,13 @@ class SchedulerOptions:
         default to match the paper's single-dimension-per-axis spaces.
     temporal_priority:
         Order in which per-PE temporal factors are greedily grown.
+    search:
+        ``"greedy"`` (the legacy single-point walk, the default),
+        ``"exhaustive"`` (every legal divisor-lattice point), or
+        ``"beam"`` (full factorization of the ``beam_width`` best
+        skeletons).
+    beam_width:
+        Surviving spatial skeletons in ``search="beam"``.
     """
 
     dataflow: str = "flexible"
@@ -95,6 +110,8 @@ class SchedulerOptions:
     allow_partial_spaces: bool = False
     composite_spatial: bool = False
     temporal_priority: Tuple[str, ...] = ("C", "Q", "P", "K")
+    search: str = "greedy"
+    beam_width: int = 8
 
     def __post_init__(self) -> None:
         if self.dataflow not in DATAFLOW_PRESETS:
@@ -109,14 +126,26 @@ class SchedulerOptions:
         for dim in self.temporal_priority:
             if dim not in LOOP_DIMS:
                 raise MappingError(f"unknown dimension {dim!r} in temporal priority")
+        if self.search not in SEARCH_MODES:
+            raise MappingError(
+                f"unknown search mode {self.search!r}; choose from {SEARCH_MODES}"
+            )
+        if self.beam_width < 1:
+            raise MappingError(
+                f"beam width must be >= 1, got {self.beam_width}"
+            )
 
-    def score(self, energy_pj: float, cycles: int, active_pes: int) -> Tuple:
+    def score(
+        self,
+        energy_pj: float,
+        cycles: int,
+        active_pes: int,
+        peak_ppm: Optional[float] = None,
+    ) -> Tuple:
         """Comparable search score (lower is better) under this objective."""
-        if self.objective == "latency":
-            return (cycles, energy_pj, -active_pes)
-        if self.objective == "edp":
-            return (energy_pj * cycles, cycles, -active_pes)
-        return (energy_pj, cycles, -active_pes)
+        return objective_score(
+            self.objective, energy_pj, cycles, active_pes, peak_ppm=peak_ppm
+        )
 
     @property
     def spatial_pairs(self) -> Tuple[Tuple[str, str], ...]:
@@ -126,7 +155,7 @@ class SchedulerOptions:
 
 @dataclass(frozen=True)
 class Schedule:
-    """The energy-optimal execution plan of one layer.
+    """The search-optimal execution plan of one layer.
 
     This is the artifact the wear-leveling engine consumes: the
     utilization-space shape ``(x, y)`` and the data-tile count ``Z``,
@@ -272,198 +301,27 @@ class Scheduler:
         return self._options
 
     # ------------------------------------------------------------------
-    # Candidate generation
+    # Candidate generation (delegated to repro.dataflow.space)
     # ------------------------------------------------------------------
-    def _spatial_factor_candidates(self, extent: int, limit: int) -> List[int]:
-        """Legal spatial factors for a loop extent on an axis of ``limit`` PEs."""
-        candidates = [d for d in divisors(extent) if d <= limit]
-        if self._options.allow_partial_spaces:
-            cap = min(extent, limit)
-            if cap not in candidates:
-                candidates.append(cap)
-        return candidates
-
-    def _grow_temporal(self, base: Mapping) -> Mapping:
-        """Greedily grow the temporal levels of a spatial skeleton.
-
-        First the per-PE factors (bounded by the local buffers), then the
-        GLB factors (bounded by half the GLB, for double buffering). Both
-        levels grow dimensions in the configured priority order, largest
-        fitting divisor first — the standard greedy of factorization
-        mappers.
-        """
-        layer = base.layer
-        buffers = self._accelerator.array.pe.local_buffers
-        glb_limit = self._accelerator.glb.capacity_bytes // 2  # double buffer
-        sizes = layer.dim_sizes()
-        pe_temporal = dict(base.pe_temporal)
-        glb_temporal = dict(base.glb_temporal)
-
-        def build() -> Mapping:
-            return Mapping(
-                layer=layer,
-                spatial_x=base.spatial_x,
-                spatial_y=base.spatial_y,
-                pe_temporal=pe_temporal,
-                glb_temporal=glb_temporal,
-                spatial_x2=base.spatial_x2,
-                spatial_y2=base.spatial_y2,
-            )
-
-        def fits(mapping: Mapping) -> bool:
-            return (
-                not mapping.violates_local_buffers(buffers)
-                and mapping.tile_bytes() <= glb_limit
-            )
-
-        current = build()
-        if not fits(current):
-            raise MappingError("base mapping does not fit the buffers")
-
-        # Level 1: per-PE factors under the local-buffer budget.
-        for dim in self._options.temporal_priority:
-            quotient = sizes[dim] // current.pass_extent(dim)
-            if quotient <= 1:
-                continue
-            base_factor = pe_temporal.get(dim, 1)
-            for factor in reversed(divisors(quotient)):
-                if factor == 1:
-                    break
-                pe_temporal[dim] = base_factor * factor
-                candidate = build()
-                if fits(candidate):
-                    current = candidate
-                    break
-                pe_temporal[dim] = base_factor
-
-        # Level 2: GLB factors (array passes per data tile) under the GLB
-        # budget — this is what pushes Z down to the tens-to-hundreds the
-        # paper reports per layer.
-        for dim in self._options.temporal_priority:
-            quotient = sizes[dim] // current.tile_extent(dim)
-            if quotient <= 1:
-                continue
-            for factor in reversed(divisors(quotient)):
-                if factor == 1:
-                    break
-                glb_temporal[dim] = factor
-                candidate = build()
-                if fits(candidate):
-                    current = candidate
-                    break
-                glb_temporal.pop(dim, None)
-        return current
-
     def _candidate_mappings(self, layer: LayerShape) -> Iterable[Mapping]:
-        """Yield every buffer-legal candidate mapping of a layer."""
-        sizes = layer.dim_sizes()
-        width = self._accelerator.width
-        height = self._accelerator.height
-        seen: set = set()
-        for dim_x, dim_y in self._options.spatial_pairs:
-            # R and S must stay fully covered by each tile, so a spatial
-            # factor on them must divide exactly even in partial mode.
-            fx_candidates = [
-                f
-                for f in self._spatial_factor_candidates(sizes[dim_x], width)
-                if dim_x not in ("R", "S") or sizes[dim_x] % f == 0
-            ]
-            fy_candidates = [
-                f
-                for f in self._spatial_factor_candidates(sizes[dim_y], height)
-                if dim_y not in ("R", "S") or sizes[dim_y] % f == 0
-            ]
-            for fx in fx_candidates:
-                for fy in fy_candidates:
-                    key = (dim_x, fx, dim_y, fy)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    temporal = {}
-                    if dim_x != "R" and dim_y != "R" and layer.R > 1:
-                        temporal["R"] = layer.R
-                    elif dim_x == "R":
-                        temporal["R"] = layer.R // fx
-                    elif dim_y == "R":
-                        temporal["R"] = layer.R // fy
-                    if dim_x != "S" and dim_y != "S" and layer.S > 1:
-                        temporal["S"] = layer.S
-                    elif dim_x == "S":
-                        temporal["S"] = layer.S // fx
-                    elif dim_y == "S":
-                        temporal["S"] = layer.S // fy
-                    temporal = {d: f for d, f in temporal.items() if f > 1}
-                    for x2, y2 in self._secondary_assignments(
-                        layer, dim_x, fx, dim_y, fy
-                    ):
-                        try:
-                            base = Mapping(
-                                layer=layer,
-                                spatial_x=SpatialAssignment(dim_x, fx),
-                                spatial_y=SpatialAssignment(dim_y, fy),
-                                pe_temporal=temporal,
-                                spatial_x2=x2,
-                                spatial_y2=y2,
-                            )
-                            yield self._grow_temporal(base)
-                        except MappingError:
-                            continue
+        """Yield every buffer-legal greedily grown candidate of a layer.
 
-    def _secondary_assignments(
-        self, layer: LayerShape, dim_x: str, fx: int, dim_y: str, fy: int
-    ):
-        """Secondary per-axis spatial options (composite mode).
-
-        Always yields the plain ``(None, None)`` single-dimension case;
-        with ``composite_spatial`` enabled, additionally yields co-mapped
-        secondaries from the non-kernel dimensions, using the few largest
-        divisors that still fit the axis.
+        One candidate per spatial skeleton, grown with the legacy greedy
+        temporal walk — the ``search="greedy"`` candidate set, in the
+        exact enumeration order the pre-refactor goldens pin.
         """
-        yield (None, None)
-        if not self._options.composite_spatial:
-            return
-        sizes = layer.dim_sizes()
-        used = {dim_x, dim_y}
-        candidate_dims = [d for d in ("K", "C", "P", "Q") if d not in used]
-
-        def axis_options(limit: int, base_factor: int):
-            options = []
-            for dim in candidate_dims:
-                room = limit // base_factor
-                factors = [
-                    f
-                    for f in divisors(sizes[dim])
-                    if 1 < f <= room
-                ][-2:]  # largest couple of divisors that fit
-                options.extend(SpatialAssignment(dim, f) for f in factors)
-            return options
-
-        x_options = axis_options(self._accelerator.width, fx)
-        y_options = axis_options(self._accelerator.height, fy)
-        for x2 in x_options:
-            yield (x2, None)
-        for y2 in y_options:
-            yield (None, y2)
-        for x2 in x_options:
-            for y2 in y_options:
-                if x2.dim != y2.dim:
-                    yield (x2, y2)
+        for base in iter_spatial_skeletons(self._accelerator, self._options, layer):
+            try:
+                yield grow_temporal_greedy(self._accelerator, self._options, base)
+            except MappingError:
+                continue
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def _signature(self, layer: LayerShape) -> Tuple:
         """Everything but the layer name: identical shapes share schedules."""
-        return (
-            layer.kind.value,
-            layer.K,
-            layer.C,
-            layer.P,
-            layer.Q,
-            layer.R,
-            layer.S,
-            layer.stride,
-        )
+        return layer_signature(layer)
 
     def _cache_key(self, layer: LayerShape) -> Tuple:
         array = self._accelerator.array
@@ -552,28 +410,36 @@ class Scheduler:
         }
         _DISK_CACHE_DIRTY = True
 
-    def schedule_layer(self, layer: LayerShape) -> Schedule:
-        """Find the energy-optimal schedule of one layer.
+    def _search_best(self, layer: LayerShape) -> Schedule:
+        """Delegate to the search engine (exhaustive / beam modes)."""
+        from repro.dataflow.search import search_layer
 
-        Raises :class:`MappingError` if no candidate mapping fits the
-        accelerator's buffers.
+        result = search_layer(self._accelerator, layer, self._options)
+        return self._build_schedule(layer, result.best.mapping)
+
+    def _greedy_best(self, layer: LayerShape) -> Schedule:
+        """The legacy greedy walk: one grown candidate per skeleton.
+
+        Byte-identical to the pre-refactor scheduler for the legacy
+        objectives; wear objectives additionally price each candidate's
+        wear profile (memoized per utilization-space geometry).
         """
-        key = self._cache_key(layer)
-        cached = _CACHE.get(key)
-        if cached is not None:
-            return self._retarget(cached, layer)
-
-        from_disk = self._from_disk(layer)
-        if from_disk is not None:
-            _CACHE[key] = from_disk
-            return from_disk
-
+        wear_evaluator: Optional[MappingEvaluator] = None
+        if self._options.objective in WEAR_OBJECTIVES:
+            wear_evaluator = MappingEvaluator(self._accelerator)
         best: Optional[Tuple[Tuple, Schedule]] = None
         for mapping in self._candidate_mappings(layer):
             energy = self._energy_model.evaluate(mapping)
             cycles = self._cycle_model.layer_cycles(mapping)
             x, y = mapping.space_shape
-            score = self._options.score(energy.total_pj, cycles, x * y)
+            peak_ppm = (
+                wear_evaluator.wear_of(mapping).peak_ppm
+                if wear_evaluator is not None
+                else None
+            )
+            score = self._options.score(
+                energy.total_pj, cycles, x * y, peak_ppm=peak_ppm
+            )
             if best is None or score < best[0]:
                 schedule = Schedule(
                     layer=layer,
@@ -589,9 +455,31 @@ class Scheduler:
                 f"no legal mapping found for layer {layer.name!r} on "
                 f"{self._accelerator.name}"
             )
-        _CACHE[key] = best[1]
-        self._to_disk(layer, best[1])
         return best[1]
+
+    def schedule_layer(self, layer: LayerShape) -> Schedule:
+        """Find the search-optimal schedule of one layer.
+
+        Raises :class:`MappingError` if no candidate mapping fits the
+        accelerator's buffers.
+        """
+        key = self._cache_key(layer)
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return self._retarget(cached, layer)
+
+        from_disk = self._from_disk(layer)
+        if from_disk is not None:
+            _CACHE[key] = from_disk
+            return from_disk
+
+        if self._options.search == "greedy":
+            schedule = self._greedy_best(layer)
+        else:
+            schedule = self._search_best(layer)
+        _CACHE[key] = schedule
+        self._to_disk(layer, schedule)
+        return schedule
 
     def schedule_network(self, layers: Sequence[LayerShape]) -> List[Schedule]:
         """Schedule every layer of a network in order."""
@@ -608,6 +496,10 @@ class Scheduler:
         latency descends along the list), truncated to ``max_points`` by
         thinning interior points. Useful for design-space exploration
         where the single-objective optimum is not the whole story.
+
+        Candidates come from the greedy walk (one per skeleton); the
+        energy/wear frontier of the *full* space is
+        :func:`repro.dataflow.search.search_layer`'s ``pareto``.
 
         Not cached: the frontier is an exploration tool, not part of the
         reproduction pipeline.

@@ -1,0 +1,287 @@
+"""Pruned search over the mapping space of :mod:`repro.dataflow.space`.
+
+Three modes, all deterministic:
+
+* ``"greedy"`` — the legacy single-point walk: grow each spatial
+  skeleton with :func:`~repro.dataflow.space.grow_temporal_greedy` and
+  keep the best grown point. One candidate per skeleton; what the
+  pre-refactor scheduler did, and what its goldens pin.
+* ``"exhaustive"`` — evaluate every legal point of the divisor-lattice
+  space (with monotone dominance pruning at enumeration time). The
+  ground truth the property tests compare the other modes against;
+  practical for small layers.
+* ``"beam"`` — rank the spatial skeletons by the score of their
+  greedily grown point, keep the ``beam_width`` best, then factorize
+  only the surviving skeletons, on a divisor ladder thinned to
+  :data:`BEAM_TEMPORAL_RUNGS` rungs per temporal slot. Every grown
+  point (including the greedy winner) stays in the candidate pool.
+  The mode for real networks: broad coverage of the energy/wear
+  trade-off at a bounded candidate count.
+
+Every evaluated candidate is priced on *all* objective axes
+(:class:`~repro.dataflow.evaluate.MappingEvaluation`), so a search
+returns both the best point under the configured objective and the
+energy/wear Pareto frontier of everything it visited. Ties are broken
+by the candidate's canonical :meth:`~repro.dataflow.space.MappingPoint.key`,
+never by enumeration order.
+
+:func:`search_network` fans per-layer searches out over a
+:class:`~repro.runtime.parallel.ParallelRunner` and memoizes them in
+the persistent :class:`~repro.runtime.cache.ResultCache`, keyed on the
+accelerator fingerprint, the options, and the layer signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.evaluate import MappingEvaluation, MappingEvaluator
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.mapping import Mapping
+from repro.dataflow.space import (
+    MappingPoint,
+    MappingSpace,
+    SpaceStats,
+    grow_temporal_greedy,
+    layer_signature,
+)
+from repro.errors import MappingError
+
+#: Selectable search modes, in documentation order.
+SEARCH_MODES = ("greedy", "exhaustive", "beam")
+
+#: Per-slot factor-ladder rungs in beam mode: each surviving skeleton's
+#: temporal lattice is thinned to at most this many divisors per slot
+#: (always keeping 1 and the maximum), which bounds the per-layer
+#: candidate count to the low thousands while still spanning every
+#: factorization granularity. Exhaustive mode never thins.
+BEAM_TEMPORAL_RUNGS = 3
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Counters of one layer search."""
+
+    #: Spatial skeletons the search considered.
+    skeletons: int
+    #: Candidates whose legality was checked at enumeration time.
+    generated: int
+    #: Candidates priced by the evaluator.
+    evaluated: int
+    #: Candidates skipped by monotone dominance cuts.
+    pruned: int
+
+
+@dataclass(frozen=True)
+class LayerSearchResult:
+    """Outcome of searching one layer's mapping space."""
+
+    layer: LayerShape
+    objective: str
+    search: str
+    #: Best evaluation under the configured objective.
+    best: MappingEvaluation
+    #: Energy/wear Pareto frontier of every candidate evaluated,
+    #: ascending in energy (so descending in peak-to-mean ratio).
+    pareto: Tuple[MappingEvaluation, ...]
+    stats: SearchStats
+
+    @property
+    def best_mapping(self) -> Mapping:
+        return self.best.mapping
+
+
+def _point_key(evaluation: MappingEvaluation) -> Tuple:
+    return MappingPoint(evaluation.mapping).key()
+
+
+def _best_of(
+    evaluations: Sequence[MappingEvaluation], objective: str
+) -> MappingEvaluation:
+    return min(evaluations, key=lambda e: (e.score(objective), _point_key(e)))
+
+
+def pareto_front(
+    evaluations: Sequence[MappingEvaluation],
+    max_points: Optional[int] = None,
+) -> Tuple[MappingEvaluation, ...]:
+    """Energy/wear Pareto frontier of a candidate pool.
+
+    A candidate survives if no other candidate is at least as good on
+    both axes (energy in pJ, peak-to-mean wear ratio) and strictly
+    better on one. The frontier is returned ascending in energy; with
+    ``max_points`` it is thinned by dropping interior points closest in
+    energy to their predecessor, keeping both endpoints.
+    """
+    ranked = sorted(
+        evaluations, key=lambda e: (e.energy_pj, e.peak_ppm, _point_key(e))
+    )
+    frontier: List[MappingEvaluation] = []
+    best_wear = float("inf")
+    for candidate in ranked:
+        if candidate.peak_ppm < best_wear:
+            frontier.append(candidate)
+            best_wear = candidate.peak_ppm
+    if max_points is not None and max_points >= 2:
+        while len(frontier) > max_points:
+            gaps = [
+                frontier[i].energy_pj - frontier[i - 1].energy_pj
+                for i in range(1, len(frontier) - 1)
+            ]
+            frontier.pop(1 + gaps.index(min(gaps)))
+    return tuple(frontier)
+
+
+def _grown_evaluations(
+    space: MappingSpace, evaluator: MappingEvaluator, accelerator, options
+) -> List[Tuple[Mapping, MappingEvaluation]]:
+    """(skeleton, grown evaluation) per skeleton, greedy-grown."""
+    grown: List[Tuple[Mapping, MappingEvaluation]] = []
+    for skeleton in space.skeletons():
+        try:
+            mapping = grow_temporal_greedy(accelerator, options, skeleton)
+        except MappingError:
+            continue
+        grown.append((skeleton, evaluator.evaluate(mapping)))
+    return grown
+
+
+def search_layer(accelerator, layer: LayerShape, options) -> LayerSearchResult:
+    """Search one layer's mapping space under ``options``.
+
+    ``options`` is a :class:`~repro.dataflow.scheduler.SchedulerOptions`
+    (duck-typed: ``search``, ``beam_width``, ``objective``, and the
+    space-shaping fields are read). Raises :class:`MappingError` when no
+    legal mapping exists.
+    """
+    evaluator = MappingEvaluator(accelerator)
+    space = MappingSpace(accelerator, layer, options)
+    objective = options.objective
+    mode = options.search
+    stats = SpaceStats()
+
+    pool: List[MappingEvaluation]
+    if mode == "greedy":
+        grown = _grown_evaluations(space, evaluator, accelerator, options)
+        stats.skeletons = len(grown)
+        stats.generated = len(grown)
+        pool = [evaluation for _, evaluation in grown]
+    elif mode == "exhaustive":
+        pool = [
+            evaluator.evaluate(point.mapping)
+            for point in space.points(stats=stats)
+        ]
+    elif mode == "beam":
+        grown = _grown_evaluations(space, evaluator, accelerator, options)
+        ranked = sorted(
+            grown,
+            key=lambda pair: (pair[1].score(objective), _point_key(pair[1])),
+        )
+        survivors = ranked[: max(1, int(options.beam_width))]
+        pool = [evaluation for _, evaluation in grown]
+        for skeleton, _ in survivors:
+            stats.skeletons += 1
+            pool.extend(
+                evaluator.evaluate(point.mapping)
+                for point in space.temporal_points(
+                    skeleton, stats=stats, max_rungs=BEAM_TEMPORAL_RUNGS
+                )
+            )
+    else:
+        raise MappingError(
+            f"unknown search mode {mode!r}; choose from {SEARCH_MODES}"
+        )
+
+    if not pool:
+        raise MappingError(
+            f"no legal mapping for layer {layer.name!r} "
+            f"({layer.describe()}) on {accelerator.name}"
+        )
+    # Deduplicate by canonical point key: beam pools contain the grown
+    # points twice (once from growth, once from enumeration).
+    unique: Dict[Tuple, MappingEvaluation] = {}
+    for evaluation in pool:
+        unique.setdefault(_point_key(evaluation), evaluation)
+    candidates = list(unique.values())
+    return LayerSearchResult(
+        layer=layer,
+        objective=objective,
+        search=mode,
+        best=_best_of(candidates, objective),
+        pareto=pareto_front(candidates),
+        stats=SearchStats(
+            skeletons=stats.skeletons,
+            generated=stats.generated,
+            evaluated=len(candidates),
+            pruned=stats.pruned,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Network-level fan-out (parallel per-layer search, memoized)
+# ----------------------------------------------------------------------
+def search_key(accelerator, layer: LayerShape, options) -> str:
+    """Persistent-cache key of one layer search."""
+    from repro.runtime import (
+        CACHE_SCHEMA_VERSION,
+        accelerator_fingerprint,
+        content_hash,
+    )
+
+    return content_hash(
+        "mapping-search",
+        CACHE_SCHEMA_VERSION,
+        accelerator_fingerprint(accelerator),
+        options,
+        layer_signature(layer),
+    )
+
+
+def _search_task(spec: Tuple) -> LayerSearchResult:
+    """Search one layer (module-level for pickling)."""
+    accelerator, layer, options = spec
+    return search_layer(accelerator, layer, options)
+
+
+def search_network(
+    accelerator,
+    layers: Sequence[LayerShape],
+    options,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> Dict[Tuple, LayerSearchResult]:
+    """Search every distinct layer shape of a network.
+
+    Layers sharing a :func:`~repro.dataflow.space.layer_signature` share
+    one search (the result carries the first-seen layer). Misses of the
+    persistent result cache fan out over a
+    :class:`~repro.runtime.parallel.ParallelRunner`; serial and parallel
+    runs return identical results. Returns ``{signature: result}``.
+    """
+    from repro.runtime import ParallelRunner, result_cache
+
+    store = result_cache() if cache is None else cache
+    distinct: Dict[Tuple, LayerShape] = {}
+    for layer in layers:
+        distinct.setdefault(layer_signature(layer), layer)
+    results: Dict[Tuple, LayerSearchResult] = {}
+    pending: List[Tuple[Tuple, LayerShape, str]] = []
+    for signature, layer in distinct.items():
+        key = search_key(accelerator, layer, options)
+        hit = store.get(key)
+        if isinstance(hit, LayerSearchResult):
+            results[signature] = hit
+        else:
+            pending.append((signature, layer, key))
+    if pending:
+        runner = ParallelRunner(jobs)
+        specs = [(accelerator, layer, options) for _, layer, _ in pending]
+        fresh = runner.map(
+            _search_task, specs, labels=[layer.name for _, layer, _ in pending]
+        )
+        for (signature, _, key), result in zip(pending, fresh):
+            results[signature] = result
+            store.put(key, result)
+    return {signature: results[signature] for signature in distinct}

@@ -1,0 +1,102 @@
+"""Closed-form per-mapping wear profiles.
+
+The wear objective needs, for every candidate mapping, the per-PE usage
+counts its utilization space would accumulate over one inference — i.e.
+the exact ledger the analytic engine produces for a single-layer stream
+under the rotational policy, but computed directly from the mapping's
+``(x, y, Z)`` geometry without instantiating streams or an engine:
+:func:`repro.core.positions.grouped_positions` gives the distinct tile
+starts with integer multiplicities in ``O(min(Z, w*h))``, and
+:func:`repro.core.tracker.grouped_delta` scatters their wrapped
+rectangles through a 2-D difference array. That closed form is what
+makes wear cheap enough to price thousands of mappings per layer.
+
+Two scalar metrics summarize a profile for scoring:
+
+* ``peak_ppm`` — peak-to-mean usage ratio over the whole array
+  (``>= 1.0``, lower is better; ``1.0`` is perfectly level wear);
+* ``mttf_proxy`` — :func:`repro.reliability.lifetime.relative_lifetime`,
+  the array MTTF under the Weibull series model relative to an ideally
+  uniform spread of the same total work (``(0, 1]``, higher is better).
+
+All imports of the core/reliability layers are deferred to call time:
+``repro.core.engine`` imports ``repro.dataflow.tiling``, so a
+module-level import here would complete an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WearProfile:
+    """Scalar wear summary of one mapping on one array."""
+
+    #: Utilization-space geometry the profile was computed for.
+    x: int
+    y: int
+    num_tiles: int
+    #: Peak-to-mean usage ratio (>= 1.0, lower is better).
+    peak_ppm: float
+    #: MTTF relative to an ideally uniform spread (in (0, 1], higher is
+    #: better).
+    mttf_proxy: float
+
+
+def wear_counts(array, x: int, y: int, num_tiles: int):
+    """Per-PE usage counts of one layer's rotational tile walk.
+
+    Returns the ``(height, width)`` ``int64`` ledger of ``num_tiles``
+    utilization spaces of shape ``x`` x ``y`` striding over ``array``
+    from the origin — exactly what the wear-leveling engine's tracker
+    accumulates for a single-layer stream under the rotational (RWL)
+    policy, computed in closed form.
+    """
+    from repro.core.positions import grouped_positions
+    from repro.core.tracker import grouped_delta
+
+    if num_tiles < 1:
+        raise ConfigurationError(
+            f"wear profile needs at least one tile, got {num_tiles}"
+        )
+    us, vs, multiplicity, _ = grouped_positions(
+        (0, 0), x, y, array.width, array.height, num_tiles
+    )
+    return grouped_delta(array, us, vs, multiplicity, x, y)
+
+
+def peak_to_mean(counts) -> float:
+    """Peak-to-mean usage ratio of a ledger (>= 1.0 whenever used)."""
+    total = int(counts.sum())
+    if total <= 0:
+        raise ConfigurationError("wear ledger is empty; nothing to summarize")
+    mean = total / counts.size
+    return float(counts.max()) / mean
+
+
+def mttf_proxy(counts) -> float:
+    """Relative MTTF of a ledger vs an ideally uniform spread."""
+    from repro.reliability.lifetime import relative_lifetime
+
+    return relative_lifetime(counts)
+
+
+def wear_profile(array, x: int, y: int, num_tiles: int) -> WearProfile:
+    """The :class:`WearProfile` of one mapping geometry on ``array``."""
+    counts = wear_counts(array, x, y, num_tiles)
+    return WearProfile(
+        x=x,
+        y=y,
+        num_tiles=num_tiles,
+        peak_ppm=peak_to_mean(counts),
+        mttf_proxy=mttf_proxy(counts),
+    )
+
+
+def profile_key(x: int, y: int, num_tiles: int) -> Tuple[int, int, int]:
+    """Memoization key: profiles depend only on the space geometry."""
+    return (x, y, num_tiles)

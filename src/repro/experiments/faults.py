@@ -31,6 +31,7 @@ from repro.analysis.report import format_table
 from repro.arch.accelerator import Accelerator
 from repro.core.engine import WearLevelingEngine
 from repro.core.policies import StrideTrigger, make_policy
+from repro.dataflow.scheduler import SchedulerOptions
 from repro.dataflow.tiling import TileStream
 from repro.errors import ConfigurationError
 from repro.experiments.result import JsonResultMixin
@@ -305,6 +306,7 @@ def run_faults(
     beta: float = JEDEC_BETA,
     seed: int = 2025,
     trigger: StrideTrigger = StrideTrigger.ORIGIN,
+    options: Optional[SchedulerOptions] = None,
     jobs: Optional[int] = None,
 ) -> FaultsResult:
     """Run the fault/degradation study for one network.
@@ -322,7 +324,7 @@ def run_faults(
             f"max_iterations must be >= 1, got {max_iterations}"
         )
     accelerator = accelerator or paper_accelerator()
-    streams = tuple(streams_for(network, accelerator))
+    streams = tuple(streams_for(network, accelerator, options))
     if mean_budget is None:
         mean_budget = _calibrated_mean_budget(accelerator, streams, max_iterations)
     dead = tuple((int(u), int(v)) for u, v in dead)
@@ -393,6 +395,7 @@ def run_fault_montecarlo(
     beta: float = JEDEC_BETA,
     seed: int = 2025,
     trigger: StrideTrigger = StrideTrigger.ORIGIN,
+    options: Optional[SchedulerOptions] = None,
     checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
 ) -> FaultMonteCarloResult:
@@ -405,7 +408,7 @@ def run_fault_montecarlo(
     policy) so a killed sweep resumes where it stopped.
     """
     accelerator = accelerator or paper_accelerator()
-    streams = tuple(streams_for(network, accelerator))
+    streams = tuple(streams_for(network, accelerator, options))
     if mean_budget is None:
         mean_budget = _calibrated_mean_budget(accelerator, streams, max_iterations)
     rows = []
@@ -474,6 +477,7 @@ def run_fault_study(
     seed: int = 2025,
     scenarios: int = 0,
     show_heatmaps: bool = True,
+    options: Optional[SchedulerOptions] = None,
     checkpoint: Optional[str] = None,
     jobs: Optional[int] = None,
 ) -> FaultStudyResult:
@@ -482,6 +486,8 @@ def run_fault_study(
     ``scenarios > 0`` additionally runs the N-scenario lifetime Monte
     Carlo with the same budget calibration and seed; ``checkpoint``
     journals its chunks so a killed run can resume bit-identically.
+    ``options`` selects the mapping the streams come from (e.g. a
+    wear-aware ``search="beam", objective="energy-wear"`` search).
     """
     study = run_faults(
         network=network,
@@ -491,6 +497,7 @@ def run_fault_study(
         max_iterations=max_iterations,
         mean_budget=mean_budget,
         seed=seed,
+        options=options,
         jobs=jobs,
     )
     montecarlo = None
@@ -501,6 +508,7 @@ def run_fault_study(
             max_iterations=max_iterations,
             mean_budget=mean_budget,
             seed=seed,
+            options=options,
             checkpoint=checkpoint,
             jobs=jobs,
         )

@@ -145,6 +145,13 @@ class Param:
     invert:
         For ``"flag"``: the runner receives the *negation* of the
         switch (``--no-wearout`` → ``wearout=False``).
+    choices:
+        Closed vocabulary for ``"str"`` parameters. The CLI rejects
+        other spellings via argparse ``choices``; the JSON validator
+        turns them into a per-field 400. Kept as literals on the spec
+        (not imported from the driver) to preserve the registry's
+        no-driver-import rule — ``tests/experiments/test_registry.py``
+        pins them against the driver's own tuples.
     """
 
     name: str
@@ -157,6 +164,7 @@ class Param:
     kwarg: Optional[str] = None
     convert: Optional[str] = None
     invert: bool = False
+    choices: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in PARAM_KINDS:
@@ -168,6 +176,16 @@ class Param:
             raise ConfigurationError(
                 f"param {self.name!r}: invert only applies to flags"
             )
+        if self.choices is not None:
+            if self.kind != "str":
+                raise ConfigurationError(
+                    f"param {self.name!r}: choices only apply to str params"
+                )
+            if self.default is not None and self.default not in self.choices:
+                raise ConfigurationError(
+                    f"param {self.name!r}: default {self.default!r} is not "
+                    f"one of its choices {self.choices}"
+                )
 
     @property
     def cli_flag(self) -> str:
@@ -339,6 +357,10 @@ def _validate_value(param: Param, value: Any) -> Tuple[Any, Optional[str]]:
     if param.kind == "str":
         if not isinstance(value, str):
             return None, f"expected a string, got {type(value).__name__}"
+        if param.choices is not None and value not in param.choices:
+            return None, (
+                f"must be one of {list(param.choices)}, got {value!r}"
+            )
         return value, None
     if param.kind == "flag":
         if not isinstance(value, bool):
@@ -894,6 +916,55 @@ register(
             Param(name="limit", kind="int", default=None),
         ),
         tags=("analysis",),
+    )
+)
+
+register(
+    ExperimentSpec(
+        id="mapping-search",
+        title="wear-aware mapping search: Pareto table per layer",
+        artifact="mapping search (analysis)",
+        runner="repro.experiments.mapping_search:run_mapping_search",
+        params=(
+            _network_param("SqueezeNet"),
+            Param(
+                name="objective",
+                kind="str",
+                default="energy-wear",
+                # Literals mirror repro.dataflow.evaluate.OBJECTIVES /
+                # repro.dataflow.search.SEARCH_MODES (pinned by
+                # tests/experiments/test_registry.py) so the registry
+                # stays import-light.
+                choices=("energy", "latency", "edp", "wear", "energy-wear"),
+                help="search objective (lexicographic; see docs)",
+            ),
+            Param(
+                name="search",
+                kind="str",
+                default="beam",
+                choices=("greedy", "exhaustive", "beam"),
+                help="search mode: greedy (legacy), exhaustive, or beam",
+            ),
+            Param(
+                name="beam_width", kind="int", default=8,
+                help="spatial skeletons surviving to temporal enumeration",
+            ),
+            Param(
+                name="tolerance", kind="float", default=0.05,
+                help="max energy overhead vs the greedy baseline the "
+                     "wear-optimal pick may pay (fraction, default 5%)",
+            ),
+            Param(
+                name="max_points", kind="int", default=6,
+                help="Pareto points shown per layer",
+            ),
+            Param(
+                name="limit", kind="int", default=None,
+                help="only report the first N distinct layers",
+            ),
+            _jobs_param(),
+        ),
+        tags=("analysis", "mapping"),
     )
 )
 

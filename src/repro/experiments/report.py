@@ -211,6 +211,41 @@ def _write_fleet_lifetime(section: _Section) -> None:
         )
 
 
+def _write_mapping_search(section: _Section) -> None:
+    """Pareto table plus a flat CSV of every frontier point."""
+    from repro.analysis.export import write_csv
+
+    result = section.result
+    section.write_text("mapping_search.txt", result.format())
+    section.add(
+        write_csv(
+            section.out / "mapping_search_pareto.csv",
+            (
+                "layer",
+                "energy_pj",
+                "peak_ppm",
+                "mttf_proxy",
+                "space_x",
+                "space_y",
+                "num_tiles",
+            ),
+            [
+                (
+                    row.layer,
+                    point.energy_pj,
+                    point.peak_ppm,
+                    point.mttf_proxy,
+                    point.space[0],
+                    point.space[1],
+                    point.num_tiles,
+                )
+                for row in result.rows
+                for point in row.pareto
+            ],
+        )
+    )
+
+
 #: Bespoke artifact writers, keyed by spec id.
 _WRITERS: Dict[str, Callable[[_Section], None]] = {
     "table2": _write_table2,
@@ -225,6 +260,7 @@ _WRITERS: Dict[str, Callable[[_Section], None]] = {
     "sweep": _write_sweep,
     "overhead": _write_overhead,
     "fleet-lifetime": _write_fleet_lifetime,
+    "mapping-search": _write_mapping_search,
 }
 
 
@@ -248,11 +284,14 @@ def write_report(
     fig7_iterations: int = PAPER_ZOOM_ITERATIONS,
     fig8_iterations: int = 200,
     fleet_requests: int = 300,
+    mapping_limit: int = 4,
 ) -> ReportManifest:
     """Regenerate every evaluation artifact into ``out_dir``.
 
     Covers the ``figure``-tagged specs in paper order, then the
-    ``fleet``-tagged extension studies. Also writes ``manifest.json``
+    ``fleet``-tagged extension studies and the ``mapping``-tagged
+    wear-aware search (limited to its first ``mapping_limit`` distinct
+    layer shapes to bound report wall time). Also writes ``manifest.json``
     (run observability: per-section timings, cache counters, runner
     task timings) into the directory; the manifest is not counted among
     the report's artifact files.
@@ -271,13 +310,18 @@ def write_report(
         "fleet-lifetime": {"num_requests": fleet_requests},
         "fleet-policies": {"num_requests": fleet_requests},
         "fleet-degradation": {"num_requests": fleet_requests},
+        "mapping-search": {"limit": mapping_limit, "beam_width": 4},
     }
 
     started_at = time.time()
     start = time.perf_counter()
     phases: List[PhaseTiming] = []
     with collect_metrics() as metrics:
-        for spec in all_specs(tag="figure") + all_specs(tag="fleet"):
+        for spec in (
+            all_specs(tag="figure")
+            + all_specs(tag="fleet")
+            + all_specs(tag="mapping")
+        ):
             params = spec.defaults
             params.update(dict(spec.all_params))
             params.update(overrides.get(spec.id, {}))
@@ -298,6 +342,7 @@ def write_report(
             ("fig7_iterations", fig7_iterations),
             ("fig8_iterations", fig8_iterations),
             ("fleet_requests", fleet_requests),
+            ("mapping_limit", mapping_limit),
         ),
         version=package_version(),
         accelerator=_accelerator_fingerprint(),

@@ -91,7 +91,10 @@ class WorkloadProfile:
 
 
 def _profile_key(
-    workload: str, accelerator: Accelerator, policy_name: str
+    workload: str,
+    accelerator: Accelerator,
+    policy_name: str,
+    options=None,
 ) -> str:
     """Content key of one workload profile for the persistent cache.
 
@@ -100,9 +103,12 @@ def _profile_key(
     every fleet Monte Carlo worker process used to repeat). The
     scheduler is deterministic in (network, accelerator, options), so
     the canonical network name plus the full accelerator fingerprint
-    pins the streams exactly; the schema version is bumped whenever
-    engine or scheduler semantics change.
+    and the scheduler options pin the streams exactly; the schema
+    version is bumped whenever engine or scheduler semantics change.
+    ``options=None`` (the scheduler defaults) keys identically to an
+    explicit default ``SchedulerOptions()``.
     """
+    from repro.dataflow.scheduler import SchedulerOptions
     from repro.runtime import (
         CACHE_SCHEMA_VERSION,
         accelerator_fingerprint,
@@ -116,6 +122,7 @@ def _profile_key(
         get_network(workload).name,
         accelerator_fingerprint(accelerator),
         policy_name,
+        SchedulerOptions() if options is None else options,
     )
 
 
@@ -123,14 +130,21 @@ def build_profile(
     workload: str,
     accelerator: Optional[Accelerator] = None,
     policy_name: str = PROFILE_POLICY,
+    options=None,
 ) -> WorkloadProfile:
     """Profile one workload: schedule it, run one engine iteration.
 
+    ``options`` (a :class:`~repro.dataflow.scheduler.SchedulerOptions`,
+    default the scheduler's defaults) selects how the workload is
+    mapped — a wear-aware fleet profiles its devices with
+    ``search="beam", objective="energy-wear"`` and gets different
+    per-PE counts than the greedy energy-optimal mapping.
+
     Memoized twice over: the persistent
     :class:`~repro.runtime.cache.ResultCache` (content-keyed on
-    workload + accelerator + policy) lets separate processes — fleet
-    Monte Carlo workers in particular — skip both the scheduler and the
-    engine, and the shared per-process execution cache
+    workload + accelerator + policy + options) lets separate
+    processes — fleet Monte Carlo workers in particular — skip both the
+    scheduler and the engine, and the shared per-process execution cache
     (:func:`repro.experiments.common.execution_for`) de-duplicates
     scheduling within a process on a cache miss.
     """
@@ -139,11 +153,11 @@ def build_profile(
 
     accelerator = accelerator or paper_accelerator()
     store = result_cache()
-    key = _profile_key(workload, accelerator, policy_name)
+    key = _profile_key(workload, accelerator, policy_name, options)
     hit = store.get(key)
     if isinstance(hit, WorkloadProfile):
         return hit
-    execution = execution_for(workload, accelerator)
+    execution = execution_for(workload, accelerator, options)
     policy = make_policy(policy_name, StrideTrigger.ORIGIN)
     target = (
         accelerator.as_torus() if policy.requires_torus else accelerator.as_mesh()
@@ -165,16 +179,18 @@ def build_profiles(
     workloads: Sequence[str],
     accelerator: Optional[Accelerator] = None,
     policy_name: str = PROFILE_POLICY,
+    options=None,
 ) -> Dict[str, WorkloadProfile]:
     """Profiles for several workloads.
 
     Keyed by both the name as requested and the canonical network name,
     so requests tagged with either form (``"Sqz"`` or ``"SqueezeNet"``)
-    resolve to the same profile.
+    resolve to the same profile. ``options`` selects the mapping the
+    devices run, exactly as in :func:`build_profile`.
     """
     profiles: Dict[str, WorkloadProfile] = {}
     for workload in workloads:
-        profile = build_profile(workload, accelerator, policy_name)
+        profile = build_profile(workload, accelerator, policy_name, options)
         profiles[workload] = profile
         profiles[profile.workload] = profile
     return profiles

@@ -1,0 +1,412 @@
+"""The mapping-space / search subsystem: structure, legality, optimality.
+
+Three layers under test:
+
+* :mod:`repro.dataflow.space` — enumeration structure: Hypothesis
+  checks that every enumerated factorization multiplies back into the
+  layer's loop extents, that no point is enumerated twice, and that
+  every yielded point is legal (buffer and GLB fits);
+* :mod:`repro.dataflow.wear` — the closed-form wear profile must equal
+  the wear-leveling engine's actual ledger after one layer;
+* :mod:`repro.dataflow.search` — greedy is contained in (and therefore
+  never beats) exhaustive on small layers, beam never loses to greedy,
+  Pareto frontiers have the frontier shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import eyeriss_v1
+from repro.dataflow.evaluate import (
+    OBJECTIVES,
+    MappingEvaluator,
+    objective_score,
+)
+from repro.dataflow.layer import LayerShape
+from repro.dataflow.scheduler import Scheduler, SchedulerOptions
+from repro.dataflow.search import (
+    SEARCH_MODES,
+    pareto_front,
+    search_layer,
+    search_network,
+)
+from repro.dataflow.space import (
+    MappingSpace,
+    SpaceStats,
+    divisors,
+    factor_ladder,
+    layer_signature,
+    temporal_splits,
+)
+from repro.dataflow.tiling import TileStream
+from repro.dataflow.wear import wear_counts, wear_profile
+from repro.errors import MappingError
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return eyeriss_v1()
+
+
+def small_conv(k=16, c=8, pq=(7, 7), rs=(3, 3)):
+    return LayerShape.conv("small", k, c, pq, rs)
+
+
+# ---------------------------------------------------------------------------
+# Space structure (Hypothesis)
+# ---------------------------------------------------------------------------
+
+
+class TestFactorLattice:
+    @given(st.integers(1, 10_000))
+    def test_temporal_splits_divide_the_quotient(self, quotient):
+        pairs = list(temporal_splits(quotient))
+        assert pairs[0] == (1, 1)
+        assert len(pairs) == len(set(pairs))
+        for pe, glb in pairs:
+            assert quotient % (pe * glb) == 0
+
+    @given(st.integers(1, 10_000))
+    def test_divisors_multiply_back(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+        assert divisors(n)[0] == 1 and divisors(n)[-1] == n
+
+    @given(st.integers(1, 2_000), st.integers(1, 8))
+    def test_factor_ladder_keeps_endpoints(self, n, rungs):
+        values = divisors(n)
+        ladder = factor_ladder(values, rungs)
+        assert len(ladder) <= max(rungs, 1)
+        assert ladder[0] == 1
+        if rungs >= 2:
+            assert ladder[-1] == values[-1]
+        assert ladder == sorted(set(ladder))  # still ascending, no dups
+
+
+@st.composite
+def small_layer(draw):
+    """A conv layer small enough for full enumeration."""
+    return LayerShape.conv(
+        "hyp",
+        out_channels=draw(st.sampled_from([4, 8, 12, 16])),
+        in_channels=draw(st.sampled_from([3, 4, 8])),
+        out_hw=(draw(st.sampled_from([4, 6, 7])), draw(st.sampled_from([4, 6, 7]))),
+        kernel=draw(st.sampled_from([(1, 1), (3, 3)])),
+        stride=draw(st.integers(1, 2)),
+    )
+
+
+class TestEnumeration:
+    @settings(max_examples=20, deadline=None)
+    @given(small_layer())
+    def test_factorizations_multiply_back_to_extents(self, layer):
+        acc = eyeriss_v1()
+        space = MappingSpace(acc, layer, SchedulerOptions())
+        sizes = layer.dim_sizes()
+        for point in space.points():
+            mapping = point.mapping
+            for dim in ("K", "C", "P", "Q"):
+                product = (
+                    mapping.spatial_factor(dim)
+                    * mapping.pe_temporal.get(dim, 1)
+                    * mapping.glb_temporal.get(dim, 1)
+                )
+                assert sizes[dim] % product == 0, (dim, product, sizes[dim])
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_layer())
+    def test_no_duplicate_points(self, layer):
+        acc = eyeriss_v1()
+        space = MappingSpace(acc, layer, SchedulerOptions())
+        seen = set()
+        for point in space.points():
+            key = point.key()
+            assert key not in seen
+            seen.add(key)
+        assert seen  # every layer has at least one legal point
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_layer())
+    def test_every_yielded_point_is_legal(self, layer):
+        acc = eyeriss_v1()
+        space = MappingSpace(acc, layer, SchedulerOptions())
+        glb_half = acc.glb.capacity_bytes // 2
+        for point in space.points():
+            assert point.mapping.fits_local_buffers()
+            assert point.mapping.tile_bytes() <= glb_half
+
+    def test_pruned_and_naive_yield_identical_sets(self, accelerator):
+        layer = small_conv()
+        space = MappingSpace(
+            accelerator, layer, SchedulerOptions(dataflow="output_stationary")
+        )
+        pruned_stats, naive_stats = SpaceStats(), SpaceStats()
+        pruned = {p.key() for p in space.points(prune=True, stats=pruned_stats)}
+        naive = {p.key() for p in space.points(prune=False, stats=naive_stats)}
+        assert pruned == naive
+        # Dominance cuts only skip work, never change the result; the
+        # naive walk must generate at least as many candidates.
+        assert naive_stats.generated >= pruned_stats.generated
+
+
+# ---------------------------------------------------------------------------
+# Wear profile vs the engine's ledger
+# ---------------------------------------------------------------------------
+
+
+class TestWearEquivalence:
+    @pytest.mark.parametrize(
+        "x,y,tiles",
+        [(14, 8, 8), (7, 7, 4), (14, 12, 1), (4, 3, 25), (13, 11, 7)],
+    )
+    def test_wear_counts_match_engine_ledger(self, x, y, tiles):
+        from repro.core import WearLevelingEngine, make_policy
+
+        acc = eyeriss_v1(torus=True)
+        engine = WearLevelingEngine(acc, make_policy("rwl"))
+        engine.run_layer(TileStream("t", x, y, tiles))
+        expected = np.asarray(engine.tracker.counts)
+        assert np.array_equal(wear_counts(acc.array, x, y, tiles), expected)
+
+    def test_profile_metrics(self):
+        acc = eyeriss_v1(torus=True)
+        profile = wear_profile(acc.array, 14, 12, 5)
+        # Full-array space: every pass covers every PE uniformly.
+        assert profile.peak_ppm == pytest.approx(1.0)
+        assert profile.mttf_proxy == pytest.approx(1.0)
+        partial = wear_profile(acc.array, 7, 7, 4)
+        assert partial.peak_ppm > 1.0
+        assert 0.0 < partial.mttf_proxy <= 1.0
+
+    def test_evaluator_memoizes_by_geometry(self, accelerator):
+        evaluator = MappingEvaluator(accelerator)
+        result = search_layer(
+            accelerator,
+            small_conv(),
+            SchedulerOptions(dataflow="output_stationary", search="greedy"),
+        )
+        first = evaluator.wear_of(result.best.mapping)
+        assert evaluator.wear_of(result.best.mapping) is first
+
+
+# ---------------------------------------------------------------------------
+# Objectives and options validation
+# ---------------------------------------------------------------------------
+
+
+class TestObjectives:
+    def test_unknown_objective_rejected_at_construction(self):
+        with pytest.raises(MappingError) as excinfo:
+            SchedulerOptions(objective="banana")
+        message = str(excinfo.value)
+        for name in OBJECTIVES:
+            assert name in message
+
+    def test_unknown_search_mode_rejected(self):
+        with pytest.raises(MappingError) as excinfo:
+            SchedulerOptions(search="depth-first")
+        for name in SEARCH_MODES:
+            assert name in str(excinfo.value)
+
+    def test_beam_width_must_be_positive(self):
+        with pytest.raises(MappingError):
+            SchedulerOptions(beam_width=0)
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_every_objective_accepted(self, objective):
+        assert SchedulerOptions(objective=objective).objective == objective
+
+    def test_wear_objectives_need_a_profile(self):
+        with pytest.raises(MappingError):
+            objective_score("wear", 1.0, 1, 1, peak_ppm=None)
+        score = objective_score("wear", 1.0, 1, 1, peak_ppm=2.0)
+        assert score[0] == 2.0
+
+    def test_objective_scores_are_ordered_tuples(self):
+        energy = objective_score("energy", 10.0, 5, 4)
+        assert energy == (10.0, 5, -4)
+        edp = objective_score("edp", 10.0, 5, 4)
+        assert edp[0] == 50.0
+        composite = objective_score("energy-wear", 10.0, 5, 4, peak_ppm=1.5)
+        assert composite[0] == pytest.approx(15.0)
+
+
+# ---------------------------------------------------------------------------
+# Search engines
+# ---------------------------------------------------------------------------
+
+
+class TestSearch:
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_exhaustive_never_worse_than_greedy(self, accelerator, objective):
+        layer = small_conv()
+        base = dict(dataflow="output_stationary", objective=objective)
+        greedy = search_layer(
+            accelerator, layer, SchedulerOptions(search="greedy", **base)
+        )
+        exhaustive = search_layer(
+            accelerator, layer, SchedulerOptions(search="exhaustive", **base)
+        )
+        assert exhaustive.best.score(objective) <= greedy.best.score(objective)
+
+    def test_beam_never_worse_than_greedy(self, accelerator):
+        layer = small_conv()
+        base = dict(dataflow="output_stationary", objective="energy-wear")
+        greedy = search_layer(
+            accelerator, layer, SchedulerOptions(search="greedy", **base)
+        )
+        beam = search_layer(
+            accelerator, layer, SchedulerOptions(search="beam", **base)
+        )
+        # The beam pool contains every greedy-grown point, so beam can
+        # only match or improve on greedy.
+        assert beam.best.score("energy-wear") <= greedy.best.score("energy-wear")
+
+    def test_wear_search_finds_flatter_profile(self, accelerator):
+        layer = small_conv()
+        base = dict(dataflow="output_stationary")
+        greedy = search_layer(
+            accelerator,
+            layer,
+            SchedulerOptions(search="greedy", objective="energy", **base),
+        )
+        wear = search_layer(
+            accelerator,
+            layer,
+            SchedulerOptions(search="exhaustive", objective="wear", **base),
+        )
+        assert wear.best.peak_ppm <= greedy.best.peak_ppm
+        assert wear.best.mttf_proxy >= greedy.best.mttf_proxy
+
+    def test_unknown_search_mode_raises_through_search_layer(self, accelerator):
+        options = SchedulerOptions(search="beam")
+        object.__setattr__(options, "search", "bogus")
+        with pytest.raises(MappingError, match="unknown search mode"):
+            search_layer(accelerator, small_conv(), options)
+
+    def test_results_are_deterministic(self, accelerator):
+        layer = small_conv()
+        options = SchedulerOptions(
+            dataflow="output_stationary", search="exhaustive", objective="wear"
+        )
+        first = search_layer(accelerator, layer, options)
+        second = search_layer(accelerator, layer, options)
+        assert first.best.mapping.describe() == second.best.mapping.describe()
+        assert [e.energy_pj for e in first.pareto] == [
+            e.energy_pj for e in second.pareto
+        ]
+
+
+class TestParetoFront:
+    def test_frontier_shape(self, accelerator):
+        result = search_layer(
+            accelerator,
+            small_conv(),
+            SchedulerOptions(dataflow="output_stationary", search="exhaustive"),
+        )
+        energies = [e.energy_pj for e in result.pareto]
+        ppms = [e.peak_ppm for e in result.pareto]
+        assert energies == sorted(energies)
+        assert ppms == sorted(ppms, reverse=True)
+        assert len(set(ppms)) == len(ppms)  # strictly improving wear
+
+    def test_no_candidate_dominates_a_frontier_point(self, accelerator):
+        result = search_layer(
+            accelerator,
+            small_conv(),
+            SchedulerOptions(dataflow="output_stationary", search="exhaustive"),
+        )
+        front = result.pareto
+        for point in front:
+            dominated = [
+                other
+                for other in front
+                if other is not point
+                and other.energy_pj <= point.energy_pj
+                and other.peak_ppm <= point.peak_ppm
+            ]
+            assert not dominated
+
+    def test_max_points_thinning_keeps_endpoints(self, accelerator):
+        result = search_layer(
+            accelerator,
+            small_conv(),
+            SchedulerOptions(dataflow="output_stationary", search="exhaustive"),
+        )
+        full = result.pareto
+        if len(full) < 3:
+            pytest.skip("frontier too small to thin")
+        thinned = pareto_front(full, max_points=2)
+        assert len(thinned) == 2
+        assert thinned[0].energy_pj == full[0].energy_pj
+        assert thinned[-1].peak_ppm == full[-1].peak_ppm
+
+
+class TestSearchNetwork:
+    def test_layers_sharing_signature_share_one_search(self, accelerator):
+        from repro.runtime import ResultCache
+
+        layers = [
+            small_conv(),
+            LayerShape.conv("twin", 16, 8, (7, 7), (3, 3)),
+            LayerShape.conv("other", 8, 4, (7, 7), (3, 3)),
+        ]
+        cache = ResultCache(enabled=False)
+        options = SchedulerOptions(dataflow="output_stationary", search="greedy")
+        results = search_network(accelerator, layers, options, cache=cache)
+        assert len(results) == 2  # two distinct shapes
+        assert layer_signature(layers[0]) == layer_signature(layers[1])
+
+    def test_persistent_cache_round_trip(self, accelerator, tmp_path):
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(directory=tmp_path, enabled=True)
+        options = SchedulerOptions(dataflow="output_stationary", search="greedy")
+        layers = [small_conv()]
+        first = search_network(accelerator, layers, options, cache=cache)
+        second = search_network(accelerator, layers, options, cache=cache)
+        signature = layer_signature(layers[0])
+        assert (
+            first[signature].best.mapping.describe()
+            == second[signature].best.mapping.describe()
+        )
+
+
+# ---------------------------------------------------------------------------
+# The scheduler keeps its legacy face
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerIntegration:
+    def test_greedy_is_the_default(self):
+        assert SchedulerOptions().search == "greedy"
+
+    def test_beam_schedule_matches_search_best(self, accelerator):
+        layer = small_conv()
+        options = SchedulerOptions(
+            dataflow="output_stationary", search="beam", objective="wear"
+        )
+        schedule = Scheduler(accelerator, options).schedule_layer(layer)
+        expected = search_layer(accelerator, layer, options).best_mapping
+        assert schedule.mapping.describe() == expected.describe()
+
+    def test_wear_objective_changes_the_winner(self, accelerator):
+        layer = small_conv()
+        energy = Scheduler(
+            accelerator,
+            SchedulerOptions(dataflow="output_stationary", search="exhaustive"),
+        ).schedule_layer(layer)
+        wear = Scheduler(
+            accelerator,
+            SchedulerOptions(
+                dataflow="output_stationary",
+                search="exhaustive",
+                objective="wear",
+            ),
+        ).schedule_layer(layer)
+        evaluator = MappingEvaluator(accelerator)
+        assert (
+            evaluator.wear_of(wear.mapping).peak_ppm
+            <= evaluator.wear_of(energy.mapping).peak_ppm
+        )

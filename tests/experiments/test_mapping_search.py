@@ -1,0 +1,58 @@
+"""The mapping-search driver: Pareto table, wear pick, acceptance gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.mapping_search import run_mapping_search
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_mapping_search(
+        network="SqueezeNet", search="beam", beam_width=4, limit=2
+    )
+
+
+class TestRunMappingSearch:
+    def test_rows_cover_the_requested_limit(self, result):
+        assert result.total_layers == 2
+        assert len(result.rows) == 2
+        assert result.network == "SqueezeNet"
+
+    def test_wear_pick_stays_inside_the_envelope(self, result):
+        for row in result.rows:
+            assert row.pick_energy_pj <= row.greedy_energy_pj * (
+                1.0 + result.tolerance
+            ) * (1.0 + 1e-12)
+            assert row.energy_overhead <= result.tolerance + 1e-12
+
+    def test_acceptance_gate_some_layer_improves(self, result):
+        """>= 1 layer gets a flatter wear profile at <= 5% energy cost."""
+        assert result.improved_layers >= 1
+        improved = [row for row in result.rows if row.improved]
+        for row in improved:
+            assert row.pick_mttf > row.greedy_mttf
+            assert row.pick_peak_ppm <= row.greedy_peak_ppm
+
+    def test_pareto_rows_are_frontiers(self, result):
+        for row in result.rows:
+            energies = [p.energy_pj for p in row.pareto]
+            ppms = [p.peak_ppm for p in row.pareto]
+            assert energies == sorted(energies)
+            assert ppms == sorted(ppms, reverse=True)
+
+    def test_format_and_json_round_trip(self, result):
+        text = result.format()
+        assert "mapping search" in text
+        assert "Pareto frontiers" in text
+        payload = result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["result"] == "MappingSearchResult"
+
+    def test_greedy_mode_is_its_own_baseline(self):
+        result = run_mapping_search(
+            network="SqueezeNet", search="greedy", objective="energy", limit=1
+        )
+        row = result.rows[0]
+        assert row.best_energy_pj == pytest.approx(row.greedy_energy_pj)

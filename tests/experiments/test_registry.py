@@ -42,6 +42,7 @@ FAST_PARAMS = {
     "attribution": {"limit": 2},
     "profile": {"limit": 2},
     "scorecard": {"iterations": 10},
+    "mapping-search": {"limit": 2, "beam_width": 2},
 }
 
 #: Subcommands that are utilities, not experiments.
@@ -88,6 +89,29 @@ class TestRegistryShape:
             Param(name="x", kind="banana")
         with pytest.raises(ConfigurationError):
             Param(name="x", kind="int", invert=True)
+
+    def test_choices_only_for_strings_and_must_cover_default(self):
+        with pytest.raises(ConfigurationError):
+            Param(name="x", kind="int", choices=("1", "2"))
+        with pytest.raises(ConfigurationError):
+            Param(name="x", kind="str", default="c", choices=("a", "b"))
+        param = Param(name="x", kind="str", default="a", choices=("a", "b"))
+        assert param.choices == ("a", "b")
+
+    def test_mapping_search_choices_pin_the_dataflow_enums(self):
+        """The spec's hardcoded choice literals must track the library.
+
+        The registry stays import-light (no driver imports at module
+        load), so the choices are literals; this test is what keeps them
+        from drifting when OBJECTIVES or SEARCH_MODES grow.
+        """
+        from repro.dataflow.evaluate import OBJECTIVES
+        from repro.dataflow.search import SEARCH_MODES
+
+        spec = get_spec("mapping-search")
+        by_name = {param.name: param for param in spec.params}
+        assert by_name["objective"].choices == OBJECTIVES
+        assert by_name["search"].choices == SEARCH_MODES
 
     def test_duplicate_registration_rejected(self):
         from repro.experiments.registry import register
@@ -277,3 +301,27 @@ class TestValidateParams:
 
         with pytest.raises(ParamValidationError):
             validate_params(self._spec("unfold"), ["x", 1])
+
+    def test_choice_violation_is_a_field_error(self):
+        import pytest
+
+        from repro.experiments.registry import ParamValidationError, validate_params
+
+        with pytest.raises(ParamValidationError) as excinfo:
+            validate_params(
+                self._spec("mapping-search"),
+                {"objective": "banana", "search": "dfs"},
+            )
+        errors = excinfo.value.errors
+        assert set(errors) == {"objective", "search"}
+        assert "banana" in errors["objective"]
+        assert "energy-wear" in errors["objective"]
+
+    def test_choice_values_pass(self):
+        from repro.experiments.registry import validate_params
+
+        params = validate_params(
+            self._spec("mapping-search"), {"objective": "wear", "search": "greedy"}
+        )
+        assert params["objective"] == "wear"
+        assert params["search"] == "greedy"

@@ -40,6 +40,7 @@ class TestReport:
             "fleet_lifetime.txt",
             "fleet-policies.txt",
             "fleet-degradation.txt",
+            "mapping_search.txt",
         ):
             assert expected in names
 
@@ -55,6 +56,7 @@ class TestReport:
         assert "fig7_series.csv" in csvs
         assert "fig8_improvements.csv" in csvs
         assert "fig9_points.csv" in csvs
+        assert "mapping_search_pareto.csv" in csvs
         assert len([c for c in csvs if c.startswith("fig6_trace")]) == 3
 
     def test_manifest_format(self, manifest):

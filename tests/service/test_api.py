@@ -151,6 +151,52 @@ class TestSubmission:
         assert response.payload["error"]["code"] == "shutting-down"
 
 
+class TestChoiceValidation:
+    """Enumerated string params reject bad values per field (400)."""
+
+    def test_bad_objective_is_a_field_error(self, api):
+        response = api.handle(
+            "POST", "/v1/experiments/mapping-search/runs", {"objective": "banana"}
+        )
+        assert response.status == 400
+        error = response.payload["error"]
+        assert error["code"] == "invalid-params"
+        assert set(error["fields"]) == {"objective"}
+        assert "'banana'" in error["fields"]["objective"]
+        assert "energy-wear" in error["fields"]["objective"]
+
+    def test_bad_search_mode_is_a_field_error(self, api):
+        response = api.handle(
+            "POST", "/v1/experiments/mapping-search/runs", {"search": "dfs"}
+        )
+        assert response.status == 400
+        fields = response.payload["error"]["fields"]
+        assert set(fields) == {"search"}
+        assert "beam" in fields["search"]
+
+    def test_bad_fields_reported_together(self, api):
+        response = api.handle(
+            "POST",
+            "/v1/experiments/mapping-search/runs",
+            {"objective": "banana", "search": "dfs", "beam_width": "wide"},
+        )
+        assert response.status == 400
+        assert set(response.payload["error"]["fields"]) == {
+            "objective",
+            "search",
+            "beam_width",
+        }
+
+    def test_valid_choices_accepted(self, api):
+        response = api.handle(
+            "POST",
+            "/v1/experiments/mapping-search/runs",
+            {"objective": "wear", "search": "greedy", "limit": 1},
+        )
+        assert response.status == 202
+        wait_state(api.manager, response.payload["job"]["id"])
+
+
 class TestRunEndpoints:
     def test_run_detail_reaches_done_with_result(self, api):
         submitted = api.handle(

@@ -41,6 +41,27 @@ class TestParser:
         assert parser.parse_args(["sweep", "--jobs", "0"]).jobs == 0
         assert parser.parse_args(["all"]).jobs is None
 
+    def test_mapping_search_subcommand(self):
+        args = build_parser().parse_args(
+            ["mapping-search", "--objective", "wear", "--search", "beam",
+             "--beam-width", "4", "--limit", "2"]
+        )
+        assert callable(args.func)
+        assert args.objective == "wear"
+        assert args.search == "beam"
+        assert args.beam_width == 4
+
+    def test_mapping_search_choices_enforced(self, capsys):
+        """The CLI rejects the same values the service 400s on."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mapping-search", "--objective", "banana"])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'banana'" in err
+        assert "energy-wear" in err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mapping-search", "--search", "dfs"])
+        assert "invalid choice: 'dfs'" in capsys.readouterr().err
+
     def test_cache_subcommand(self):
         args = build_parser().parse_args(["cache"])
         assert callable(args.func)
