@@ -32,6 +32,13 @@ Sections
     evaluated per second, wear profiles included) and the wall-clock
     speedup of dominance-pruned divisor-lattice enumeration over
     generate-and-test on a small layer.
+``service_load``
+    Open-loop duplicated-traffic load (seeded fleet-traffic arrivals
+    over real HTTP) against a 4-process ``rota gateway`` and against a
+    single-inflight ``rota serve`` baseline: sustained RPS, p99
+    latency, coalesce ratio, and the gateway-over-serve throughput
+    speedup. Both services run with every result cache disabled so the
+    comparison prices executions, not cache reads.
 
 Cache hit rate is collected over the fleet section (the profile
 memoization path) via :func:`repro.runtime.observe.collect_metrics`.
@@ -94,6 +101,8 @@ class BenchConfig:
     faults_max_iterations: int
     service_submissions: int
     mapping_beam_width: int
+    load_requests: int
+    load_rate_rps: float
 
 
 #: CI configuration: small Monte Carlo batches, full-scale engine run
@@ -107,6 +116,8 @@ SMOKE = BenchConfig(
     faults_max_iterations=300,
     service_submissions=16,
     mapping_beam_width=8,
+    load_requests=48,
+    load_rate_rps=24.0,
 )
 
 FULL = BenchConfig(
@@ -118,6 +129,8 @@ FULL = BenchConfig(
     faults_max_iterations=1000,
     service_submissions=64,
     mapping_beam_width=8,
+    load_requests=64,
+    load_rate_rps=32.0,
 )
 
 
@@ -460,12 +473,126 @@ def _bench_mapping_search(config: BenchConfig) -> List[Metric]:
     ]
 
 
+def _bench_service_load(config: BenchConfig) -> List[Metric]:
+    """Gateway vs single-inflight serve under duplicated open-loop load.
+
+    The same seeded scenario (fleet-traffic arrivals over a small class
+    set, so identical submissions overlap in flight) is offered to a
+    4-process gateway and to a ``workers=1`` PR-4 thread service — the
+    single-inflight baseline. Both run with their warm cache disabled
+    *and* with ``REPRO_RESULT_CACHE=off`` in the executing processes —
+    the experiments' internal memoization would otherwise collapse
+    every repeat execution to a cache read and the comparison would
+    price nothing. The gateway's advantage is therefore exactly what
+    it adds: multi-process parallelism plus request coalescing.
+    """
+    import os
+    import tempfile
+
+    from repro.gateway.loadgen import LoadScenario, run_load
+    from repro.gateway.server import GatewayConfig, GatewayService
+    from repro.runtime import ResultCache
+    from repro.service.server import RotaService, ServiceConfig
+
+    scenario = LoadScenario(
+        num_requests=config.load_requests, rate_rps=config.load_rate_rps
+    )
+    cache_env_before = os.environ.get("REPRO_RESULT_CACHE")
+    os.environ["REPRO_RESULT_CACHE"] = "off"
+    try:
+        gateway = GatewayService(
+            GatewayConfig(
+                port=0,
+                workers=4,
+                queue_depth=max(256, config.load_requests),
+                start_method="fork",
+                cache_dir=tempfile.mkdtemp(prefix="rota-bench-gw-"),
+                cache_enabled=False,
+            )
+        )
+        gateway.start()
+        try:
+            gateway_report = run_load(gateway.url, scenario)
+        finally:
+            gateway.shutdown()
+
+        serve = RotaService(
+            ServiceConfig(
+                port=0,
+                workers=1,
+                queue_depth=max(256, config.load_requests),
+            ),
+            cache=ResultCache(
+                directory=tempfile.mkdtemp(prefix="rota-bench-serve-"),
+                enabled=False,
+            ),
+        )
+        serve.start()
+        try:
+            serve_report = run_load(serve.url, scenario)
+        finally:
+            serve.shutdown()
+    finally:
+        if cache_env_before is None:
+            os.environ.pop("REPRO_RESULT_CACHE", None)
+        else:
+            os.environ["REPRO_RESULT_CACHE"] = cache_env_before
+
+    if gateway_report.errors_5xx or serve_report.errors_5xx:
+        raise ConfigurationError(
+            f"load bench saw 5xx responses (gateway "
+            f"{gateway_report.errors_5xx}, serve {serve_report.errors_5xx})"
+        )
+    speedup = (
+        gateway_report.sustained_rps / serve_report.sustained_rps
+        if serve_report.sustained_rps
+        else 0.0
+    )
+    return [
+        Metric(
+            "service_load_gateway_rps",
+            gateway_report.sustained_rps,
+            "req/s",
+            "higher",
+            # Sustained RPS is wall-clock-bound: a loaded CI box slows
+            # every execution, not the gateway's mechanics.
+            atol=6.0,
+        ),
+        Metric(
+            "service_load_gateway_p99_ms",
+            gateway_report.p99_ms,
+            "ms",
+            "lower",
+            atol=1000.0,
+        ),
+        Metric(
+            "service_load_coalesce_ratio",
+            gateway_report.coalesce_ratio,
+            "ratio",
+            "higher",
+            # The ratio depends on in-flight overlap, which timing
+            # jitter shifts by a request or two per run.
+            atol=0.1,
+        ),
+        Metric(
+            "service_load_speedup_vs_serve",
+            speedup,
+            "x",
+            "higher",
+            # The multiple stays well above the 4x floor, but its exact
+            # value moves with how much backlog the run accumulates.
+            atol=3.0,
+        ),
+    ]
+
+
 _SECTIONS = (
     _bench_engine,
     _bench_fleet,
     _bench_faults,
     _bench_service,
     _bench_mapping_search,
+    _bench_service_load,
 )
 
 

@@ -15,7 +15,8 @@ of the scheduler stack behind one).
 subcommands (``export``, ``report``, ``cache``, ``serve``) stay
 hand-written because they orchestrate files or processes rather than
 run one experiment. ``rota serve`` exposes the same registry over HTTP
-(see :mod:`repro.service`).
+(see :mod:`repro.service`); ``rota gateway`` is its multi-process,
+coalescing production twin (see :mod:`repro.gateway`).
 """
 
 from __future__ import annotations
@@ -247,6 +248,25 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             request_timeout=args.request_timeout,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
+        )
+    )
+
+
+def _cmd_gateway(args: argparse.Namespace) -> str:
+    from repro.gateway import GatewayConfig, serve_gateway
+
+    return serve_gateway(
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.jobs,
+            queue_depth=args.queue_depth,
+            request_timeout=args.request_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            task_attempts=args.task_attempts,
+            start_method=args.start_method,
+            cache_dir=args.cache_dir,
         )
     )
 
@@ -486,6 +506,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds the breaker stays open before a half-open probe",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "gateway",
+        help=(
+            "production serving front door: asyncio HTTP over N worker "
+            "processes with request coalescing, SSE progress streams, "
+            "and tiered backpressure"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8764, help="bind port")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=4,
+        help="worker processes executing runs (one experiment each)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "max pending unique executions before the coalesce-only tier "
+            "(identical in-flight submissions still attach; unique work "
+            "gets 429 + computed Retry-After)"
+        ),
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help=(
+            "per-request socket timeout and per-execution wall-clock "
+            "budget; an overrunning worker is terminated (HTTP 504)"
+        ),
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "consecutive execution failures that open the circuit "
+            "breaker (the shed tier: 503 + Retry-After)"
+        ),
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds the breaker stays open before a half-open probe",
+    )
+    p.add_argument(
+        "--task-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "worker-crash retries before a content key is quarantined "
+            "(identical submissions then fail fast with 422)"
+        ),
+    )
+    p.add_argument(
+        "--start-method",
+        default="spawn",
+        choices=("spawn", "fork", "forkserver"),
+        help="multiprocessing start method for worker processes",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "explicit warm-hit result cache directory for the workers "
+            "(default: $REPRO_RESULT_CACHE resolution)"
+        ),
+    )
+    p.set_defaults(func=_cmd_gateway)
 
     p = sub.add_parser("all", help="every table and figure in order")
     _add_jobs_flag(p)

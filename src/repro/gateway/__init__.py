@@ -1,0 +1,34 @@
+"""``repro.gateway`` — the multi-process serving front door.
+
+The gateway is the production-shaped successor of ``rota serve``: an
+asyncio HTTP front end over a supervised pool of worker *processes*,
+with request coalescing on content keys (concurrent identical
+submissions share one execution), streaming job progress (SSE plus
+ETag conditional polling), tiered backpressure (accept →
+coalesce-only → shed → draining), and poisoned-key quarantine. It
+speaks the exact HTTP surface of the PR-4 service — same routes, same
+bodies, same error contract — so every existing client keeps working.
+"""
+
+from repro.gateway.api import GatewayAPI
+from repro.gateway.coalesce import Coalescer
+from repro.gateway.http import AsyncHTTPFrontend
+from repro.gateway.jobs import TIERS, GatewayJob, GatewayJobManager
+from repro.gateway.metrics import GatewayMetrics
+from repro.gateway.pool import PoolEvent, WorkerProcessPool
+from repro.gateway.server import GatewayConfig, GatewayService, serve_gateway
+
+__all__ = [
+    "AsyncHTTPFrontend",
+    "Coalescer",
+    "GatewayAPI",
+    "GatewayConfig",
+    "GatewayJob",
+    "GatewayJobManager",
+    "GatewayMetrics",
+    "GatewayService",
+    "PoolEvent",
+    "TIERS",
+    "WorkerProcessPool",
+    "serve_gateway",
+]

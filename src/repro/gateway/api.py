@@ -1,0 +1,62 @@
+"""The gateway's request surface: :class:`ServiceAPI` plus gateway state.
+
+The whole PR-4 route table is inherited unchanged — experiments list,
+validation, submission, run detail with ETag/304 — because
+:class:`~repro.gateway.jobs.GatewayJobManager` speaks the same manager
+contract. The overrides add what only the gateway has: per-worker
+*process* liveness in ``/healthz`` and the coalescing/backpressure
+section in ``/metrics``. The SSE upgrade of ``/v1/runs/<id>/events``
+lives in the HTTP layer (:mod:`repro.gateway.http`); through the plain
+``handle()`` contract that route answers with the JSON event journal.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import package_version
+from repro.gateway.jobs import GatewayJobManager
+from repro.service.api import ApiResponse, ServiceAPI
+
+__all__ = ["GatewayAPI"]
+
+
+class GatewayAPI(ServiceAPI):
+    """Routes gateway requests onto the coalescing job manager."""
+
+    def __init__(self, manager: GatewayJobManager) -> None:
+        super().__init__(manager)
+
+    def _healthz(self, method: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        manager = self._manager
+        workers = manager.worker_health()
+        return ApiResponse(
+            200,
+            {
+                "status": "ok",
+                "version": package_version(),
+                "uptime_seconds": round(manager.metrics.uptime_seconds(), 3),
+                "workers": workers,
+                "workers_alive": sum(1 for row in workers if row["alive"]),
+                "tier": manager.tier(),
+            },
+        )
+
+    def _metrics(self, method: str) -> ApiResponse:
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        manager = self._manager
+        breaker = manager.breaker
+        return ApiResponse(
+            200,
+            manager.metrics.snapshot(
+                queue_depth=manager.queue_depth(),
+                jobs_running=manager.running_count(),
+                breaker=None if breaker is None else breaker.snapshot(),
+                tier=manager.tier(),
+                keys_in_flight=manager.keys_in_flight(),
+                retry_after_hint=manager.retry_after_seconds(),
+            ),
+        )

@@ -1,0 +1,139 @@
+"""Gateway metrics: the service counters plus coalescing and streaming.
+
+:class:`GatewayMetrics` extends :class:`~repro.service.metrics.
+ServiceMetrics` with the front-door counters the gateway adds on top of
+the job lifecycle: request coalescing (submissions attached to an
+in-flight execution instead of spawning one), executions actually
+dispatched to the worker pool, conditional-polling 304s, live SSE
+streams, and poisoned-key quarantines. ``GET /metrics`` gains a
+``gateway`` section; everything inherited keeps its shape, so PR-4
+dashboards keep working against a gateway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["GatewayMetrics"]
+
+
+class GatewayMetrics(ServiceMetrics):
+    """Thread-safe counters for one gateway process."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Submissions that attached to an in-flight identical execution.
+        self.jobs_coalesced = 0
+        # Tasks actually handed to the worker-process pool.
+        self.executions_dispatched = 0
+        # Conditional polls answered 304 Not Modified.
+        self.requests_not_modified = 0
+        # SSE streams opened over the lifetime of the process.
+        self.sse_streams = 0
+        # Content keys quarantined after repeated worker crashes.
+        self.keys_quarantined = 0
+
+    def record_coalesced(self) -> None:
+        """Count one submission served by attaching to an in-flight run."""
+        with self._lock:
+            self.jobs_coalesced += 1
+
+    def record_execution(self) -> None:
+        """Count one task dispatched to the worker pool."""
+        with self._lock:
+            self.executions_dispatched += 1
+
+    def record_not_modified(self) -> None:
+        """Count one ETag poll answered with a bodyless 304."""
+        with self._lock:
+            self.requests_not_modified += 1
+
+    def record_sse_stream(self) -> None:
+        """Count one server-sent-events subscription."""
+        with self._lock:
+            self.sse_streams += 1
+
+    def record_quarantine(self) -> None:
+        """Count one content key condemned by repeated worker crashes."""
+        with self._lock:
+            self.keys_quarantined += 1
+
+    def record_job_summary(
+        self,
+        observed: Optional[Dict[str, Any]],
+        seconds: float,
+        failed: bool = False,
+        timed_out: bool = False,
+    ) -> None:
+        """Fold one pool execution's flattened counters into the totals.
+
+        The worker-process twin of :meth:`ServiceMetrics.record_job` —
+        workers live in separate processes, so they ship a plain
+        counter dict instead of a RunMetrics object.
+        """
+        with self._lock:
+            self._record_outcome_locked(seconds, failed, timed_out)
+            if observed:
+                self.cache_hits += observed.get("cache_hits", 0)
+                self.cache_misses += observed.get("cache_misses", 0)
+                self.cache_puts += observed.get("cache_puts", 0)
+                self.cache_evictions += observed.get("cache_evictions", 0)
+                self.cache_corruptions += observed.get("cache_corruptions", 0)
+                self.task_retries += observed.get("task_retries", 0)
+                self.task_timeouts += observed.get("task_timeouts", 0)
+                self.task_quarantines += observed.get("task_quarantines", 0)
+                self.tasks_run += observed.get("tasks_run", 0)
+                self.task_seconds += observed.get("task_seconds", 0.0)
+
+    def record_task_retry(self) -> None:
+        """Count one task redispatched after a worker crash."""
+        with self._lock:
+            self.task_retries += 1
+
+    def record_task_quarantine(self) -> None:
+        """Count one task condemned after exhausting its attempts."""
+        with self._lock:
+            self.task_quarantines += 1
+
+    def coalesce_ratio(self) -> float:
+        """Fraction of accepted submissions served without an execution."""
+        with self._lock:
+            if not self.jobs_submitted:
+                return 0.0
+            return self.jobs_coalesced / self.jobs_submitted
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        jobs_running: int = 0,
+        breaker: Optional[Dict[str, Any]] = None,
+        tier: Optional[str] = None,
+        keys_in_flight: int = 0,
+        retry_after_hint: int = 1,
+    ) -> Dict[str, Any]:
+        """The service snapshot plus the ``gateway`` section."""
+        body = super().snapshot(
+            queue_depth=queue_depth, jobs_running=jobs_running, breaker=breaker
+        )
+        with self._lock:
+            coalesce_ratio = (
+                self.jobs_coalesced / self.jobs_submitted
+                if self.jobs_submitted
+                else 0.0
+            )
+            body["gateway"] = {
+                "coalesced": self.jobs_coalesced,
+                "coalesce_ratio": round(coalesce_ratio, 6),
+                "executions_dispatched": self.executions_dispatched,
+                "keys_in_flight": keys_in_flight,
+                "keys_quarantined": self.keys_quarantined,
+                "not_modified": self.requests_not_modified,
+                "sse_streams": self.sse_streams,
+                "backpressure": {
+                    "tier": tier,
+                    "retry_after_hint": retry_after_hint,
+                },
+            }
+        return body

@@ -19,12 +19,12 @@ unexpected responds 500 with the exception type and message only.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import math
 
 from repro.errors import ConfigurationError, ReproError
-from repro.resilience import CircuitOpenError
+from repro.resilience import CircuitOpenError, PoisonedTaskError
 from repro.experiments.registry import (
     ParamValidationError,
     all_specs,
@@ -77,11 +77,22 @@ class ServiceAPI:
         return self._manager
 
     def handle(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        headers: Optional[Mapping[str, str]] = None,
     ) -> ApiResponse:
-        """Dispatch one request; never raises (errors become responses)."""
+        """Dispatch one request; never raises (errors become responses).
+
+        ``headers`` (lower-cased names) is optional — transports that
+        forward it enable conditional requests (``If-None-Match`` → 304
+        on an unchanged job).
+        """
         try:
-            return self._route(method.upper(), path.rstrip("/") or "/", body)
+            return self._route(
+                method.upper(), path.rstrip("/") or "/", body, headers or {}
+            )
         except ParamValidationError as error:
             return _error(
                 400,
@@ -90,8 +101,12 @@ class ServiceAPI:
                 fields=error.errors,
             )
         except QueueFullError as error:
+            retry_after = max(1, int(getattr(error, "retry_after", 1)))
             return _error(
-                429, "queue-full", str(error), headers=(("Retry-After", "1"),)
+                429,
+                "queue-full",
+                str(error),
+                headers=(("Retry-After", str(retry_after)),),
             )
         except CircuitOpenError as error:
             retry_after = max(1, math.ceil(error.retry_after))
@@ -103,6 +118,10 @@ class ServiceAPI:
             )
         except ServiceStoppedError as error:
             return _error(503, "shutting-down", str(error))
+        except PoisonedTaskError as error:
+            # A quarantined content key: identical submissions keep
+            # crashing workers, so they are failed fast, not retried.
+            return _error(422, "quarantined", str(error))
         except UnknownJobError as error:
             return _error(404, "unknown-job", str(error))
         except ReproError as error:
@@ -118,7 +137,11 @@ class ServiceAPI:
     # -- routing ------------------------------------------------------------
 
     def _route(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        headers: Mapping[str, str],
     ) -> ApiResponse:
         if path == "/healthz":
             return self._healthz(method)
@@ -139,7 +162,14 @@ class ServiceAPI:
         ):
             return self._submit(method, parts[2], body)
         if len(parts) == 3 and parts[0] == "v1" and parts[1] == "runs":
-            return self._run_detail(method, parts[2])
+            return self._run_detail(method, parts[2], headers)
+        if (
+            len(parts) == 4
+            and parts[0] == "v1"
+            and parts[1] == "runs"
+            and parts[3] == "events"
+        ):
+            return self._run_events(method, parts[2], headers)
         return _error(404, "not-found", f"no route for {path!r}")
 
     @staticmethod
@@ -159,6 +189,7 @@ class ServiceAPI:
         rejected = self._require(method, "GET")
         if rejected:
             return rejected
+        workers = self._manager.worker_health()
         return ApiResponse(
             200,
             {
@@ -167,6 +198,8 @@ class ServiceAPI:
                 "uptime_seconds": round(
                     self._manager.metrics.uptime_seconds(), 3
                 ),
+                "workers": workers,
+                "workers_alive": sum(1 for row in workers if row["alive"]),
             },
         )
 
@@ -228,12 +261,61 @@ class ServiceAPI:
             200, {"runs": [job.summary() for job in self._manager.jobs()]}
         )
 
-    def _run_detail(self, method: str, job_id: str) -> ApiResponse:
+    def _run_detail(
+        self, method: str, job_id: str, headers: Mapping[str, str]
+    ) -> ApiResponse:
         rejected = self._require(method, "GET")
         if rejected:
             return rejected
         job = self._manager.get(job_id)
+        etag = job.etag
+        if headers.get("if-none-match") == etag:
+            # The poller already holds this exact job state: cheap 304,
+            # no body (transports must not serialize one).
+            self._record_not_modified()
+            return ApiResponse(304, {}, headers=(("ETag", etag),))
         # A timed-out job still returns its full detail body, but under
         # 504 so pollers can distinguish it without parsing the state.
         status = 504 if job.state == JobState.TIMEOUT else 200
-        return ApiResponse(status, job.detail())
+        return ApiResponse(status, job.detail(), headers=(("ETag", etag),))
+
+    def _record_not_modified(self) -> None:
+        """Hook for metrics subclasses counting 304 responses."""
+        record = getattr(self._manager.metrics, "record_not_modified", None)
+        if record is not None:
+            record()
+
+    def _run_events(
+        self, method: str, job_id: str, headers: Mapping[str, str]
+    ) -> ApiResponse:
+        """JSON replay of a job's progress events (the SSE fallback).
+
+        The gateway's HTTP layer upgrades this route to a live
+        ``text/event-stream``; through the transport-independent
+        ``handle()`` contract (and on the thread-pool service, which
+        keeps no event journal) it answers with the events recorded so
+        far, honoring ``Last-Event-ID`` as the replay cursor.
+        """
+        rejected = self._require(method, "GET")
+        if rejected:
+            return rejected
+        events_for = getattr(self._manager, "events_for", None)
+        job = self._manager.get(job_id)
+        if events_for is None:
+            return _error(
+                404,
+                "not-streamable",
+                "job progress streaming requires the gateway "
+                "(start the service with `rota gateway`)",
+            )
+        try:
+            cursor = int(headers.get("last-event-id", 0))
+        except ValueError:
+            cursor = 0
+        events = [
+            event for event in events_for(job.id) if event["seq"] > cursor
+        ]
+        return ApiResponse(
+            200,
+            {"job_id": job.id, "events": events, "terminal": job.done},
+        )

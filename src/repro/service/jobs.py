@@ -28,6 +28,7 @@ Backpressure and shutdown:
 from __future__ import annotations
 
 import itertools
+import math
 import queue
 import threading
 import time
@@ -59,7 +60,16 @@ __all__ = [
 
 
 class QueueFullError(ReproError):
-    """The job queue is at capacity; the submission was rejected."""
+    """The job queue is at capacity; the submission was rejected.
+
+    ``retry_after`` is the backpressure hint (seconds) the API surfaces
+    as a ``Retry-After`` header — computed from the current queue depth
+    and the observed per-job service rate, not a constant.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
 
 
 class ServiceStoppedError(ReproError):
@@ -98,11 +108,19 @@ class Job:
     finished_at: Optional[float] = None
     error: Optional[Dict[str, str]] = None
     payload: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    #: Bumped on every observable mutation; the basis of the detail
+    #: endpoint's ``ETag`` (pollers sending ``If-None-Match`` get 304).
+    version: int = 1
 
     @property
     def done(self) -> bool:
         """Whether the job reached a terminal state."""
         return self.state in JobState.TERMINAL
+
+    @property
+    def etag(self) -> str:
+        """The strong entity tag of the job's current state."""
+        return f'"{self.id}-v{self.version}"'
 
     def summary(self) -> Dict[str, Any]:
         """JSON-ready status view (no result body — list endpoints)."""
@@ -182,6 +200,10 @@ class JobManager:
         self._threads: List[threading.Thread] = []
         self._running = 0
         self._counter = itertools.count(1)
+        self._worker_stats: Dict[int, Dict[str, Any]] = {
+            index: {"busy": None, "jobs_completed": 0, "restarts": 0}
+            for index in range(workers)
+        }
 
     # -- intake -------------------------------------------------------------
 
@@ -218,7 +240,8 @@ class JobManager:
                 del self._jobs[job.id]
             self.metrics.record_rejected()
             raise QueueFullError(
-                f"job queue is full ({self._queue.maxsize} queued); retry later"
+                f"job queue is full ({self._queue.maxsize} queued); retry later",
+                retry_after=self.retry_after_seconds(),
             ) from None
         self.metrics.record_submitted()
         return job
@@ -247,6 +270,42 @@ class JobManager:
         with self._lock:
             return self._running
 
+    def retry_after_seconds(self) -> int:
+        """Backpressure hint for 429 responses, in whole seconds.
+
+        Estimated time until the queue has drained enough to accept new
+        work: outstanding jobs divided by the pool's observed service
+        rate (EMA of completed-job seconds over ``workers`` lanes),
+        clamped to [1, 60]. Before any job has completed there is no
+        rate estimate and the hint stays at the 1-second floor.
+        """
+        ema = self.metrics.estimated_job_seconds()
+        if ema is None:
+            return 1
+        outstanding = self.queue_depth() + self.running_count()
+        estimate = math.ceil(outstanding * ema / max(1, self._workers))
+        return int(min(60, max(1, estimate)))
+
+    def worker_health(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness for ``/healthz`` (thread pool flavor)."""
+        with self._lock:
+            rows = []
+            for index, thread in enumerate(self._threads):
+                stats = self._worker_stats[index]
+                rows.append(
+                    {
+                        "id": index,
+                        "kind": "thread",
+                        "name": thread.name,
+                        "alive": thread.is_alive(),
+                        "busy": stats["busy"] is not None,
+                        "current_job": stats["busy"],
+                        "jobs_completed": stats["jobs_completed"],
+                        "restarts": stats["restarts"],
+                    }
+                )
+            return rows
+
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
@@ -259,6 +318,7 @@ class JobManager:
     def _spawn_worker(self, index: int) -> threading.Thread:
         thread = threading.Thread(
             target=self._worker_loop,
+            args=(index,),
             name=f"rota-worker-{index}",
             daemon=True,
         )
@@ -274,6 +334,7 @@ class JobManager:
             for index, thread in enumerate(self._threads):
                 if not thread.is_alive():
                     self._threads[index] = self._spawn_worker(index)
+                    self._worker_stats[index]["restarts"] += 1
                     self.metrics.record_worker_restart()
 
     def shutdown(self, timeout: Optional[float] = None) -> None:
@@ -299,6 +360,7 @@ class JobManager:
             if job.state == JobState.QUEUED:
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
+                job.version += 1
         self.metrics.record_cancelled()
 
     # -- execution ----------------------------------------------------------
@@ -313,7 +375,7 @@ class JobManager:
             job.params,
         )
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int = 0) -> None:
         while True:
             try:
                 job = self._queue.get(timeout=0.05)
@@ -327,7 +389,7 @@ class JobManager:
                 self._cancel(job)
                 continue
             try:
-                self._execute(job)
+                self._execute(job, index)
             except BaseException:  # noqa: BLE001 - the loop itself must survive
                 # _execute already routes ordinary exceptions into the
                 # job record; anything that still escapes (KeyboardInterrupt
@@ -338,11 +400,13 @@ class JobManager:
                         job, code="worker-crash", message="worker thread crashed"
                     )
 
-    def _execute(self, job: Job) -> None:
+    def _execute(self, job: Job, index: int = 0) -> None:
         with self._lock:
             job.state = JobState.RUNNING
             job.started_at = time.time()
+            job.version += 1
             self._running += 1
+            self._worker_stats[index]["busy"] = job.id
         observed = None
         failed = False
         timed_out = False
@@ -361,12 +425,14 @@ class JobManager:
                         ),
                     }
                     job.finished_at = time.time()
+                    job.version += 1
             else:
                 observed = payload.get("observed")
                 with self._lock:
                     job.payload = payload["body"]
                     job.state = JobState.DONE
                     job.finished_at = time.time()
+                    job.version += 1
         except ReproError as error:
             failed = True
             self._fail(job, code="repro-error", message=str(error))
@@ -380,6 +446,10 @@ class JobManager:
         finally:
             with self._lock:
                 self._running -= 1
+                stats = self._worker_stats[index]
+                stats["busy"] = None
+                if not failed and not timed_out:
+                    stats["jobs_completed"] += 1
             self.metrics.record_job(
                 observed,
                 time.perf_counter() - start,
@@ -453,3 +523,4 @@ class JobManager:
             job.state = JobState.FAILED
             job.error = {"code": code, "message": message}
             job.finished_at = time.time()
+            job.version += 1

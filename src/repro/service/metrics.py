@@ -53,6 +53,13 @@ class ServiceMetrics:
         # HTTP traffic.
         self.requests_total = 0
         self.requests_by_status: Dict[int, int] = {}
+        # Exponential moving average of one job's service time, fed by
+        # completed jobs only (failures finish fast and would bias the
+        # estimate down). Backpressure uses it to compute Retry-After.
+        self._ema_job_seconds: Optional[float] = None
+
+    #: EMA smoothing: each new observation contributes 30%.
+    EMA_ALPHA = 0.3
 
     @property
     def started_at(self) -> float:
@@ -91,6 +98,26 @@ class ServiceMetrics:
         with self._lock:
             self.workers_restarted += 1
 
+    def _record_outcome_locked(
+        self, seconds: float, failed: bool, timed_out: bool
+    ) -> None:
+        """Count one finished job and update the service-rate EMA."""
+        if timed_out:
+            self.jobs_timeout += 1
+        elif failed:
+            self.jobs_failed += 1
+        else:
+            self.jobs_completed += 1
+            self._ema_job_seconds = (
+                seconds
+                if self._ema_job_seconds is None
+                else (
+                    self.EMA_ALPHA * seconds
+                    + (1.0 - self.EMA_ALPHA) * self._ema_job_seconds
+                )
+            )
+        self.job_seconds += seconds
+
     def record_job(
         self,
         run_metrics: Optional[RunMetrics],
@@ -100,13 +127,7 @@ class ServiceMetrics:
     ) -> None:
         """Fold one finished job's observed events into the totals."""
         with self._lock:
-            if timed_out:
-                self.jobs_timeout += 1
-            elif failed:
-                self.jobs_failed += 1
-            else:
-                self.jobs_completed += 1
-            self.job_seconds += seconds
+            self._record_outcome_locked(seconds, failed, timed_out)
             if run_metrics is not None:
                 self.cache_hits += run_metrics.cache_hits
                 self.cache_misses += run_metrics.cache_misses
@@ -120,6 +141,11 @@ class ServiceMetrics:
                 self.task_timeouts += run_metrics.task_timeouts
                 self.task_quarantines += run_metrics.task_quarantines
                 self.cache_corruptions += run_metrics.cache_corruptions
+
+    def estimated_job_seconds(self) -> Optional[float]:
+        """EMA of one completed job's service time (``None`` until one)."""
+        with self._lock:
+            return self._ema_job_seconds
 
     def snapshot(
         self,
@@ -144,6 +170,11 @@ class ServiceMetrics:
                     "rejected": self.jobs_rejected,
                     "timeout": self.jobs_timeout,
                     "seconds": round(self.job_seconds, 6),
+                    "ema_seconds": (
+                        None
+                        if self._ema_job_seconds is None
+                        else round(self._ema_job_seconds, 6)
+                    ),
                 },
                 "resilience": {
                     "task_retries": self.task_retries,

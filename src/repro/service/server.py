@@ -140,19 +140,32 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, body: Optional[Dict[str, Any]]) -> None:
         path = urlsplit(self.path).path
-        self._write(self.server.api.handle(self.command, path, body))
+        headers = {
+            name.lower(): value for name, value in self.headers.items()
+        }
+        self._write(
+            self.server.api.handle(self.command, path, body, headers)
+        )
 
     def _write(self, response: ApiResponse) -> None:
-        payload = json.dumps(response.payload, indent=2, sort_keys=True).encode(
-            "utf-8"
+        # A 304 must not carry a body (RFC 9110); everything else is a
+        # JSON document.
+        payload = (
+            b""
+            if response.status == 304
+            else json.dumps(
+                response.payload, indent=2, sort_keys=True
+            ).encode("utf-8")
         )
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
+        if payload:
+            self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         for name, value in response.headers:
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(payload)
+        if payload:
+            self.wfile.write(payload)
         self.server.api.manager.metrics.record_request(response.status)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002

@@ -46,7 +46,9 @@ FAST_PARAMS = {
 }
 
 #: Subcommands that are utilities, not experiments.
-UTILITY_COMMANDS = {"list", "export", "report", "cache", "all", "serve", "bench"}
+UTILITY_COMMANDS = {
+    "list", "export", "report", "cache", "all", "serve", "gateway", "bench",
+}
 
 
 def _cli_subcommands():

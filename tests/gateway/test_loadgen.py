@@ -1,0 +1,130 @@
+"""Load-generator unit tests: seeded schedules, scenario validation,
+report arithmetic, and the percentile helper. No live service needed."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.loadgen import (
+    DEFAULT_CLASSES,
+    LoadReport,
+    LoadScenario,
+    RequestClass,
+    _gateway_counters,
+    _percentile,
+    default_scenario,
+)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = LoadScenario(seed=7).schedule()
+        b = LoadScenario(seed=7).schedule()
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = LoadScenario(seed=7).schedule()
+        b = LoadScenario(seed=8).schedule()
+        assert a != b
+
+    def test_schedule_shape(self):
+        scenario = LoadScenario(num_requests=12, seed=3)
+        schedule = scenario.schedule()
+        assert len(schedule) == 12
+        offsets = [arrival for arrival, _ in schedule]
+        assert offsets == sorted(offsets)
+        assert all(offset >= 0.0 for offset in offsets)
+        assert {cls.name for _, cls in schedule} <= {
+            cls.name for cls in DEFAULT_CLASSES
+        }
+
+    def test_duplicated_traffic_repeats_classes(self):
+        # More requests than classes guarantees repeats — the shape that
+        # exercises coalescing.
+        schedule = LoadScenario(num_requests=24, seed=5).schedule()
+        names = [cls.name for _, cls in schedule]
+        assert len(set(names)) < len(names)
+
+
+class TestScenarioValidation:
+    def test_rejects_empty_class_set(self):
+        with pytest.raises(ConfigurationError):
+            LoadScenario(classes=())
+
+    def test_rejects_duplicate_class_names(self):
+        duplicated = (
+            RequestClass("same", "lifetime", {"iterations": 30}),
+            RequestClass("same", "lifetime", {"iterations": 40}),
+        )
+        with pytest.raises(ConfigurationError):
+            LoadScenario(classes=duplicated)
+
+    def test_default_scenarios(self):
+        smoke = default_scenario(smoke=True)
+        full = default_scenario(smoke=False)
+        assert smoke.num_requests < full.num_requests
+        assert smoke.classes == full.classes == DEFAULT_CLASSES
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 99.0) == 0.0
+
+    def test_single_value(self):
+        assert _percentile([5.0], 50.0) == 5.0
+        assert _percentile([5.0], 99.0) == 5.0
+
+    def test_nearest_rank_bounds(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 50.0) == 51.0
+        assert _percentile(values, 99.0) == 100.0
+        assert _percentile(values, 100.0) == 100.0
+
+
+class TestCounters:
+    def test_serve_baseline_has_no_gateway_section(self):
+        counters = _gateway_counters({"jobs": {"submitted": 9}})
+        assert counters == {"coalesced": 0, "executions": 0, "submitted": 9}
+
+    def test_missing_metrics_body(self):
+        assert _gateway_counters(None) == {
+            "coalesced": 0,
+            "executions": 0,
+            "submitted": 0,
+        }
+
+
+class TestReport:
+    def make_report(self, **overrides):
+        base = dict(
+            offered=10,
+            completed=9,
+            failed=1,
+            rejected=0,
+            errors_5xx=0,
+            submit_statuses={202: 10},
+            duration_s=2.0,
+            sustained_rps=4.5,
+            p50_ms=120.0,
+            p99_ms=480.0,
+            polls=40,
+            not_modified=22,
+            coalesce_ratio=0.4,
+            coalesced=4,
+            executions=6,
+        )
+        base.update(overrides)
+        return LoadReport(**base)
+
+    def test_to_dict_round_trips_and_stringifies_statuses(self):
+        body = self.make_report().to_dict()
+        assert body["submit_statuses"] == {"202": 10}
+        assert body["sustained_rps"] == 4.5
+        assert body["coalesce_ratio"] == 0.4
+
+    def test_format_mentions_the_gates(self):
+        text = self.make_report().format()
+        assert "9/10 completed" in text
+        assert "0 5xx" in text
+        assert "ratio 0.40" in text
+        assert "22 answered 304" in text
