@@ -1,0 +1,52 @@
+"""Accuracy-aware degraded service: loss models and request SLO classes.
+
+The fleet layer (PR 5) retires or throttles devices as PEs die; this
+package prices the third option — keep serving on worn silicon at a
+*predicted accuracy loss*. Two estimation models reproduce the cited
+degradation styles:
+
+* ``pruning`` — fault-aware remapping/pruning in the spirit of
+  "Algorithmic Strategies for Sustainable Reuse of NN Accelerators with
+  Permanent Faults" (arXiv:2412.16208): a slack band of dead PEs is
+  absorbed for free by remapping, then loss rises with network depth;
+* ``approximation`` — Hamun-style approximate execution
+  (arXiv:2502.01502): any dead fraction costs some accuracy, but the
+  curve is gentler and never saturates as hard.
+
+:mod:`repro.accuracy.slo` defines the request-side contract: an SLO
+class (``exact`` or ``tolerant(max_loss)``) attached to workload-mix
+entries so arrival streams carry their accuracy tolerance into
+dispatch.
+"""
+
+from repro.accuracy.model import (
+    ACCURACY_MODEL_NAMES,
+    AccuracyModel,
+    ApproximationAccuracyModel,
+    GENERIC_ACCURACY_PROFILE,
+    PruningAccuracyModel,
+    WorkloadAccuracyProfile,
+    accuracy_profile_for,
+    calibrate_profile,
+    calibrate_profiles,
+    make_accuracy_model,
+    register_accuracy_model,
+)
+from repro.accuracy.slo import EXACT_SLO, SLOClass, parse_slo
+
+__all__ = [
+    "ACCURACY_MODEL_NAMES",
+    "AccuracyModel",
+    "ApproximationAccuracyModel",
+    "EXACT_SLO",
+    "GENERIC_ACCURACY_PROFILE",
+    "PruningAccuracyModel",
+    "SLOClass",
+    "WorkloadAccuracyProfile",
+    "accuracy_profile_for",
+    "calibrate_profile",
+    "calibrate_profiles",
+    "make_accuracy_model",
+    "parse_slo",
+    "register_accuracy_model",
+]

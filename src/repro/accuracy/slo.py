@@ -1,0 +1,90 @@
+"""Request SLO classes: the accuracy tolerance a request arrives with.
+
+An :class:`SLOClass` is the service-level contract one request carries:
+``exact`` demands loss-free serving (only healthy or fully-remappable
+devices qualify), ``tolerant(max_loss)`` accepts any device whose
+model-predicted accuracy loss stays within the budget. SLO classes
+attach to :class:`~repro.fleet.traffic.WorkloadMix` entries, so every
+generated :class:`~repro.fleet.traffic.Request` knows its tolerance and
+SLO-aware dispatch can route on it.
+
+Plain frozen data throughout: SLO classes ride inside requests across
+process boundaries and participate in content hashing, so they must
+pickle and hash stably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Spelling of the loss-free class (the default for every request).
+EXACT_NAME = "exact"
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One request-side accuracy contract."""
+
+    name: str
+    #: Largest model-predicted accuracy loss the request accepts.
+    max_loss: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an SLO class needs a name")
+        if not 0.0 <= self.max_loss < 1.0:
+            raise ConfigurationError(
+                f"max_loss must be in [0, 1), got {self.max_loss}"
+            )
+        if self.name == EXACT_NAME and self.max_loss != 0.0:
+            raise ConfigurationError(
+                f"the exact SLO class cannot tolerate loss {self.max_loss}"
+            )
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the request demands loss-free serving."""
+        return self.max_loss == 0.0
+
+    @classmethod
+    def exact(cls) -> "SLOClass":
+        """The loss-free contract."""
+        return EXACT_SLO
+
+    @classmethod
+    def tolerant(cls, max_loss: float) -> "SLOClass":
+        """A contract accepting up to ``max_loss`` predicted loss."""
+        if max_loss <= 0.0:
+            raise ConfigurationError(
+                f"a tolerant SLO needs a positive max_loss, got {max_loss}"
+            )
+        return cls(name=f"tolerant({max_loss:g})", max_loss=max_loss)
+
+
+#: The default contract: every request is exact unless its mix entry
+#: says otherwise.
+EXACT_SLO = SLOClass(name=EXACT_NAME, max_loss=0.0)
+
+
+def parse_slo(spec: str) -> SLOClass:
+    """Parse an SLO spelling: ``exact`` or ``tolerant:MAX_LOSS``.
+
+    The grammar the CLI's ``--slo NAME=CLASS`` option uses.
+    """
+    text = spec.strip()
+    if text == EXACT_NAME:
+        return EXACT_SLO
+    kind, separator, value = text.partition(":")
+    if kind.strip() == "tolerant" and separator:
+        try:
+            max_loss = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"tolerant SLO needs a numeric max loss, got {value!r}"
+            ) from None
+        return SLOClass.tolerant(max_loss)
+    raise ConfigurationError(
+        f"unknown SLO class {spec!r}; expected 'exact' or 'tolerant:MAX_LOSS'"
+    )

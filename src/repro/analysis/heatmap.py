@@ -115,7 +115,7 @@ def render_heatmap_grid(
     shared_peak = max(counts.max() for _, counts, _ in unpacked)
     rendered = [
         render_heatmap(counts, legend=False, dead=dead, peak=shared_peak).split("\n")
-        for _, counts, _ in unpacked
+        for _, counts, dead in unpacked
     ]
     height = max(len(block) for block in rendered)
     widths = [

@@ -103,6 +103,10 @@ class BenchConfig:
     mapping_beam_width: int
     load_requests: int
     load_rate_rps: float
+    #: The SLO-routed degraded-service bracket (fields appended so
+    #: pinned positional configs above keep their meaning).
+    fleet_accuracy_requests: int = 256
+    fleet_accuracy_runs: int = 3
 
 
 #: CI configuration: small Monte Carlo batches, full-scale engine run
@@ -118,6 +122,8 @@ SMOKE = BenchConfig(
     mapping_beam_width=8,
     load_requests=48,
     load_rate_rps=24.0,
+    fleet_accuracy_requests=512,
+    fleet_accuracy_runs=3,
 )
 
 FULL = BenchConfig(
@@ -131,6 +137,8 @@ FULL = BenchConfig(
     mapping_beam_width=8,
     load_requests=64,
     load_rate_rps=32.0,
+    fleet_accuracy_requests=512,
+    fleet_accuracy_runs=3,
 )
 
 
@@ -324,6 +332,91 @@ def _bench_fleet(config: BenchConfig) -> List[Metric]:
     return [
         Metric("fleet_mc_wall_s", wall_s, "s", "lower", atol=0.25),
         Metric("fleet_cache_hit_rate", hit_rate, "ratio", "higher"),
+    ]
+
+
+def _bench_fleet_accuracy(config: BenchConfig) -> List[Metric]:
+    """SLO-routed degraded dispatch cost versus the rotational baseline.
+
+    Times back-to-back fleet scenarios under ``slo_aware`` +
+    ``serve-degraded-approx`` against ``rotational`` + ``retire`` on the
+    same SLO-tagged traffic and budget seeds. The overhead ratio is the
+    per-*completed-request* cost (degraded fleets serve more of the
+    offered traffic, so wall-clock alone would overstate the dispatch
+    cost).
+    """
+    from repro.accuracy.slo import SLOClass
+    from repro.experiments.common import paper_accelerator
+    from repro.experiments.fleet import _calibrated_fleet_budget
+    from repro.fleet.device import build_profiles
+    from repro.fleet.montecarlo import calibrated_rate
+    from repro.fleet.simulate import FleetConfig, simulate_fleet
+    from repro.fleet.traffic import WorkloadMix, make_traffic
+
+    accelerator = paper_accelerator()
+    mix = WorkloadMix.default_skewed().with_slos(
+        (("SqueezeNet", SLOClass.tolerant(0.12)),)
+    )
+    profiles = build_profiles(mix.names, accelerator)
+    budget = _calibrated_fleet_budget(
+        profiles, mix, 4, config.fleet_accuracy_requests
+    )
+    base = FleetConfig(
+        num_devices=4,
+        policy="rotational",
+        mean_budget=budget,
+        min_alive_fraction=0.75,
+    )
+    rate = calibrated_rate(profiles, mix, base)
+    requests = make_traffic(
+        "bursty", config.fleet_accuracy_requests, rate, mix=mix, seed=2025
+    )
+    slo = FleetConfig(
+        num_devices=4,
+        policy="slo_aware",
+        mean_budget=budget,
+        min_alive_fraction=0.75,
+        mode="serve-degraded-approx",
+    )
+
+    def timed(fleet_config):
+        completed = 0
+        start = time.perf_counter()
+        for run in range(config.fleet_accuracy_runs):
+            result = simulate_fleet(
+                profiles,
+                requests,
+                accelerator=accelerator,
+                config=fleet_config,
+                seed=run,
+            )
+            completed += result.completed
+        return time.perf_counter() - start, completed
+
+    # Warmup fills the profile cache and the accuracy-calibration memo.
+    simulate_fleet(
+        profiles, requests, accelerator=accelerator, config=slo, seed=0
+    )
+    baseline_s, baseline_completed = timed(base)
+    slo_s, slo_completed = timed(slo)
+    scenarios_per_s = config.fleet_accuracy_runs / slo_s
+    overhead = (slo_s / max(1, slo_completed)) / (
+        baseline_s / max(1, baseline_completed)
+    )
+    return [
+        Metric(
+            "fleet_accuracy_scenarios_per_s",
+            scenarios_per_s,
+            "1/s",
+            "higher",
+        ),
+        Metric(
+            "fleet_accuracy_dispatch_overhead",
+            overhead,
+            "x",
+            "lower",
+            atol=0.75,
+        ),
     ]
 
 
@@ -589,6 +682,7 @@ def _bench_service_load(config: BenchConfig) -> List[Metric]:
 _SECTIONS = (
     _bench_engine,
     _bench_fleet,
+    _bench_fleet_accuracy,
     _bench_faults,
     _bench_service,
     _bench_mapping_search,

@@ -76,6 +76,9 @@ class DeviceRow:
     alive_fraction: float
     death_time_s: Optional[float]
     counts: np.ndarray
+    #: Per-PE dead mask for the heatmap X-overlay (``None`` in results
+    #: recorded before the mask was plumbed through).
+    dead_mask: Optional[np.ndarray] = None
 
 
 def _device_rows(result: FleetResult) -> Tuple[DeviceRow, ...]:
@@ -89,6 +92,7 @@ def _device_rows(result: FleetResult) -> Tuple[DeviceRow, ...]:
             alive_fraction=stats.alive_fraction,
             death_time_s=stats.death_time_s,
             counts=stats.counts,
+            dead_mask=stats.dead_mask,
         )
         for stats in result.device_stats
     )
@@ -114,12 +118,17 @@ def _device_table(rows: Sequence[DeviceRow], title: str) -> str:
 
 
 def _device_heatmaps(rows: Sequence[DeviceRow], title: str) -> str:
-    """Shared-scale per-device α-heatmap small multiples."""
+    """Shared-scale per-device α-heatmap small multiples.
+
+    Dead PEs render as the grid's ``X`` overlay, so a degraded device's
+    small multiple shows *where* the array died, not just how hot it ran.
+    """
     return render_heatmap_grid(
         [
             (
                 f"dev{row.device_id}" + ("" if row.death_time_s is None else " (retired)"),
                 row.counts,
+                row.dead_mask,
             )
             for row in rows
         ],

@@ -101,11 +101,32 @@ def _parse_workload_mix(specs: List[str]) -> Tuple[Tuple[str, float], ...]:
     return tuple(entries)
 
 
+def _parse_slo_pairs(specs: List[str]) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``--slo NAME=CLASS`` options into plain (name, spec) pairs.
+
+    The class spelling (``exact`` or ``tolerant:0.05``) stays a string —
+    the accuracy driver parses it via
+    :func:`repro.accuracy.slo.parse_slo` — so the registry keeps its
+    no-driver-imports rule.
+    """
+    pairs = []
+    for spec in specs:
+        name, separator, slo_class = spec.partition("=")
+        if not separator or not name or not slo_class:
+            raise SystemExit(
+                f"--slo expects 'NAME=CLASS' pairs "
+                f"(CLASS: exact or tolerant:MAX_LOSS), got {spec!r}"
+            )
+        pairs.append((name, slo_class))
+    return tuple(pairs)
+
+
 #: Named CLI-value converters a :class:`Param` may reference. Kept as a
 #: registry (not lambdas on the spec) so specs stay picklable plain data.
 CONVERTERS: Dict[str, Callable[[Any], Any]] = {
     "dead_coords": _parse_dead_coords,
     "workload_mix": _parse_workload_mix,
+    "slo_pairs": _parse_slo_pairs,
 }
 
 #: Types a parameter schema may declare, mapped to argparse behavior.
@@ -779,8 +800,10 @@ def _fleet_shared_params(num_requests_default: int) -> Tuple[Param, ...]:
         ),
         Param(
             name="rate", kind="float", default=None, kwarg="rate_rps",
-            help="arrival rate in req/s (default: auto-calibrated to ~70% "
-                 "fleet utilization)",
+            # A bare "%" here would crash argparse's ``--help`` formatter
+            # (help strings are %-interpolated), hence the 0.7 spelling.
+            help="arrival rate in req/s (default: auto-calibrated to "
+                 "~0.7 fleet utilization)",
         ),
         Param(
             name="mix",
@@ -871,6 +894,55 @@ register(
 
 register(
     ExperimentSpec(
+        id="fleet-accuracy",
+        title="fleet study: SLO-routed dispatch with degraded service",
+        artifact="accuracy/lifetime/throughput Pareto (extension)",
+        runner="repro.experiments.accuracy:run_fleet_accuracy",
+        params=(
+            *_fleet_shared_params(400),
+            Param(
+                name="slo",
+                kind="repeat",
+                default=(),
+                metavar="NAME=CLASS",
+                convert="slo_pairs",
+                kwarg="slos",
+                help="SLO class per workload (repeatable; CLASS: exact or "
+                     "tolerant:MAX_LOSS; default: heaviest mix entry "
+                     "tolerant of --max-loss, rest exact)",
+            ),
+            Param(
+                name="max_loss", kind="float", default=0.12,
+                help="accuracy-loss budget of the default tolerant class",
+            ),
+            Param(
+                name="model",
+                kind="str",
+                default="pruning",
+                choices=("pruning", "approximation"),
+                kwarg="accuracy_model",
+                help="degradation style of worn devices",
+            ),
+            Param(
+                name="min_alive", kind="float", default=0.75,
+                kwarg="min_alive_fraction",
+                help="alive fraction below which a device retires "
+                     "(retire mode) or serves degraded (approx mode)",
+            ),
+            Param(
+                name="scenarios", kind="int", default=0,
+                help="also run an N-scenario traffic/budget Monte Carlo "
+                     "per (policy, mode) pairing",
+            ),
+            _resume_param(),
+            _jobs_param(),
+        ),
+        tags=("fleet", "accuracy"),
+    )
+)
+
+register(
+    ExperimentSpec(
         id="ablations",
         title="design-choice ablations",
         artifact="design ablations (DESIGN.md Sec. 4)",
@@ -952,7 +1024,7 @@ register(
             Param(
                 name="tolerance", kind="float", default=0.05,
                 help="max energy overhead vs the greedy baseline the "
-                     "wear-optimal pick may pay (fraction, default 5%)",
+                     "wear-optimal pick may pay (fraction, default 0.05)",
             ),
             Param(
                 name="max_points", kind="int", default=6,

@@ -310,6 +310,7 @@ def write_report(
         "fleet-lifetime": {"num_requests": fleet_requests},
         "fleet-policies": {"num_requests": fleet_requests},
         "fleet-degradation": {"num_requests": fleet_requests},
+        "fleet-accuracy": {"num_requests": fleet_requests},
         "mapping-search": {"limit": mapping_limit, "beam_width": 4},
     }
 

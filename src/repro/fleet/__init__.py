@@ -14,6 +14,7 @@ sweeps over the parallel runtime with chunk-invariant results.
 """
 
 from repro.fleet.device import (
+    DEVICE_MODES,
     FleetDevice,
     PEDeath,
     PROFILE_POLICY,
@@ -28,6 +29,9 @@ from repro.fleet.dispatch import (
     LeastWearDispatch,
     RotationalDispatch,
     RoundRobinDispatch,
+    SLO_DISPATCH_POLICY_NAMES,
+    SLOAwareDispatch,
+    SLORotationalDispatch,
     make_dispatch_policy,
 )
 from repro.fleet.montecarlo import (
@@ -57,6 +61,7 @@ from repro.fleet.traffic import (
 
 __all__ = [
     "DEFAULT_SKEWED_MIX",
+    "DEVICE_MODES",
     "DISPATCH_POLICY_NAMES",
     "DeviceStats",
     "DispatchPolicy",
@@ -72,6 +77,9 @@ __all__ = [
     "Request",
     "RotationalDispatch",
     "RoundRobinDispatch",
+    "SLO_DISPATCH_POLICY_NAMES",
+    "SLOAwareDispatch",
+    "SLORotationalDispatch",
     "TRAFFIC_KINDS",
     "WorkloadMix",
     "WorkloadProfile",

@@ -25,10 +25,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accuracy.model import (
+    AccuracyModel,
+    WorkloadAccuracyProfile,
+    accuracy_profile_for,
+    make_accuracy_model,
+)
 from repro.arch.accelerator import Accelerator
 from repro.core.engine import WearLevelingEngine
 from repro.core.policies import StrideTrigger, make_policy
@@ -40,6 +46,13 @@ from repro.fleet.traffic import Request
 #: Intra-device wear-leveling policy assumed when profiling workloads:
 #: fleet devices are RoTA accelerators, so each runs RWL+RO internally.
 PROFILE_POLICY = "rwl+ro"
+
+#: What a device does once its alive fraction falls under
+#: ``min_alive_fraction``: ``retire`` leaves service (the PR-5
+#: behavior); ``serve-degraded-approx`` keeps serving at model-predicted
+#: accuracy loss — the dead PEs' work is approximated away rather than
+#: recomputed, so service time stops paying the slowdown too.
+DEVICE_MODES = ("retire", "serve-degraded-approx")
 
 
 @dataclass(frozen=True)
@@ -217,6 +230,11 @@ class FleetDevice:
         queue_limit: int = 64,
         clock_mhz: float = 200.0,
         min_alive_fraction: float = 0.5,
+        mode: str = "retire",
+        accuracy_model: Optional[AccuracyModel] = None,
+        accuracy_profiles: Optional[
+            Mapping[str, WorkloadAccuracyProfile]
+        ] = None,
     ) -> None:
         if queue_limit < 1:
             raise ConfigurationError(
@@ -230,6 +248,10 @@ class FleetDevice:
             raise ConfigurationError(
                 f"min_alive_fraction must be in (0, 1], got {min_alive_fraction}"
             )
+        if mode not in DEVICE_MODES:
+            raise ConfigurationError(
+                f"unknown device mode {mode!r}; known: {DEVICE_MODES}"
+            )
         array = accelerator.array
         if budgets is not None and budgets.shape != array.shape:
             raise ConfigurationError(
@@ -242,6 +264,11 @@ class FleetDevice:
         self._queue_limit = queue_limit
         self._clock_hz = clock_mhz * 1e6
         self._min_alive_fraction = min_alive_fraction
+        self.mode = mode
+        if mode == "serve-degraded-approx" and accuracy_model is None:
+            accuracy_model = make_accuracy_model("pruning")
+        self._accuracy_model = accuracy_model
+        self._accuracy_profiles = accuracy_profiles
         self._ledger = np.zeros(array.shape, dtype=np.int64)
         # Lazy wear application: completed requests park their profile
         # here (keyed by profile identity, with a repeat count) until a
@@ -256,11 +283,18 @@ class FleetDevice:
         self._pending_peak = 0
         self._headroom: Optional[float] = None
         self._faults = FaultState.none(array)
-        self._queue: Deque[Tuple[Request, WorkloadProfile]] = deque()
-        self._in_service: Optional[Tuple[Request, WorkloadProfile]] = None
+        # Queue entries carry the accuracy loss the request was admitted
+        # at: the fault-aware mapping is planned at admission, so the
+        # loss a request is *delivered* at is the device's predicted
+        # loss when dispatch placed it — not whatever the array looks
+        # like once it reaches the head of the queue.
+        self._queue: Deque[Tuple[Request, WorkloadProfile, float]] = deque()
+        self._in_service: Optional[Tuple[Request, WorkloadProfile, float]] = None
         self.served = 0
         self.dispatched_wear = 0.0
         self.death_time_s: Optional[float] = None
+        #: Accuracy loss of the most recently completed request.
+        self.last_loss = 0.0
 
     # ------------------------------------------------------------------
     # Dispatch-facing views
@@ -269,6 +303,20 @@ class FleetDevice:
     def alive(self) -> bool:
         """Whether the device is still in service (not retired)."""
         return self.death_time_s is None
+
+    @property
+    def degraded(self) -> bool:
+        """Serving past ``min_alive_fraction`` in degraded-approx mode.
+
+        Always ``False`` in ``retire`` mode and while the device is
+        healthy, so a fault-free degraded-mode device is
+        indistinguishable from a normal one.
+        """
+        return (
+            self.mode == "serve-degraded-approx"
+            and self.alive
+            and self._faults.alive_fraction < self._min_alive_fraction
+        )
 
     @property
     def can_accept(self) -> bool:
@@ -343,23 +391,56 @@ class FleetDevice:
         return self._array.num_pes / alive
 
     def service_seconds(self, profile: WorkloadProfile) -> float:
-        """Wall-clock service time of one request on this device, now."""
+        """Wall-clock service time of one request on this device, now.
+
+        A degraded-approx device serves at the healthy rate: the dead
+        PEs' work is approximated away (that is where the accuracy loss
+        comes from), not redistributed over the survivors.
+        """
+        if self.degraded:
+            return profile.cycles / self._clock_hz
         return profile.cycles / self._clock_hz * self.slowdown
+
+    def predicted_loss(self, workload: str) -> float:
+        """Model-predicted accuracy loss of serving ``workload`` now.
+
+        Zero on a healthy device (or any device in ``retire`` mode,
+        which never serves degraded), infinite on a retired one —
+        SLO-aware dispatch compares this directly against a request's
+        ``max_loss`` budget.
+        """
+        if not self.alive:
+            return float("inf")
+        if not self.degraded:
+            return 0.0
+        if self._accuracy_profiles is not None:
+            profile = self._accuracy_profiles.get(workload)
+            if profile is None:
+                profile = accuracy_profile_for(workload)
+        else:
+            profile = accuracy_profile_for(workload)
+        dead_fraction = 1.0 - self._faults.alive_fraction
+        return self._accuracy_model.loss(dead_fraction, profile)
 
     # ------------------------------------------------------------------
     # Queue mechanics (driven by the event loop)
     # ------------------------------------------------------------------
     def enqueue(self, request: Request, profile: WorkloadProfile) -> bool:
-        """Admit one request; returns whether service starts immediately."""
+        """Admit one request; returns whether service starts immediately.
+
+        The request's delivered accuracy loss is fixed here, at
+        admission — the predicted loss of the device as dispatch saw it.
+        """
         if not self.can_accept:
             raise SimulationError(
                 f"device {self.device_id} cannot accept request {request.index}"
             )
+        loss = self.predicted_loss(request.workload)
         self.dispatched_wear += profile.wear_units
         if self._in_service is None:
-            self._in_service = (request, profile)
+            self._in_service = (request, profile, loss)
             return True
-        self._queue.append((request, profile))
+        self._queue.append((request, profile, loss))
         return False
 
     def _flush_pending(self) -> None:
@@ -408,9 +489,10 @@ class FleetDevice:
         """
         if self._in_service is None:
             raise SimulationError(f"device {self.device_id} is idle")
-        request, profile = self._in_service
+        request, profile, loss = self._in_service
         self._in_service = None
         self.served += 1
+        self.last_loss = loss
         deaths: List[PEDeath] = []
         if self._budgets is None:
             self._defer(profile)
@@ -437,12 +519,16 @@ class FleetDevice:
                             )
                         )
         dropped: List[Request] = []
-        if (
-            self.alive
-            and self._faults.alive_fraction < self._min_alive_fraction
-        ):
+        if self.mode == "serve-degraded-approx":
+            retired = self.alive and self._faults.num_alive == 0
+        else:
+            retired = (
+                self.alive
+                and self._faults.alive_fraction < self._min_alive_fraction
+            )
+        if retired:
             self.death_time_s = time_s
-            dropped = [queued for queued, _ in self._queue]
+            dropped = [queued for queued, _, _ in self._queue]
             self._queue.clear()
         return request, deaths, dropped
 

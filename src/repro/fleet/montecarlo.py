@@ -52,6 +52,11 @@ class FleetOutcome:
     wear_imbalance: float
     devices_alive_at_end: int
     pe_deaths: int
+    #: Accuracy-layer fields, appended with defaults so outcome records
+    #: journaled before PR 10 still unpickle.
+    delivered_loss_p99: float = 0.0
+    slo_violations: int = 0
+    time_to_first_retirement_s: float = 0.0
 
     @classmethod
     def from_result(cls, result: FleetResult) -> "FleetOutcome":
@@ -67,6 +72,9 @@ class FleetOutcome:
             wear_imbalance=result.wear_imbalance,
             devices_alive_at_end=result.devices_alive_at_end,
             pe_deaths=len(result.pe_deaths),
+            delivered_loss_p99=result.delivered_loss_p99,
+            slo_violations=result.slo_violations,
+            time_to_first_retirement_s=result.time_to_first_retirement_s,
         )
 
 
@@ -98,6 +106,18 @@ class FleetScenarioSamples:
     def mean_rejected(self) -> float:
         """Mean rejected-request count across scenarios."""
         return float(np.mean([o.rejected for o in self.outcomes]))
+
+    @property
+    def mean_time_to_first_retirement_s(self) -> float:
+        """Mean time until the first device retired across scenarios."""
+        return float(
+            np.mean([o.time_to_first_retirement_s for o in self.outcomes])
+        )
+
+    @property
+    def worst_delivered_loss_p99(self) -> float:
+        """Largest per-scenario p99 delivered loss (the SLO-bound check)."""
+        return float(max(o.delivered_loss_p99 for o in self.outcomes))
 
 
 def _scenario_chunk(spec: Tuple) -> Tuple[FleetOutcome, ...]:
@@ -166,8 +186,16 @@ def sample_fleet_scenarios(
         profiles = build_profiles(mix.names, accelerator)
     if rate_rps is None:
         rate_rps = calibrated_rate(profiles, mix, config)
+    # Rebuild a passed-in SeedSequence from its identity (see the same
+    # guard in simulate_fleet): several samplings sharing one sequence
+    # object — the common-random-number policy brackets — must each see
+    # the identical scenario seeds, regardless of call order.
     sequence = (
-        seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
     )
     scenario_seeds = sequence.spawn(num_scenarios)
     chunks = [

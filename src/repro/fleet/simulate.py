@@ -33,10 +33,15 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.accuracy.model import (
+    ACCURACY_MODEL_NAMES,
+    WorkloadAccuracyProfile,
+    make_accuracy_model,
+)
 from repro.arch.accelerator import Accelerator
 from repro.errors import ConfigurationError
 from repro.faults.injection import sample_endurance_budgets
-from repro.fleet.device import FleetDevice, PEDeath, WorkloadProfile
+from repro.fleet.device import DEVICE_MODES, FleetDevice, PEDeath, WorkloadProfile
 from repro.fleet.dispatch import make_dispatch_policy
 from repro.fleet.traffic import Request
 from repro.reliability.weibull import JEDEC_BETA, WeibullModel
@@ -61,6 +66,14 @@ class FleetConfig:
     beta: float = JEDEC_BETA
     #: A device retires once fewer than this fraction of PEs survive.
     min_alive_fraction: float = 0.5
+    #: What devices do past ``min_alive_fraction``: ``retire`` (the
+    #: default) or ``serve-degraded-approx`` (keep serving at
+    #: model-predicted accuracy loss).
+    mode: str = "retire"
+    #: Accuracy model *name* used by degraded devices (``None`` picks
+    #: the default); a name rather than an instance so the config stays
+    #: hashable for checkpoints and caches.
+    accuracy_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -74,6 +87,18 @@ class FleetConfig:
         if self.reference_budget <= 0:
             raise ConfigurationError(
                 f"reference_budget must be positive, got {self.reference_budget}"
+            )
+        if self.mode not in DEVICE_MODES:
+            raise ConfigurationError(
+                f"unknown device mode {self.mode!r}; known: {DEVICE_MODES}"
+            )
+        if (
+            self.accuracy_model is not None
+            and self.accuracy_model not in ACCURACY_MODEL_NAMES
+        ):
+            raise ConfigurationError(
+                f"unknown accuracy model {self.accuracy_model!r}; "
+                f"known: {ACCURACY_MODEL_NAMES}"
             )
 
     @property
@@ -95,6 +120,8 @@ class DeviceStats:
     alive_fraction: float
     death_time_s: Optional[float]
     counts: np.ndarray
+    #: Boolean per-PE dead mask at end of run (``None`` in old pickles).
+    dead_mask: Optional[np.ndarray] = None
 
 
 @dataclass(frozen=True)
@@ -118,6 +145,21 @@ class FleetResult:
     #: ``(time_s, devices_alive)`` steps, starting at ``(0.0, N)``.
     availability: Tuple[Tuple[float, int], ...]
     pe_deaths: Tuple[PEDeath, ...]
+    #: Device mode the scenario ran under (appended fields default for
+    #: results pickled before the accuracy layer existed).
+    mode: str = "retire"
+    #: Mean and p99 of per-request *delivered* accuracy loss (fixed at
+    #: admission — see :meth:`FleetDevice.enqueue`).
+    delivered_loss_mean: float = 0.0
+    delivered_loss_p99: float = 0.0
+    #: Completed requests whose delivered loss exceeded their SLO.
+    slo_violations: int = 0
+    #: When the first device left service (the fleet's
+    #: time-to-retirement); equals ``duration_s`` when no device retired.
+    time_to_first_retirement_s: float = 0.0
+    #: Whether no device retired (``time_to_first_retirement_s`` is then
+    #: a censored lower bound, not an observed retirement).
+    retirement_censored: bool = True
 
     @property
     def device_totals(self) -> Tuple[int, ...]:
@@ -219,6 +261,9 @@ def simulate_fleet(
     accelerator: Optional[Accelerator] = None,
     config: FleetConfig = FleetConfig(),
     seed: Seed = 2025,
+    accuracy_profiles: Optional[
+        Mapping[str, WorkloadAccuracyProfile]
+    ] = None,
 ) -> FleetResult:
     """Run one traffic scenario through the fleet under one policy.
 
@@ -226,7 +271,9 @@ def simulate_fleet(
     :class:`~numpy.random.SeedSequence` child per device, spawned up
     front); the traffic is already materialized in ``requests``. With
     ``config.mean_budget=None`` no budgets are drawn and the run is
-    failure-free.
+    failure-free. ``accuracy_profiles`` optionally pins the per-workload
+    accuracy calibration degraded devices consult (defaults to the
+    global calibration in :mod:`repro.accuracy.model`).
     """
     if not requests:
         raise ConfigurationError("a fleet scenario needs at least one request")
@@ -241,8 +288,17 @@ def simulate_fleet(
                 f"but no profile was built for it; have: {sorted(profiles)}"
             )
 
+    # Rebuild a passed-in SeedSequence from its identity rather than
+    # spawning from the caller's object: spawn() mutates the parent's
+    # child counter, so sharing one sequence across several scenarios
+    # (the common-random-numbers brackets) would make the sampled
+    # budgets depend on execution order and on whether tasks ran
+    # in-process or in pickled workers. Reconstruction pins the budget
+    # draw to the sequence's (entropy, spawn_key) alone.
     sequence = (
-        seed
+        np.random.SeedSequence(
+            entropy=seed.entropy, spawn_key=seed.spawn_key
+        )
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
@@ -256,6 +312,9 @@ def simulate_fleet(
             )
             for child in children
         ]
+    accuracy_model = None
+    if config.mode == "serve-degraded-approx":
+        accuracy_model = make_accuracy_model(config.accuracy_model or "pruning")
     devices = [
         FleetDevice(
             device_id=index,
@@ -264,6 +323,9 @@ def simulate_fleet(
             queue_limit=config.queue_limit,
             clock_mhz=config.clock_mhz,
             min_alive_fraction=config.min_alive_fraction,
+            mode=config.mode,
+            accuracy_model=accuracy_model,
+            accuracy_profiles=accuracy_profiles,
         )
         for index in range(config.num_devices)
     ]
@@ -274,10 +336,12 @@ def simulate_fleet(
     completions: List[Tuple[float, int, int]] = []
     tick = 0
     latencies: List[float] = []
+    delivered_losses: List[float] = []
+    slo_by_index: Dict[int, float] = {}
     arrival_by_index: Dict[int, float] = {}
     pe_deaths: List[PEDeath] = []
     availability: List[Tuple[float, int]] = [(0.0, config.num_devices)]
-    completed = rejected = dropped = 0
+    completed = rejected = dropped = slo_violations = 0
     last_event_s = 0.0
 
     def start_service(device: FleetDevice, profile: WorkloadProfile, now: float) -> None:
@@ -289,13 +353,19 @@ def simulate_fleet(
         )
 
     def run_completion(now: float, device_id: int) -> None:
-        nonlocal completed, dropped, last_event_s
+        nonlocal completed, dropped, slo_violations, last_event_s
         device = devices[device_id]
         request, deaths, dropped_requests = device.complete(now)
         completed += 1
         latencies.append(now - arrival_by_index.pop(request.index))
+        delivered_losses.append(device.last_loss)
+        if device.last_loss > slo_by_index.pop(request.index) + 1e-12:
+            slo_violations += 1
         pe_deaths.extend(deaths)
         dropped += len(dropped_requests)
+        for queued in dropped_requests:
+            arrival_by_index.pop(queued.index, None)
+            slo_by_index.pop(queued.index, None)
         if not device.alive:
             alive = sum(1 for d in devices if d.alive)
             availability.append((now, alive))
@@ -310,12 +380,18 @@ def simulate_fleet(
             time_s, _, device_id = heapq.heappop(completions)
             run_completion(time_s, device_id)
         profile = profiles[request.workload]
-        chosen = policy.select(devices, profile.wear_units)
+        chosen = policy.select(
+            devices,
+            profile.wear_units,
+            workload=request.workload,
+            max_loss=request.slo.max_loss,
+        )
         last_event_s = max(last_event_s, request.arrival_s)
         if chosen is None:
             rejected += 1
             continue
         arrival_by_index[request.index] = request.arrival_s
+        slo_by_index[request.index] = request.slo.max_loss
         device = devices[chosen]
         if device.enqueue(request, profile):
             start_service(device, profile, request.arrival_s)
@@ -325,6 +401,16 @@ def simulate_fleet(
 
     duration = max(last_event_s, requests[-1].arrival_s)
     latency_array = np.array(latencies, dtype=float)
+    loss_array = np.array(delivered_losses, dtype=float)
+    death_times = [
+        device.death_time_s
+        for device in devices
+        if device.death_time_s is not None
+    ]
+    retirement_censored = not death_times
+    time_to_first_retirement = (
+        duration if retirement_censored else min(death_times)
+    )
     rate_vectors = [
         device.ledger.astype(float) / duration if duration > 0 else device.ledger * 0.0
         for device in devices
@@ -341,6 +427,7 @@ def simulate_fleet(
             alive_fraction=device.alive_fraction,
             death_time_s=device.death_time_s,
             counts=device.ledger.copy(),
+            dead_mask=device.faults.dead_mask.copy(),
         )
         for device in devices
     )
@@ -361,4 +448,10 @@ def simulate_fleet(
         device_stats=stats,
         availability=tuple(availability),
         pe_deaths=tuple(pe_deaths),
+        mode=config.mode,
+        delivered_loss_mean=float(loss_array.mean()) if loss_array.size else 0.0,
+        delivered_loss_p99=_percentile(loss_array, 99.0),
+        slo_violations=slo_violations,
+        time_to_first_retirement_s=time_to_first_retirement,
+        retirement_censored=retirement_censored,
     )

@@ -24,11 +24,12 @@ simulation is later chunked over worker processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.accuracy.slo import EXACT_SLO, SLOClass
 from repro.errors import ConfigurationError
 
 Seed = Union[int, np.random.SeedSequence]
@@ -45,18 +46,31 @@ DEFAULT_SKEWED_MIX = (("SqueezeNet", 0.7), ("ResNet-50", 0.3))
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request offered to the fleet."""
+    """One inference request offered to the fleet.
+
+    ``slo`` is the accuracy contract the request arrives with; the
+    default is exact (loss-free serving), so traffic built before the
+    accuracy layer existed behaves unchanged.
+    """
 
     index: int
     arrival_s: float
     workload: str
+    slo: SLOClass = EXACT_SLO
 
 
 @dataclass(frozen=True)
 class WorkloadMix:
-    """A categorical distribution over workload names."""
+    """A categorical distribution over workload names.
+
+    ``slos`` optionally attaches an accuracy SLO class to some of the
+    entries (by workload name); entries without one are exact. The
+    generators stamp each request with its workload's class, so an
+    arrival stream carries its accuracy tolerance into dispatch.
+    """
 
     entries: Tuple[Tuple[str, float], ...]
+    slos: Tuple[Tuple[str, SLOClass], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.entries:
@@ -71,11 +85,36 @@ class WorkloadMix:
         names = [name for name, _ in self.entries]
         if len(names) != len(set(names)):
             raise ConfigurationError(f"duplicate workload in mix: {names}")
+        slo_names = [name for name, _ in self.slos]
+        if len(slo_names) != len(set(slo_names)):
+            raise ConfigurationError(f"duplicate SLO entry: {slo_names}")
+        for name, slo in self.slos:
+            if name not in names:
+                raise ConfigurationError(
+                    f"SLO for {name!r} names no mix entry; have: {names}"
+                )
+            if not isinstance(slo, SLOClass):
+                raise ConfigurationError(
+                    f"SLO for {name!r} must be an SLOClass, got {type(slo).__name__}"
+                )
 
     @property
     def names(self) -> Tuple[str, ...]:
         """Workload names in declaration order."""
         return tuple(name for name, _ in self.entries)
+
+    def slo_for(self, name: str) -> SLOClass:
+        """The SLO class attached to ``name`` (exact when unlisted)."""
+        for entry_name, slo in self.slos:
+            if entry_name == name:
+                return slo
+        return EXACT_SLO
+
+    def with_slos(
+        self, slos: Iterable[Tuple[str, SLOClass]]
+    ) -> "WorkloadMix":
+        """This mix with the given SLO attachments (replacing any)."""
+        return replace(self, slos=tuple(slos))
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -92,6 +131,11 @@ class WorkloadMix:
     def default_skewed(cls) -> "WorkloadMix":
         """The default light/heavy mix of the fleet studies."""
         return cls(DEFAULT_SKEWED_MIX)
+
+
+def _slo_table(mix: WorkloadMix) -> Dict[str, SLOClass]:
+    """Per-workload SLO lookup for the generators' inner loops."""
+    return {name: mix.slo_for(name) for name in mix.names}
 
 
 def _as_seed_sequence(seed: Seed) -> np.random.SeedSequence:
@@ -122,8 +166,14 @@ def poisson_requests(
     arrivals = np.cumsum(gaps)
     picks = rng.choice(len(mix.entries), size=num_requests, p=mix.probabilities)
     names = mix.names
+    slos = _slo_table(mix)
     return tuple(
-        Request(index=i, arrival_s=float(arrivals[i]), workload=names[picks[i]])
+        Request(
+            index=i,
+            arrival_s=float(arrivals[i]),
+            workload=names[picks[i]],
+            slo=slos[names[picks[i]]],
+        )
         for i in range(num_requests)
     )
 
@@ -153,6 +203,7 @@ def bursty_requests(
     rng = np.random.default_rng(_as_seed_sequence(seed))
     names = mix.names
     probabilities = mix.probabilities
+    slos = _slo_table(mix)
     intra_gap_mean = 1.0 / (rate_rps * burstiness)
     # Idle time so one burst cycle still averages burst_mean / rate_rps.
     idle_mean = max(
@@ -171,7 +222,12 @@ def bursty_requests(
             if position:
                 clock += rng.exponential(intra_gap_mean)
             requests.append(
-                Request(index=len(requests), arrival_s=clock, workload=workload)
+                Request(
+                    index=len(requests),
+                    arrival_s=clock,
+                    workload=workload,
+                    slo=slos[workload],
+                )
             )
     return tuple(requests)
 

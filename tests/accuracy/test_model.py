@@ -1,0 +1,170 @@
+"""Accuracy-loss curves: invariants, calibration, and the registry.
+
+The degraded-mode equivalence property (a fault-free degraded device is
+bit-identical to a normal one) rests on ``loss(0) == 0``; the SLO
+routing guarantees rest on monotonicity. Both are pinned here for every
+registered model.
+"""
+
+import math
+
+import pytest
+
+from repro.accuracy import (
+    ACCURACY_MODEL_NAMES,
+    GENERIC_ACCURACY_PROFILE,
+    ApproximationAccuracyModel,
+    PruningAccuracyModel,
+    WorkloadAccuracyProfile,
+    accuracy_profile_for,
+    calibrate_profile,
+    calibrate_profiles,
+    make_accuracy_model,
+    register_accuracy_model,
+)
+from repro.errors import ConfigurationError, WorkloadError
+
+PROFILE = WorkloadAccuracyProfile(
+    workload="toy", depth_factor=1.5, redundancy=100.0, slack=0.05
+)
+
+
+class TestModelInvariants:
+    @pytest.mark.parametrize("name", ACCURACY_MODEL_NAMES)
+    def test_zero_faults_means_zero_loss(self, name):
+        model = make_accuracy_model(name)
+        assert model.loss(0.0, PROFILE) == 0.0
+
+    @pytest.mark.parametrize("name", ACCURACY_MODEL_NAMES)
+    def test_loss_is_monotone_nondecreasing(self, name):
+        model = make_accuracy_model(name)
+        fractions = [i / 20 for i in range(21)]
+        losses = [model.loss(f, PROFILE) for f in fractions]
+        assert losses == sorted(losses)
+
+    @pytest.mark.parametrize("name", ACCURACY_MODEL_NAMES)
+    def test_loss_stays_under_one(self, name):
+        model = make_accuracy_model(name)
+        assert 0.0 < model.loss(1.0, PROFILE) < 1.0
+
+    @pytest.mark.parametrize("name", ACCURACY_MODEL_NAMES)
+    def test_out_of_range_fraction_rejected(self, name):
+        model = make_accuracy_model(name)
+        with pytest.raises(ConfigurationError):
+            model.loss(-0.1, PROFILE)
+        with pytest.raises(ConfigurationError):
+            model.loss(1.1, PROFILE)
+
+
+class TestPruningModel:
+    def test_slack_band_is_free(self):
+        """Remapping absorbs dead PEs inside the slack band at no cost."""
+        model = PruningAccuracyModel()
+        assert model.loss(PROFILE.slack, PROFILE) == 0.0
+        assert model.loss(PROFILE.slack / 2, PROFILE) == 0.0
+        assert model.loss(PROFILE.slack + 0.01, PROFILE) > 0.0
+
+    def test_deeper_networks_lose_more(self):
+        model = PruningAccuracyModel()
+        shallow = WorkloadAccuracyProfile("s", 1.0, 100.0, 0.05)
+        deep = WorkloadAccuracyProfile("d", 2.0, 100.0, 0.05)
+        assert model.loss(0.3, deep) > model.loss(0.3, shallow)
+
+    def test_loss_approaches_the_cap(self):
+        model = PruningAccuracyModel(cap=0.5, steepness=10.0)
+        assert model.loss(1.0, PROFILE) == pytest.approx(0.5, abs=1e-3)
+
+    def test_invalid_shape_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PruningAccuracyModel(cap=0.0)
+        with pytest.raises(ConfigurationError):
+            PruningAccuracyModel(steepness=-1.0)
+
+
+class TestApproximationModel:
+    def test_no_slack_band(self):
+        """Approximate execution charges for any dead fraction at all."""
+        model = ApproximationAccuracyModel()
+        assert model.loss(0.01, PROFILE) > 0.0
+
+    def test_redundancy_damps_the_loss(self):
+        model = ApproximationAccuracyModel()
+        lean = WorkloadAccuracyProfile("lean", 1.5, 10.0, 0.0)
+        rich = WorkloadAccuracyProfile("rich", 1.5, 1000.0, 0.0)
+        assert model.loss(0.3, rich) < model.loss(0.3, lean)
+
+    def test_gentler_than_pruning_past_the_knee(self):
+        """At a heavy dead fraction the approximation curve sits below
+        the pruning curve — worn cells still contribute, imperfectly."""
+        fraction = 0.5
+        pruning = PruningAccuracyModel().loss(fraction, PROFILE)
+        approx = ApproximationAccuracyModel().loss(fraction, PROFILE)
+        assert approx < pruning
+
+
+class TestRegistry:
+    def test_both_cited_models_registered(self):
+        for name in ACCURACY_MODEL_NAMES:
+            assert make_accuracy_model(name).name == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_accuracy_model("oracle")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_accuracy_model("pruning", PruningAccuracyModel)
+
+
+class TestCalibration:
+    def test_profile_derives_from_the_layer_table(self):
+        profile = calibrate_profile("SqueezeNet")
+        assert profile.workload == "SqueezeNet"
+        assert profile.depth_factor > 1.0
+        assert profile.redundancy > 1.0
+        assert 0.0 < profile.slack <= 0.15
+
+    def test_canonicalizes_workload_aliases(self):
+        assert calibrate_profile("Sqz") == calibrate_profile("SqueezeNet")
+
+    def test_unknown_workload_raises_workload_error(self):
+        with pytest.raises(WorkloadError):
+            calibrate_profile("NotANetwork")
+
+    def test_profile_for_falls_back_to_generic(self):
+        assert accuracy_profile_for("NotANetwork") is GENERIC_ACCURACY_PROFILE
+
+    def test_profile_for_memoizes(self):
+        assert accuracy_profile_for("SqueezeNet") is accuracy_profile_for(
+            "SqueezeNet"
+        )
+
+    def test_calibrate_profiles_keys_both_spellings(self):
+        profiles = calibrate_profiles(["Sqz"])
+        assert "Sqz" in profiles and "SqueezeNet" in profiles
+        assert profiles["Sqz"] is profiles["SqueezeNet"]
+
+    def test_deeper_network_gets_a_larger_depth_factor(self):
+        squeeze = calibrate_profile("SqueezeNet")
+        resnet = calibrate_profile("ResNet-50")
+        assert resnet.depth_factor > squeeze.depth_factor
+
+
+class TestProfileValidation:
+    def test_depth_factor_floor(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadAccuracyProfile("x", 0.5, 100.0, 0.0)
+
+    def test_redundancy_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadAccuracyProfile("x", 1.5, 0.0, 0.0)
+
+    def test_slack_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadAccuracyProfile("x", 1.5, 100.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadAccuracyProfile("x", 1.5, 100.0, -0.1)
+
+    def test_generic_profile_is_valid(self):
+        assert GENERIC_ACCURACY_PROFILE.slack < 1.0
+        assert math.isfinite(GENERIC_ACCURACY_PROFILE.redundancy)

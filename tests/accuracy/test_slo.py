@@ -1,0 +1,73 @@
+"""SLO classes: validation, constructors, and the CLI grammar."""
+
+import pickle
+
+import pytest
+
+from repro.accuracy import EXACT_SLO, SLOClass, parse_slo
+from repro.errors import ConfigurationError
+
+
+class TestSLOClass:
+    def test_exact_is_loss_free(self):
+        assert EXACT_SLO.is_exact
+        assert EXACT_SLO.max_loss == 0.0
+        assert SLOClass.exact() is EXACT_SLO
+
+    def test_tolerant_constructor_names_the_budget(self):
+        slo = SLOClass.tolerant(0.05)
+        assert slo.name == "tolerant(0.05)"
+        assert slo.max_loss == 0.05
+        assert not slo.is_exact
+
+    def test_tolerant_requires_positive_budget(self):
+        with pytest.raises(ConfigurationError):
+            SLOClass.tolerant(0.0)
+        with pytest.raises(ConfigurationError):
+            SLOClass.tolerant(-0.1)
+
+    def test_max_loss_range(self):
+        with pytest.raises(ConfigurationError):
+            SLOClass(name="x", max_loss=1.0)
+        with pytest.raises(ConfigurationError):
+            SLOClass(name="x", max_loss=-0.01)
+
+    def test_exact_name_cannot_tolerate_loss(self):
+        with pytest.raises(ConfigurationError):
+            SLOClass(name="exact", max_loss=0.1)
+
+    def test_needs_a_name(self):
+        with pytest.raises(ConfigurationError):
+            SLOClass(name="", max_loss=0.0)
+
+    def test_hashes_and_pickles(self):
+        """SLO classes ride inside requests across process boundaries."""
+        slo = SLOClass.tolerant(0.1)
+        assert hash(slo) == hash(SLOClass.tolerant(0.1))
+        assert pickle.loads(pickle.dumps(slo)) == slo
+        assert pickle.loads(pickle.dumps(EXACT_SLO)) == EXACT_SLO
+
+
+class TestParseSlo:
+    def test_exact(self):
+        assert parse_slo("exact") is EXACT_SLO
+        assert parse_slo("  exact ") is EXACT_SLO
+
+    def test_tolerant_with_budget(self):
+        assert parse_slo("tolerant:0.08") == SLOClass.tolerant(0.08)
+
+    def test_non_numeric_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_slo("tolerant:lots")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_slo("besteffort")
+        with pytest.raises(ConfigurationError):
+            parse_slo("tolerant")
+
+    def test_out_of_range_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_slo("tolerant:1.5")
+        with pytest.raises(ConfigurationError):
+            parse_slo("tolerant:0")

@@ -71,3 +71,33 @@ class TestRenderHeatmapGrid:
     def test_empty_grid_rejected(self):
         with pytest.raises(SimulationError):
             render_heatmap_grid([])
+
+    def test_each_panel_keeps_its_own_dead_mask(self):
+        """Only the first device is worn: its panel alone shows the X.
+
+        Regression: the renderer once leaked the final panel's mask
+        into every panel, so a mask on any non-last device vanished.
+        """
+        dead = np.zeros((2, 2), dtype=bool)
+        dead[0, 0] = True
+        text = render_heatmap_grid(
+            [("worn", np.ones((2, 2)), dead), ("fresh", np.ones((2, 2)))],
+            legend=False,
+        )
+        bottom = text.splitlines()[-1]  # row v=0 renders last
+        assert bottom[0] == "X"  # (v=0, u=0) in the worn panel
+        assert bottom.count("X") == 1  # the fresh panel stays clean
+
+    def test_dead_cells_render_as_x_at_their_coordinates(self):
+        """Pixel check: the overlay replaces exactly the dead cell."""
+        counts = np.full((2, 2), 4.0)
+        dead = np.zeros((2, 2), dtype=bool)
+        dead[0, 1] = True  # (v=0, u=1): bottom-right in paper orientation
+        with_mask = render_heatmap_grid(
+            [("dev", counts, dead)], legend=False
+        )
+        without = render_heatmap_grid([("dev", counts)], legend=False)
+        assert with_mask != without
+        # Row v=0 renders on the last line; column u=1 is its 2nd char.
+        assert with_mask.splitlines()[-1][1] == "X"
+        assert "X" not in without

@@ -37,6 +37,7 @@ FAST_PARAMS = {
     "fleet-lifetime": {"num_requests": 60, "scenarios": 2},
     "fleet-policies": {"num_requests": 60},
     "fleet-degradation": {"num_requests": 60},
+    "fleet-accuracy": {"num_requests": 60},
     "ablations": {},
     "extensions": {"iterations": 10},
     "attribution": {"limit": 2},
@@ -114,6 +115,16 @@ class TestRegistryShape:
         by_name = {param.name: param for param in spec.params}
         assert by_name["objective"].choices == OBJECTIVES
         assert by_name["search"].choices == SEARCH_MODES
+
+    def test_fleet_accuracy_choices_pin_the_accuracy_models(self):
+        """The --model choice literals must track the accuracy registry."""
+        from repro.accuracy.model import ACCURACY_MODEL_NAMES
+
+        spec = get_spec("fleet-accuracy")
+        by_name = {param.name: param for param in spec.params}
+        assert by_name["model"].choices == ACCURACY_MODEL_NAMES
+        assert by_name["model"].kwarg == "accuracy_model"
+        assert by_name["slo"].convert == "slo_pairs"
 
     def test_duplicate_registration_rejected(self):
         from repro.experiments.registry import register

@@ -40,6 +40,7 @@ class TestReport:
             "fleet_lifetime.txt",
             "fleet-policies.txt",
             "fleet-degradation.txt",
+            "fleet-accuracy.txt",
             "mapping_search.txt",
         ):
             assert expected in names

@@ -1,13 +1,15 @@
 """Tests for the pluggable dispatch policies."""
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.fleet.dispatch import (
     DISPATCH_POLICY_NAMES,
+    SLO_DISPATCH_POLICY_NAMES,
     RotationalDispatch,
+    SLORotationalDispatch,
     make_dispatch_policy,
 )
 
@@ -19,7 +21,21 @@ class FakeDevice:
     device_id: int
     can_accept: bool = True
     outstanding: int = 0
-    peak_wear: float = 0.0
+    loss: float = 0.0
+    _peak_wear: float = 0.0
+    wear_reads: int = field(default=0, compare=False)
+
+    @property
+    def peak_wear(self) -> float:
+        self.wear_reads += 1
+        return self._peak_wear
+
+    @peak_wear.setter
+    def peak_wear(self, value: float) -> None:
+        self._peak_wear = value
+
+    def predicted_loss(self, workload: str) -> float:
+        return self.loss
 
 
 def roster(n=4, overrides=None):
@@ -32,7 +48,7 @@ def roster(n=4, overrides=None):
 
 class TestFactory:
     def test_builds_every_named_policy(self):
-        for name in DISPATCH_POLICY_NAMES:
+        for name in DISPATCH_POLICY_NAMES + SLO_DISPATCH_POLICY_NAMES:
             assert make_dispatch_policy(name, 4).name == name
 
     def test_unknown_name_rejected(self):
@@ -87,6 +103,34 @@ class TestLeastWear:
         devices[1].peak_wear = 7.0
         assert policy.select(devices, 1.0) == 1
 
+    def test_wear_ties_break_on_lowest_device_id(self):
+        """Regression: equal wear must pick the lowest id, stably.
+
+        An earlier implementation compared ``devices[best].peak_wear``
+        on every candidate, which never updated ``best`` on a tie only
+        by accident of ``<`` — the tie-break is now an explicit
+        ``(wear, device_id)`` key.
+        """
+        policy = make_dispatch_policy("least_wear", 4)
+        devices = roster(4, {i: {"peak_wear": 2.5} for i in range(4)})
+        assert policy.select(devices, 1.0) == 0
+        devices[0].can_accept = False
+        assert policy.select(devices, 1.0) == 1
+
+    def test_peak_wear_read_exactly_once_per_device(self):
+        """The wear property may be a lazy ledger flush: one read each.
+
+        Re-reading ``peak_wear`` inside the comparison loop makes the
+        winner depend on how often a lazily-materialized property was
+        polled — the selection must be a pure function of one snapshot.
+        """
+        policy = make_dispatch_policy("least_wear", 3)
+        devices = roster(
+            3, {0: {"peak_wear": 4.0}, 1: {"peak_wear": 1.0}}
+        )
+        assert policy.select(devices, 1.0) == 2
+        assert [device.wear_reads for device in devices] == [1, 1, 1]
+
 
 class TestRotational:
     def test_uniform_cost_degenerates_to_round_robin(self):
@@ -120,3 +164,83 @@ class TestRotational:
         assert policy.select(devices, 1.0) == 1
         devices[1].can_accept = False
         assert policy.select(devices, 1.0) is None
+
+
+class TestSLOAware:
+    def select(self, devices, workload="net", max_loss=None):
+        policy = make_dispatch_policy("slo_aware", len(devices))
+        return policy.select(
+            devices, 1.0, workload=workload, max_loss=max_loss
+        )
+
+    def test_tolerant_routes_to_most_degraded_eligible(self):
+        """Sacrificial absorption: worn silicon soaks up tolerant load."""
+        devices = roster(
+            3, {0: {"loss": 0.02}, 1: {"loss": 0.08}, 2: {"loss": 0.0}}
+        )
+        assert self.select(devices, max_loss=0.10) == 1
+
+    def test_tolerant_skips_devices_over_budget(self):
+        devices = roster(
+            3, {0: {"loss": 0.02}, 1: {"loss": 0.25}, 2: {"loss": 0.0}}
+        )
+        assert self.select(devices, max_loss=0.10) == 0
+
+    def test_device_at_exactly_the_budget_stays_eligible(self):
+        devices = roster(2, {1: {"loss": 0.10}})
+        assert self.select(devices, max_loss=0.10) == 1
+
+    def test_exact_traffic_load_balances_over_loss_free_devices(self):
+        devices = roster(
+            3, {0: {"outstanding": 4}, 1: {"loss": 0.05, "outstanding": 0}}
+        )
+        # Device 1 predicts loss, so exact traffic may not touch it even
+        # though its queue is empty; device 2 wins on queue depth.
+        assert self.select(devices, max_loss=None) == 2
+
+    def test_none_max_loss_is_exact(self):
+        devices = roster(1, {0: {"loss": 0.001}})
+        assert self.select(devices, max_loss=None) is None
+
+    def test_rejects_when_no_device_meets_the_slo(self):
+        devices = roster(2, {0: {"loss": 0.5}, 1: {"loss": 0.3}})
+        assert self.select(devices, max_loss=0.1) is None
+
+    def test_degradation_ties_break_on_peak_wear_then_lowest_id(self):
+        devices = roster(
+            3,
+            {
+                0: {"loss": 0.05, "peak_wear": 1.0},
+                1: {"loss": 0.05, "peak_wear": 3.0},
+                2: {"loss": 0.05, "peak_wear": 3.0},
+            },
+        )
+        assert self.select(devices, max_loss=0.10) == 1
+
+
+class TestSLORotational:
+    def test_degenerates_to_rotational_on_exact_traffic(self):
+        policy = SLORotationalDispatch(3)
+        devices = roster(3)
+        picks = [
+            policy.select(devices, 1.0, workload="net", max_loss=None)
+            for _ in range(6)
+        ]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_rotates_within_the_slo_eligible_set(self):
+        policy = SLORotationalDispatch(3)
+        devices = roster(3, {1: {"loss": 0.5}})
+        picks = [
+            policy.select(devices, 1.0, workload="net", max_loss=0.1)
+            for _ in range(4)
+        ]
+        assert picks == [0, 2, 0, 2]
+        assert policy.dispatched_wear == (2.0, 0.0, 2.0)
+
+    def test_rejects_when_no_device_meets_the_slo(self):
+        policy = SLORotationalDispatch(2)
+        devices = roster(2, {0: {"loss": 0.4}, 1: {"loss": 0.4}})
+        assert (
+            policy.select(devices, 1.0, workload="net", max_loss=0.1) is None
+        )

@@ -9,20 +9,31 @@ never changes a bit of any result.
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.experiments.accuracy import run_fleet_accuracy
 from repro.experiments.fleet import (
+    _device_heatmaps,
+    _device_rows,
     run_fleet_degradation,
     run_fleet_lifetime,
     run_fleet_policies,
 )
 from repro.experiments.registry import all_specs, get_spec
 from repro.experiments.result import to_jsonable
-from repro.fleet.device import build_profiles
+from repro.fleet.device import WorkloadProfile, build_profiles
 from repro.fleet.dispatch import DISPATCH_POLICY_NAMES
+from repro.fleet.simulate import FleetConfig, simulate_fleet
+from repro.fleet.traffic import WorkloadMix, poisson_requests
 
-FLEET_SPEC_IDS = ("fleet-lifetime", "fleet-policies", "fleet-degradation")
+FLEET_SPEC_IDS = (
+    "fleet-lifetime",
+    "fleet-policies",
+    "fleet-degradation",
+    "fleet-accuracy",
+)
 
 
 class TestSpecs:
@@ -35,6 +46,7 @@ class TestSpecs:
             "fleet-lifetime": run_fleet_lifetime,
             "fleet-policies": run_fleet_policies,
             "fleet-degradation": run_fleet_degradation,
+            "fleet-accuracy": run_fleet_accuracy,
         }
         for spec_id, driver in drivers.items():
             assert get_spec(spec_id).resolve() is driver
@@ -91,6 +103,42 @@ class TestProfiles:
         assert profiles["Sqz"] is profiles["SqueezeNet"]
 
 
+class TestDeviceHeatmapDeadMask:
+    """The per-device fleet panels carry the dead-PE X-overlay."""
+
+    def _worn_fleet_result(self, small_torus):
+        counts = np.full(small_torus.array.shape, 1, dtype=np.int64)
+        profiles = {
+            "toy": WorkloadProfile(workload="toy", counts=counts, cycles=1000)
+        }
+        requests = poisson_requests(
+            num_requests=150,
+            rate_rps=400.0,
+            mix=WorkloadMix.uniform(["toy"]),
+            seed=3,
+        )
+        config = FleetConfig(
+            num_devices=2, policy="round_robin", mean_budget=50.0,
+            min_alive_fraction=0.1,
+        )
+        return simulate_fleet(profiles, requests, small_torus, config, seed=3)
+
+    def test_dead_mask_flows_from_stats_to_rows(self, small_torus):
+        result = self._worn_fleet_result(small_torus)
+        assert result.pe_deaths  # the scenario actually kills PEs
+        rows = _device_rows(result)
+        for row, stats in zip(rows, result.device_stats):
+            assert row.dead_mask is not None
+            assert int(row.dead_mask.sum()) == stats.dead_pes
+
+    def test_panels_overlay_dead_pes_as_x(self, small_torus):
+        rows = _device_rows(self._worn_fleet_result(small_torus))
+        text = _device_heatmaps(rows, "Per-device usage")
+        total_dead = sum(int(row.dead_mask.sum()) for row in rows)
+        assert "X" in text
+        assert f"dead={total_dead}(X)" in text
+
+
 class TestAcceptance:
     """The PR's headline claims, at the experiment's default parameters."""
 
@@ -112,3 +160,59 @@ class TestAcceptance:
     def test_jobs_fanout_is_bit_identical(self, default_policies):
         fanned = run_fleet_policies(jobs=4)
         assert fanned.to_dict() == default_policies.to_dict()
+
+
+class TestAccuracyAcceptance:
+    """The fleet-accuracy headline on the default skewed bursty mix."""
+
+    @pytest.fixture(scope="class")
+    def bracket(self):
+        return run_fleet_accuracy(num_requests=160, jobs=1)
+
+    def test_reports_the_full_policy_bracket(self, bracket):
+        assert [row.policy for row in bracket.rows] == [
+            "round_robin", "rotational", "slo_aware", "slo_rotational",
+        ]
+        assert [row.mode for row in bracket.rows] == [
+            "retire", "retire",
+            "serve-degraded-approx", "serve-degraded-approx",
+        ]
+
+    def test_slo_aware_extends_time_to_retirement(self, bracket):
+        assert bracket.retirement_vs("slo_aware") >= 1.0
+        assert "slo_aware extends fleet time-to-retirement" in bracket.headline
+
+    def test_p99_delivered_loss_stays_inside_the_budget(self, bracket):
+        for policy in ("slo_aware", "slo_rotational"):
+            row = bracket.row_for(policy)
+            assert row.delivered_loss_p99 <= bracket.max_loss
+            assert row.slo_violations == 0
+
+    def test_exact_policies_deliver_zero_loss(self, bracket):
+        for policy in ("round_robin", "rotational"):
+            assert bracket.row_for(policy).delivered_loss_p99 == 0.0
+
+    def test_slo_aware_pareto_dominates_round_robin_somewhere(self, bracket):
+        """At equal accuracy budget, slo_aware strictly beats the
+        wear-blind baseline on at least one frontier axis, and the
+        frontier itself contains a degraded-service pairing."""
+        slo = bracket.row_for("slo_aware")
+        baseline = bracket.row_for("round_robin")
+        assert (
+            slo.time_to_first_retirement_s > baseline.time_to_first_retirement_s
+            or slo.throughput_rps > baseline.throughput_rps
+        )
+        assert any(
+            row.pareto for row in bracket.rows
+            if row.mode == "serve-degraded-approx"
+        )
+
+    def test_jobs_fanout_is_bit_identical(self, bracket):
+        fanned = run_fleet_accuracy(num_requests=160, jobs=4)
+        assert fanned.to_dict() == bracket.to_dict()
+
+    def test_rejects_bad_budget_and_model(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet_accuracy(max_loss=0.0, num_requests=10)
+        with pytest.raises(ConfigurationError):
+            run_fleet_accuracy(accuracy_model="oracle", num_requests=10)

@@ -31,6 +31,7 @@ PARITY_CASES = [
     ("table2", {}, {}),
     ("unfold", {"x": 5, "y": 4}, {"x": 5, "y": 4}),
     ("walkthrough", {"network": "SqueezeNet"}, {"network": "SqueezeNet"}),
+    ("fleet-accuracy", {"requests": 40}, {"num_requests": 40}),
 ]
 
 TERMINAL = ("done", "failed", "cancelled", "timeout")

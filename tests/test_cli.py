@@ -34,6 +34,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_every_subcommand_help_formats(self):
+        """Regression: a bare ``%`` in a registered param's help crashes
+        argparse's %-interpolating help formatter at ``--help`` time."""
+        parser = build_parser()
+        for name, sub in parser._subparsers._group_actions[0].choices.items():
+            text = sub.format_help()
+            assert name in text
+
+    def test_fleet_accuracy_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "fleet-accuracy",
+                "--slo", "SqueezeNet=tolerant:0.1",
+                "--slo", "ResNet-50=exact",
+                "--max-loss", "0.08",
+                "--model", "approximation",
+                "--min-alive", "0.8",
+            ]
+        )
+        assert callable(args.func)
+        assert args.slo == ["SqueezeNet=tolerant:0.1", "ResNet-50=exact"]
+        assert args.max_loss == 0.08
+        assert args.model == "approximation"
+
+    def test_fleet_accuracy_model_choices_enforced(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet-accuracy", "--model", "oracle"])
+
     def test_jobs_flag_where_fanout_exists(self):
         parser = build_parser()
         assert parser.parse_args(["all", "--jobs", "4"]).jobs == 4
